@@ -1,0 +1,137 @@
+// Ablation A1 — why pseudo-random unaligned schedules (Section 7.1)?
+// Compares three schedule designs for a pair of stations across random clock
+// phases:
+//   (a) simple periodic schedules  — phase-lock starvation: some phases give
+//       ZERO usable overlap forever;
+//   (b) identical clocks + pseudo-random schedule — always starved (the
+//       degenerate case the random clock offsets exist to avoid);
+//   (c) pseudo-random schedules with random offsets — every phase works.
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/access.hpp"
+#include "core/schedule.hpp"
+
+namespace {
+
+using drn::analysis::Table;
+namespace core = drn::core;
+
+// Fraction of random phases for which a window exists within `horizon`
+// slots, and the mean wait among successful phases.
+struct PhaseStudy {
+  double success_fraction = 0.0;
+  double mean_wait_slots = 0.0;
+};
+
+/// `periodic`: if >0, use a deterministic cycle of that many slots with the
+/// first 30% as receive slots instead of the hash schedule.
+PhaseStudy study(bool periodic, double receive_fraction, int trials,
+                 std::uint64_t seed, double min_phase, double max_phase) {
+  drn::Rng rng(seed);
+  int hits = 0;
+  double wait = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double phase = rng.uniform(min_phase, max_phase);  // slots of offset
+    double found = -1.0;
+    if (periodic) {
+      // Periodic cycle of 10 unit slots, first 3 receive: my slot k is a
+      // transmit slot iff k mod 10 >= 3; their slot grid is offset by
+      // `phase`. A quarter-slot packet at t fits iff it lies inside one of
+      // my transmit slots AND inside one of their receive slots.
+      for (int k = 0; k < 500 && found < 0.0; ++k) {
+        if (k % 10 < 3) continue;  // my receive slot
+        for (double frac = 0.0; frac <= 0.75; frac += 0.25) {
+          const double t = k + frac;
+          const double their_local = t + phase;
+          const auto j = static_cast<long>(std::floor(their_local));
+          const bool their_rx = j % 10 < 3;
+          const bool inside_their_slot =
+              their_local + 0.25 <= static_cast<double>(j) + 1.0;
+          if (their_rx && inside_their_slot) {
+            found = t;
+            break;
+          }
+        }
+      }
+    } else {
+      const core::Schedule s(77, 1.0, receive_fraction);
+      const core::ClockModel other(phase, 1.0);
+      std::vector<core::WindowConstraint> cs = {
+          {&s, core::ClockModel(), false, 0.0},
+          {&s, other, true, 0.0},
+      };
+      core::AccessRequest req;
+      req.earliest_local_s = 0.0;
+      req.duration_s = 0.25;
+      req.horizon_s = 500.0;
+      if (const auto start = find_transmission_start(req, cs))
+        found = *start;
+    }
+    if (found >= 0.0) {
+      ++hits;
+      wait += found;
+    }
+  }
+  PhaseStudy out;
+  out.success_fraction = static_cast<double>(hits) / trials;
+  out.mean_wait_slots = hits > 0 ? wait / hits : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation A1 — schedule design (Section 7.1's argument)\n\n";
+  const int trials = 2000;
+  Table t({"design", "phases with any usable window", "mean wait (slots)"});
+
+  const auto periodic = study(true, 0.3, trials, 1, 0.0, 10.0);
+  t.add_row({"periodic cycle (10 slots, 3 rx)",
+             Table::num(periodic.success_fraction, 3),
+             Table::num(periodic.mean_wait_slots, 2)});
+
+  const auto random_sched = study(false, 0.3, trials, 2, 1.0, 1000.0);
+  t.add_row({"pseudo-random, offset >= 1 slot (paper's rule)",
+             Table::num(random_sched.success_fraction, 3),
+             Table::num(random_sched.mean_wait_slots, 2)});
+
+  const auto subslot = study(false, 0.3, trials, 3, 0.0, 1.0);
+  t.add_row({"pseudo-random, sub-slot offset (correlated)",
+             Table::num(subslot.success_fraction, 3),
+             Table::num(subslot.mean_wait_slots, 2)});
+
+  // The degenerate identical-phase case for the pseudo-random design.
+  {
+    const core::Schedule s(77, 1.0, 0.3);
+    std::vector<core::WindowConstraint> cs = {
+        {&s, core::ClockModel(), false, 0.0},
+        {&s, core::ClockModel(), true, 0.0},  // same clock, same schedule
+    };
+    core::AccessRequest req;
+    req.earliest_local_s = 0.0;
+    req.duration_s = 0.25;
+    req.horizon_s = 5000.0;
+    const bool any = find_transmission_start(req, cs).has_value();
+    t.add_row({"pseudo-random, IDENTICAL clocks", any ? "works" : "0 (starved)",
+               "-"});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nPaper check: 'Simple periodic schedules will not do. If two "
+         "stations ... happen to be running at the same phase, then "
+         "communication between them would not be possible.' The periodic "
+         "design PERMANENTLY starves a positive fraction of phases (those "
+         "where the receive block never lines up with a transmit block); with "
+         "offsets of at least one slot ('if there is at least one slot's "
+         "time difference ... the schedules will be uncorrelated') the "
+         "pseudo-random schedule finds a window for EVERY phase; sub-slot "
+         "offsets leave the two stations indexing adjacent slots of the "
+         "same hash sequence, and a fraction of those phases starve — "
+         "which is why stations initialise their clocks with many random "
+         "high-order bits.\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Figure 2 / Section 5: the collision taxonomy. For each type we build the
+// paper's micro-topology, show the loss occurring under naive random access
+// (ALOHA, with the classic all-interference-is-fatal 0 dB threshold), and
+// show the mechanism the paper assigns to that type eliminating it:
+//   Type 1 -> spread-spectrum processing gain,
+//   Type 2 -> parallel despreading channels (+ spread spectrum),
+//   Type 3 -> transmit/receive scheduling.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "common.hpp"
+#include "baselines/aloha.hpp"
+
+namespace {
+
+using drn::StationId;
+using drn::analysis::Table;
+namespace sim = drn::sim;
+namespace radio = drn::radio;
+namespace core = drn::core;
+
+// A MAC that transmits a fixed script (times, addressee, power).
+class Script final : public sim::MacProtocol {
+ public:
+  struct Tx {
+    double start;
+    StationId to;
+    double power;
+    double bits;
+  };
+  explicit Script(std::vector<Tx> txs) : txs_(std::move(txs)) {}
+  void on_start(sim::MacContext& ctx) override {
+    for (std::size_t i = 0; i < txs_.size(); ++i)
+      ctx.set_timer(txs_[i].start, i);
+  }
+  void on_timer(sim::MacContext& ctx, std::uint64_t i) override {
+    sim::Packet p;
+    p.source = ctx.self();
+    p.destination = txs_[i].to;
+    p.size_bits = txs_[i].bits;
+    ctx.transmit(p, txs_[i].to, txs_[i].power, ctx.now());
+  }
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& p,
+                  StationId) override {
+    ctx.drop(p);
+  }
+
+ private:
+  std::vector<Tx> txs_;
+};
+
+class Idle final : public sim::MacProtocol {
+ public:
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& p,
+                  StationId) override {
+    ctx.drop(p);
+  }
+};
+
+struct Outcome {
+  std::uint64_t ok = 0;
+  std::uint64_t t1 = 0;
+  std::uint64_t t2 = 0;
+  std::uint64_t t3 = 0;
+};
+
+Outcome run(const radio::PropagationMatrix& gains,
+            const radio::ReceptionCriterion& crit, int channels,
+            const std::vector<std::vector<Script::Tx>>& scripts) {
+  sim::SimulatorConfig cfg{crit};
+  cfg.thermal_noise_w = 1.0e-15;
+  cfg.despreading_channels = channels;
+  sim::Simulator s(gains, cfg);
+  for (StationId i = 0; i < gains.size(); ++i) {
+    if (scripts[i].empty())
+      s.set_mac(i, std::make_unique<Idle>());
+    else
+      s.set_mac(i, std::make_unique<Script>(scripts[i]));
+  }
+  s.run_until(10.0);
+  Outcome o;
+  o.ok = s.metrics().hop_successes();
+  o.t1 = s.metrics().losses(sim::LossType::kType1);
+  o.t2 = s.metrics().losses(sim::LossType::kType2);
+  o.t3 = s.metrics().losses(sim::LossType::kType3);
+  return o;
+}
+
+std::string show(const Outcome& o) {
+  return "ok=" + std::to_string(o.ok) + " T1=" + std::to_string(o.t1) +
+         " T2=" + std::to_string(o.t2) + " T3=" + std::to_string(o.t3);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 2 / Section 5 — collision taxonomy and the mechanism "
+               "that eliminates each type\n\n";
+  // Narrowband (all-or-nothing-like): required SINR 0 dB.
+  const radio::ReceptionCriterion narrow(1.0e6, 1.0e6, 0.0);
+  // Spread spectrum: 23 dB processing gain, required SINR ~ -19.6 dB.
+  const radio::ReceptionCriterion spread(200.0e6, 1.0e6, 5.0);
+
+  Table t({"case", "mechanism", "narrowband outcome", "with mechanism"});
+
+  {
+    // Type 1: third-party interferer near the receiver.
+    radio::PropagationMatrix m(4);
+    m.set_gain(1, 0, 1.0);   // 0 -> 1 desired
+    m.set_gain(1, 2, 2.0);   // 2 louder than the sender at receiver 1
+    m.set_gain(3, 2, 1.0);   // 2 -> 3 its own traffic
+    std::vector<std::vector<Script::Tx>> scripts(4);
+    scripts[0] = {{0.000, 1, 1.0, 1.0e4}};
+    scripts[2] = {{0.003, 3, 1.0, 1.0e4}};
+    const auto narrow_out = run(m, narrow, 8, scripts);
+    const auto spread_out = run(m, spread, 8, scripts);
+    t.add_row({"Type 1 (third-party interferer)",
+               "spread spectrum (20+ dB gain)", show(narrow_out),
+               show(spread_out)});
+  }
+  {
+    // Type 2: two senders address one receiver simultaneously.
+    radio::PropagationMatrix m(3);
+    m.set_gain(2, 0, 1.0);
+    m.set_gain(2, 1, 1.0);
+    m.set_gain(0, 1, 1e-9);
+    std::vector<std::vector<Script::Tx>> scripts(3);
+    scripts[0] = {{0.000, 2, 1.0, 1.0e4}};
+    scripts[1] = {{0.001, 2, 1.0, 1.0e4}};
+    const auto narrow_out = run(m, narrow, 8, scripts);
+    const auto spread_out = run(m, spread, 8, scripts);
+    const auto one_channel = run(m, spread, 1, scripts);
+    t.add_row({"Type 2 (two senders, one receiver)",
+               "multiple despreading channels", show(narrow_out),
+               show(spread_out) + "  (1 channel: " + show(one_channel) + ")"});
+  }
+  {
+    // Type 3: the receiver's own transmitter. No amount of processing gain
+    // fixes this one — only scheduling does.
+    radio::PropagationMatrix m(3);
+    m.set_gain(1, 0, 1.0);
+    m.set_gain(2, 1, 1.0);
+    m.set_gain(2, 0, 1e-9);
+    std::vector<std::vector<Script::Tx>> scripts(3);
+    scripts[0] = {{0.000, 1, 1.0, 1.0e4}};  // 0 -> 1, 0-10 ms
+    scripts[1] = {{0.004, 2, 1.0, 1.0e4}};  // 1 keys up mid-reception
+    const auto narrow_out = run(m, narrow, 8, scripts);
+    const auto spread_out = run(m, spread, 8, scripts);
+    t.add_row({"Type 3 (receiver transmitting)", "schedule (Section 7)",
+               show(narrow_out), show(spread_out) + "  <- still lost!"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nScheduled access on the Type-3 topology (the Section 7 "
+               "mechanism):\n\n";
+  {
+    // Same 3 stations, bidirectional load, but driven by ScheduledStation.
+    auto cfg = drn::bench::multihop_config();
+    cfg.max_power_w = 1.0;
+    cfg.exact_clock_models = true;
+    radio::PropagationMatrix m(3);
+    m.set_gain(1, 0, 1.0e-4);
+    m.set_gain(2, 1, 1.0e-4);
+    m.set_gain(2, 0, 2.5e-5);
+    drn::Rng rng(7);
+    auto net = core::build_scheduled_network(m, spread, cfg, rng);
+    sim::SimulatorConfig sc{spread};
+    sim::Simulator s(m, sc);
+    for (StationId i = 0; i < 3; ++i) s.set_mac(i, std::move(net.macs[i]));
+    drn::Rng traffic_rng(8);
+    for (const auto& inj : sim::poisson_traffic(100.0, 2.0, net.packet_bits,
+                                                sim::uniform_pairs(3),
+                                                traffic_rng))
+      s.inject(inj.time_s, inj.packet);
+    s.run_until(30.0);
+    Table t2({"offered", "delivered", "T1", "T2", "T3"});
+    t2.add_row({Table::num(s.metrics().offered()),
+                Table::num(s.metrics().delivered()),
+                Table::num(s.metrics().losses(sim::LossType::kType1)),
+                Table::num(s.metrics().losses(sim::LossType::kType2)),
+                Table::num(s.metrics().losses(sim::LossType::kType3))});
+    t2.print(std::cout);
+    std::cout << "\nAll three loss types are zero under the scheme.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 4: "A sample pseudo-random schedule for 20 stations" — the raster of
+// transmit/receive slots over half a second of unaligned slot grids, plus the
+// paper's caption example (an instant where station 0 can reach some
+// neighbours but not others) and pairwise overlap statistics.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_math.hpp"
+#include "analysis/table.hpp"
+#include "core/clock.hpp"
+#include "core/schedule.hpp"
+
+namespace {
+
+using drn::analysis::Table;
+using drn::core::Schedule;
+using drn::core::StationClock;
+
+constexpr double kSlot = 0.01;     // 10 ms slots
+constexpr double kSpan = 0.5;      // the figure's 0.5 s window
+constexpr int kStations = 20;
+constexpr double kReceiveFraction = 0.3;
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 4 — sample pseudo-random schedule for 20 stations\n"
+               "(receive duty cycle p = 0.3; '#' = transmitting allowed, "
+               "'.' = committed to listen; one column = 5 ms of global "
+               "time; slots are unaligned because each station reckons its "
+               "own clock)\n\n";
+
+  const Schedule schedule(0xF16u, kSlot, kReceiveFraction);
+  drn::Rng rng(4242);
+  std::vector<StationClock> clocks;
+  clocks.reserve(kStations);
+  for (int s = 0; s < kStations; ++s)
+    clocks.push_back(StationClock::random(rng, 1000.0, 20.0));
+
+  const double column_s = 0.005;
+  const int columns = static_cast<int>(kSpan / column_s);
+  for (int s = 0; s < kStations; ++s) {
+    std::printf("station %2d  ", s);
+    for (int c = 0; c < columns; ++c) {
+      const double global = (c + 0.5) * column_s;
+      const bool receive =
+          schedule.is_receive_slot(schedule.slot_index(clocks[s].local(global)));
+      std::putchar(receive ? '.' : '#');
+    }
+    std::putchar('\n');
+  }
+
+  // The caption's circled-instant example: at one instant, whom could
+  // station 0 send to? (Needs: 0 in a transmit slot, target in a receive
+  // slot.)
+  const double instant = 0.25;
+  std::cout << "\nAt t = " << instant << " s: station 0 is "
+            << (schedule.is_receive_slot(
+                    schedule.slot_index(clocks[0].local(instant)))
+                    ? "listening (cannot transmit at all)"
+                    : "in a transmit window")
+            << "; reachable stations right now:";
+  for (int s = 1; s < kStations; ++s) {
+    const bool s0_tx = !schedule.is_receive_slot(
+        schedule.slot_index(clocks[0].local(instant)));
+    const bool s_rx = schedule.is_receive_slot(
+        schedule.slot_index(clocks[s].local(instant)));
+    if (s0_tx && s_rx) std::cout << ' ' << s;
+  }
+  std::cout << "\n\nPairwise overlap statistics over 100000 slots (fraction "
+               "of time station 0 may send to station k):\n\n";
+  Table t({"pair", "measured overlap", "model p(1-p)"});
+  for (int s = 1; s <= 5; ++s) {
+    int usable = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) {
+      const double g = i * kSlot / 7.3;  // stride unaligned with slots
+      const bool tx = !schedule.is_receive_slot(
+          schedule.slot_index(clocks[0].local(g)));
+      const bool rx = schedule.is_receive_slot(
+          schedule.slot_index(clocks[s].local(g)));
+      if (tx && rx) ++usable;
+    }
+    t.add_row({"0 -> " + std::to_string(s),
+               Table::num(static_cast<double>(usable) / samples, 4),
+               Table::num(drn::analysis::access_probability(kReceiveFraction),
+                          4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery pair gets ~21% usable time — no pair starves, the "
+               "property periodic schedules cannot give (bench "
+               "abl_schedule_design).\n";
+  return 0;
+}

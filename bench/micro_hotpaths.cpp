@@ -1,0 +1,106 @@
+// Engineering microbenchmarks (google-benchmark) for the hot paths: the
+// schedule hash, window search, SINR event processing, event queue churn,
+// and routing-table construction.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/access.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using drn::StationId;
+namespace core = drn::core;
+namespace sim = drn::sim;
+
+void BM_ScheduleLookup(benchmark::State& state) {
+  const core::Schedule s(1, 0.01, 0.3);
+  std::int64_t slot = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.is_receive_slot(slot++));
+  }
+}
+BENCHMARK(BM_ScheduleLookup);
+
+void BM_WindowSearch(benchmark::State& state) {
+  const core::Schedule s(2, 0.01, 0.3);
+  const core::ClockModel other(123.456, 1.0000123);
+  std::vector<core::WindowConstraint> cs = {
+      {&s, core::ClockModel(), false, 0.0},
+      {&s, other, true, 0.0002},
+  };
+  double earliest = 0.0;
+  for (auto _ : state) {
+    core::AccessRequest req;
+    req.earliest_local_s = earliest;
+    req.duration_s = 0.0025;
+    req.horizon_s = 1000.0;
+    const auto start = find_transmission_start(req, cs);
+    benchmark::DoNotOptimize(start);
+    earliest = *start + 0.0025;
+  }
+}
+BENCHMARK(BM_WindowSearch);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  drn::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    sim::Event e;
+    e.time_s = rng.uniform();
+    e.kind = sim::EventKind::kTimer;
+    q.push(e);
+  }
+  double t = 1.0;
+  for (auto _ : state) {
+    sim::Event e = q.pop();
+    benchmark::DoNotOptimize(e);
+    e.time_s = t += 1e-4;
+    q.push(e);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_SimulatorEvent(benchmark::State& state) {
+  // Cost per simulated hop on a mid-size network under load.
+  const auto stations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cfg = drn::bench::multihop_config();
+    cfg.exact_clock_models = true;
+    auto scenario =
+        drn::bench::make_scenario(stations, 1000.0, 42, cfg);
+    sim::SimulatorConfig sc{drn::bench::scheme_criterion()};
+    sim::Simulator simulator(scenario.gains, sc);
+    state.ResumeTiming();
+    const auto& m =
+        drn::bench::run_scheme(scenario, simulator, 300.0, 1.0, 42, 30.0);
+    benchmark::DoNotOptimize(m.delivered());
+  }
+  state.SetLabel("stations=" + std::to_string(stations));
+}
+BENCHMARK(BM_SimulatorEvent)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingTablesBuild(benchmark::State& state) {
+  const auto stations = static_cast<std::size_t>(state.range(0));
+  drn::Rng rng(7);
+  const auto placement = drn::geo::uniform_disc(stations, 1000.0, rng);
+  const drn::radio::FreeSpacePropagation model;
+  const auto gains =
+      drn::radio::PropagationMatrix::from_placement(placement, model);
+  const auto graph = drn::routing::Graph::min_energy(gains, 6.25e-6);
+  for (auto _ : state) {
+    auto tables = drn::routing::RoutingTables::build(graph);
+    benchmark::DoNotOptimize(tables);
+  }
+  state.SetLabel("stations=" + std::to_string(stations));
+}
+BENCHMARK(BM_RoutingTablesBuild)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Sections 1 & 8: "Simulations of small networks (consisting of only 100 or
+// 1000 stations) were used to demonstrate the effectiveness of the channel
+// access scheme" — the end-to-end run. 100- and 1000-station random
+// placements, noisy fitted clock models, minimum-energy multihop routing,
+// Poisson traffic; versus ALOHA and CSMA baselines under the identical
+// physical model (with genie acks, a bias in their favour).
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "baselines/aloha.hpp"
+#include "baselines/csma.hpp"
+#include "baselines/maca.hpp"
+#include "common.hpp"
+
+namespace {
+
+using drn::StationId;
+using drn::analysis::Table;
+namespace sim = drn::sim;
+
+struct Row {
+  std::string mac;
+  std::uint64_t offered = 0;
+  double delivery = 0.0;
+  std::uint64_t t1 = 0;
+  std::uint64_t t2 = 0;
+  std::uint64_t t3 = 0;
+  double delay_ms = 0.0;
+  double hops = 0.0;
+  double tx_per_hop = 0.0;  // attempts / successes: 1.0 = no waste
+};
+
+Row summarize(const std::string& name, const sim::Metrics& m) {
+  Row r;
+  r.mac = name;
+  r.offered = m.offered();
+  r.delivery = m.delivery_ratio();
+  r.t1 = m.losses(sim::LossType::kType1);
+  r.t2 = m.losses(sim::LossType::kType2);
+  r.t3 = m.losses(sim::LossType::kType3);
+  r.delay_ms = m.delivered() > 0 ? m.delay().mean() * 1000.0 : 0.0;
+  r.hops = m.delivered() > 0 ? m.hops().mean() : 0.0;
+  r.tx_per_hop = m.hop_successes() > 0
+                     ? static_cast<double>(m.hop_attempts()) /
+                           static_cast<double>(m.hop_successes())
+                     : 0.0;
+  return r;
+}
+
+template <typename MakeMac>
+Row run_baseline(const std::string& name, const drn::bench::Scenario& scenario,
+                 MakeMac&& make_mac, double rate, double duration,
+                 std::uint64_t seed) {
+  sim::SimulatorConfig sc{drn::bench::scheme_criterion()};
+  sim::Simulator simulator(scenario.gains, sc);
+  for (StationId s = 0; s < scenario.gains.size(); ++s)
+    simulator.set_mac(s, make_mac());
+  simulator.set_router(scenario.tables.router());
+  drn::Rng rng(seed);
+  for (const auto& inj : sim::poisson_traffic(
+           rate, duration, scenario.net.packet_bits,
+           sim::uniform_pairs(scenario.gains.size()), rng))
+    simulator.inject(inj.time_s, inj.packet);
+  simulator.run_until(duration + 60.0);
+  return summarize(name, simulator.metrics());
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  Table t({"MAC", "offered", "delivery", "T1", "T2", "T3", "tx/hop",
+           "mean delay ms", "mean hops"});
+  for (const auto& r : rows) {
+    t.add_row({r.mac, Table::num(r.offered), Table::num(r.delivery, 4),
+               Table::num(r.t1), Table::num(r.t2), Table::num(r.t3),
+               Table::num(r.tx_per_hop, 3), Table::num(r.delay_ms, 1),
+               Table::num(r.hops, 2)});
+  }
+  t.print(std::cout);
+}
+
+void network_run(std::size_t stations, double region, double rate,
+                 double duration, std::uint64_t seed) {
+  std::cout << stations << "-station network (" << region
+            << " m radius, Poisson " << rate << " pkt/s aggregate, "
+            << duration << " s):\n\n";
+
+  std::vector<Row> rows;
+  {
+    auto scenario =
+        drn::bench::make_scenario(stations, region, seed,
+                                  drn::bench::multihop_config());
+    sim::SimulatorConfig sc{drn::bench::scheme_criterion()};
+    sim::Simulator simulator(scenario.gains, sc);
+    const auto& m = drn::bench::run_scheme(scenario, simulator, rate,
+                                           duration, seed, 120.0);
+    rows.push_back(summarize("scheduled scheme", m));
+  }
+  drn::baselines::ContentionConfig cc;
+  cc.power_w = 1.0e-4;
+  cc.max_retries = 6;
+  cc.backoff_mean_s = 0.01;
+  {
+    auto scenario =
+        drn::bench::make_scenario(stations, region, seed,
+                                  drn::bench::multihop_config());
+    rows.push_back(run_baseline(
+        "pure ALOHA (genie ack)", scenario,
+        [&] { return std::make_unique<drn::baselines::PureAloha>(cc); }, rate,
+        duration, seed));
+  }
+  {
+    auto scenario =
+        drn::bench::make_scenario(stations, region, seed,
+                                  drn::bench::multihop_config());
+    rows.push_back(run_baseline(
+        "CSMA (genie ack)", scenario,
+        [&] { return std::make_unique<drn::baselines::CsmaMac>(cc, 2.5e-9); },
+        rate, duration, seed));
+  }
+  {
+    auto scenario =
+        drn::bench::make_scenario(stations, region, seed,
+                                  drn::bench::multihop_config());
+    drn::baselines::MacaConfig mc;
+    mc.power_w = 1.0e-4;
+    mc.max_retries = 6;
+    mc.backoff_mean_s = 0.01;
+    rows.push_back(run_baseline(
+        "MACA (RTS/CTS, no genie)", scenario,
+        [&] { return std::make_unique<drn::baselines::MacaMac>(mc); }, rate,
+        duration, seed));
+  }
+  print_rows(rows);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Section 8 — network simulations (scheme vs prior-work MACs, "
+               "identical SINR physics)\n\n";
+  network_run(100, 1600.0, 400.0, 2.0, 606);
+  network_run(1000, 5000.0, 1000.0, 1.0, 707);
+  std::cout << "Expected shape (paper): the scheme shows ZERO collision "
+               "losses (T1=T2=T3=0) and delivers everything routable; the "
+               "random-access baselines lose packets to all three collision "
+               "types as load concentrates. tx/hop = 1.000 is the paper's "
+               "'single transmission per hop' claim; the baselines only "
+               "reach full delivery by burning genie-acknowledged retries "
+               "(tx/hop > 1). MACA runs withOUT any genie — its RTS/CTS "
+               "handshake is real airtime under the same physics — and "
+               "without link-layer ACKs (original MACA) it simply loses "
+               "data frames that die mid-air, which is why MACAW later "
+               "added them.\n";
+  return 0;
+}

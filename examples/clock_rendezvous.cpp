@@ -1,0 +1,81 @@
+// Clock modelling walkthrough (Section 7): two stations with drifting
+// quartz clocks rendezvous a few times, fit affine models of each other's
+// clocks, and then predict the other's schedule windows minutes into the
+// future. Shows the prediction error versus the guard budget.
+//
+//   $ ./clock_rendezvous
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/clock.hpp"
+#include "core/clock_model.hpp"
+#include "core/schedule.hpp"
+
+int main() {
+  using namespace drn;
+
+  // Two stations: clocks set independently at random, rates off-nominal by
+  // +13 ppm and -22 ppm of quartz drift.
+  const core::StationClock alice(73123.521, 1.0 + 13e-6);
+  const core::StationClock bob(4211.007, 1.0 - 22e-6);
+
+  std::cout << "alice: offset " << alice.offset_s() << " s, rate "
+            << alice.rate() << "\n"
+            << "bob:   offset " << bob.offset_s() << " s, rate " << bob.rate()
+            << "\n\n";
+
+  // Rendezvous: four exchanges over two minutes, each reading the peer's
+  // clock with +-2 microseconds of timestamping error.
+  Rng rng(42);
+  const std::vector<double> when = {-120.0, -80.0, -40.0, -1.0};
+  const auto samples = core::rendezvous(alice, bob, when, 2.0e-6, rng);
+
+  std::cout << "rendezvous samples (alice's local clock -> bob's):\n";
+  for (const auto& s : samples)
+    std::cout << "  " << s.mine_s << " -> " << s.theirs_s << '\n';
+
+  const core::ClockModel model = core::ClockModel::fit(samples);
+  std::cout << "\nfitted model: bob ~= " << model.a() << " + " << model.b()
+            << " * alice   (max residual " << model.max_residual_s() * 1e6
+            << " us)\n\n";
+
+  // Prediction error growing with horizon.
+  analysis::Table t({"horizon (s)", "prediction error (us)",
+                     "guard budget (us)", "within guard?"});
+  const double guard_s = 200.0e-6;  // 2% of a 10 ms slot
+  for (double horizon : {1.0, 10.0, 60.0, 300.0, 1800.0}) {
+    const double predicted = model.map(alice.local(horizon));
+    const double truth = bob.local(horizon);
+    const double err = std::abs(predicted - truth);
+    t.add_row({analysis::Table::num(horizon, 0),
+               analysis::Table::num(err * 1e6, 2),
+               analysis::Table::num(guard_s * 1e6, 0),
+               err < guard_s ? "yes" : "NO - re-rendezvous needed"});
+  }
+  t.print(std::cout);
+
+  // What the model is for: finding bob's receive windows.
+  const core::Schedule schedule(0xABCD, 0.01, 0.3);
+  std::cout << "\nbob's next receive windows, as alice predicts them (and "
+               "the truth):\n";
+  int shown = 0;
+  for (std::int64_t slot = schedule.slot_index(model.map(alice.local(0.0)));
+       shown < 5; ++slot) {
+    if (!schedule.is_receive_slot(slot)) continue;
+    const double bob_local = schedule.slot_begin(slot);
+    const double alice_thinks_global = alice.global(model.inverse(bob_local));
+    const double truly_global = bob.global(bob_local);
+    std::cout << "  slot " << slot << ": predicted t="
+              << alice_thinks_global << " s, true t=" << truly_global
+              << " s (error "
+              << std::abs(alice_thinks_global - truly_global) * 1e6
+              << " us)\n";
+    ++shown;
+  }
+  std::cout << "\nErrors stay microseconds-deep inside the 200 us guard, so "
+               "every packet alice schedules lands inside a window bob is "
+               "actually listening to — Section 7's requirement.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// The paper's motivating scenario (Section 1): replacing cables between
+// buildings. A neighbourhood of clustered buildings (Matern-style blocks)
+// with log-normal obstruction on every path, running the scheduled scheme
+// over minimum-energy routes, compared against what pure ALOHA does on the
+// identical physical plant.
+//
+//   $ ./neighborhood_mesh
+#include <iostream>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "baselines/aloha.hpp"
+#include "core/network_builder.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/graph.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace drn;
+
+struct Result {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t attempts = 0;
+  double delay_ms = 0.0;
+};
+
+Result run(bool scheduled, const radio::PropagationMatrix& gains,
+           const radio::ReceptionCriterion& criterion,
+           const routing::RoutingTables& tables, double packet_bits) {
+  sim::SimulatorConfig sim_cfg{criterion};
+  sim::Simulator sim(gains, sim_cfg);
+
+  core::ScheduledNetworkConfig net_cfg;
+  net_cfg.target_received_w = 1.0e-9;
+  net_cfg.max_power_w = 1.0e-3;
+  Rng build_rng(11);
+  auto net = core::build_scheduled_network(gains, criterion, net_cfg, build_rng);
+
+  if (scheduled) {
+    for (StationId s = 0; s < gains.size(); ++s)
+      sim.set_mac(s, std::move(net.macs[s]));
+  } else {
+    baselines::ContentionConfig cc;
+    cc.power_w = 1.0e-4;
+    cc.max_retries = 6;
+    cc.backoff_mean_s = 0.01;
+    for (StationId s = 0; s < gains.size(); ++s)
+      sim.set_mac(s, std::make_unique<baselines::PureAloha>(cc));
+  }
+  sim.set_router(tables.router());
+
+  Rng traffic_rng(77);
+  for (const auto& inj :
+       sim::poisson_traffic(250.0, 2.0, packet_bits,
+                            sim::uniform_pairs(gains.size()), traffic_rng))
+    sim.inject(inj.time_s, inj.packet);
+  sim.run_until(60.0);
+
+  Result r;
+  r.offered = sim.metrics().offered();
+  r.delivered = sim.metrics().delivered();
+  r.collisions = sim.metrics().total_hop_losses();
+  r.attempts = sim.metrics().hop_attempts();
+  r.delay_ms =
+      sim.metrics().delivered() > 0 ? sim.metrics().delay().mean() * 1e3 : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // Six city blocks of eight buildings each, blocks ~120 m wide, scattered
+  // over a ~1 km neighbourhood.
+  Rng rng(5150);
+  const geo::Placement placement =
+      geo::clustered_disc(/*clusters=*/6, /*per_cluster=*/8,
+                          /*radius=*/500.0, /*cluster_radius=*/60.0, rng);
+
+  // Obstructed propagation: free space degraded by 6 dB log-normal
+  // shadowing (walls, trees), deterministic per building pair.
+  auto free_space = std::make_shared<radio::FreeSpacePropagation>();
+  const radio::LogNormalShadowing propagation(free_space, 6.0, 0xbeef);
+  const auto gains =
+      radio::PropagationMatrix::from_placement(placement, propagation);
+
+  const radio::ReceptionCriterion criterion(200.0e6, 1.0e6, 5.0);
+  const auto graph = routing::Graph::min_energy(gains, 1.0e-6);
+  std::cout << "neighbourhood mesh: " << gains.size() << " buildings, "
+            << graph.edge_count() << " usable links, "
+            << (graph.connected() ? "connected" : "NOT connected") << "\n\n";
+  const auto tables = routing::RoutingTables::build(graph);
+  const double packet_bits = 1.0e6 * 0.0025;  // quarter of a 10 ms slot
+
+  const Result scheme = run(true, gains, criterion, tables, packet_bits);
+  const Result aloha = run(false, gains, criterion, tables, packet_bits);
+
+  analysis::Table t({"MAC", "offered", "delivered", "collision losses",
+                     "transmissions", "mean delay ms"});
+  t.add_row({"scheduled scheme", analysis::Table::num(scheme.offered),
+             analysis::Table::num(scheme.delivered),
+             analysis::Table::num(scheme.collisions),
+             analysis::Table::num(scheme.attempts),
+             analysis::Table::num(scheme.delay_ms, 1)});
+  t.add_row({"pure ALOHA", analysis::Table::num(aloha.offered),
+             analysis::Table::num(aloha.delivered),
+             analysis::Table::num(aloha.collisions),
+             analysis::Table::num(aloha.attempts),
+             analysis::Table::num(aloha.delay_ms, 1)});
+  t.print(std::cout);
+  std::cout << "\nSame buildings, same radios, same obstructions — only the "
+               "channel access differs. ALOHA's deliveries lean on a genie "
+               "acknowledgement (free, instant) to drive retransmissions; "
+               "every collision row is a wasted transmission the scheme "
+               "never makes.\n";
+  return 0;
+}

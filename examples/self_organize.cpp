@@ -1,0 +1,95 @@
+// Zero-configuration bootstrap: stations are dropped into the world knowing
+// NOTHING — no neighbour lists, no clock relationships, no gains. They run
+// the over-the-air discovery phase (broadcast beacons stamped with local
+// clock readings), assemble their neighbour tables and clock models from
+// what they heard, derive minimum-energy routes from the measured gains, and
+// then carry traffic collision-free. The whole Section 3.5 + Section 7
+// self-organisation story in one program.
+//
+//   $ ./self_organize
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/discovery.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/graph.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+int main() {
+  using namespace drn;
+
+  // The world (unknown to the stations): 25 stations in a 500 m disc.
+  Rng rng(777);
+  const geo::Placement placement = geo::uniform_disc(25, 500.0, rng);
+  const radio::FreeSpacePropagation propagation;
+  const auto gains =
+      radio::PropagationMatrix::from_placement(placement, propagation);
+  const radio::ReceptionCriterion criterion(200.0e6, 1.0e6, 5.0);
+
+  // Phase 1: discovery. Beacons at known power, stamped with local clocks;
+  // every gain and clock model below comes off the air, with 0.5 dB of
+  // measurement noise.
+  core::ScheduledNetworkConfig net_cfg;
+  net_cfg.target_received_w = 1.0e-9;
+  net_cfg.max_power_w = 6.25e-4;  // reach 790 m: ample in a 500 m disc
+  core::DiscoveryConfig disc_cfg;
+  disc_cfg.beacon_count = 8;
+  disc_cfg.duration_s = 8.0;
+  Rng build_rng(778);
+  auto net =
+      core::discover_and_build(gains, criterion, net_cfg, disc_cfg, build_rng);
+
+  std::size_t total_links = 0;
+  for (const auto& nbrs : net.neighbors) total_links += nbrs.size();
+  std::cout << "discovery phase: " << disc_cfg.beacon_count
+            << " beacons/station over " << disc_cfg.duration_s << " s -> "
+            << total_links / 2 << " bidirectional links learned\n";
+
+  // Phase 2: routing over the MEASURED gains (each station would run the
+  // distributed Bellman-Ford of Section 6.2; the tables are equivalent).
+  routing::Graph graph(gains.size());
+  for (StationId a = 0; a < gains.size(); ++a) {
+    for (StationId b : net.neighbors[a]) {
+      if (b < a) continue;  // undirected, add once
+      const auto* obs = net.macs[a]->neighbors().find(b);
+      if (obs == nullptr) continue;
+      graph.add_edge(a, b, 1.0 / obs->gain, obs->gain);
+    }
+  }
+  std::cout << "measured-gain routing graph: " << graph.edge_count()
+            << " edges, "
+            << (graph.connected() ? "connected" : "NOT connected") << "\n\n";
+  const auto tables = routing::RoutingTables::build(graph);
+
+  // Phase 3: traffic.
+  sim::SimulatorConfig sim_cfg{criterion};
+  sim::Simulator sim(gains, sim_cfg);
+  for (StationId s = 0; s < gains.size(); ++s)
+    sim.set_mac(s, std::move(net.macs[s]));
+  sim.set_router(tables.router());
+  Rng traffic_rng(779);
+  for (const auto& inj :
+       sim::poisson_traffic(150.0, 2.0, net.packet_bits,
+                            sim::uniform_pairs(gains.size()), traffic_rng))
+    sim.inject(inj.time_s, inj.packet);
+  sim.run_until(60.0);
+
+  const auto& m = sim.metrics();
+  analysis::Table t({"offered", "delivered", "T1", "T2", "T3", "mean hops",
+                     "mean delay ms"});
+  t.add_row({analysis::Table::num(m.offered()),
+             analysis::Table::num(m.delivered()),
+             analysis::Table::num(m.losses(sim::LossType::kType1)),
+             analysis::Table::num(m.losses(sim::LossType::kType2)),
+             analysis::Table::num(m.losses(sim::LossType::kType3)),
+             analysis::Table::num(m.hops().mean(), 2),
+             analysis::Table::num(m.delay().mean() * 1e3, 1)});
+  t.print(std::cout);
+  std::cout << "\nNo ground truth was shared with any station: gains, clock "
+               "models, routes and schedules all came over the air, and the "
+               "network still runs collision-free.\n";
+  return 0;
+}

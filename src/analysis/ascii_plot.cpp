@@ -1,0 +1,92 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace drn::analysis {
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  DRN_EXPECTS(width >= 10);
+  DRN_EXPECTS(height >= 4);
+}
+
+void AsciiPlot::add(Series series) {
+  DRN_EXPECTS(!series.x.empty());
+  DRN_EXPECTS(series.x.size() == series.y.size());
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::print(std::ostream& os) const {
+  DRN_EXPECTS(!series_.empty());
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      x_min = std::min(x_min, v);
+      x_max = std::max(x_max, v);
+    }
+    for (double v : s.y) {
+      y_min = std::min(y_min, v);
+      y_max = std::max(y_max, v);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto col_of = [&](double x) {
+    const double t = (x - x_min) / (x_max - x_min);
+    return std::min(width_ - 1,
+                    static_cast<std::size_t>(t * static_cast<double>(width_ - 1) + 0.5));
+  };
+  auto row_of = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    const auto from_bottom =
+        std::min(height_ - 1,
+                 static_cast<std::size_t>(t * static_cast<double>(height_ - 1) + 0.5));
+    return height_ - 1 - from_bottom;
+  };
+  for (const auto& s : series_)
+    for (std::size_t i = 0; i < s.x.size(); ++i)
+      grid[row_of(s.y[i])][col_of(s.x[i])] = s.glyph;
+
+  auto tick = [](double v) {
+    std::ostringstream ss;
+    ss << std::setw(8) << std::setprecision(3) << v;
+    return ss.str();
+  };
+
+  if (!y_label_.empty()) os << "  " << y_label_ << '\n';
+  for (std::size_t r = 0; r < height_; ++r) {
+    if (r == 0) {
+      os << tick(y_max) << " |";
+    } else if (r == height_ - 1) {
+      os << tick(y_min) << " |";
+    } else {
+      os << std::string(8, ' ') << " |";
+    }
+    os << grid[r] << '\n';
+  }
+  os << std::string(9, ' ') << '+' << std::string(width_, '-') << '\n';
+  os << std::string(10, ' ') << tick(x_min)
+     << std::string(width_ > 24 ? width_ - 24 : 1, ' ') << tick(x_max) << '\n';
+  if (!x_label_.empty())
+    os << std::string(10 + width_ / 2 > x_label_.size() / 2
+                          ? 10 + width_ / 2 - x_label_.size() / 2
+                          : 0,
+                      ' ')
+       << x_label_ << '\n';
+  for (const auto& s : series_)
+    os << "    " << s.glyph << " = " << s.label << '\n';
+}
+
+}  // namespace drn::analysis

@@ -1,0 +1,44 @@
+// Minimal ASCII line plots for the bench binaries, so reproduced FIGURES
+// render as figures (axes, ticks, one glyph per series) rather than only as
+// tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drn::analysis {
+
+/// One plotted series: (x, y) points and the glyph that draws them.
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiPlot {
+ public:
+  /// @param width,height  interior plot size in characters.
+  AsciiPlot(std::size_t width, std::size_t height);
+
+  /// Adds a series; x and y must be the same (non-zero) length.
+  void add(Series series);
+
+  /// Optional axis labels.
+  void x_label(std::string label) { x_label_ = std::move(label); }
+  void y_label(std::string label) { y_label_ = std::move(label); }
+
+  /// Renders the plot (auto-scaled to the data's bounding box) with y ticks
+  /// on the left, x ticks below, and a legend line per series.
+  void print(std::ostream& os) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace drn::analysis

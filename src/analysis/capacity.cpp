@@ -1,0 +1,42 @@
+#include "analysis/capacity.hpp"
+
+#include "analysis/schedule_math.hpp"
+#include "common/expects.hpp"
+#include "radio/noise_growth.hpp"
+#include "radio/reception.hpp"
+#include "radio/units.hpp"
+
+namespace drn::analysis {
+
+ProcessingGainBudget processing_gain_budget(std::size_t stations, double eta,
+                                            double detection_margin_db,
+                                            double range_margin_db) {
+  DRN_EXPECTS(detection_margin_db >= 0.0);
+  DRN_EXPECTS(range_margin_db >= 0.0);
+  ProcessingGainBudget b;
+  b.snr_db = radio::nearest_neighbor_snr_db(stations, eta);
+  b.detection_margin_db = detection_margin_db;
+  b.range_margin_db = range_margin_db;
+  b.required_gain_db = -b.snr_db + detection_margin_db + range_margin_db;
+  return b;
+}
+
+MetroProjection metro_projection(std::size_t stations, double eta,
+                                 double bandwidth_hz, double receive_fraction,
+                                 double packet_fraction,
+                                 double detection_margin_db,
+                                 double range_margin_db) {
+  DRN_EXPECTS(bandwidth_hz > 0.0);
+  const auto budget = processing_gain_budget(stations, eta, detection_margin_db,
+                                             range_margin_db);
+  MetroProjection p;
+  p.snr = radio::nearest_neighbor_snr(stations, eta);
+  p.required_gain_db = budget.required_gain_db;
+  p.raw_rate_bps = bandwidth_hz / radio::from_db(budget.required_gain_db);
+  p.shannon_rate_bps = radio::shannon_capacity(bandwidth_hz, p.snr);
+  p.per_neighbor_rate_bps =
+      p.raw_rate_bps * usable_time_fraction(receive_fraction, packet_fraction);
+  return p;
+}
+
+}  // namespace drn::analysis

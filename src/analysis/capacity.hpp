@@ -1,0 +1,42 @@
+// System-design arithmetic: the Section 6 processing-gain budget and the
+// conclusion's metro-scale performance projection.
+#pragma once
+
+#include <cstddef>
+
+namespace drn::analysis {
+
+/// The Section 6 budget: the SNR of a nearest-neighbour link in an M-station
+/// system at duty cycle eta, plus the detection margin above the Shannon
+/// bound (paper: 5 dB) and the range margin for neighbours out to twice the
+/// characteristic length (free space: 6 dB), determine the spread-spectrum
+/// processing gain the radios need. The paper's answer: 20-25 dB.
+struct ProcessingGainBudget {
+  double snr_db = 0.0;            // nearest-neighbour SNR, Eq. 15
+  double detection_margin_db = 0.0;
+  double range_margin_db = 0.0;
+  double required_gain_db = 0.0;  // -snr + margins
+};
+
+[[nodiscard]] ProcessingGainBudget processing_gain_budget(
+    std::size_t stations, double eta, double detection_margin_db = 5.0,
+    double range_margin_db = 6.0);
+
+/// The conclusion's what-if calculator: a metro-scale system of `stations`
+/// at duty cycle `eta` over spread bandwidth `bandwidth_hz`.
+struct MetroProjection {
+  double snr = 0.0;                  // nearest-neighbour SNR (linear)
+  double required_gain_db = 0.0;     // processing gain to budget
+  double raw_rate_bps = 0.0;         // W / processing gain
+  double shannon_rate_bps = 0.0;     // W log2(1+snr): the information bound
+  double per_neighbor_rate_bps = 0.0;  // raw * usable_time_fraction
+};
+
+[[nodiscard]] MetroProjection metro_projection(std::size_t stations, double eta,
+                                               double bandwidth_hz,
+                                               double receive_fraction = 0.3,
+                                               double packet_fraction = 0.25,
+                                               double detection_margin_db = 5.0,
+                                               double range_margin_db = 6.0);
+
+}  // namespace drn::analysis

@@ -1,0 +1,34 @@
+// The Section 7.2 delay model and tools to test measured delays against it:
+// "The additional delays due to the scheduling scheme are fairly well
+// modeled by a Bernoulli process with the Bernoulli trial probability of
+// success of p(1-p)" — i.e. the per-hop access wait is geometric. These
+// helpers bin measured waits, produce the model PMF, and compute a
+// chi-square-style discrepancy the tests and the T3 bench can threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace drn::analysis {
+
+/// Geometric model PMF over wait bins 0..bins-1 (in slots), success
+/// probability q = p(1-p): P(k) = q (1-q)^k, with the tail mass folded into
+/// the last bin so the vector sums to 1.
+[[nodiscard]] std::vector<double> geometric_wait_pmf(double receive_fraction,
+                                                     std::size_t bins);
+
+/// Bins wait samples (in slots, fractional) into unit-slot bins 0..bins-1
+/// (overflow folds into the last bin) and normalises to fractions.
+[[nodiscard]] std::vector<double> binned_wait_fractions(
+    std::span<const double> wait_slots, std::size_t bins);
+
+/// Total-variation distance between two distributions over the same bins:
+/// 0 = identical, 1 = disjoint. The tests require the measured wait
+/// distribution to be within a small TV distance of the geometric model.
+[[nodiscard]] double total_variation(std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Mean of binned samples interpreted at bin centres (diagnostic).
+[[nodiscard]] double binned_mean(std::span<const double> fractions);
+
+}  // namespace drn::analysis

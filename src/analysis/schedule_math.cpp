@@ -1,0 +1,44 @@
+#include "analysis/schedule_math.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::analysis {
+
+double access_probability(double receive_fraction) {
+  DRN_EXPECTS(receive_fraction >= 0.0 && receive_fraction <= 1.0);
+  return receive_fraction * (1.0 - receive_fraction);
+}
+
+double expected_wait_slots(double receive_fraction) {
+  const double q = access_probability(receive_fraction);
+  DRN_EXPECTS(q > 0.0);
+  return 1.0 / q;
+}
+
+double wait_pmf(double receive_fraction, unsigned k) {
+  const double q = access_probability(receive_fraction);
+  DRN_EXPECTS(q > 0.0);
+  return q * std::pow(1.0 - q, static_cast<double>(k));
+}
+
+double pairwise_optimal_receive_fraction() { return 0.5; }
+
+double packing_efficiency(double packet_fraction) {
+  DRN_EXPECTS(packet_fraction > 0.0 && packet_fraction <= 1.0);
+  const double f = packet_fraction;
+  // E[floor(U/f)] = sum_{k>=1} P(U >= k f) = sum_{k=1..m} (1 - k f),
+  // with m = floor(1/f) (largest whole packet count that can fit).
+  const double m = std::floor(1.0 / f);
+  const double expected_whole_packets = m - f * m * (m + 1.0) / 2.0;
+  // E[U] = 1/2 of a slot of usable overlap on average.
+  return expected_whole_packets * f / 0.5;
+}
+
+double usable_time_fraction(double receive_fraction, double packet_fraction) {
+  return access_probability(receive_fraction) *
+         packing_efficiency(packet_fraction);
+}
+
+}  // namespace drn::analysis

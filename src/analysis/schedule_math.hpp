@@ -1,0 +1,41 @@
+// Closed-form performance of the pseudo-random schedules (Section 7.2).
+//
+// With receive duty cycle p and independent unaligned schedules, a slot of
+// the sender is usable toward a given neighbour with probability
+// q = (1-p) * p (sender may transmit, neighbour committed to listen), the
+// wait for an opportunity is geometric with mean 1/q (4.76 slots at p = 0.3),
+// and quarter-slot packets capture about 75% of the raw overlap time (15% of
+// all time per neighbour). These formulas are what the simulation benches
+// (T3) are checked against.
+#pragma once
+
+namespace drn::analysis {
+
+/// q = p(1-p): probability a given sender slot can carry a packet to a given
+/// neighbour (sender-transmit AND neighbour-receive).
+[[nodiscard]] double access_probability(double receive_fraction);
+
+/// Mean slots until an opportunity: 1 / (p(1-p)). 4.76 at p = 0.3.
+[[nodiscard]] double expected_wait_slots(double receive_fraction);
+
+/// P(wait == k slots) for the geometric access process, k >= 0.
+[[nodiscard]] double wait_pmf(double receive_fraction, unsigned k);
+
+/// The p maximising p(1-p) is 0.5 for a single pair; the paper's system-wide
+/// sweep (thesis) lands near 0.3 because the sender's OTHER neighbours also
+/// consume its transmit slots — exposed for documentation and the T3 bench.
+[[nodiscard]] double pairwise_optimal_receive_fraction();
+
+/// Expected fraction of the raw overlap time that fixed-size packets of
+/// `packet_fraction` of a slot can actually occupy, when the overlap of an
+/// unaligned (transmit, receive) slot pair is uniform on [0, T]:
+/// E[floor(U/f)]*f / E[U] with U ~ Uniform(0,1). 0.75 for f = 1/4.
+[[nodiscard]] double packing_efficiency(double packet_fraction);
+
+/// Fraction of ALL time usable toward one neighbour:
+/// p(1-p) * packing_efficiency. ~0.21 * 0.75 ~ 0.157 at p = 0.3, f = 1/4
+/// (the paper's "approximately 15% of all time").
+[[nodiscard]] double usable_time_fraction(double receive_fraction,
+                                          double packet_fraction);
+
+}  // namespace drn::analysis

@@ -1,0 +1,61 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  DRN_EXPECTS(hi > lo);
+  DRN_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double raw = (x - lo_) / width_;
+  std::size_t bin = 0;
+  if (raw > 0.0) {
+    bin = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>(std::floor(raw)));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  DRN_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  DRN_EXPECTS(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double percentile(std::span<const double> samples, double q) {
+  DRN_EXPECTS(!samples.empty());
+  DRN_EXPECTS(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto below = static_cast<std::size_t>(std::floor(rank));
+  if (below + 1 >= sorted.size()) return sorted.back();
+  const double t = rank - static_cast<double>(below);
+  return sorted[below] * (1.0 - t) + sorted[below + 1] * t;
+}
+
+double mean(std::span<const double> samples) {
+  DRN_EXPECTS(!samples.empty());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace drn::analysis

@@ -1,0 +1,43 @@
+// Offline statistics helpers for benches and tests: histograms and
+// percentiles over collected samples. Streaming moments live in
+// common/running_stats.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drn::analysis {
+
+/// Fixed-range, equal-width histogram. Out-of-range samples clamp to the
+/// edge bins so totals always match the number of adds.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Fraction of all samples in `bin` (0 if empty histogram).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// The q-th percentile (q in [0, 100]) by linear interpolation between order
+/// statistics. Copies and sorts; requires a non-empty sample.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// Arithmetic mean of a non-empty sample.
+[[nodiscard]] double mean(std::span<const double> samples);
+
+}  // namespace drn::analysis

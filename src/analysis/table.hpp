@@ -1,0 +1,33 @@
+// Fixed-width text tables shared by the bench binaries, so every reproduced
+// figure/table prints in a uniform, diffable format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drn::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints with columns padded to their widest cell.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `precision` significant digits after the point.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+
+  /// Formats an integer count.
+  [[nodiscard]] static std::string num(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace drn::analysis

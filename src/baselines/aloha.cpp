@@ -1,0 +1,4 @@
+#include "baselines/aloha.hpp"
+
+// PureAloha is fully defined in the header; this translation unit anchors it
+// in the baselines library.

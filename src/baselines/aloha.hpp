@@ -1,0 +1,18 @@
+// Pure ALOHA (Abramson 1970), the asynchronous random-access scheme the
+// paper's Section 2 traces the field back to: transmit the moment a packet
+// is ready, regardless of anything else on the channel.
+#pragma once
+
+#include "baselines/contention_mac.hpp"
+
+namespace drn::baselines {
+
+class PureAloha final : public ContentionMac {
+ public:
+  explicit PureAloha(ContentionConfig config) : ContentionMac(config) {}
+
+ private:
+  void attempt(sim::MacContext& ctx) override { send_head(ctx, ctx.now()); }
+};
+
+}  // namespace drn::baselines

@@ -1,0 +1,78 @@
+#include "baselines/contention_mac.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace drn::baselines {
+
+ContentionMac::ContentionMac(ContentionConfig config) : config_(config) {
+  DRN_EXPECTS(config.power_w > 0.0);
+  DRN_EXPECTS(config.max_retries >= 0);
+  DRN_EXPECTS(config.backoff_mean_s > 0.0);
+  DRN_EXPECTS(config.max_queue > 0);
+}
+
+void ContentionMac::on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                               StationId next_hop) {
+  if (queue_.size() >= config_.max_queue) {
+    ctx.drop(pkt);
+    return;
+  }
+  queue_.emplace_back(pkt, next_hop);
+  if (idle_) {
+    idle_ = false;
+    attempt(ctx);
+  }
+}
+
+void ContentionMac::on_timer(sim::MacContext& ctx, std::uint64_t cookie) {
+  (void)cookie;
+  attempt(ctx);
+}
+
+void ContentionMac::send_head(sim::MacContext& ctx, double start_s) {
+  DRN_EXPECTS(!queue_.empty());
+  const auto& [pkt, hop] = queue_.front();
+  ctx.transmit(pkt, hop, config_.power_w, start_s);
+}
+
+void ContentionMac::defer(sim::MacContext& ctx, double delay_s) {
+  DRN_EXPECTS(delay_s >= 0.0);
+  ctx.set_timer(ctx.now() + delay_s, 0);
+}
+
+void ContentionMac::next_packet_or_idle(sim::MacContext& ctx) {
+  attempts_ = 0;
+  if (queue_.empty()) {
+    idle_ = true;
+  } else {
+    attempt(ctx);
+  }
+}
+
+void ContentionMac::on_transmit_end(sim::MacContext& ctx,
+                                    const sim::Packet& pkt, StationId to,
+                                    bool delivered) {
+  (void)pkt;
+  (void)to;
+  DRN_EXPECTS(!queue_.empty());
+  if (delivered) {
+    queue_.pop_front();
+    next_packet_or_idle(ctx);
+    return;
+  }
+  ++attempts_;
+  if (attempts_ > config_.max_retries) {
+    ctx.drop(queue_.front().first);
+    queue_.pop_front();
+    next_packet_or_idle(ctx);
+    return;
+  }
+  // Truncated binary exponential backoff around the configured mean.
+  const double scale =
+      static_cast<double>(1 << std::min(attempts_, 10));
+  defer(ctx, ctx.rng().uniform(0.0, 2.0 * config_.backoff_mean_s * scale));
+}
+
+}  // namespace drn::baselines

@@ -1,0 +1,64 @@
+// Shared machinery for the contention ("prior work") MACs the paper argues
+// against: a single FIFO, immediate-or-deferred attempts, and idealised
+// genie acknowledgements with truncated binary exponential backoff.
+//
+// The genie ack (the simulator tells the sender at transmission end whether
+// the addressee decoded) costs the baselines no airtime and no delay, so
+// every comparison in the benches is biased IN FAVOUR of the baselines; the
+// paper's scheme still wins because it never loses packets to collisions in
+// the first place.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "common/types.hpp"
+#include "sim/mac.hpp"
+
+namespace drn::baselines {
+
+struct ContentionConfig {
+  /// Transmit power (no power control in the classic models).
+  double power_w = 1.0;
+  /// Retransmissions before a packet is abandoned.
+  int max_retries = 16;
+  /// Mean of the first backoff draw; doubles per retry (capped at 2^10).
+  double backoff_mean_s = 0.01;
+  std::size_t max_queue = 4096;
+};
+
+class ContentionMac : public sim::MacProtocol {
+ public:
+  explicit ContentionMac(ContentionConfig config);
+
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                  StationId next_hop) final;
+  void on_timer(sim::MacContext& ctx, std::uint64_t cookie) final;
+  void on_transmit_end(sim::MacContext& ctx, const sim::Packet& pkt,
+                       StationId to, bool delivered) final;
+
+  [[nodiscard]] std::size_t queued_packets() const { return queue_.size(); }
+
+ protected:
+  /// Called whenever the head-of-line packet should be (re)attempted. The
+  /// subclass either calls send_head() or defer().
+  virtual void attempt(sim::MacContext& ctx) = 0;
+
+  /// Transmits the head-of-line packet starting at `start_s` (>= now).
+  void send_head(sim::MacContext& ctx, double start_s);
+
+  /// Re-runs attempt() after `delay_s`.
+  void defer(sim::MacContext& ctx, double delay_s);
+
+  [[nodiscard]] const ContentionConfig& config() const { return config_; }
+
+ private:
+  void next_packet_or_idle(sim::MacContext& ctx);
+
+  ContentionConfig config_;
+  std::deque<std::pair<sim::Packet, StationId>> queue_;
+  int attempts_ = 0;
+  bool idle_ = true;  // no transmission in flight and no timer armed
+};
+
+}  // namespace drn::baselines

@@ -1,0 +1,21 @@
+#include "baselines/csma.hpp"
+
+#include "common/expects.hpp"
+
+namespace drn::baselines {
+
+CsmaMac::CsmaMac(ContentionConfig config, double sense_threshold_w)
+    : ContentionMac(config), sense_threshold_w_(sense_threshold_w) {
+  DRN_EXPECTS(sense_threshold_w > 0.0);
+}
+
+void CsmaMac::attempt(sim::MacContext& ctx) {
+  if (ctx.received_power_w() < sense_threshold_w_) {
+    send_head(ctx, ctx.now());
+    return;
+  }
+  // Channel busy: non-persistent — re-sense after a random pause.
+  defer(ctx, ctx.rng().uniform(0.0, config().backoff_mean_s));
+}
+
+}  // namespace drn::baselines

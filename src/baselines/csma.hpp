@@ -1,0 +1,28 @@
+// Non-persistent CSMA: sense the aggregate received power and transmit only
+// if the channel looks idle, else back off and re-sense later.
+//
+// Under the paper's physical model carrier sense is doubly flawed in a large
+// dense network: the "din" of distant transmitters keeps the sensed power
+// permanently elevated (so thresholds must be well above the noise floor to
+// make progress at all), and sensing at the SENDER says nothing about
+// interference at the RECEIVER — the classic hidden/exposed terminal
+// problems the SINR model makes explicit.
+#pragma once
+
+#include "baselines/contention_mac.hpp"
+
+namespace drn::baselines {
+
+class CsmaMac final : public ContentionMac {
+ public:
+  /// @param sense_threshold_w transmit only while the locally received
+  ///        aggregate power is below this.
+  CsmaMac(ContentionConfig config, double sense_threshold_w);
+
+ private:
+  void attempt(sim::MacContext& ctx) override;
+
+  double sense_threshold_w_;
+};
+
+}  // namespace drn::baselines

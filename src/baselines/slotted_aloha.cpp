@@ -1,0 +1,23 @@
+#include "baselines/slotted_aloha.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::baselines {
+
+SlottedAloha::SlottedAloha(ContentionConfig config, double slot_s)
+    : ContentionMac(config), slot_s_(slot_s) {
+  DRN_EXPECTS(slot_s > 0.0);
+}
+
+void SlottedAloha::attempt(sim::MacContext& ctx) {
+  // Start at the next slot boundary (or immediately if we are on one).
+  const double now = ctx.now();
+  const double slots = std::ceil(now / slot_s_);
+  double start = slots * slot_s_;
+  if (start < now) start = now;  // guard against floating-point shortfall
+  send_head(ctx, start);
+}
+
+}  // namespace drn::baselines

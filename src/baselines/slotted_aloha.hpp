@@ -1,0 +1,25 @@
+// Slotted ALOHA: transmissions start only on the boundaries of a globally
+// synchronised slot grid. Note what the paper points out about such
+// textbook schemes (Section 2): they presuppose exactly the system-wide
+// synchronisation a large self-organising network cannot rely on. Here the
+// simulator grants that synchronisation for free — another bias in the
+// baseline's favour.
+#pragma once
+
+#include "baselines/contention_mac.hpp"
+
+namespace drn::baselines {
+
+class SlottedAloha final : public ContentionMac {
+ public:
+  /// @param slot_s the (perfectly shared) slot duration; packets should have
+  ///               airtime <= slot_s.
+  SlottedAloha(ContentionConfig config, double slot_s);
+
+ private:
+  void attempt(sim::MacContext& ctx) override;
+
+  double slot_s_;
+};
+
+}  // namespace drn::baselines

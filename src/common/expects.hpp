@@ -1,0 +1,40 @@
+// Lightweight contract checks in the spirit of the GSL's Expects/Ensures.
+//
+// DRN_EXPECTS guards preconditions on public API boundaries; DRN_ENSURES guards
+// postconditions. Both throw drn::ContractViolation (so misuse is testable and
+// never silently corrupts a simulation) and are kept enabled in all build
+// types: every check in this library is O(1) and off the per-event hot path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace drn {
+
+/// Thrown when a function's precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace drn
+
+#define DRN_EXPECTS(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::drn::detail::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define DRN_ENSURES(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::drn::detail::contract_fail("postcondition", #expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in this library flows from explicit seeds through these
+// generators, so simulations are bit-reproducible across platforms and
+// standard-library versions (the C++ standard does not pin down the output of
+// std::uniform_real_distribution and friends).
+//
+// splitmix64 is used both for seeding and as the schedule hash (Section 7.1 of
+// the paper hashes slot start times); xoshiro256** is the workhorse stream
+// generator. References: Steele/Lea/Flood (splitmix64), Blackman/Vigna
+// (xoshiro256**); both are public-domain algorithms re-implemented here.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/expects.hpp"
+
+namespace drn {
+
+/// One splitmix64 step: returns the output for state `x` after advancing it.
+/// Deterministic, full-period over 2^64, and statistically strong enough to
+/// decorrelate consecutive slot indices — which is all the schedule needs.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit hash of `v` under `seed` (two splitmix64 rounds). This is
+/// the hash function behind Schedule: h(seed, slot_index).
+[[nodiscard]] constexpr std::uint64_t hash_u64(std::uint64_t seed,
+                                               std::uint64_t v) {
+  std::uint64_t x = seed ^ (v * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64_next(x);
+  return splitmix64_next(x);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from splitmix64(seed), per Vigna's
+  /// recommendation; any seed (including 0) yields a valid non-zero state.
+  explicit constexpr Rng(std::uint64_t seed = 0) {
+    std::uint64_t x = seed;
+    for (auto& w : state_) w = splitmix64_next(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    DRN_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be positive. Uses rejection sampling so
+  /// the result is exactly uniform.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+    DRN_EXPECTS(n > 0);
+    // Rejection threshold: largest multiple of n that fits in 2^64.
+    const std::uint64_t limit = (~std::uint64_t{0} / n) * n;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return v % n;
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p) {
+    DRN_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate). Used for Poisson
+  /// packet arrival processes.
+  [[nodiscard]] double exponential(double rate) {
+    DRN_EXPECTS(rate > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Standard normal variate (Box–Muller, one branch). Used for log-normal
+  /// shadowing and clock measurement noise.
+  [[nodiscard]] double normal() {
+    const double u1 = 1.0 - uniform();  // (0, 1]
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Derives an independent sub-stream: a fresh Rng seeded by hashing
+  /// (this stream's next output, tag). Lets one master seed fan out to many
+  /// decorrelated per-station streams.
+  [[nodiscard]] Rng split(std::uint64_t tag) {
+    return Rng(hash_u64((*this)(), tag));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace drn

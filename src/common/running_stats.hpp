@@ -1,0 +1,66 @@
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+// Header-only so both the simulator's metrics and the analysis module can use
+// it without a dependency between them.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/expects.hpp"
+
+namespace drn {
+
+/// Accumulates count, mean, variance, min and max of a stream of doubles in
+/// O(1) memory, numerically stably.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Mean of the samples. Requires at least one sample.
+  [[nodiscard]] double mean() const {
+    DRN_EXPECTS(count_ > 0);
+    return mean_;
+  }
+
+  /// Unbiased sample variance. Requires at least two samples.
+  [[nodiscard]] double variance() const {
+    DRN_EXPECTS(count_ > 1);
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  [[nodiscard]] double min() const {
+    DRN_EXPECTS(count_ > 0);
+    return min_;
+  }
+
+  [[nodiscard]] double max() const {
+    DRN_EXPECTS(count_ > 0);
+    return max_;
+  }
+
+  /// Sum of all samples.
+  [[nodiscard]] double sum() const {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace drn

@@ -1,0 +1,29 @@
+// Shared vocabulary types.
+//
+// Quantities are plain doubles in SI units (watts, hertz, seconds, metres,
+// bits/second); variable and member names carry the unit. Linear power ratios
+// are dimensionless doubles; decibel values only appear at API boundaries via
+// the radio/units.hpp converters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace drn {
+
+/// Index of a station in a Placement / PropagationMatrix. Stations are dense
+/// 0..M-1.
+using StationId = std::uint32_t;
+
+/// Sentinel for "no station" (e.g. unreachable routing destination).
+inline constexpr StationId kNoStation = std::numeric_limits<StationId>::max();
+
+/// Pseudo-address for broadcast transmissions (e.g. discovery beacons):
+/// every station in range attempts reception.
+inline constexpr StationId kBroadcast =
+    std::numeric_limits<StationId>::max() - 1;
+
+/// Unique id of a packet within one simulation run.
+using PacketId = std::uint64_t;
+
+}  // namespace drn

@@ -1,0 +1,60 @@
+// The collision-free channel access computation (Section 7).
+//
+// "A station with a packet to be sent to another station will compare its own
+// schedule with the receiving station's schedule and send the packet during a
+// time when one of its own transmit windows overlaps with a receive window of
+// the receiving station enough to handle the packet length."
+//
+// find_transmission_start() solves exactly that as an interval-intersection
+// search: given a required duration and a set of window constraints — each
+// "this station's schedule, seen through this clock map, must read
+// transmit/receive over the whole (padded) interval" — it returns the
+// earliest feasible start in the sender's local time. The sender's own
+// transmit windows, the addressee's receive windows, and (Section 7.3) the
+// avoided receive windows of very-near third parties are all just constraints
+// in the list.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/clock_model.hpp"
+#include "core/schedule.hpp"
+
+namespace drn::core {
+
+/// One schedule containment requirement on a candidate interval.
+struct WindowConstraint {
+  /// The schedule to test (all stations share one schedule function, but the
+  /// pointer keeps the API general). Not owned; must outlive the call.
+  const Schedule* schedule = nullptr;
+  /// Map from sender-local time to this constraint's station-local time.
+  ClockModel clock;
+  /// Required value of every slot overlapping the mapped interval: true =
+  /// receive slots (the addressee must be listening), false = transmit slots
+  /// (the sender may transmit / a respected third party is not listening).
+  bool want_receive = false;
+  /// Guard padding, sender-local seconds, applied on both sides BEFORE
+  /// mapping — absorbs clock-model prediction error.
+  double pad_s = 0.0;
+};
+
+struct AccessRequest {
+  /// Earliest admissible start, sender-local seconds.
+  double earliest_local_s = 0.0;
+  /// Required transmission duration, sender-local seconds.
+  double duration_s = 0.0;
+  /// Give up after scanning this much sender-local time past the earliest
+  /// start (a safety net; random schedules yield an overlap within a few
+  /// slots with overwhelming probability).
+  double horizon_s = 0.0;
+};
+
+/// Earliest start >= earliest_local_s such that, for every constraint, the
+/// padded interval [start - pad, start + duration + pad] maps into a run of
+/// slots of the wanted kind. Returns nullopt if none exists within the
+/// horizon (e.g. pathological aligned periodic schedules — bench A1).
+[[nodiscard]] std::optional<double> find_transmission_start(
+    const AccessRequest& request, std::span<const WindowConstraint> constraints);
+
+}  // namespace drn::core

@@ -1,0 +1,21 @@
+#include "core/clock.hpp"
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+
+StationClock::StationClock(double offset_s, double rate)
+    : offset_s_(offset_s), rate_(rate) {
+  DRN_EXPECTS(rate > 0.0);
+}
+
+StationClock StationClock::random(Rng& rng, double max_offset_s,
+                                  double max_drift_ppm) {
+  DRN_EXPECTS(max_offset_s > 0.0);
+  DRN_EXPECTS(max_drift_ppm >= 0.0);
+  const double offset = rng.uniform(0.0, max_offset_s);
+  const double drift = rng.uniform(-max_drift_ppm, max_drift_ppm) * 1e-6;
+  return StationClock(offset, 1.0 + drift);
+}
+
+}  // namespace drn::core

@@ -1,0 +1,48 @@
+// Station clocks (Section 7).
+//
+// "The term clock as used in this work does not imply knowledge of what time
+// it is. Here clock just means something that advances at some known rate."
+// A station's clock is an affine map of (unknowable) global time:
+//
+//     local = offset + rate * global.
+//
+// Offsets are set independently at random — deliberately, so that no two
+// neighbours' slot grids align (Section 7.1); rates differ from 1 by a few
+// parts per million of quartz drift.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace drn::core {
+
+class StationClock {
+ public:
+  /// @param offset_s reading of this clock at global time zero.
+  /// @param rate     seconds of local time per second of global time (~1).
+  explicit StationClock(double offset_s = 0.0, double rate = 1.0);
+
+  /// Local reading at global time `global_s`.
+  [[nodiscard]] double local(double global_s) const {
+    return offset_s_ + rate_ * global_s;
+  }
+
+  /// Global time at which this clock reads `local_s`.
+  [[nodiscard]] double global(double local_s) const {
+    return (local_s - offset_s_) / rate_;
+  }
+
+  [[nodiscard]] double offset_s() const { return offset_s_; }
+  [[nodiscard]] double rate() const { return rate_; }
+
+  /// A clock with offset uniform in [0, max_offset_s) and rate uniform in
+  /// 1 ± max_drift_ppm*1e-6 — how a deployed station initialises itself
+  /// ("set them independently to a random value", Section 7.1).
+  static StationClock random(Rng& rng, double max_offset_s,
+                             double max_drift_ppm);
+
+ private:
+  double offset_s_;
+  double rate_;
+};
+
+}  // namespace drn::core

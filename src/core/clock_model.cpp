@@ -1,0 +1,81 @@
+#include "core/clock_model.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+
+ClockModel::ClockModel(double a, double b, double max_residual_s)
+    : a_(a), b_(b), max_residual_s_(max_residual_s) {
+  DRN_EXPECTS(b > 0.0);
+  DRN_EXPECTS(max_residual_s >= 0.0);
+}
+
+ClockModel ClockModel::fit(std::span<const ClockSample> samples) {
+  DRN_EXPECTS(!samples.empty());
+  const std::size_t n = samples.size();
+  if (n == 1) {
+    // One rendezvous pins the offset; the rate defaults to nominal.
+    return ClockModel(samples[0].theirs_s - samples[0].mine_s, 1.0, 0.0);
+  }
+
+  // Ordinary least squares for theirs = a + b*mine, computed around the
+  // sample means for numerical stability (clock readings can be large).
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (const auto& s : samples) {
+    mean_x += s.mine_s;
+    mean_y += s.theirs_s;
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    DRN_EXPECTS(samples[i].mine_s < samples[i + 1].mine_s);
+  for (const auto& s : samples) {
+    const double dx = s.mine_s - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (s.theirs_s - mean_y);
+  }
+  DRN_EXPECTS(sxx > 0.0);
+  const double b = sxy / sxx;
+  DRN_EXPECTS(b > 0.0);  // a clock running backwards is broken hardware
+  const double a = mean_y - b * mean_x;
+
+  double max_residual = 0.0;
+  for (const auto& s : samples)
+    max_residual = std::max(max_residual,
+                            std::abs(a + b * s.mine_s - s.theirs_s));
+  return ClockModel(a, b, max_residual);
+}
+
+ClockModel ClockModel::exact(const StationClock& mine,
+                             const StationClock& theirs) {
+  // theirs(g) with g = (mine_local - mine.offset) / mine.rate:
+  const double b = theirs.rate() / mine.rate();
+  const double a = theirs.offset_s() - b * mine.offset_s();
+  return ClockModel(a, b, 0.0);
+}
+
+std::vector<ClockSample> rendezvous(const StationClock& mine,
+                                    const StationClock& theirs,
+                                    std::span<const double> global_times_s,
+                                    double reading_noise_s, Rng& rng) {
+  DRN_EXPECTS(reading_noise_s >= 0.0);
+  std::vector<ClockSample> out;
+  out.reserve(global_times_s.size());
+  for (double g : global_times_s) {
+    ClockSample s;
+    s.mine_s = mine.local(g);
+    s.theirs_s = theirs.local(g);
+    if (reading_noise_s > 0.0)
+      s.theirs_s += rng.uniform(-reading_noise_s, reading_noise_s);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace drn::core

@@ -1,0 +1,77 @@
+// Modelling a neighbour's clock from rendezvous exchanges (Section 7).
+//
+// "Global clock synchronization is not required. Only the ability to relate
+// one station's clock with another's is required. This ability can be
+// accomplished if stations occasionally rendezvous and exchange clock
+// readings. Differences between clocks and small differences in clock rates
+// can be mutually modeled, and the resulting models ... used by neighbors to
+// predict when a station will be transmitting."
+//
+// A ClockModel is the affine fit  theirs ≈ a + b * mine  over exchanged
+// reading pairs, with a worst-case residual that tells the access scheduler
+// how much guard time a prediction needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/clock.hpp"
+
+namespace drn::core {
+
+/// One rendezvous: simultaneous readings of my clock and the neighbour's.
+struct ClockSample {
+  double mine_s = 0.0;
+  double theirs_s = 0.0;
+};
+
+class ClockModel {
+ public:
+  /// Identity model (used for a station's constraints against itself).
+  ClockModel() = default;
+
+  /// @param a,b affine coefficients of theirs = a + b*mine.
+  /// @param max_residual_s worst observed |prediction - truth| over the fit.
+  ClockModel(double a, double b, double max_residual_s = 0.0);
+
+  /// Least-squares affine fit over rendezvous samples. With a single sample
+  /// the rate is assumed to be exactly 1. Requires at least one sample and
+  /// strictly increasing mine_s.
+  static ClockModel fit(std::span<const ClockSample> samples);
+
+  /// The true model between two known clocks (a genie; used by tests and by
+  /// simulations that assume perfect rendezvous).
+  static ClockModel exact(const StationClock& mine, const StationClock& theirs);
+
+  /// Predicted neighbour-local time for my local time `mine_s`.
+  [[nodiscard]] double map(double mine_s) const { return a_ + b_ * mine_s; }
+
+  /// My local time at which the neighbour's clock reads `theirs_s`.
+  [[nodiscard]] double inverse(double theirs_s) const {
+    return (theirs_s - a_) / b_;
+  }
+
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+
+  /// Worst |residual| over the fitting samples, seconds. A guard interval
+  /// for schedule predictions should exceed this plus a drift allowance for
+  /// the prediction horizon.
+  [[nodiscard]] double max_residual_s() const { return max_residual_s_; }
+
+ private:
+  double a_ = 0.0;
+  double b_ = 1.0;
+  double max_residual_s_ = 0.0;
+};
+
+/// Simulates `count` rendezvous exchanges between two stations at the given
+/// global times: each side reads its own clock exactly and the neighbour's
+/// with uniform error in ±reading_noise_s (propagation delay, timestamping
+/// jitter). Returns samples from `mine`'s point of view.
+[[nodiscard]] std::vector<ClockSample> rendezvous(
+    const StationClock& mine, const StationClock& theirs,
+    std::span<const double> global_times_s, double reading_noise_s, Rng& rng);
+
+}  // namespace drn::core

@@ -1,0 +1,174 @@
+#include "core/discovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::core {
+
+DiscoveryStation::DiscoveryStation(DiscoveryConfig config, StationClock clock)
+    : config_(config), clock_(clock) {
+  DRN_EXPECTS(config.beacon_count >= 1);
+  DRN_EXPECTS(config.duration_s > 0.0);
+  DRN_EXPECTS(config.beacon_power_w > 0.0);
+  DRN_EXPECTS(config.beacon_bits > 0.0);
+  DRN_EXPECTS(config.data_rate_bps > 0.0);
+  DRN_EXPECTS(config.gain_noise_db >= 0.0);
+  DRN_EXPECTS(config.min_clock_samples >= 1);
+  const double airtime = config.beacon_bits / config.data_rate_bps;
+  DRN_EXPECTS(config.duration_s >
+              static_cast<double>(config.beacon_count) * 2.0 * airtime);
+}
+
+void DiscoveryStation::on_start(sim::MacContext& ctx) {
+  // Stratify beacons over the phase with random offsets inside each stratum,
+  // leaving room for the airtime so our own beacons never overlap.
+  const double stratum =
+      config_.duration_s / static_cast<double>(config_.beacon_count);
+  const double airtime = config_.beacon_bits / config_.data_rate_bps;
+  for (int i = 0; i < config_.beacon_count; ++i) {
+    const double offset = ctx.rng().uniform(0.0, stratum - airtime);
+    ctx.set_timer(static_cast<double>(i) * stratum + offset,
+                  static_cast<std::uint64_t>(i));
+  }
+}
+
+void DiscoveryStation::on_timer(sim::MacContext& ctx, std::uint64_t cookie) {
+  (void)cookie;
+  sim::Packet beacon;
+  beacon.source = ctx.self();
+  beacon.destination = kBroadcast;
+  beacon.size_bits = config_.beacon_bits;
+  beacon.sender_local_s = clock_.local(ctx.now());
+  ctx.transmit(beacon, kBroadcast, config_.beacon_power_w, ctx.now());
+}
+
+void DiscoveryStation::on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                                  StationId /*next_hop*/) {
+  ctx.drop(pkt);  // the discovery phase carries no data traffic
+}
+
+void DiscoveryStation::on_broadcast_received(sim::MacContext& ctx,
+                                             const sim::Packet& pkt,
+                                             StationId from, double signal_w) {
+  NeighborObservation& obs = observations_[from];
+
+  double measured_gain = signal_w / config_.beacon_power_w;
+  if (config_.gain_noise_db > 0.0) {
+    measured_gain *=
+        std::pow(10.0, config_.gain_noise_db * ctx.rng().normal() / 10.0);
+  }
+  obs.gain.add(measured_gain);
+
+  // The stamp was taken at transmission start; we hear the end, one airtime
+  // later (by the sender's clock, whose rate is within ppm of ours).
+  const double airtime = pkt.size_bits / config_.data_rate_bps;
+  ClockSample sample;
+  sample.mine_s = clock_.local(ctx.now());
+  sample.theirs_s = pkt.sender_local_s + airtime;
+  obs.clock_samples.push_back(sample);
+}
+
+NeighborTable DiscoveryStation::build_neighbor_table(double min_gain) const {
+  DRN_EXPECTS(min_gain >= 0.0);
+  NeighborTable table;
+  for (const auto& [id, obs] : observations_) {
+    if (obs.clock_samples.size() <
+        static_cast<std::size_t>(config_.min_clock_samples))
+      continue;
+    const double gain = obs.gain.mean();
+    if (gain < min_gain) continue;
+    Neighbor n;
+    n.id = id;
+    n.gain = gain;
+    n.clock = ClockModel::fit(obs.clock_samples);
+    table.add(n);
+  }
+  return table;
+}
+
+ScheduledNetwork discover_and_build(const radio::PropagationMatrix& gains,
+                                    const radio::ReceptionCriterion& criterion,
+                                    const ScheduledNetworkConfig& net_config,
+                                    const DiscoveryConfig& discovery_config,
+                                    Rng& rng) {
+  const std::size_t m = gains.size();
+
+  ScheduledNetwork net{
+      Schedule(net_config.schedule_seed, net_config.slot_s,
+               net_config.receive_fraction),
+      {},
+      std::vector<std::vector<StationId>>(m),
+      {},
+      net_config.packet_fraction * net_config.slot_s,
+      0.0,
+      net_config.target_received_w / criterion.required_snr()};
+  net.packet_bits = criterion.data_rate_bps() * net.packet_airtime_s;
+
+  net.clocks.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    net.clocks.push_back(StationClock::random(rng, net_config.max_clock_offset_s,
+                                              net_config.max_drift_ppm));
+
+  // Run the discovery phase under the real physics.
+  sim::SimulatorConfig sim_cfg{criterion};
+  sim_cfg.seed = rng();
+  sim::Simulator sim(gains, sim_cfg);
+  std::vector<DiscoveryStation*> stations(m);
+  for (StationId s = 0; s < m; ++s) {
+    auto mac = std::make_unique<DiscoveryStation>(discovery_config,
+                                                  net.clocks[s]);
+    stations[s] = mac.get();
+    sim.set_mac(s, std::move(mac));
+  }
+  sim.run_until(discovery_config.duration_s + 1.0);
+
+  // Assemble the scheduled network from the measurements.
+  const PowerControl power(net_config.target_received_w,
+                           net_config.max_power_w);
+  const double min_gain =
+      std::max(net_config.min_neighbor_gain,
+               net_config.target_received_w / net_config.max_power_w);
+
+  std::vector<NeighborTable> tables;
+  tables.reserve(m);
+  std::vector<double> worst_power(m, 0.0);
+  for (StationId s = 0; s < m; ++s) {
+    tables.push_back(stations[s]->build_neighbor_table(min_gain));
+    for (const auto& n : tables.back().all()) {
+      net.neighbors[s].push_back(n.id);
+      worst_power[s] =
+          std::max(worst_power[s], power.transmit_power_w(n.gain));
+    }
+  }
+
+  net.macs.reserve(m);
+  for (StationId s = 0; s < m; ++s) {
+    NeighborTable table;
+    for (const auto& n : tables[s].all()) {
+      Neighbor copy = n;
+      copy.respect_receive_windows =
+          net_config.respect_third_party_windows &&
+          interferes_significantly(copy.gain, worst_power[s],
+                                   net.interference_budget_w,
+                                   net_config.significance_fraction);
+      table.add(copy);
+    }
+    ScheduledStationConfig sc{net.schedule,
+                              net.clocks[s],
+                              net.packet_airtime_s,
+                              net_config.guard_fraction * net_config.slot_s,
+                              power,
+                              /*horizon_slots=*/20000.0,
+                              net_config.max_queue,
+                              net.interference_budget_w,
+                              net_config.significance_fraction};
+    net.macs.push_back(
+        std::make_unique<ScheduledStation>(sc, std::move(table)));
+  }
+  return net;
+}
+
+}  // namespace drn::core

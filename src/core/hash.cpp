@@ -1,0 +1,23 @@
+#include "core/hash.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn::core {
+
+std::uint64_t slot_hash(std::uint64_t seed, std::int64_t slot_index) {
+  return hash_u64(seed, static_cast<std::uint64_t>(slot_index));
+}
+
+std::uint64_t receive_threshold(double p) {
+  DRN_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p >= 1.0) return std::numeric_limits<std::uint64_t>::max();
+  // 2^64 * p computed in long double to keep the low bits meaningful.
+  return static_cast<std::uint64_t>(
+      std::floor(static_cast<long double>(p) * 18446744073709551616.0L));
+}
+
+}  // namespace drn::core

@@ -1,0 +1,24 @@
+// The schedule hash of Section 7.1.
+//
+// "Whether a particular slot is for transmitting or receiving can be
+// determined by using a hash function to hash the value of time at the
+// beginning of the slot. If the hash value is less than a threshold, then the
+// slot is a receive slot." We hash the slot index (equivalent to the slot's
+// start time in units of slots) with splitmix64 under a network-wide seed.
+#pragma once
+
+#include <cstdint>
+
+namespace drn::core {
+
+/// Hash of slot `slot_index` under `seed`, uniform over the full 64-bit range.
+/// Negative indices (times before the clock epoch) are well-defined via
+/// two's-complement wraparound.
+[[nodiscard]] std::uint64_t slot_hash(std::uint64_t seed,
+                                      std::int64_t slot_index);
+
+/// The threshold below which a hash denotes a receive slot, for receive duty
+/// cycle `p` in [0, 1]: floor(p * 2^64), saturating at 2^64 - 1 for p = 1.
+[[nodiscard]] std::uint64_t receive_threshold(double p);
+
+}  // namespace drn::core

@@ -1,0 +1,37 @@
+#include "core/neighbor_table.hpp"
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+
+void NeighborTable::add(Neighbor neighbor) {
+  DRN_EXPECTS(neighbor.id != kNoStation);
+  DRN_EXPECTS(neighbor.gain > 0.0);
+  DRN_EXPECTS(find(neighbor.id) == nullptr);
+  neighbors_.push_back(neighbor);
+}
+
+const Neighbor* NeighborTable::find(StationId id) const {
+  for (const auto& n : neighbors_)
+    if (n.id == id) return &n;
+  return nullptr;
+}
+
+Neighbor* NeighborTable::find_mutable(StationId id) {
+  for (auto& n : neighbors_)
+    if (n.id == id) return &n;
+  return nullptr;
+}
+
+bool interferes_significantly(double gain_to_neighbor, double power_w,
+                              double interference_budget_w,
+                              double significance_fraction) {
+  DRN_EXPECTS(gain_to_neighbor > 0.0);
+  DRN_EXPECTS(power_w > 0.0);
+  DRN_EXPECTS(interference_budget_w > 0.0);
+  DRN_EXPECTS(significance_fraction > 0.0);
+  return gain_to_neighbor * power_w >
+         significance_fraction * interference_budget_w;
+}
+
+}  // namespace drn::core

@@ -1,0 +1,63 @@
+// Per-station knowledge about direct neighbours.
+//
+// A station knows, for each neighbour it may send to: the path gain it
+// observed (the usable entries of the propagation matrix H), a model of the
+// neighbour's clock built from rendezvous exchanges, and whether the
+// neighbour is close enough that its published receive windows must be
+// respected even when it is not the addressee (Section 7.3: a very near
+// transmitter can raise a neighbour's interference floor "significantly" —
+// the paper's threshold is a 1 dB rise, i.e. interference at least one
+// quarter of the tolerated noise level).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/clock_model.hpp"
+
+namespace drn::core {
+
+struct Neighbor {
+  StationId id = kNoStation;
+  /// Power gain between us and the neighbour (reciprocal channel).
+  double gain = 0.0;
+  /// Map from our local clock to theirs.
+  ClockModel clock;
+  /// If true, never transmit (to anyone else) during this neighbour's
+  /// receive windows — our signal would raise its noise floor significantly.
+  bool respect_receive_windows = false;
+  /// Per-link data rate (core/rate_selection extension); 0 = the network's
+  /// fixed design rate.
+  double rate_bps = 0.0;
+};
+
+class NeighborTable {
+ public:
+  /// Adds a neighbour. Ids must be distinct.
+  void add(Neighbor neighbor);
+
+  /// The entry for `id`, or nullptr if unknown.
+  [[nodiscard]] const Neighbor* find(StationId id) const;
+
+  /// Mutable access (clock-model refits during maintenance rendezvous).
+  [[nodiscard]] Neighbor* find_mutable(StationId id);
+
+  [[nodiscard]] std::span<const Neighbor> all() const { return neighbors_; }
+  [[nodiscard]] std::size_t size() const { return neighbors_.size(); }
+
+ private:
+  std::vector<Neighbor> neighbors_;
+};
+
+/// Section 7.3's significance rule: must a transmission at `power_w` from us
+/// be kept out of a neighbour's receive windows? True iff the power we would
+/// deliver to it exceeds `significance_fraction` of its tolerated
+/// interference budget (budget = expected received signal / required SNR; the
+/// paper's 1 dB threshold corresponds to a fraction of about 1/4).
+[[nodiscard]] bool interferes_significantly(double gain_to_neighbor,
+                                            double power_w,
+                                            double interference_budget_w,
+                                            double significance_fraction = 0.25);
+
+}  // namespace drn::core

@@ -1,0 +1,79 @@
+// Convenience assembly of a complete scheduled-access network: clocks,
+// rendezvous-fitted clock models, neighbour tables with Section-7.3 respect
+// flags, power control, and one ScheduledStation MAC per station — everything
+// Sections 6-7 say a self-organising deployment derives locally from the
+// observable propagation matrix.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/clock.hpp"
+#include "core/power_control.hpp"
+#include "core/schedule.hpp"
+#include "core/scheduled_station.hpp"
+#include "radio/propagation_matrix.hpp"
+#include "radio/reception.hpp"
+#include "sim/mac.hpp"
+
+namespace drn::core {
+
+struct ScheduledNetworkConfig {
+  /// Network-wide schedule parameters (Section 7.1-7.2).
+  std::uint64_t schedule_seed = 0x5ced5ced;
+  double slot_s = 0.01;
+  double receive_fraction = 0.3;
+  /// Packet airtime as a fraction of a slot (Section 7.2: one quarter).
+  double packet_fraction = 0.25;
+  /// Guard as a fraction of a slot, absorbing clock-model error.
+  double guard_fraction = 0.02;
+
+  /// Clock initialisation (Section 7.1) and rendezvous modelling (Section 7).
+  double max_clock_offset_s = 1.0e6;
+  double max_drift_ppm = 20.0;
+  /// If true, neighbours know each other's clocks exactly (genie rendezvous);
+  /// otherwise models are least-squares fits over noisy exchanges.
+  bool exact_clock_models = false;
+  int rendezvous_count = 4;
+  double rendezvous_span_s = 120.0;
+  double rendezvous_noise_s = 1.0e-6;
+
+  /// Power control (Section 6.1): deliver this power to every addressee.
+  double target_received_w = 1.0e-9;
+  double max_power_w = 1.0;
+
+  /// Stations are neighbours iff the target power is reachable AND the gain
+  /// is at least this floor (0 = reachability alone decides).
+  double min_neighbor_gain = 0.0;
+
+  /// Section 7.3: avoid receive windows of third parties whose interference
+  /// budget we would consume more than `significance_fraction` of.
+  bool respect_third_party_windows = true;
+  double significance_fraction = 0.25;
+
+  std::size_t max_queue = 4096;
+};
+
+struct ScheduledNetwork {
+  Schedule schedule;
+  std::vector<StationClock> clocks;
+  /// Direct neighbours of each station (ids), as selected by the builder.
+  std::vector<std::vector<StationId>> neighbors;
+  /// One MAC per station, ready for Simulator::set_mac.
+  std::vector<std::unique_ptr<ScheduledStation>> macs;
+  /// Fixed packet airtime and the matching size at the criterion's rate.
+  double packet_airtime_s = 0.0;
+  double packet_bits = 0.0;
+  /// The tolerated-interference budget used for respect flags, watts.
+  double interference_budget_w = 0.0;
+};
+
+/// Builds the full network state for `gains` under `criterion`.
+/// Deterministic given `rng`'s state.
+[[nodiscard]] ScheduledNetwork build_scheduled_network(
+    const radio::PropagationMatrix& gains,
+    const radio::ReceptionCriterion& criterion,
+    const ScheduledNetworkConfig& config, Rng& rng);
+
+}  // namespace drn::core

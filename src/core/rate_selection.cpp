@@ -1,0 +1,56 @@
+#include "core/rate_selection.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "radio/reception.hpp"
+#include "radio/units.hpp"
+
+namespace drn::core {
+
+RateLadder geometric_ladder(double base_rate_bps, double factor, int steps) {
+  DRN_EXPECTS(base_rate_bps > 0.0);
+  DRN_EXPECTS(factor > 1.0);
+  DRN_EXPECTS(steps >= 1);
+  RateLadder ladder;
+  ladder.reserve(static_cast<std::size_t>(steps));
+  double rate = base_rate_bps;
+  for (int i = 0; i < steps; ++i) {
+    ladder.push_back(rate);
+    rate *= factor;
+  }
+  return ladder;
+}
+
+double required_snr_for_rate(double rate_bps, double bandwidth_hz,
+                             double margin_db) {
+  DRN_EXPECTS(rate_bps > 0.0);
+  DRN_EXPECTS(bandwidth_hz > 0.0);
+  DRN_EXPECTS(margin_db >= 0.0);
+  return radio::from_db(margin_db) *
+         radio::snr_for_rate_fraction(rate_bps / bandwidth_hz);
+}
+
+double rate_for_link(double expected_signal_w, double expected_noise_w,
+                     double bandwidth_hz, double margin_db,
+                     const RateLadder& ladder) {
+  DRN_EXPECTS(expected_signal_w > 0.0);
+  DRN_EXPECTS(expected_noise_w > 0.0);
+  DRN_EXPECTS(!ladder.empty());
+  const double snr = expected_signal_w / expected_noise_w;
+  double best = ladder.front();
+  for (double rate : ladder) {
+    DRN_EXPECTS(rate > 0.0);
+    if (snr >= required_snr_for_rate(rate, bandwidth_hz, margin_db))
+      best = rate;
+  }
+  return best;
+}
+
+double ideal_rate_multiple(double snr, double design_snr) {
+  DRN_EXPECTS(snr >= 0.0);
+  DRN_EXPECTS(design_snr > 0.0);
+  return radio::capacity_per_hz(snr) / radio::capacity_per_hz(design_snr);
+}
+
+}  // namespace drn::core

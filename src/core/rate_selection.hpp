@@ -1,0 +1,47 @@
+// Per-link rate selection (the paper's footnote 9 direction: "stations might
+// vary the rate at which they communicate depending on the observed
+// interference... the recent past might be a good-enough predictor of the
+// future noise levels").
+//
+// The base design fixes one network-wide rate sized for the WORST tolerable
+// link (2x the characteristic distance at the full metro din). A link that is
+// closer or quieter has SINR headroom, and Shannon says that headroom is
+// bits: rate_for_link computes the highest rate in a discrete ladder whose
+// Eq.-4 threshold the link still clears with the design margin. The
+// simulator's per-transmission rate support carries the chosen rate end to
+// end (airtime shrinks, or more bits fit in the same quarter-slot).
+#pragma once
+
+#include <vector>
+
+namespace drn::core {
+
+/// A discrete set of usable data rates, ascending, bits/second.
+using RateLadder = std::vector<double>;
+
+/// A geometric ladder: `steps` rates from base_rate upward, each `factor`
+/// apart (e.g. 1, 2, 4, ... Mb/s).
+[[nodiscard]] RateLadder geometric_ladder(double base_rate_bps, double factor,
+                                          int steps);
+
+/// The Eq.-4 SINR threshold for a given rate over `bandwidth_hz` with
+/// `margin_db` of detection headroom.
+[[nodiscard]] double required_snr_for_rate(double rate_bps,
+                                           double bandwidth_hz,
+                                           double margin_db);
+
+/// Highest ladder rate whose threshold the link clears, given the expected
+/// received signal and expected noise+interference at the receiver. Returns
+/// the lowest rate if even that one does not fit (the link is then outside
+/// the design envelope; the caller may prune it instead).
+[[nodiscard]] double rate_for_link(double expected_signal_w,
+                                   double expected_noise_w,
+                                   double bandwidth_hz, double margin_db,
+                                   const RateLadder& ladder);
+
+/// The throughput multiple a link at `snr` enjoys over the design rate under
+/// ideal (Shannon) adaptation: log2(1+snr) / log2(1+design_snr). Upper bound
+/// for what any ladder can deliver; printed by the ablation bench.
+[[nodiscard]] double ideal_rate_multiple(double snr, double design_snr);
+
+}  // namespace drn::core

@@ -1,0 +1,54 @@
+#include "core/schedule.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+
+Schedule::Schedule(std::uint64_t seed, double slot_duration_s,
+                   double receive_fraction)
+    : seed_(seed),
+      slot_s_(slot_duration_s),
+      p_(receive_fraction),
+      threshold_(receive_threshold(receive_fraction)) {
+  DRN_EXPECTS(slot_duration_s > 0.0);
+  DRN_EXPECTS(receive_fraction >= 0.0 && receive_fraction <= 1.0);
+}
+
+std::int64_t Schedule::slot_index(double local_s) const {
+  return static_cast<std::int64_t>(std::floor(local_s / slot_s_));
+}
+
+double Schedule::slot_begin(std::int64_t slot) const {
+  return static_cast<double>(slot) * slot_s_;
+}
+
+bool Schedule::interval_is(double begin_s, double end_s, bool receive) const {
+  DRN_EXPECTS(begin_s < end_s);
+  for (std::int64_t slot = slot_index(begin_s); slot_begin(slot) < end_s;
+       ++slot) {
+    if (is_receive_slot(slot) != receive) return false;
+  }
+  return true;
+}
+
+std::int64_t Schedule::run_end(std::int64_t slot, std::int64_t max_slots) const {
+  DRN_EXPECTS(max_slots >= 1);
+  const bool value = is_receive_slot(slot);
+  std::int64_t last = slot;
+  while (last - slot + 1 < max_slots && is_receive_slot(last + 1) == value)
+    ++last;
+  return last;
+}
+
+double Schedule::empirical_receive_fraction(std::int64_t first,
+                                            std::int64_t count) const {
+  DRN_EXPECTS(count > 0);
+  std::int64_t receive = 0;
+  for (std::int64_t s = first; s < first + count; ++s)
+    if (is_receive_slot(s)) ++receive;
+  return static_cast<double>(receive) / static_cast<double>(count);
+}
+
+}  // namespace drn::core

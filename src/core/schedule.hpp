@@ -1,0 +1,70 @@
+// Pseudo-random transmit/receive schedules (Section 7.1, Figure 4).
+//
+// Every station in the network evaluates the SAME schedule function — time is
+// divided into equal slots and each slot is hashed into "receive" (the
+// station commits to listen) or "transmit" (the station may transmit) — but
+// each station reckons slot boundaries by its OWN clock. Because clocks are
+// set independently (and at random), any two stations' slot grids are
+// unaligned and their schedules are statistically independent, which is what
+// guarantees overlap opportunities between every pair (the paper's argument
+// against simple periodic schedules, reproduced in bench A1).
+//
+// All times in this class are STATION-LOCAL seconds; conversion from global
+// simulation time is the caller's job (core/clock.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "core/hash.hpp"
+
+namespace drn::core {
+
+class Schedule {
+ public:
+  /// @param seed            network-wide hash seed.
+  /// @param slot_duration_s slot length T_slot in (local) seconds.
+  /// @param receive_fraction p, the probability a slot is a receive slot
+  ///                         (the paper finds p = 0.3 near-optimal).
+  Schedule(std::uint64_t seed, double slot_duration_s, double receive_fraction);
+
+  /// True iff `slot` is a receive slot (a commitment to listen).
+  [[nodiscard]] bool is_receive_slot(std::int64_t slot) const {
+    return slot_hash(seed_, slot) < threshold_;
+  }
+
+  /// The slot containing local time `t` (floor; negative times are valid).
+  [[nodiscard]] std::int64_t slot_index(double local_s) const;
+
+  /// Start / end of a slot in local seconds.
+  [[nodiscard]] double slot_begin(std::int64_t slot) const;
+  [[nodiscard]] double slot_end(std::int64_t slot) const {
+    return slot_begin(slot + 1);
+  }
+
+  /// True iff every slot overlapping [begin_s, end_s) has receive-ness equal
+  /// to `receive`. Requires begin_s < end_s.
+  [[nodiscard]] bool interval_is(double begin_s, double end_s,
+                                 bool receive) const;
+
+  /// The last slot of the maximal run of same-valued slots starting at
+  /// `slot`, scanning at most `max_slots` ahead.
+  [[nodiscard]] std::int64_t run_end(std::int64_t slot,
+                                     std::int64_t max_slots = 1 << 20) const;
+
+  /// Fraction of receive slots over [first, first + count) — converges to
+  /// receive_fraction() by the law of large numbers (tested).
+  [[nodiscard]] double empirical_receive_fraction(std::int64_t first,
+                                                  std::int64_t count) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] double slot_duration_s() const { return slot_s_; }
+  [[nodiscard]] double receive_fraction() const { return p_; }
+
+ private:
+  std::uint64_t seed_;
+  double slot_s_;
+  double p_;
+  std::uint64_t threshold_;
+};
+
+}  // namespace drn::core

@@ -1,0 +1,258 @@
+#include "core/scheduled_station.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+
+namespace {
+
+/// Margin keeping converted times strictly inside simulator preconditions
+/// despite local<->global round-trips (1 ns against millisecond slots).
+constexpr double kTimeEpsilonS = 1e-9;
+
+/// Timer cookie for the beacon-due wakeup (plan cookies count up from 1, so
+/// the max value can never collide).
+constexpr std::uint64_t kBeaconWakeCookie =
+    std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+ScheduledStation::ScheduledStation(ScheduledStationConfig config,
+                                   NeighborTable neighbors)
+    : config_(std::move(config)), neighbors_(std::move(neighbors)) {
+  DRN_EXPECTS(config_.packet_airtime_s > 0.0);
+  DRN_EXPECTS(config_.guard_s >= 0.0);
+  DRN_EXPECTS(config_.horizon_slots > 0.0);
+  DRN_EXPECTS(config_.max_queue > 0);
+  // A schedule only works if a packet plus guards fits inside one slot; the
+  // paper uses quarter-slot packets precisely to make fitting easy.
+  DRN_EXPECTS(config_.packet_airtime_s + 2.0 * config_.guard_s <=
+              config_.schedule.slot_duration_s());
+  if (beacons_enabled()) {
+    DRN_EXPECTS(config_.data_rate_bps > 0.0);
+    DRN_EXPECTS(config_.beacon_bits > 0.0);
+    DRN_EXPECTS(config_.max_clock_samples >= 2);
+    // Beacon power: enough to reach the weakest neighbour (the same worst
+    // case the respect flags already budget for).
+    for (const auto& n : neighbors_.all()) {
+      beacon_power_w_ =
+          std::max(beacon_power_w_, config_.power.transmit_power_w(n.gain));
+    }
+  }
+}
+
+void ScheduledStation::on_start(sim::MacContext& ctx) {
+  if (!beacons_enabled() || neighbors_.size() == 0) return;
+  // Desynchronise the first beacon across stations.
+  next_beacon_due_global_s_ =
+      ctx.now() + ctx.rng().uniform(0.0, config_.beacon_interval_s);
+  ctx.set_timer(next_beacon_due_global_s_, kBeaconWakeCookie);
+}
+
+std::size_t ScheduledStation::queued_packets() const {
+  std::size_t n = 0;
+  for (const auto& [id, q] : queues_) n += q.size();
+  return n;
+}
+
+double ScheduledStation::airtime_s(const sim::Packet& pkt,
+                                   const Neighbor& n) const {
+  const double rate =
+      n.rate_bps > 0.0 ? n.rate_bps : config_.data_rate_bps;
+  if (rate <= 0.0) return config_.packet_airtime_s;
+  return pkt.size_bits / rate;
+}
+
+std::optional<double> ScheduledStation::find_start(
+    StationId neighbor, double earliest_local_s, double duration_s) const {
+  const Neighbor* n = neighbors_.find(neighbor);
+  DRN_EXPECTS(n != nullptr);
+
+  std::vector<WindowConstraint> constraints;
+  constraints.reserve(2 + neighbors_.size());
+  // Our own published schedule: we may only radiate in our transmit windows.
+  constraints.push_back(WindowConstraint{&config_.schedule, ClockModel(),
+                                         /*want_receive=*/false, 0.0});
+  // The addressee must be committed to listen, with guards against our
+  // imperfect model of its clock.
+  constraints.push_back(WindowConstraint{&config_.schedule, n->clock,
+                                         /*want_receive=*/true,
+                                         config_.guard_s});
+  // Section 7.3: stay out of very-near third parties' receive windows —
+  // those to which THIS transmission's power would deliver a significant
+  // fraction of their interference budget.
+  const double power_w = config_.power.transmit_power_w(n->gain);
+  for (const auto& m : neighbors_.all()) {
+    if (!m.respect_receive_windows || m.id == neighbor) continue;
+    if (config_.interference_budget_w > 0.0 &&
+        !interferes_significantly(m.gain, power_w,
+                                  config_.interference_budget_w,
+                                  config_.significance_fraction)) {
+      continue;
+    }
+    constraints.push_back(WindowConstraint{&config_.schedule, m.clock,
+                                           /*want_receive=*/false,
+                                           config_.guard_s});
+  }
+
+  AccessRequest request;
+  request.earliest_local_s = earliest_local_s;
+  request.duration_s = duration_s * config_.clock.rate();
+  request.horizon_s =
+      config_.horizon_slots * config_.schedule.slot_duration_s();
+  return find_transmission_start(request, constraints);
+}
+
+std::optional<double> ScheduledStation::find_beacon_start(
+    double earliest_local_s) const {
+  std::vector<WindowConstraint> constraints;
+  constraints.push_back(WindowConstraint{&config_.schedule, ClockModel(),
+                                         /*want_receive=*/false, 0.0});
+  // A broadcast at worst-case power: keep it out of every respected third
+  // party's receive windows (Section 7.3 applies to beacons too).
+  for (const auto& m : neighbors_.all()) {
+    if (!m.respect_receive_windows) continue;
+    constraints.push_back(WindowConstraint{&config_.schedule, m.clock,
+                                           /*want_receive=*/false,
+                                           config_.guard_s});
+  }
+  AccessRequest request;
+  request.earliest_local_s = earliest_local_s;
+  request.duration_s = beacon_airtime_s() * config_.clock.rate();
+  request.horizon_s =
+      config_.horizon_slots * config_.schedule.slot_duration_s();
+  return find_transmission_start(request, constraints);
+}
+
+void ScheduledStation::replan(sim::MacContext& ctx) {
+  const double earliest_global =
+      std::max(ctx.now(), busy_until_global_s_) + kTimeEpsilonS;
+  const double earliest_local = config_.clock.local(earliest_global);
+
+  std::optional<Plan> best;
+  for (const auto& [neighbor, queue] : queues_) {
+    if (queue.empty()) continue;
+    const double duration =
+        airtime_s(queue.front(), *neighbors_.find(neighbor));
+    if (const auto start = find_start(neighbor, earliest_local, duration)) {
+      if (!best || *start < best->start_local_s)
+        best = Plan{neighbor, *start};
+    }
+  }
+  // A due maintenance beacon competes like any packet.
+  if (beacons_enabled() && neighbors_.size() > 0 &&
+      ctx.now() >= next_beacon_due_global_s_) {
+    if (const auto start = find_beacon_start(earliest_local)) {
+      if (!best || *start < best->start_local_s)
+        best = Plan{kBroadcast, *start};
+    }
+  }
+  if (!best) return;  // nothing sendable within the horizon
+  if (plan_ && plan_->start_local_s <= best->start_local_s) return;
+
+  plan_ = best;
+  ++plan_generation_;
+  ctx.set_timer(std::max(ctx.now(), config_.clock.global(best->start_local_s)),
+                plan_generation_);
+}
+
+void ScheduledStation::send_beacon(sim::MacContext& ctx) {
+  sim::Packet beacon;
+  beacon.source = ctx.self();
+  beacon.destination = kBroadcast;
+  beacon.size_bits = config_.beacon_bits;
+  const double start = std::max(ctx.now(), busy_until_global_s_);
+  beacon.sender_local_s = config_.clock.local(start);
+  ctx.transmit(beacon, kBroadcast, beacon_power_w_, start);
+  busy_until_global_s_ = start + beacon_airtime_s();
+  next_beacon_due_global_s_ = start + config_.beacon_interval_s;
+  ctx.set_timer(next_beacon_due_global_s_, kBeaconWakeCookie);
+}
+
+void ScheduledStation::on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                                  StationId next_hop) {
+  DRN_EXPECTS(next_hop != ctx.self());
+  if (neighbors_.find(next_hop) == nullptr) {
+    ctx.drop(pkt);  // routed toward a station we cannot reach directly
+    return;
+  }
+  auto& queue = queues_[next_hop];
+  if (queue.size() >= config_.max_queue) {
+    ctx.drop(pkt);
+    return;
+  }
+  queue.push_back(pkt);
+  replan(ctx);
+}
+
+void ScheduledStation::on_timer(sim::MacContext& ctx, std::uint64_t cookie) {
+  if (cookie == kBeaconWakeCookie) {
+    replan(ctx);  // a beacon may have just become due
+    return;
+  }
+  if (!plan_ || cookie != plan_generation_) return;  // superseded plan
+  const Plan plan = *plan_;
+  plan_.reset();
+
+  if (plan.neighbor == kBroadcast) {
+    send_beacon(ctx);
+    replan(ctx);
+    return;
+  }
+
+  auto it = queues_.find(plan.neighbor);
+  DRN_EXPECTS(it != queues_.end() && !it->second.empty());
+  const sim::Packet pkt = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+
+  const Neighbor* n = neighbors_.find(plan.neighbor);
+  const double start = std::max(ctx.now(), busy_until_global_s_);
+  ctx.transmit(pkt, plan.neighbor, config_.power.transmit_power_w(n->gain),
+               start, n->rate_bps);
+  busy_until_global_s_ = start + airtime_s(pkt, *n);
+  replan(ctx);
+}
+
+void ScheduledStation::on_transmit_end(sim::MacContext& ctx,
+                                       const sim::Packet& pkt, StationId to,
+                                       bool delivered) {
+  (void)pkt;
+  (void)to;
+  (void)delivered;  // the scheme needs no acknowledgements
+  replan(ctx);
+}
+
+void ScheduledStation::on_broadcast_received(sim::MacContext& ctx,
+                                             const sim::Packet& pkt,
+                                             StationId from,
+                                             double /*signal_w*/) {
+  if (!beacons_enabled()) return;
+  Neighbor* n = neighbors_.find_mutable(from);
+  if (n == nullptr) return;  // not a neighbour we exchange packets with
+
+  auto& samples = beacon_samples_[from];
+  ClockSample sample;
+  sample.mine_s = config_.clock.local(ctx.now());
+  sample.theirs_s =
+      pkt.sender_local_s + pkt.size_bits / config_.data_rate_bps;
+  samples.push_back(sample);
+  while (samples.size() > config_.max_clock_samples) samples.pop_front();
+
+  // Refit once the window holds enough points to track drift.
+  if (samples.size() >= 2) {
+    const std::vector<ClockSample> window(samples.begin(), samples.end());
+    n->clock = ClockModel::fit(window);
+  }
+}
+
+std::size_t ScheduledStation::clock_samples_from(StationId neighbor) const {
+  const auto it = beacon_samples_.find(neighbor);
+  return it == beacon_samples_.end() ? 0 : it->second.size();
+}
+
+}  // namespace drn::core

@@ -1,0 +1,148 @@
+// The paper's station behaviour: collision-free scheduled channel access
+// (Sections 6-7) as a MacProtocol for the event simulator.
+//
+// Behaviour per Section 7:
+//   * the station publishes (via its schedule + clock) receive windows it
+//     commits to, and only ever transmits inside its own transmit windows;
+//   * a packet for neighbour n is sent at the earliest time a transmit
+//     window of ours overlaps a (guard-shrunk, clock-model-predicted)
+//     receive window of n long enough for the packet;
+//   * packets are fixed-size (nominally one quarter slot, Section 7.2);
+//   * queues are per-next-hop and the earliest feasible transmission across
+//     ALL queues is sent first — "a station need not block the head of the
+//     line", which is how transmit duty cycles approach 50%;
+//   * transmit power delivers constant power to the addressee (Section 6.1);
+//   * receive windows of very-near third parties are avoided (Section 7.3).
+//
+// No acknowledgements, no carrier sense, no per-packet control traffic: the
+// single data transmission is the only emission per hop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/access.hpp"
+#include "core/clock.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/power_control.hpp"
+#include "core/schedule.hpp"
+#include "sim/mac.hpp"
+
+namespace drn::core {
+
+struct ScheduledStationConfig {
+  /// The network-wide schedule function (same seed everywhere).
+  Schedule schedule;
+  /// This station's own clock.
+  StationClock clock;
+  /// Nominal packet airtime, global seconds (nominally slot/4). Packets are
+  /// assumed to be sized for this airtime at the design rate; when
+  /// `data_rate_bps` (below) is set, the actual airtime of each packet is
+  /// computed from its size and the link's rate instead.
+  double packet_airtime_s = 0.0;
+  /// Guard padding absorbing clock-prediction error, sender-local seconds.
+  double guard_s = 0.0;
+  /// Power policy toward addressees.
+  PowerControl power = PowerControl::fixed(1.0);
+  /// Window search horizon, in slots.
+  double horizon_slots = 20000.0;
+  /// Per-neighbour queue capacity; beyond it packets are dropped.
+  std::size_t max_queue = 4096;
+  /// Section 7.3: the interference a receiver tolerates (its expected signal
+  /// over the required SINR), watts. When > 0, a planned transmission avoids
+  /// the receive windows of any respect-flagged third party to which it
+  /// would deliver more than `significance_fraction` of this budget — judged
+  /// by THIS transmission's power, so low-power hops to close neighbours
+  /// avoid almost no one. When 0, the respect flag alone decides
+  /// (worst-case, maximally conservative).
+  double interference_budget_w = 0.0;
+  double significance_fraction = 0.25;
+  /// The design data rate, used to compute per-packet airtimes (with
+  /// Neighbor::rate_bps overriding per link). 0 = every packet occupies
+  /// exactly packet_airtime_s (the fixed-size base design).
+  double data_rate_bps = 0.0;
+  /// Maintenance beacons ("stations occasionally rendezvous", Section 7):
+  /// when > 0, the station broadcasts a clock-stamped beacon roughly every
+  /// beacon_interval_s — inside its own transmit windows, avoiding respected
+  /// third parties' receive windows — and continuously refits each
+  /// neighbour's clock model from a sliding window of received beacon
+  /// stamps, keeping guards valid indefinitely under drift. Requires
+  /// data_rate_bps > 0.
+  double beacon_interval_s = 0.0;
+  double beacon_bits = 500.0;
+  /// Sliding window of clock samples kept per neighbour for refitting.
+  std::size_t max_clock_samples = 8;
+};
+
+class ScheduledStation final : public sim::MacProtocol {
+ public:
+  ScheduledStation(ScheduledStationConfig config, NeighborTable neighbors);
+
+  void on_start(sim::MacContext& ctx) override;
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                  StationId next_hop) override;
+  void on_timer(sim::MacContext& ctx, std::uint64_t cookie) override;
+  void on_transmit_end(sim::MacContext& ctx, const sim::Packet& pkt,
+                       StationId to, bool delivered) override;
+  void on_broadcast_received(sim::MacContext& ctx, const sim::Packet& pkt,
+                             StationId from, double signal_w) override;
+
+  /// Packets currently queued across all next hops (test introspection).
+  [[nodiscard]] std::size_t queued_packets() const;
+
+  [[nodiscard]] const NeighborTable& neighbors() const { return neighbors_; }
+  [[nodiscard]] const ScheduledStationConfig& config() const { return config_; }
+
+  /// Beacon stamps received from `neighbor` so far (test introspection).
+  [[nodiscard]] std::size_t clock_samples_from(StationId neighbor) const;
+
+ private:
+  struct Plan {
+    StationId neighbor = kNoStation;  // kBroadcast for a beacon
+    double start_local_s = 0.0;
+  };
+
+  /// Airtime of `pkt` on the link to `n` (per-link rate, else design rate,
+  /// else the nominal fixed airtime).
+  [[nodiscard]] double airtime_s(const sim::Packet& pkt,
+                                 const Neighbor& n) const;
+
+  /// Earliest feasible start (sender-local) for a transmission of
+  /// `duration_s` to `neighbor`, no earlier than `earliest_local_s`.
+  [[nodiscard]] std::optional<double> find_start(StationId neighbor,
+                                                 double earliest_local_s,
+                                                 double duration_s) const;
+
+  /// Earliest feasible start for a maintenance beacon (own transmit windows,
+  /// respected third parties avoided).
+  [[nodiscard]] std::optional<double> find_beacon_start(
+      double earliest_local_s) const;
+
+  /// Re-evaluates what to send next and (re)arms the plan timer if a better
+  /// opportunity exists.
+  void replan(sim::MacContext& ctx);
+
+  void send_beacon(sim::MacContext& ctx);
+
+  [[nodiscard]] bool beacons_enabled() const {
+    return config_.beacon_interval_s > 0.0;
+  }
+  [[nodiscard]] double beacon_airtime_s() const {
+    return config_.beacon_bits / config_.data_rate_bps;
+  }
+
+  ScheduledStationConfig config_;
+  NeighborTable neighbors_;
+  std::map<StationId, std::deque<sim::Packet>> queues_;
+  std::optional<Plan> plan_;
+  std::uint64_t plan_generation_ = 0;
+  double busy_until_global_s_ = 0.0;
+  // Maintenance-beacon state.
+  double next_beacon_due_global_s_ = 0.0;
+  double beacon_power_w_ = 0.0;
+  std::map<StationId, std::deque<ClockSample>> beacon_samples_;
+};
+
+}  // namespace drn::core

@@ -1,0 +1,22 @@
+#include "geo/circle.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::geo {
+
+Circle diameter_circle(Vec2 a, Vec2 b) {
+  return Circle{midpoint(a, b), distance(a, b) / 2.0};
+}
+
+bool relay_reduces_energy(Vec2 a, Vec2 b, Vec2 c, double path_loss_exponent) {
+  DRN_EXPECTS(path_loss_exponent > 0.0);
+  const double ab = distance(a, b);
+  const double bc = distance(b, c);
+  const double ac = distance(a, c);
+  return std::pow(ab, path_loss_exponent) + std::pow(bc, path_loss_exponent) <
+         std::pow(ac, path_loss_exponent);
+}
+
+}  // namespace drn::geo

@@ -1,0 +1,44 @@
+// Circle predicates used by the minimum-energy routing criterion.
+//
+// Section 6.2 of the paper: with 1/r^2 free-space power loss, minimum-energy
+// routing takes an intermediate hop through B between A and C exactly when B
+// lies inside the circle whose diameter is the segment A-C (the smallest
+// circle touching both A and C). These helpers express that geometry.
+#pragma once
+
+#include "geo/vec2.hpp"
+
+namespace drn::geo {
+
+/// A circle in the plane.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  /// True iff p lies strictly inside the circle.
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return distance_sq(center, p) < radius * radius;
+  }
+
+  /// True iff p lies inside or on the circle.
+  [[nodiscard]] bool contains_or_on(Vec2 p) const {
+    return distance_sq(center, p) <= radius * radius;
+  }
+};
+
+/// The smallest circle touching both a and b: center at the midpoint, diameter
+/// |ab|. This is the "relay circle" of the paper's Figure 3 discussion.
+[[nodiscard]] Circle diameter_circle(Vec2 a, Vec2 b);
+
+/// True iff relaying a->b->c costs less energy than sending a->c directly
+/// under an inverse-power path-loss law with the given exponent (paper: 2).
+///
+/// Energy of a hop of length r is proportional to r^alpha (the transmit power
+/// needed to deliver constant power at the receiver). Relaying wins iff
+/// |ab|^alpha + |bc|^alpha < |ac|^alpha. For alpha == 2 this is equivalent to
+/// b lying strictly inside diameter_circle(a, c) (Thales' theorem: the angle
+/// at b is obtuse).
+[[nodiscard]] bool relay_reduces_energy(Vec2 a, Vec2 b, Vec2 c,
+                                        double path_loss_exponent = 2.0);
+
+}  // namespace drn::geo

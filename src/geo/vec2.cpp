@@ -1,0 +1,4 @@
+#include "geo/vec2.hpp"
+
+// Header-only; this translation unit exists so the target has a stable archive
+// member for the module and to host any future out-of-line definitions.

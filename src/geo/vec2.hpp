@@ -1,0 +1,64 @@
+// 2-D geometry primitives for station placement and propagation distances.
+//
+// The paper models stations as points in the plane (Section 4 assumes a
+// uniform density over a disc bounded by the radio horizon). All positions and
+// distances in this library are in metres unless stated otherwise.
+#pragma once
+
+#include <cmath>
+
+namespace drn::geo {
+
+/// A point or displacement in the plane, in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return a += b; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return a -= b; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return a *= s; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return a *= s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// Squared Euclidean norm. Prefer this to norm() when comparing distances.
+[[nodiscard]] constexpr double norm_sq(Vec2 a) { return dot(a, a); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(Vec2 a) { return std::sqrt(norm_sq(a)); }
+
+/// Distance between two points.
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return norm(a - b); }
+
+/// Squared distance between two points.
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return norm_sq(a - b);
+}
+
+/// Midpoint of the segment ab.
+[[nodiscard]] constexpr Vec2 midpoint(Vec2 a, Vec2 b) {
+  return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+}  // namespace drn::geo

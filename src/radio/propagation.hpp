@@ -1,0 +1,140 @@
+// Propagation models: the map from geometry to power gain.
+//
+// Section 3.3 of the paper reduces propagation to a scalar per ordered pair:
+// the amplitude response h_ij ∝ 1/r_ij, so the POWER gain is h² ∝ 1/r².
+// This library works in power gains throughout:
+//
+//     received_power = power_gain(i, j) * transmitted_power.
+//
+// Section 3.5 ("Calibration") notes that free space is the accurate-or-
+// pessimistic choice: near signals are modelled well, distant ones are
+// overestimated (obstructions only attenuate). We provide the paper's
+// free-space law, a general power-law exponent, and a deterministic
+// log-normal shadowing decorator for the obstructed building-to-building
+// scenarios that motivate the paper.
+#pragma once
+
+#include <memory>
+
+#include "geo/vec2.hpp"
+
+namespace drn::radio {
+
+/// Interface: power gain between two points in the plane. Implementations
+/// must be symmetric (gain(a,b) == gain(b,a)) and positive.
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Power gain between points a and b (dimensionless, > 0).
+  [[nodiscard]] virtual double power_gain(geo::Vec2 a, geo::Vec2 b) const = 0;
+};
+
+/// Inverse power law: gain = reference_gain * (reference_distance / r)^alpha,
+/// clamped below min_distance so the gain never exceeds the gain at
+/// min_distance (the far-field model is meaningless at r -> 0).
+class PowerLawPropagation : public PropagationModel {
+ public:
+  /// @param exponent         path-loss exponent alpha (2 = free space).
+  /// @param reference_gain   gain at reference_distance (the paper's kappa,
+  ///                         set by antennas and wavelength).
+  /// @param reference_distance  distance at which reference_gain applies, m.
+  /// @param min_distance     near-field clamp distance, m.
+  explicit PowerLawPropagation(double exponent = 2.0,
+                               double reference_gain = 1.0,
+                               double reference_distance = 1.0,
+                               double min_distance = 0.1);
+
+  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+
+  /// Gain at scalar distance r (same clamping). Exposed for the analytic
+  /// noise-growth code and tests.
+  [[nodiscard]] double gain_at(double r) const;
+
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  double reference_gain_;
+  double reference_distance_;
+  double min_distance_;
+};
+
+/// The paper's model: free space, power falls as 1/r².
+class FreeSpacePropagation : public PowerLawPropagation {
+ public:
+  explicit FreeSpacePropagation(double reference_gain = 1.0,
+                                double reference_distance = 1.0,
+                                double min_distance = 0.1)
+      : PowerLawPropagation(2.0, reference_gain, reference_distance,
+                            min_distance) {}
+};
+
+/// Constant multipath penalty (Section 3.3): "the reduction in performance
+/// due to actual multipath would be equivalent to a couple of decibel
+/// decrease in signal to interference ratio" — modelled, as the paper does,
+/// as a flat dB loss on every link (a rake receiver recovers the rest).
+class MultipathPenalty : public PropagationModel {
+ public:
+  MultipathPenalty(std::shared_ptr<const PropagationModel> base,
+                   double penalty_db);
+
+  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+
+  [[nodiscard]] double penalty_db() const { return penalty_db_; }
+
+ private:
+  std::shared_ptr<const PropagationModel> base_;
+  double penalty_db_;
+  double factor_;
+};
+
+/// Dual-slope (two-ray) model: free-space 1/r^2 out to a breakpoint
+/// distance, then a steeper 1/r^alpha2 beyond it — the classic ground-
+/// reflection behaviour of near-ground urban links. Continuous at the
+/// breakpoint. Strictly more pessimistic than free space past the
+/// breakpoint, so the Section 3.5 envelope argument still holds (and the
+/// Section 4 interference integral CONVERGES under it, removing the
+/// radio-horizon cutoff assumption — see the noise-growth tests).
+class DualSlopePropagation : public PropagationModel {
+ public:
+  /// @param breakpoint_m distance where the slope steepens.
+  /// @param far_exponent alpha2 (> 2; classically 4).
+  DualSlopePropagation(double breakpoint_m, double far_exponent = 4.0,
+                       double reference_gain = 1.0,
+                       double reference_distance = 1.0,
+                       double min_distance = 0.1);
+
+  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+
+  /// Gain at scalar distance r.
+  [[nodiscard]] double gain_at(double r) const;
+
+  [[nodiscard]] double breakpoint_m() const { return breakpoint_m_; }
+
+ private:
+  PowerLawPropagation near_;
+  double breakpoint_m_;
+  double far_exponent_;
+};
+
+/// Decorates a base model with deterministic log-normal shadowing: each
+/// unordered pair of points draws a fixed attenuation 10^(sigma_db·z/10) with
+/// z standard normal, derived by hashing the pair's coordinates under `seed`.
+/// Shadowing only ever attenuates relative to +3 sigma (attenuation is capped
+/// at 0 dB gain boost of 3 sigma), keeping the free-space model the
+/// optimistic envelope the paper assumes. Symmetric by construction.
+class LogNormalShadowing : public PropagationModel {
+ public:
+  LogNormalShadowing(std::shared_ptr<const PropagationModel> base,
+                     double sigma_db, std::uint64_t seed);
+
+  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+
+ private:
+  std::shared_ptr<const PropagationModel> base_;
+  double sigma_db_;
+  std::uint64_t seed_;
+};
+
+}  // namespace drn::radio

@@ -1,0 +1,56 @@
+#include "radio/propagation_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace drn::radio {
+
+PropagationMatrix::PropagationMatrix(std::size_t size, double self_gain)
+    : size_(size), gains_(size * size, 0.0) {
+  DRN_EXPECTS(size > 0);
+  DRN_EXPECTS(self_gain > 0.0);
+  for (std::size_t i = 0; i < size_; ++i) gains_[i * size_ + i] = self_gain;
+}
+
+PropagationMatrix PropagationMatrix::from_placement(
+    const geo::Placement& placement, const PropagationModel& model,
+    double self_gain) {
+  PropagationMatrix m(placement.size(), self_gain);
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    for (std::size_t j = i + 1; j < placement.size(); ++j) {
+      const double g = model.power_gain(placement[i], placement[j]);
+      m.gains_[i * m.size_ + j] = g;
+      m.gains_[j * m.size_ + i] = g;
+    }
+  }
+  return m;
+}
+
+std::size_t PropagationMatrix::index(StationId rx, StationId tx) const {
+  DRN_EXPECTS(rx < size_ && tx < size_);
+  return static_cast<std::size_t>(rx) * size_ + tx;
+}
+
+void PropagationMatrix::set_gain(StationId a, StationId b, double gain) {
+  DRN_EXPECTS(gain > 0.0);
+  gains_[index(a, b)] = gain;
+  gains_[index(b, a)] = gain;
+}
+
+bool PropagationMatrix::is_symmetric() const {
+  for (std::size_t i = 0; i < size_; ++i)
+    for (std::size_t j = i + 1; j < size_; ++j)
+      if (gains_[i * size_ + j] != gains_[j * size_ + i]) return false;
+  return true;
+}
+
+double PropagationMatrix::strongest_neighbor_gain(StationId rx) const {
+  DRN_EXPECTS(rx < size_);
+  double best = 0.0;
+  for (std::size_t tx = 0; tx < size_; ++tx)
+    if (tx != rx) best = std::max(best, gains_[rx * size_ + tx]);
+  return best;
+}
+
+}  // namespace drn::radio

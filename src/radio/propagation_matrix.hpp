@@ -1,0 +1,60 @@
+// The propagation matrix H of the paper (Section 3), stored as power gains.
+//
+// Entry (i, j) is the power gain from transmitter j to receiver i: if j
+// transmits at power P, station i receives power gain(i, j) * P from it
+// (Eq. 6 uses h²_ij P_j; we store g_ij = h²_ij). The matrix is what stations
+// can measure in a real deployment and is the sole input to routing (Section
+// 6.2: "they will be able to observe the path gains between themselves and
+// construct entries in the propagation matrix H").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+
+namespace drn::radio {
+
+/// Dense M x M matrix of power gains. Immutable after construction except for
+/// explicit set_gain (used by tests and obstruction scenarios).
+class PropagationMatrix {
+ public:
+  /// Builds the matrix from station positions under a propagation model.
+  /// The diagonal (a station's coupling to its own transmitter) is set to
+  /// `self_gain`; the paper treats self-interference as unconditionally fatal
+  /// (Type 3), so any value >= the strongest neighbour gain is faithful.
+  static PropagationMatrix from_placement(const geo::Placement& placement,
+                                          const PropagationModel& model,
+                                          double self_gain = 1.0);
+
+  /// An M x M matrix with all off-diagonal gains zero (for incremental test
+  /// construction via set_gain).
+  explicit PropagationMatrix(std::size_t size, double self_gain = 1.0);
+
+  /// Number of stations M.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Power gain from transmitter `tx` to receiver `rx`.
+  [[nodiscard]] double gain(StationId rx, StationId tx) const {
+    return gains_[index(rx, tx)];
+  }
+
+  /// Sets the gain in BOTH directions (the physical channel is reciprocal).
+  void set_gain(StationId a, StationId b, double gain);
+
+  /// True iff every entry equals its transpose entry.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// The largest off-diagonal gain seen by `rx` (its strongest neighbour).
+  [[nodiscard]] double strongest_neighbor_gain(StationId rx) const;
+
+ private:
+  [[nodiscard]] std::size_t index(StationId rx, StationId tx) const;
+
+  std::size_t size_;
+  std::vector<double> gains_;  // row-major: gains_[rx * size_ + tx]
+};
+
+}  // namespace drn::radio

@@ -1,0 +1,75 @@
+// The reception model of Sections 3.4 and 6: Shannon-bound threshold with a
+// detection margin, and the processing-gain arithmetic built on it.
+//
+// A packet sent at rate C over bandwidth W is successfully received iff the
+// signal-to-noise-plus-interference ratio satisfies, for the WHOLE packet
+// duration (Eq. 4),
+//
+//     S/N >= beta * (2^(C/W) - 1),
+//
+// where beta > 1 is the margin covering the gap between practical modems and
+// the Shannon bound (the paper budgets 5 dB, beta ~ 3.16). W/C is the
+// spread-spectrum processing gain; Section 6 determines 20-25 dB of it is the
+// right amount for a scalable network.
+#pragma once
+
+namespace drn::radio {
+
+/// Shannon capacity C = W log2(1 + snr) in bits/second.
+[[nodiscard]] double shannon_capacity(double bandwidth_hz, double snr);
+
+/// Capacity per hertz, log2(1 + snr). The paper quotes this per kilohertz:
+/// snr = 0.01 -> ~14 b/s/kHz, snr = 0.04 -> ~56 b/s/kHz (Section 4).
+[[nodiscard]] double capacity_per_hz(double snr);
+
+/// The SNR needed to carry `rate_fraction` = C/W by the Shannon bound, i.e.
+/// 2^(C/W) - 1. Inverse of capacity_per_hz.
+[[nodiscard]] double snr_for_rate_fraction(double rate_fraction);
+
+/// The fixed-rate reception criterion of Eq. 4. Immutable value type; one
+/// instance describes the whole (homogeneous) network, since the paper fixes
+/// a single design rate for all stations.
+class ReceptionCriterion {
+ public:
+  /// @param bandwidth_hz  spread (chip) bandwidth W.
+  /// @param data_rate_bps design data rate C (must leave C < W achievable).
+  /// @param margin_db     detection margin beta above the Shannon bound
+  ///                      (paper: 5 dB).
+  ReceptionCriterion(double bandwidth_hz, double data_rate_bps,
+                     double margin_db = 5.0);
+
+  /// Minimum SINR at which a packet is received, beta * (2^(C/W) - 1).
+  [[nodiscard]] double required_snr() const { return required_snr_; }
+
+  /// Same, in dB.
+  [[nodiscard]] double required_snr_db() const;
+
+  /// Spread-spectrum processing gain W/C (linear).
+  [[nodiscard]] double processing_gain() const {
+    return bandwidth_hz_ / data_rate_bps_;
+  }
+
+  /// Processing gain in dB (Section 6: the design lands in 20-25 dB).
+  [[nodiscard]] double processing_gain_db() const;
+
+  /// True iff a signal power `signal_w` against total noise-plus-interference
+  /// `noise_w` meets the criterion.
+  [[nodiscard]] bool receivable(double signal_w, double noise_w) const {
+    return signal_w >= required_snr_ * noise_w;
+  }
+
+  [[nodiscard]] double bandwidth_hz() const { return bandwidth_hz_; }
+  [[nodiscard]] double data_rate_bps() const { return data_rate_bps_; }
+  [[nodiscard]] double margin_db() const { return margin_db_; }
+
+  /// Airtime of a packet of `bits` at the design rate, seconds.
+  [[nodiscard]] double packet_duration_s(double bits) const;
+
+ private:
+  double bandwidth_hz_;
+  double data_rate_bps_;
+  double margin_db_;
+  double required_snr_;
+};
+
+}  // namespace drn::radio

@@ -1,0 +1,26 @@
+#include "radio/units.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::radio {
+
+double to_db(double linear) {
+  DRN_EXPECTS(linear > 0.0);
+  return 10.0 * std::log10(linear);
+}
+
+double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+double watts_to_dbm(double watts) { return to_db(watts) + 30.0; }
+
+double dbm_to_watts(double dbm) { return from_db(dbm - 30.0); }
+
+double thermal_noise_watts(double bandwidth_hz, double temperature_k) {
+  DRN_EXPECTS(bandwidth_hz > 0.0);
+  DRN_EXPECTS(temperature_k > 0.0);
+  return kBoltzmann * temperature_k * bandwidth_hz;
+}
+
+}  // namespace drn::radio

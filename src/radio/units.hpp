@@ -1,0 +1,34 @@
+// Decibel conversions and physical constants.
+//
+// The paper reasons almost entirely in decibels ("5 dB margin", "20 to 25 dB
+// of processing gain", "6 dB per doubling of distance"); the library computes
+// in linear power ratios and converts at the edges.
+#pragma once
+
+namespace drn::radio {
+
+/// Boltzmann constant, J/K.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard receiver reference temperature, K.
+inline constexpr double kStandardTemperatureK = 290.0;
+
+/// Linear power ratio -> decibels. Requires a positive ratio.
+[[nodiscard]] double to_db(double linear);
+
+/// Decibels -> linear power ratio.
+[[nodiscard]] double from_db(double db);
+
+/// Watts -> dBm (decibels relative to one milliwatt).
+[[nodiscard]] double watts_to_dbm(double watts);
+
+/// dBm -> watts.
+[[nodiscard]] double dbm_to_watts(double dbm);
+
+/// Thermal noise floor kTB in watts for the given bandwidth, at the standard
+/// 290 K reference temperature. Section 4 argues this is dominated by
+/// aggregate interference at scale; the simulator still includes it.
+[[nodiscard]] double thermal_noise_watts(double bandwidth_hz,
+                                         double temperature_k = kStandardTemperatureK);
+
+}  // namespace drn::radio

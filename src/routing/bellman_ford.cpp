@@ -1,0 +1,88 @@
+#include "routing/bellman_ford.hpp"
+
+#include <limits>
+
+#include "common/expects.hpp"
+
+namespace drn::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DistributedBellmanFord::DistributedBellmanFord(const Graph& graph)
+    : graph_(&graph),
+      size_(graph.size()),
+      cost_(size_ * size_, kInf),
+      next_hop_(size_ * size_, kNoStation) {
+  for (StationId s = 0; s < size_; ++s) cost_[index(s, s)] = 0.0;
+}
+
+bool DistributedBellmanFord::relax(StationId station) {
+  DRN_EXPECTS(station < size_);
+  bool changed = false;
+  for (StationId dst = 0; dst < size_; ++dst) {
+    if (dst == station) continue;
+    double best = kInf;
+    StationId best_hop = kNoStation;
+    for (const Edge& e : graph_->edges(station)) {
+      const double via = e.cost + cost_[index(e.to, dst)];
+      if (via < best) {
+        best = via;
+        best_hop = e.to;
+      }
+    }
+    auto& my_cost = cost_[index(station, dst)];
+    auto& my_hop = next_hop_[index(station, dst)];
+    if (best != my_cost || best_hop != my_hop) {
+      my_cost = best;
+      my_hop = best_hop;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::size_t DistributedBellmanFord::run_synchronous(std::size_t max_rounds) {
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    bool changed = false;
+    for (StationId s = 0; s < size_; ++s) changed |= relax(s);
+    if (!changed) return round;
+  }
+  return max_rounds;
+}
+
+std::size_t DistributedBellmanFord::run_asynchronous(Rng& rng,
+                                                     std::size_t quiet_streak) {
+  DRN_EXPECTS(quiet_streak > 0);
+  std::size_t relaxations = 0;
+  std::size_t quiet = 0;
+  while (quiet < quiet_streak) {
+    const auto s = static_cast<StationId>(rng.uniform_index(size_));
+    ++relaxations;
+    quiet = relax(s) ? 0 : quiet + 1;
+  }
+  // Confirm quiescence with a deterministic full sweep (and converge any
+  // stragglers the random order missed).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (StationId s = 0; s < size_; ++s) {
+      ++relaxations;
+      changed |= relax(s);
+    }
+  }
+  return relaxations;
+}
+
+double DistributedBellmanFord::cost(StationId at, StationId dst) const {
+  DRN_EXPECTS(at < size_ && dst < size_);
+  return cost_[index(at, dst)];
+}
+
+StationId DistributedBellmanFord::next_hop(StationId at, StationId dst) const {
+  DRN_EXPECTS(at < size_ && dst < size_);
+  return next_hop_[index(at, dst)];
+}
+
+}  // namespace drn::routing

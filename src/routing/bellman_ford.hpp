@@ -1,0 +1,58 @@
+// The distributed asynchronous Bellman-Ford computation the paper proposes
+// for minimum-energy routing (Section 6.2, citing Bertsekas & Gallager):
+// "Each station need only remember the next hop for each potential
+// destination and the total energy along that route to the destination."
+//
+// Every station holds a distance vector (cost-to-destination, next hop) and
+// repeatedly relaxes it against its neighbours' advertised vectors. Updates
+// can be applied in any order (asynchronously) and still converge to the
+// Dijkstra optimum on static topologies — a property the tests check against
+// routing/dijkstra.hpp under randomised update orders.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "routing/graph.hpp"
+
+namespace drn::routing {
+
+class DistributedBellmanFord {
+ public:
+  explicit DistributedBellmanFord(const Graph& graph);
+
+  /// Relaxes the vector of one station against its neighbours' current
+  /// vectors (one "message processing" step). Returns true if anything
+  /// changed.
+  bool relax(StationId station);
+
+  /// Runs synchronous rounds (every station relaxed once per round, fixed
+  /// order) until a full quiet round. Returns the number of rounds.
+  std::size_t run_synchronous(std::size_t max_rounds = 1 << 20);
+
+  /// Runs asynchronously: stations are relaxed in uniformly random order
+  /// until `quiet_streak` consecutive relaxations change nothing and a final
+  /// full sweep confirms quiescence. Returns total relaxations performed.
+  std::size_t run_asynchronous(Rng& rng, std::size_t quiet_streak = 64);
+
+  /// Cost from `at` to `dst` per the current (possibly unconverged) state.
+  [[nodiscard]] double cost(StationId at, StationId dst) const;
+
+  /// Next hop from `at` toward `dst`; kNoStation if none known.
+  [[nodiscard]] StationId next_hop(StationId at, StationId dst) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  [[nodiscard]] std::size_t index(StationId at, StationId dst) const {
+    return static_cast<std::size_t>(at) * size_ + dst;
+  }
+
+  const Graph* graph_;
+  std::size_t size_;
+  std::vector<double> cost_;
+  std::vector<StationId> next_hop_;
+};
+
+}  // namespace drn::routing

@@ -1,0 +1,111 @@
+#include "routing/dijkstra.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/expects.hpp"
+
+namespace drn::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+PathTree shortest_paths(const Graph& graph, StationId source) {
+  DRN_EXPECTS(source < graph.size());
+  PathTree tree;
+  tree.source = source;
+  tree.cost.assign(graph.size(), kInf);
+  tree.parent.assign(graph.size(), kNoStation);
+  tree.cost[source] = 0.0;
+
+  using Item = std::pair<double, StationId>;  // (cost, station)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [cost, at] = heap.top();
+    heap.pop();
+    if (cost > tree.cost[at]) continue;  // stale entry
+    for (const Edge& e : graph.edges(at)) {
+      const double candidate = cost + e.cost;
+      if (candidate < tree.cost[e.to]) {
+        tree.cost[e.to] = candidate;
+        tree.parent[e.to] = at;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<StationId> extract_path(const PathTree& tree,
+                                    StationId destination) {
+  DRN_EXPECTS(destination < tree.cost.size());
+  if (tree.cost[destination] == kInf) return {};
+  std::vector<StationId> path;
+  for (StationId at = destination; at != kNoStation; at = tree.parent[at])
+    path.push_back(at);
+  std::reverse(path.begin(), path.end());
+  DRN_ENSURES(path.front() == tree.source);
+  return path;
+}
+
+RoutingTables::RoutingTables(std::size_t size)
+    : size_(size),
+      next_hop_(size * size, kNoStation),
+      cost_(size * size, kInf) {}
+
+RoutingTables RoutingTables::build(const Graph& graph) {
+  RoutingTables tables(graph.size());
+  // One Dijkstra per DESTINATION: with symmetric costs, the parent of `at`
+  // in the tree rooted at dst is exactly the next hop from `at` toward dst.
+  for (StationId dst = 0; dst < graph.size(); ++dst) {
+    const PathTree tree = shortest_paths(graph, dst);
+    for (StationId at = 0; at < graph.size(); ++at) {
+      if (at == dst) continue;
+      tables.next_hop_[tables.index(at, dst)] = tree.parent[at];
+      tables.cost_[tables.index(at, dst)] = tree.cost[at];
+    }
+  }
+  return tables;
+}
+
+StationId RoutingTables::next_hop(StationId at, StationId dst) const {
+  DRN_EXPECTS(at < size_ && dst < size_);
+  return next_hop_[index(at, dst)];
+}
+
+double RoutingTables::cost(StationId at, StationId dst) const {
+  DRN_EXPECTS(at < size_ && dst < size_);
+  if (at == dst) return 0.0;
+  return cost_[index(at, dst)];
+}
+
+bool RoutingTables::prefix_consistent() const {
+  for (StationId at = 0; at < size_; ++at) {
+    for (StationId dst = 0; dst < size_; ++dst) {
+      if (at == dst || cost(at, dst) == kInf) continue;
+      StationId hop = at;
+      double last_cost = cost(at, dst);
+      for (std::size_t steps = 0; hop != dst; ++steps) {
+        if (steps > size_) return false;  // loop
+        hop = next_hop(hop, dst);
+        if (hop == kNoStation) return false;
+        const double c = cost(hop, dst);
+        if (hop != dst && c >= last_cost) return false;
+        last_cost = c;
+      }
+    }
+  }
+  return true;
+}
+
+std::function<StationId(StationId, StationId)> RoutingTables::router() const {
+  // Copy the tables into the closure so the router outlives this object.
+  return [tables = *this](StationId at, StationId dst) {
+    return tables.next_hop(at, dst);
+  };
+}
+
+}  // namespace drn::routing

@@ -1,0 +1,68 @@
+// Centralized min-cost paths (Dijkstra) and the all-pairs next-hop tables
+// built from them. The distributed computation the paper actually proposes is
+// in routing/bellman_ford.hpp; Dijkstra serves as the reference oracle the
+// distributed algorithm must agree with (tested), and as the fast way to
+// build routing tables for large simulations.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "routing/graph.hpp"
+
+namespace drn::routing {
+
+/// Single-source shortest-path tree.
+struct PathTree {
+  StationId source = kNoStation;
+  std::vector<double> cost;       // infinity if unreachable
+  std::vector<StationId> parent;  // kNoStation at source / unreachable
+};
+
+/// Dijkstra from `source` over non-negative edge costs.
+[[nodiscard]] PathTree shortest_paths(const Graph& graph, StationId source);
+
+/// The station sequence from `tree.source` to `destination` (inclusive);
+/// empty if unreachable.
+[[nodiscard]] std::vector<StationId> extract_path(const PathTree& tree,
+                                                  StationId destination);
+
+/// All-pairs next-hop tables: next_hop(at, dst) is the neighbour `at`
+/// forwards to for destination `dst`. Built from one Dijkstra per
+/// destination; costs must be symmetric (undirected graph).
+class RoutingTables {
+ public:
+  static RoutingTables build(const Graph& graph);
+
+  /// kNoStation if dst is unreachable from `at` (or at == dst).
+  [[nodiscard]] StationId next_hop(StationId at, StationId dst) const;
+
+  /// Total path cost from `at` to `dst` (infinity if unreachable).
+  [[nodiscard]] double cost(StationId at, StationId dst) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// The paper's hop-by-hop consistency property (Section 6.2): "a
+  /// minimum-energy route from A to C that goes through B will use the same
+  /// route from B to C as any other route that goes through B to get to C."
+  /// True iff following next_hop pointers from every (at, dst) pair reaches
+  /// dst in at most `size` hops with monotonically decreasing cost.
+  [[nodiscard]] bool prefix_consistent() const;
+
+  /// A Simulator-compatible router closure over these tables.
+  [[nodiscard]] std::function<StationId(StationId, StationId)> router() const;
+
+ private:
+  explicit RoutingTables(std::size_t size);
+
+  [[nodiscard]] std::size_t index(StationId at, StationId dst) const {
+    return static_cast<std::size_t>(at) * size_ + dst;
+  }
+
+  std::size_t size_;
+  std::vector<StationId> next_hop_;
+  std::vector<double> cost_;
+};
+
+}  // namespace drn::routing

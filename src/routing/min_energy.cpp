@@ -1,0 +1,40 @@
+#include "routing/min_energy.hpp"
+
+#include "common/expects.hpp"
+
+namespace drn::routing {
+
+double path_energy_cost(const radio::PropagationMatrix& gains,
+                        std::span<const StationId> path) {
+  DRN_EXPECTS(path.size() >= 2);
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    total += 1.0 / gains.gain(path[i + 1], path[i]);
+  return total;
+}
+
+double interference_energy_at(const radio::PropagationMatrix& gains,
+                              std::span<const StationId> path,
+                              StationId observer, double target) {
+  DRN_EXPECTS(path.size() >= 2);
+  DRN_EXPECTS(target > 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const StationId tx = path[i];
+    if (tx == observer) continue;  // the observer hears itself trivially
+    const double power = target / gains.gain(path[i + 1], tx);
+    total += power * gains.gain(observer, tx);  // unit airtime per hop
+  }
+  return total;
+}
+
+bool relay_inside_criterion_circle(geo::Vec2 a, geo::Vec2 b, geo::Vec2 c) {
+  return geo::diameter_circle(a, c).contains(b);
+}
+
+std::size_t hop_count(std::span<const StationId> path) {
+  DRN_EXPECTS(!path.empty());
+  return path.size() - 1;
+}
+
+}  // namespace drn::routing

@@ -1,0 +1,44 @@
+// Minimum-energy route properties (Section 6.2, Figure 3).
+//
+// Minimum-energy routing minimises a packet's "total contribution to
+// interference at distant stations": each hop radiates power ∝ 1/gain for
+// the packet's airtime, so path cost Σ 1/gain is (up to the constant
+// airtime × target power) the radiated energy. These helpers quantify the
+// geometric claims — the relay-circle criterion, the up-to-4x power and 2x
+// energy reduction of a centred relay — and measure the interference energy
+// a route deposits at a distant observer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geo/circle.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation_matrix.hpp"
+
+namespace drn::routing {
+
+/// Total route cost Σ 1/gain over consecutive stations of `path`.
+[[nodiscard]] double path_energy_cost(const radio::PropagationMatrix& gains,
+                                      std::span<const StationId> path);
+
+/// Energy (power x time, relative units) a packet traversing `path` deposits
+/// at `observer`: each hop transmits at power target/gain(hop) for unit
+/// airtime, of which gain(observer, transmitter) arrives (Figure 3's
+/// "distant station D" accounting). `target` is the delivered-power constant
+/// and cancels in comparisons; it defaults to 1.
+[[nodiscard]] double interference_energy_at(
+    const radio::PropagationMatrix& gains, std::span<const StationId> path,
+    StationId observer, double target = 1.0);
+
+/// Figure 3's geometric criterion under free-space (1/r²) loss: relaying
+/// A->B->C beats the direct hop exactly when B is strictly inside the circle
+/// whose diameter is segment AC. Returns that prediction.
+[[nodiscard]] bool relay_inside_criterion_circle(geo::Vec2 a, geo::Vec2 b,
+                                                 geo::Vec2 c);
+
+/// Number of hops in `path` (edges, not stations).
+[[nodiscard]] std::size_t hop_count(std::span<const StationId> path);
+
+}  // namespace drn::routing

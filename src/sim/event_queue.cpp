@@ -1,0 +1,21 @@
+#include "sim/event_queue.hpp"
+
+#include "common/expects.hpp"
+
+namespace drn::sim {
+
+void EventQueue::push(Event e) { heap_.push(Entry{e, next_seq_++}); }
+
+double EventQueue::next_time() const {
+  DRN_EXPECTS(!heap_.empty());
+  return heap_.top().event.time_s;
+}
+
+Event EventQueue::pop() {
+  DRN_EXPECTS(!heap_.empty());
+  Event e = heap_.top().event;
+  heap_.pop();
+  return e;
+}
+
+}  // namespace drn::sim

@@ -1,0 +1,69 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, kind priority, insertion sequence). The kind
+// priority resolves simultaneity the way the physics requires: a transmission
+// that ends at instant t must be processed before one that starts at t, so
+// back-to-back transmissions by one sender neither overlap nor interfere
+// with each other at the shared boundary.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+
+namespace drn::sim {
+
+/// Discriminates event payloads. Enumerator order IS the simultaneity
+/// priority (lower value runs first at equal times).
+enum class EventKind : std::uint8_t {
+  kTransmitEnd = 0,
+  kTimer = 1,
+  kInject = 2,
+  kTransmitStart = 3,
+};
+
+struct Event {
+  double time_s = 0.0;
+  EventKind kind = EventKind::kTimer;
+  // Payload (union-by-convention; which fields are live depends on kind).
+  std::uint64_t tx_id = 0;        // kTransmitStart / kTransmitEnd
+  StationId station = kNoStation; // kTimer
+  std::uint64_t cookie = 0;       // kTimer
+  Packet packet;                  // kInject
+};
+
+/// Min-queue of events with total, deterministic ordering.
+class EventQueue {
+ public:
+  void push(Event e);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires a non-empty queue.
+  [[nodiscard]] double next_time() const;
+
+  /// Removes and returns the earliest event. Requires a non-empty queue.
+  Event pop();
+
+ private:
+  struct Entry {
+    Event event;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.event.time_s != b.event.time_s) return a.event.time_s > b.event.time_s;
+      if (a.event.kind != b.event.kind) return a.event.kind > b.event.kind;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace drn::sim

@@ -1,0 +1,118 @@
+// The MAC (channel access) interface between station behaviour and the
+// event-driven simulator.
+//
+// One MacProtocol instance drives one station. The simulator calls the
+// on_* hooks; the MAC acts through the MacContext services (schedule a
+// transmission, set a timer, sense the channel). The paper's scheme
+// (core/scheduled_station.hpp) and the prior-work baselines
+// (baselines/aloha.hpp etc.) all implement this interface, so every
+// comparison runs under the identical physical model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+
+namespace drn::sim {
+
+/// Services the simulator offers a MAC. Lifetime: valid only for the duration
+/// of the hook call it is passed to.
+class MacContext {
+ public:
+  virtual ~MacContext() = default;
+
+  /// Current global simulation time, seconds. (Station-local clocks are the
+  /// MAC's own business; see core/clock.hpp.)
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// This station's id.
+  [[nodiscard]] virtual StationId self() const = 0;
+
+  /// Schedules a physical transmission of `pkt` to `to` (a station id, or
+  /// kBroadcast to let every station in range attempt reception), radiating
+  /// `power_w` watts from global time `start_s` (>= now). `rate_bps` is the
+  /// modulation rate for this transmission — it sets both the airtime
+  /// (size_bits / rate) and the required SINR (Eq. 4 at this rate); 0 means
+  /// the network's fixed design rate. Transmissions of one station must not
+  /// overlap; the simulator enforces this as a precondition.
+  virtual void transmit(const Packet& pkt, StationId to, double power_w,
+                        double start_s, double rate_bps) = 0;
+
+  /// Convenience: transmit at the network's design rate.
+  void transmit(const Packet& pkt, StationId to, double power_w,
+                double start_s) {
+    transmit(pkt, to, power_w, start_s, 0.0);
+  }
+
+  /// Arms a timer; on_timer(cookie) fires at global time `at_s` (>= now).
+  virtual void set_timer(double at_s, std::uint64_t cookie) = 0;
+
+  /// True while this station's transmitter is radiating.
+  [[nodiscard]] virtual bool transmitting() const = 0;
+
+  /// Total signal power currently impinging on this station's antenna
+  /// (thermal noise + every active transmission), watts. This is what a
+  /// carrier-sense MAC can measure.
+  [[nodiscard]] virtual double received_power_w() const = 0;
+
+  /// Power gain from this station to `other` (the measurable entry of the
+  /// propagation matrix H — Section 6.2: stations "observe the path gains").
+  [[nodiscard]] virtual double gain_to(StationId other) const = 0;
+
+  /// Records that the MAC permanently gave up on a packet (queue overflow,
+  /// retry exhaustion). The packet counts as lost in the metrics.
+  virtual void drop(const Packet& pkt) = 0;
+
+  /// Per-station deterministic random stream.
+  [[nodiscard]] virtual Rng& rng() = 0;
+};
+
+/// A station's channel access behaviour.
+class MacProtocol {
+ public:
+  virtual ~MacProtocol() = default;
+
+  /// Called once when the simulation starts.
+  virtual void on_start(MacContext& ctx) { (void)ctx; }
+
+  /// A packet (locally originated or to be forwarded) was handed to this
+  /// station; the network layer has already chosen `next_hop`.
+  virtual void on_enqueue(MacContext& ctx, const Packet& pkt,
+                          StationId next_hop) = 0;
+
+  /// A previously armed timer fired.
+  virtual void on_timer(MacContext& ctx, std::uint64_t cookie) {
+    (void)ctx;
+    (void)cookie;
+  }
+
+  /// One of this station's transmissions finished. `delivered` reports
+  /// whether the addressee decoded it (for broadcasts: whether anyone did).
+  /// The paper's scheme never needs this oracle (it is collision-free by
+  /// construction); retransmitting baselines use it as an idealised (free,
+  /// instant) acknowledgement, which biases the comparison in the
+  /// baselines' favour.
+  virtual void on_transmit_end(MacContext& ctx, const Packet& pkt,
+                               StationId to, bool delivered) {
+    (void)ctx;
+    (void)pkt;
+    (void)to;
+    (void)delivered;
+  }
+
+  /// A broadcast transmission from `from` was decoded at this station.
+  /// `signal_w` is the received signal power — combined with a power value
+  /// carried in the payload this is how stations measure path gains
+  /// ("stations may observe the actual propagation", Section 3.5).
+  virtual void on_broadcast_received(MacContext& ctx, const Packet& pkt,
+                                     StationId from, double signal_w) {
+    (void)ctx;
+    (void)pkt;
+    (void)from;
+    (void)signal_w;
+  }
+};
+
+}  // namespace drn::sim

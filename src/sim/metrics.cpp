@@ -1,0 +1,63 @@
+#include "sim/metrics.hpp"
+
+#include "common/expects.hpp"
+
+namespace drn::sim {
+
+Metrics::Metrics(std::size_t stations) : airtime_s_(stations, 0.0) {
+  DRN_EXPECTS(stations > 0);
+}
+
+void Metrics::record_hop_success(double sinr_margin_db) {
+  ++hop_successes_;
+  sinr_margin_db_.add(sinr_margin_db);
+}
+
+void Metrics::record_hop_loss(LossType type) {
+  DRN_EXPECTS(type != LossType::kNone);
+  ++losses_[static_cast<std::size_t>(type)];
+}
+
+void Metrics::record_delivery(double delay_s, std::uint32_t hops) {
+  ++delivered_;
+  delay_.add(delay_s);
+  hops_.add(static_cast<double>(hops));
+}
+
+void Metrics::record_airtime(StationId station, double seconds) {
+  DRN_EXPECTS(station < airtime_s_.size());
+  DRN_EXPECTS(seconds >= 0.0);
+  airtime_s_[station] += seconds;
+}
+
+std::uint64_t Metrics::losses(LossType type) const {
+  return losses_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t Metrics::total_hop_losses() const {
+  return losses_[1] + losses_[2] + losses_[3];
+}
+
+double Metrics::delivery_ratio() const {
+  if (offered_ == 0) return 0.0;
+  return static_cast<double>(delivered_) / static_cast<double>(offered_);
+}
+
+double Metrics::airtime_s(StationId station) const {
+  DRN_EXPECTS(station < airtime_s_.size());
+  return airtime_s_[station];
+}
+
+double Metrics::duty_cycle(StationId station, double duration_s) const {
+  DRN_EXPECTS(duration_s > 0.0);
+  return airtime_s(station) / duration_s;
+}
+
+double Metrics::mean_duty_cycle(double duration_s) const {
+  DRN_EXPECTS(duration_s > 0.0);
+  double total = 0.0;
+  for (double a : airtime_s_) total += a;
+  return total / (duration_s * static_cast<double>(airtime_s_.size()));
+}
+
+}  // namespace drn::sim

@@ -1,0 +1,98 @@
+// Simulation outcome accounting.
+//
+// Losses are classified by the paper's Section 5 taxonomy:
+//   Type 1 — interference from a transmission neither from nor to the
+//            receiver pushed SINR below threshold;
+//   Type 2 — a second transmission addressed to the same receiver did so, or
+//            all despreading channels were busy when the packet arrived;
+//   Type 3 — the receiver's own transmitter was active during the packet.
+// "MAC drop" counts packets a MAC abandoned (queue overflow / retries).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/running_stats.hpp"
+#include "common/types.hpp"
+
+namespace drn::sim {
+
+enum class LossType : std::uint8_t {
+  kNone = 0,
+  kType1 = 1,
+  kType2 = 2,
+  kType3 = 3,
+};
+
+/// Counters and distributions collected over one simulation run.
+class Metrics {
+ public:
+  explicit Metrics(std::size_t stations);
+
+  // -- recording (called by the simulator) --------------------------------
+  void record_offered() { ++offered_; }
+  void record_hop_attempt() { ++hop_attempts_; }
+  void record_hop_success(double sinr_margin_db);
+  void record_hop_loss(LossType type);
+  void record_mac_drop() { ++mac_drops_; }
+  void record_delivery(double delay_s, std::uint32_t hops);
+  void record_airtime(StationId station, double seconds);
+  void record_broadcast() { ++broadcasts_sent_; }
+  void record_broadcast_reception() { ++broadcast_receptions_; }
+
+  // -- results -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t hop_attempts() const { return hop_attempts_; }
+  [[nodiscard]] std::uint64_t hop_successes() const { return hop_successes_; }
+  [[nodiscard]] std::uint64_t losses(LossType type) const;
+  [[nodiscard]] std::uint64_t total_hop_losses() const;
+  [[nodiscard]] std::uint64_t mac_drops() const { return mac_drops_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t broadcasts_sent() const {
+    return broadcasts_sent_;
+  }
+  [[nodiscard]] std::uint64_t broadcast_receptions() const {
+    return broadcast_receptions_;
+  }
+
+  /// Fraction of end-to-end packets delivered, of those offered.
+  [[nodiscard]] double delivery_ratio() const;
+
+  /// End-to-end delay distribution of delivered packets, seconds.
+  [[nodiscard]] const RunningStats& delay() const { return delay_; }
+
+  /// Hop-count distribution of delivered packets.
+  [[nodiscard]] const RunningStats& hops() const { return hops_; }
+
+  /// Distribution of SINR margin (achieved minus required, dB) over
+  /// successful hop receptions.
+  [[nodiscard]] const RunningStats& sinr_margin_db() const {
+    return sinr_margin_db_;
+  }
+
+  /// Transmit airtime accumulated by `station`, seconds.
+  [[nodiscard]] double airtime_s(StationId station) const;
+
+  /// Transmit duty cycle of `station` over a run of `duration_s`.
+  [[nodiscard]] double duty_cycle(StationId station, double duration_s) const;
+
+  /// Mean transmit duty cycle across all stations.
+  [[nodiscard]] double mean_duty_cycle(double duration_s) const;
+
+ private:
+  std::uint64_t offered_ = 0;
+  std::uint64_t hop_attempts_ = 0;
+  std::uint64_t hop_successes_ = 0;
+  std::uint64_t mac_drops_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t broadcasts_sent_ = 0;
+  std::uint64_t broadcast_receptions_ = 0;
+  std::array<std::uint64_t, 4> losses_{};  // indexed by LossType
+  RunningStats delay_;
+  RunningStats hops_;
+  RunningStats sinr_margin_db_;
+  std::vector<double> airtime_s_;
+};
+
+}  // namespace drn::sim

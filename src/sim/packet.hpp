@@ -1,0 +1,41 @@
+// The unit of traffic.
+//
+// The paper's scheme uses small fixed-size packets (one quarter of a slot
+// time, Section 7.2); baselines may use any size. A Packet records enough to
+// measure end-to-end delay and hop counts; payload content is never modelled.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace drn::sim {
+
+/// What a frame is for. The physical layer does not care; MAC protocols
+/// with in-band control traffic (RTS/CTS, beacons) dispatch on it.
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kRts = 1,  // request to send (MACA baseline)
+  kCts = 2,  // clear to send (MACA baseline)
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  PacketId id = 0;
+  StationId source = kNoStation;
+  StationId destination = kNoStation;
+  double size_bits = 0.0;
+  /// Global time the packet entered the network at its source.
+  double created_s = 0.0;
+  /// Hops traversed so far (incremented by the simulator on each delivery).
+  std::uint32_t hop_count = 0;
+  /// Optional payload timestamp: the sender's LOCAL clock reading at
+  /// transmission time. Discovery beacons carry it so receivers can collect
+  /// clock samples (Section 7's rendezvous) over the air.
+  double sender_local_s = 0.0;
+  /// Network-allocation vector for control frames (RTS/CTS): how long
+  /// overhearing stations should defer, seconds.
+  double nav_s = 0.0;
+};
+
+}  // namespace drn::sim

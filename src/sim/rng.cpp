@@ -1,0 +1,5 @@
+#include "common/rng.hpp"
+
+// The generators are header-only (common/rng.hpp); this translation unit
+// anchors them into the sim library so dependants get a consistent home for
+// the module.

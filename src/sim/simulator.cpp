@@ -1,0 +1,431 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+#include "radio/units.hpp"
+
+namespace drn::sim {
+
+namespace {
+
+/// Default router: every destination is assumed to be in direct reach.
+StationId direct_router(StationId /*at*/, StationId dst) { return dst; }
+
+}  // namespace
+
+Simulator::Simulator(radio::PropagationMatrix gains, SimulatorConfig config)
+    : gains_(std::move(gains)),
+      config_(config),
+      metrics_(gains_.size()),
+      macs_(gains_.size()),
+      router_(direct_router),
+      transmitting_count_(gains_.size(), 0),
+      reception_count_(gains_.size(), 0),
+      tx_busy_until_s_(gains_.size(), 0.0) {
+  DRN_EXPECTS(config_.despreading_channels > 0);
+  DRN_EXPECTS(config_.multiuser_subtract_k >= 0);
+  if (config_.thermal_noise_w < 0.0) {
+    config_.thermal_noise_w =
+        radio::thermal_noise_watts(config_.criterion.bandwidth_hz());
+  }
+  Rng master(config_.seed);
+  rngs_.reserve(gains_.size());
+  for (std::size_t i = 0; i < gains_.size(); ++i)
+    rngs_.push_back(master.split(i));
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_mac(StationId station, std::unique_ptr<MacProtocol> mac) {
+  DRN_EXPECTS(station < macs_.size());
+  DRN_EXPECTS(mac != nullptr);
+  DRN_EXPECTS(!started_);
+  macs_[station] = std::move(mac);
+}
+
+void Simulator::set_router(Router router) {
+  DRN_EXPECTS(router != nullptr);
+  router_ = std::move(router);
+}
+
+void Simulator::inject(double time_s, Packet packet) {
+  DRN_EXPECTS(time_s >= now_s_);
+  DRN_EXPECTS(packet.source < gains_.size());
+  DRN_EXPECTS(packet.destination < gains_.size());
+  DRN_EXPECTS(packet.source != packet.destination);
+  DRN_EXPECTS(packet.size_bits > 0.0);
+  Event e;
+  e.time_s = time_s;
+  e.kind = EventKind::kInject;
+  e.packet = packet;
+  queue_.push(e);
+}
+
+template <typename F>
+void Simulator::with_station(StationId station, F&& hook) {
+  DRN_EXPECTS(macs_[station] != nullptr);
+  const StationId saved = current_station_;
+  current_station_ = station;
+  hook(*macs_[station]);
+  current_station_ = saved;
+}
+
+void Simulator::run_until(double t_end_s) {
+  DRN_EXPECTS(t_end_s >= now_s_);
+  if (!started_) {
+    for (StationId s = 0; s < gains_.size(); ++s) {
+      DRN_EXPECTS(macs_[s] != nullptr);  // every station needs a MAC
+      with_station(s, [this](MacProtocol& mac) { mac.on_start(*this); });
+    }
+    started_ = true;
+  }
+  while (!queue_.empty() && queue_.next_time() <= t_end_s) {
+    const Event e = queue_.pop();
+    now_s_ = e.time_s;
+    switch (e.kind) {
+      case EventKind::kTransmitEnd:
+        handle_transmit_end(e.tx_id);
+        break;
+      case EventKind::kTimer:
+        with_station(e.station, [this, &e](MacProtocol& mac) {
+          mac.on_timer(*this, e.cookie);
+        });
+        break;
+      case EventKind::kInject:
+        handle_inject(e.packet);
+        break;
+      case EventKind::kTransmitStart:
+        handle_transmit_start(e.tx_id);
+        break;
+    }
+  }
+  now_s_ = std::max(now_s_, t_end_s);
+}
+
+// ---------------------------------------------------------------------------
+// MacContext services
+
+StationId Simulator::self() const {
+  DRN_EXPECTS(current_station_ != kNoStation);
+  return current_station_;
+}
+
+void Simulator::transmit(const Packet& pkt, StationId to, double power_w,
+                         double start_s, double rate_bps) {
+  const StationId from = self();
+  DRN_EXPECTS(to < gains_.size() || to == kBroadcast);
+  DRN_EXPECTS(to != from);
+  DRN_EXPECTS(power_w > 0.0);
+  DRN_EXPECTS(rate_bps >= 0.0);
+  DRN_EXPECTS(start_s >= now_s_);
+  DRN_EXPECTS(pkt.size_bits > 0.0);
+  // One transmitter per station: transmissions must be serialized by the
+  // MAC. A sub-nanosecond shortfall is floating-point noise from computing
+  // the same instant two ways (e.g. 0.01*i vs a running sum of 0.01) and is
+  // clamped rather than rejected.
+  if (start_s < tx_busy_until_s_[from] &&
+      tx_busy_until_s_[from] - start_s < 1e-9) {
+    start_s = tx_busy_until_s_[from];
+  }
+  DRN_EXPECTS(start_s >= tx_busy_until_s_[from]);
+
+  ActiveTx tx;
+  tx.packet = pkt;
+  tx.from = from;
+  tx.to = to;
+  tx.power_w = power_w;
+  tx.rate_bps =
+      rate_bps > 0.0 ? rate_bps : config_.criterion.data_rate_bps();
+  tx.start_s = start_s;
+  tx.end_s = start_s + pkt.size_bits / tx.rate_bps;
+  tx.required_snr =
+      radio::from_db(config_.criterion.margin_db()) *
+      radio::snr_for_rate_fraction(tx.rate_bps /
+                                   config_.criterion.bandwidth_hz());
+  tx_busy_until_s_[from] = tx.end_s;
+
+  const std::uint64_t id = next_tx_id_++;
+  scheduled_.emplace(id, tx);
+
+  Event start;
+  start.time_s = start_s;
+  start.kind = EventKind::kTransmitStart;
+  start.tx_id = id;
+  queue_.push(start);
+
+  Event end;
+  end.time_s = tx.end_s;
+  end.kind = EventKind::kTransmitEnd;
+  end.tx_id = id;
+  queue_.push(end);
+}
+
+void Simulator::set_timer(double at_s, std::uint64_t cookie) {
+  DRN_EXPECTS(at_s >= now_s_);
+  Event e;
+  e.time_s = at_s;
+  e.kind = EventKind::kTimer;
+  e.station = self();
+  e.cookie = cookie;
+  queue_.push(e);
+}
+
+bool Simulator::transmitting() const { return station_transmitting(self()); }
+
+double Simulator::received_power_w() const {
+  const StationId s = self();
+  double power = config_.thermal_noise_w;
+  for (const auto& [id, tx] : active_)
+    power += gains_.gain(s, tx.from) * tx.power_w;
+  return power;
+}
+
+double Simulator::gain_to(StationId other) const {
+  DRN_EXPECTS(other < gains_.size());
+  return gains_.gain(other, self());
+}
+
+void Simulator::drop(const Packet& pkt) {
+  (void)pkt;
+  metrics_.record_mac_drop();
+}
+
+Rng& Simulator::rng() { return rngs_[self()]; }
+
+// ---------------------------------------------------------------------------
+// Physics
+
+LossType Simulator::classify(const ActiveTx& interferer, StationId rx) {
+  if (interferer.from == rx) return LossType::kType3;
+  if (interferer.to == rx) return LossType::kType2;
+  return LossType::kType1;
+}
+
+void Simulator::fail_reception(Reception& r, const ActiveTx& cause) {
+  if (r.failure == LossType::kNone) r.failure = classify(cause, r.rx);
+}
+
+double Simulator::effective_sinr(const Reception& r) const {
+  if (config_.multiuser_subtract_k == 0 || r.contributions.empty())
+    return r.signal_w / r.interference_w;
+  // Subtract the k strongest interfering contributions (idealised multiuser
+  // detection: the receiver reconstructs and cancels them).
+  std::vector<double> top;
+  top.reserve(r.contributions.size());
+  for (const auto& [id, watts] : r.contributions) top.push_back(watts);
+  const auto k = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.multiuser_subtract_k), top.size());
+  std::partial_sort(top.begin(), top.begin() + static_cast<std::ptrdiff_t>(k),
+                    top.end(), std::greater<>());
+  double cancelled = 0.0;
+  for (std::size_t i = 0; i < k; ++i) cancelled += top[i];
+  const double residual =
+      std::max(config_.thermal_noise_w, r.interference_w - cancelled);
+  return r.signal_w / residual;
+}
+
+Simulator::Reception Simulator::open_reception(std::uint64_t tx_id,
+                                               const ActiveTx& tx,
+                                               StationId rx) {
+  Reception r;
+  r.rx = rx;
+  r.signal_w = gains_.gain(rx, tx.from) * tx.power_w;
+  r.required_snr = tx.required_snr;
+  r.interference_w = config_.thermal_noise_w;
+  const bool track = config_.multiuser_subtract_k > 0;
+  for (const auto& [id, other] : active_) {
+    // The receiver's own transmissions are never part of the SINR sum: they
+    // kill the reception administratively (Type 3) and their contribution
+    // is skipped symmetrically at start, open, and end.
+    if (id == tx_id || other.from == rx) continue;
+    const double watts = gains_.gain(rx, other.from) * other.power_w;
+    r.interference_w += watts;
+    if (track) r.contributions.emplace(id, watts);
+  }
+
+  if (station_transmitting(rx)) {
+    r.failure = LossType::kType3;
+  } else if (reception_count_[rx] >= config_.despreading_channels) {
+    r.failure = LossType::kType2;  // all despreading channels busy
+  } else {
+    r.occupies_channel = true;
+    ++reception_count_[rx];
+  }
+
+  r.min_sinr = effective_sinr(r);
+  if (r.failure == LossType::kNone && r.min_sinr < r.required_snr) {
+    // Below threshold from the first instant: attribute the loss to an
+    // already-active transmission addressed to the same receiver (Type 2) if
+    // one exists, otherwise to third-party interference / sheer lack of
+    // signal (Type 1).
+    r.failure = LossType::kType1;
+    for (const auto& [id, other] : active_) {
+      if (id != tx_id && other.to == rx) {
+        r.failure = LossType::kType2;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+void Simulator::handle_transmit_start(std::uint64_t tx_id) {
+  auto node = scheduled_.extract(tx_id);
+  DRN_EXPECTS(!node.empty());
+  const ActiveTx& tx = active_.emplace(tx_id, node.mapped()).first->second;
+
+  metrics_.record_airtime(tx.from, tx.end_s - tx.start_s);
+  if (tx.to == kBroadcast) {
+    metrics_.record_broadcast();
+  } else {
+    metrics_.record_hop_attempt();
+  }
+  ++transmitting_count_[tx.from];
+
+  if (observer_ != nullptr) {
+    TxEvent ev;
+    ev.tx_id = tx_id;
+    ev.from = tx.from;
+    ev.to = tx.to;
+    ev.power_w = tx.power_w;
+    ev.start_s = tx.start_s;
+    ev.end_s = tx.end_s;
+    ev.rate_bps = tx.rate_bps;
+    ev.packet = tx.packet.id;
+    observer_->on_transmit_start(ev);
+  }
+
+  const bool track = config_.multiuser_subtract_k > 0;
+
+  // The new signal raises the interference of every in-flight reception and
+  // kills any reception in progress at the (now radiating) sender itself.
+  for (auto& [id, receptions] : receptions_) {
+    for (Reception& r : receptions) {
+      if (r.rx == tx.from) {
+        fail_reception(r, tx);  // Type 3: receiver's own transmitter keyed up
+        continue;
+      }
+      const double watts = gains_.gain(r.rx, tx.from) * tx.power_w;
+      r.interference_w += watts;
+      if (track) r.contributions.emplace(tx_id, watts);
+      const double sinr = effective_sinr(r);
+      r.min_sinr = std::min(r.min_sinr, sinr);
+      if (r.failure == LossType::kNone && sinr < r.required_snr)
+        fail_reception(r, tx);
+    }
+  }
+
+  // Open the reception record(s).
+  auto& records = receptions_[tx_id];
+  if (tx.to == kBroadcast) {
+    records.reserve(gains_.size() - 1);
+    for (StationId rx = 0; rx < gains_.size(); ++rx) {
+      if (rx == tx.from) continue;
+      records.push_back(open_reception(tx_id, tx, rx));
+    }
+  } else {
+    records.push_back(open_reception(tx_id, tx, tx.to));
+  }
+}
+
+void Simulator::handle_transmit_end(std::uint64_t tx_id) {
+  auto node = active_.extract(tx_id);
+  DRN_EXPECTS(!node.empty());
+  const ActiveTx tx = node.mapped();
+  --transmitting_count_[tx.from];
+
+  const bool track = config_.multiuser_subtract_k > 0;
+
+  // The signal leaves the air: lower everyone else's interference. Mirror
+  // the start-side bookkeeping exactly: receptions at the sender's own
+  // station never had this contribution added (they die via Type 3), so it
+  // must not be subtracted either.
+  for (auto& [id, receptions] : receptions_) {
+    if (id == tx_id) continue;
+    for (Reception& r : receptions) {
+      if (r.rx == tx.from) continue;
+      r.interference_w = std::max(
+          config_.thermal_noise_w,
+          r.interference_w - gains_.gain(r.rx, tx.from) * tx.power_w);
+      if (track) r.contributions.erase(tx_id);
+    }
+  }
+
+  auto rnode = receptions_.extract(tx_id);
+  DRN_EXPECTS(!rnode.empty());
+  bool any_delivered = false;
+  for (const Reception& r : rnode.mapped()) {
+    if (r.occupies_channel) --reception_count_[r.rx];
+    const bool delivered = r.failure == LossType::kNone;
+    any_delivered |= delivered;
+
+    if (observer_ != nullptr) {
+      RxEvent ev;
+      ev.tx_id = tx_id;
+      ev.rx = r.rx;
+      ev.delivered = delivered;
+      ev.loss = r.failure;
+      ev.min_sinr = r.min_sinr;
+      ev.required_snr = r.required_snr;
+      ev.signal_w = r.signal_w;
+      observer_->on_reception_complete(ev);
+    }
+
+    if (tx.to == kBroadcast) {
+      if (delivered) {
+        metrics_.record_broadcast_reception();
+        with_station(r.rx, [this, &tx, &r](MacProtocol& mac) {
+          mac.on_broadcast_received(*this, tx.packet, tx.from, r.signal_w);
+        });
+      }
+      continue;
+    }
+
+    if (delivered) {
+      metrics_.record_hop_success(
+          radio::to_db(r.min_sinr / r.required_snr));
+      deliver(tx.packet, r.rx);
+    } else {
+      metrics_.record_hop_loss(r.failure);
+    }
+  }
+
+  with_station(tx.from, [this, &tx, any_delivered](MacProtocol& mac) {
+    mac.on_transmit_end(*this, tx.packet, tx.to, any_delivered);
+  });
+}
+
+void Simulator::deliver(const Packet& packet, StationId at) {
+  Packet pkt = packet;
+  ++pkt.hop_count;
+  if (pkt.destination == at) {
+    metrics_.record_delivery(now_s_ - pkt.created_s, pkt.hop_count);
+    return;
+  }
+  enqueue_at(at, pkt);
+}
+
+void Simulator::enqueue_at(StationId station, const Packet& packet) {
+  const StationId next = router_(station, packet.destination);
+  if (next == kNoStation || next == station) {
+    metrics_.record_mac_drop();  // no route
+    return;
+  }
+  DRN_EXPECTS(next < gains_.size());
+  with_station(station, [this, &packet, next](MacProtocol& mac) {
+    mac.on_enqueue(*this, packet, next);
+  });
+}
+
+void Simulator::handle_inject(const Packet& packet) {
+  Packet pkt = packet;
+  if (pkt.id == 0) pkt.id = next_packet_id_++;
+  pkt.created_s = now_s_;
+  pkt.hop_count = 0;
+  metrics_.record_offered();
+  enqueue_at(pkt.source, pkt);
+}
+
+}  // namespace drn::sim

@@ -1,0 +1,201 @@
+// The event-driven radio network simulator.
+//
+// Physics implemented (Sections 3.3-3.4 of the paper):
+//   * propagation is the scalar power-gain matrix H (radio/propagation_matrix);
+//   * the received "noise" for a reception is thermal noise plus the summed
+//     power of every OTHER active transmission at the receiver (Eq. 5-6);
+//   * a packet is decoded iff its SINR stays at or above the threshold for
+//     its rate (Eq. 4) for the packet's entire airtime, the receiver never
+//     radiates during that airtime (Type 3), and a despreading channel was
+//     free when the packet arrived (Type 2 overload otherwise).
+//
+// Interference sums are maintained incrementally: every transmission start or
+// end updates the running interference of each in-flight reception in O(1),
+// so an event costs O(active receptions).
+//
+// Extensions beyond the base model (all off by default / opt-in):
+//   * broadcast transmissions (to = kBroadcast): every station attempts
+//     reception; successes arrive via MacProtocol::on_broadcast_received —
+//     the substrate for over-the-air neighbour discovery;
+//   * per-transmission rates (MacContext::transmit rate_bps): airtime and
+//     required SINR follow the rate, enabling per-link rate selection (the
+//     paper's footnote 9 direction);
+//   * multiuser detection (SimulatorConfig::multiuser_subtract_k): receivers
+//     subtract up to k strongest interfering contributions before the SINR
+//     test (the paper's footnote 2 / Verdu reference).
+//
+// The network layer is built in: on a successful unicast hop the simulator
+// either counts an end-to-end delivery or consults the installed router for
+// the next hop and re-enqueues the packet at the receiving station's MAC —
+// hop-by-hop forwarding exactly as Section 6.2 describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "radio/propagation_matrix.hpp"
+#include "radio/reception.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mac.hpp"
+#include "sim/metrics.hpp"
+#include "sim/observer.hpp"
+#include "sim/packet.hpp"
+
+namespace drn::sim {
+
+/// Chooses the next hop for a packet at `at` destined for `dst`. Returning
+/// kNoStation drops the packet (no route).
+using Router = std::function<StationId(StationId at, StationId dst)>;
+
+struct SimulatorConfig {
+  /// The fixed design rate / bandwidth / margin shared by all stations.
+  radio::ReceptionCriterion criterion;
+  /// Thermal noise floor at every receiver, watts. Negative = derive kTB
+  /// from the criterion's bandwidth.
+  double thermal_noise_w = -1.0;
+  /// Parallel despreading channels per receiver (Section 5: "GPS receivers
+  /// often have six or twelve"; routing keeps direct neighbours <= 8).
+  int despreading_channels = 8;
+  /// Multiuser detection: subtract up to this many strongest interfering
+  /// contributions before the SINR test (0 = off, the paper's base model).
+  int multiuser_subtract_k = 0;
+  /// Master seed for the per-station MAC random streams.
+  std::uint64_t seed = 1;
+};
+
+class Simulator final : public MacContext {
+ public:
+  Simulator(radio::PropagationMatrix gains, SimulatorConfig config);
+  ~Simulator() override;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Installs the MAC driving `station`. Every station needs one before run.
+  void set_mac(StationId station, std::unique_ptr<MacProtocol> mac);
+
+  /// Installs the next-hop chooser. Default: one-hop direct to destination.
+  void set_router(Router router);
+
+  /// Installs a passive observer (not owned; may be null). See observer.hpp.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
+  /// Schedules a packet to enter the network at its source at `time_s`.
+  void inject(double time_s, Packet packet);
+
+  /// Runs until the event queue drains or simulated time exceeds `t_end_s`.
+  /// Calls each MAC's on_start once on the first run() call.
+  void run_until(double t_end_s);
+
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] std::size_t station_count() const { return gains_.size(); }
+  [[nodiscard]] const radio::PropagationMatrix& gains() const { return gains_; }
+  [[nodiscard]] const SimulatorConfig& config() const { return config_; }
+
+  /// Number of transmissions currently in flight (for tests).
+  [[nodiscard]] std::size_t active_transmissions() const {
+    return active_.size();
+  }
+
+  // -- MacContext (the simulator services the MAC whose hook is running) ---
+  [[nodiscard]] double now() const override { return now_s_; }
+  [[nodiscard]] StationId self() const override;
+  using MacContext::transmit;
+  void transmit(const Packet& pkt, StationId to, double power_w,
+                double start_s, double rate_bps) override;
+  void set_timer(double at_s, std::uint64_t cookie) override;
+  [[nodiscard]] bool transmitting() const override;
+  [[nodiscard]] double received_power_w() const override;
+  [[nodiscard]] double gain_to(StationId other) const override;
+  void drop(const Packet& pkt) override;
+  [[nodiscard]] Rng& rng() override;
+
+ private:
+  struct ActiveTx {
+    Packet packet;
+    StationId from = kNoStation;
+    StationId to = kNoStation;  // station id or kBroadcast
+    double power_w = 0.0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double rate_bps = 0.0;
+    double required_snr = 0.0;  // Eq. 4 threshold at this rate
+  };
+
+  struct Reception {
+    StationId rx = kNoStation;
+    double signal_w = 0.0;
+    double interference_w = 0.0;  // thermal + all other active transmissions
+    double min_sinr = 0.0;        // worst (effective) SINR seen so far
+    double required_snr = 0.0;
+    LossType failure = LossType::kNone;
+    bool occupies_channel = false;  // holds one of rx's despreading channels
+    /// Per-interferer contributions, kept only when multiuser detection is
+    /// on (needed to subtract the strongest k).
+    std::map<std::uint64_t, double> contributions;
+  };
+
+  void handle_transmit_start(std::uint64_t tx_id);
+  void handle_transmit_end(std::uint64_t tx_id);
+  void handle_inject(const Packet& packet);
+  void deliver(const Packet& packet, StationId at);
+  void enqueue_at(StationId station, const Packet& packet);
+
+  /// Opens the reception record for `tx` at receiver `rx` (admission rules:
+  /// not transmitting, free despreading channel, initial SINR).
+  [[nodiscard]] Reception open_reception(std::uint64_t tx_id,
+                                         const ActiveTx& tx, StationId rx);
+
+  /// Effective SINR of a reception after optional multiuser subtraction.
+  [[nodiscard]] double effective_sinr(const Reception& r) const;
+
+  /// Marks `r` failed (first failure wins) with the taxonomy type implied by
+  /// the interfering transmission `cause`.
+  void fail_reception(Reception& r, const ActiveTx& cause);
+
+  /// Interference classification for a transmission relative to receiver rx.
+  [[nodiscard]] static LossType classify(const ActiveTx& interferer,
+                                         StationId rx);
+
+  [[nodiscard]] bool station_transmitting(StationId s) const {
+    return transmitting_count_[s] > 0;
+  }
+
+  /// Runs a MAC hook with the context bound to `station`.
+  template <typename F>
+  void with_station(StationId station, F&& hook);
+
+  radio::PropagationMatrix gains_;
+  SimulatorConfig config_;
+  Metrics metrics_;
+  EventQueue queue_;
+  double now_s_ = 0.0;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<MacProtocol>> macs_;
+  std::vector<Rng> rngs_;
+  Router router_;
+  SimObserver* observer_ = nullptr;
+
+  std::uint64_t next_tx_id_ = 1;
+  PacketId next_packet_id_ = 1;
+  // Pending (scheduled but not started) + in-flight transmissions.
+  std::map<std::uint64_t, ActiveTx> scheduled_;
+  std::map<std::uint64_t, ActiveTx> active_;
+  // In-flight receptions, keyed by tx_id (one per receiver for broadcasts).
+  std::map<std::uint64_t, std::vector<Reception>> receptions_;
+  std::vector<int> transmitting_count_;   // per station
+  std::vector<int> reception_count_;      // per station (despreading channels)
+  std::vector<double> tx_busy_until_s_;   // per station: serialization check
+
+  // Context binding for the MAC hook currently executing.
+  StationId current_station_ = kNoStation;
+};
+
+}  // namespace drn::sim

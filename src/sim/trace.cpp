@@ -1,0 +1,61 @@
+#include "sim/trace.hpp"
+
+namespace drn::sim {
+
+void TraceRecorder::on_transmit_start(const TxEvent& tx) {
+  transmissions_.push_back(tx);
+}
+
+void TraceRecorder::on_reception_complete(const RxEvent& rx) {
+  receptions_.push_back(rx);
+}
+
+std::vector<TxEvent> TraceRecorder::transmissions_from(
+    StationId station) const {
+  std::vector<TxEvent> out;
+  for (const auto& tx : transmissions_)
+    if (tx.from == station) out.push_back(tx);
+  return out;
+}
+
+std::vector<RxEvent> TraceRecorder::receptions_at(StationId station) const {
+  std::vector<RxEvent> out;
+  for (const auto& rx : receptions_)
+    if (rx.rx == station) out.push_back(rx);
+  return out;
+}
+
+double TraceRecorder::delivery_fraction() const {
+  if (receptions_.empty()) return 1.0;
+  std::size_t delivered = 0;
+  for (const auto& rx : receptions_)
+    if (rx.delivered) ++delivered;
+  return static_cast<double>(delivered) /
+         static_cast<double>(receptions_.size());
+}
+
+void TraceRecorder::write_transmissions_csv(std::ostream& os) const {
+  os << "tx_id,from,to,power_w,start_s,end_s,rate_bps,packet\n";
+  for (const auto& tx : transmissions_) {
+    os << tx.tx_id << ',' << tx.from << ','
+       << (tx.to == kBroadcast ? -1 : static_cast<long long>(tx.to)) << ','
+       << tx.power_w << ',' << tx.start_s << ',' << tx.end_s << ','
+       << tx.rate_bps << ',' << tx.packet << '\n';
+  }
+}
+
+void TraceRecorder::write_receptions_csv(std::ostream& os) const {
+  os << "tx_id,rx,delivered,loss,min_sinr,required_snr,signal_w\n";
+  for (const auto& rx : receptions_) {
+    os << rx.tx_id << ',' << rx.rx << ',' << (rx.delivered ? 1 : 0) << ','
+       << static_cast<int>(rx.loss) << ',' << rx.min_sinr << ','
+       << rx.required_snr << ',' << rx.signal_w << '\n';
+  }
+}
+
+void TraceRecorder::clear() {
+  transmissions_.clear();
+  receptions_.clear();
+}
+
+}  // namespace drn::sim

@@ -1,0 +1,49 @@
+// A recording observer: captures every transmission and reception outcome
+// for offline analysis, assertions, or CSV export. Plug into
+// Simulator::set_observer.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace drn::sim {
+
+class TraceRecorder final : public SimObserver {
+ public:
+  void on_transmit_start(const TxEvent& tx) override;
+  void on_reception_complete(const RxEvent& rx) override;
+
+  [[nodiscard]] const std::vector<TxEvent>& transmissions() const {
+    return transmissions_;
+  }
+  [[nodiscard]] const std::vector<RxEvent>& receptions() const {
+    return receptions_;
+  }
+
+  /// Transmissions radiated by `station`.
+  [[nodiscard]] std::vector<TxEvent> transmissions_from(StationId station) const;
+
+  /// Reception outcomes at `station`.
+  [[nodiscard]] std::vector<RxEvent> receptions_at(StationId station) const;
+
+  /// Fraction of receptions that were delivered (1.0 when empty).
+  [[nodiscard]] double delivery_fraction() const;
+
+  /// Writes the transmissions as CSV:
+  /// tx_id,from,to,power_w,start_s,end_s,rate_bps,packet.
+  void write_transmissions_csv(std::ostream& os) const;
+
+  /// Writes the receptions as CSV:
+  /// tx_id,rx,delivered,loss,min_sinr,required_snr,signal_w.
+  void write_receptions_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::vector<TxEvent> transmissions_;
+  std::vector<RxEvent> receptions_;
+};
+
+}  // namespace drn::sim

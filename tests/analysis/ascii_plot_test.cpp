@@ -1,0 +1,63 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/expects.hpp"
+
+namespace drn::analysis {
+namespace {
+
+TEST(AsciiPlot, RendersGlyphsAndLegend) {
+  AsciiPlot plot(40, 10);
+  plot.add({"rising", '*', {0.0, 1.0, 2.0}, {0.0, 1.0, 2.0}});
+  plot.add({"falling", 'o', {0.0, 1.0, 2.0}, {2.0, 1.0, 0.0}});
+  plot.x_label("x");
+  plot.y_label("y");
+  std::ostringstream os;
+  plot.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("* = rising"), std::string::npos);
+  EXPECT_NE(out.find("o = falling"), std::string::npos);
+  EXPECT_NE(out.find("+----"), std::string::npos);  // x axis
+}
+
+TEST(AsciiPlot, CornersLandAtExtremes) {
+  AsciiPlot plot(20, 5);
+  plot.add({"s", '#', {0.0, 10.0}, {0.0, 5.0}});
+  std::ostringstream os;
+  plot.print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  // First grid row holds the max-y point (right edge), last grid row the
+  // min-y point (left edge).
+  EXPECT_EQ(lines[0].back(), '#');
+  EXPECT_EQ(lines[4][10], '#');  // after the 10-char tick gutter: column 0
+}
+
+TEST(AsciiPlot, DegenerateRangesHandled) {
+  AsciiPlot plot(20, 5);
+  plot.add({"flat", '*', {1.0, 2.0, 3.0}, {7.0, 7.0, 7.0}});
+  std::ostringstream os;
+  plot.print(os);  // must not divide by zero
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, Contracts) {
+  EXPECT_THROW(AsciiPlot(5, 5), ContractViolation);
+  EXPECT_THROW(AsciiPlot(20, 2), ContractViolation);
+  AsciiPlot plot(20, 5);
+  EXPECT_THROW(plot.add({"bad", '*', {}, {}}), ContractViolation);
+  EXPECT_THROW(plot.add({"bad", '*', {1.0}, {1.0, 2.0}}), ContractViolation);
+  std::ostringstream os;
+  EXPECT_THROW(plot.print(os), ContractViolation);  // no series
+}
+
+}  // namespace
+}  // namespace drn::analysis

@@ -1,0 +1,86 @@
+#include "analysis/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/schedule_math.hpp"
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn::analysis {
+namespace {
+
+TEST(DelayModel, GeometricPmfSumsToOne) {
+  for (double p : {0.2, 0.3, 0.5}) {
+    const auto pmf = geometric_wait_pmf(p, 40);
+    double sum = 0.0;
+    for (double x : pmf) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-12) << p;
+  }
+}
+
+TEST(DelayModel, GeometricPmfMatchesWaitPmf) {
+  const auto pmf = geometric_wait_pmf(0.3, 100);
+  for (unsigned k = 0; k < 50; ++k)
+    EXPECT_NEAR(pmf[k], wait_pmf(0.3, k), 1e-12);
+}
+
+TEST(DelayModel, TailFoldsIntoLastBin) {
+  const auto pmf = geometric_wait_pmf(0.3, 3);
+  // Last bin carries P(wait >= 2) = (1-q)^2.
+  const double q = access_probability(0.3);
+  EXPECT_NEAR(pmf[2], (1.0 - q) * (1.0 - q), 1e-12);
+}
+
+TEST(DelayModel, BinningFractions) {
+  const std::vector<double> waits = {0.2, 0.9, 1.1, 2.7, 9.9, 50.0};
+  const auto f = binned_wait_fractions(waits, 5);
+  EXPECT_NEAR(f[0], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(f[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(f[2], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(f[4], 2.0 / 6.0, 1e-12);  // 9.9 and 50 fold into the last bin
+}
+
+TEST(DelayModel, TotalVariation) {
+  const std::vector<double> a = {0.5, 0.5, 0.0};
+  const std::vector<double> b = {0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(total_variation(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation(a, b), 0.5);
+  const std::vector<double> c = {1.0, 0.0, 0.0};
+  const std::vector<double> d = {0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(total_variation(c, d), 1.0);
+}
+
+TEST(DelayModel, SampledGeometricMatchesModel) {
+  // Draw geometric waits and verify the pipeline closes on itself.
+  Rng rng(5);
+  const double p = 0.3;
+  const double q = access_probability(p);
+  std::vector<double> waits;
+  for (int i = 0; i < 50000; ++i) {
+    double w = 0.0;
+    while (!rng.bernoulli(q)) w += 1.0;
+    waits.push_back(w + rng.uniform());  // fractional phase inside the slot
+  }
+  const auto measured = binned_wait_fractions(waits, 30);
+  const auto model = geometric_wait_pmf(p, 30);
+  EXPECT_LT(total_variation(measured, model), 0.02);
+  EXPECT_NEAR(binned_mean(measured) + 0.5, expected_wait_slots(p), 0.2);
+}
+
+TEST(DelayModel, Contracts) {
+  EXPECT_THROW((void)geometric_wait_pmf(0.3, 0), ContractViolation);
+  EXPECT_THROW((void)geometric_wait_pmf(0.0, 5), ContractViolation);
+  EXPECT_THROW((void)binned_wait_fractions({}, 5), ContractViolation);
+  const std::vector<double> neg = {-1.0};
+  EXPECT_THROW((void)binned_wait_fractions(neg, 5), ContractViolation);
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {0.5, 0.5};
+  EXPECT_THROW((void)total_variation(a, b), ContractViolation);
+  EXPECT_THROW((void)total_variation({}, {}), ContractViolation);
+  EXPECT_THROW((void)binned_mean({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::analysis

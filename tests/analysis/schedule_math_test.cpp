@@ -1,0 +1,91 @@
+#include "analysis/schedule_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+
+namespace drn::analysis {
+namespace {
+
+TEST(ScheduleMath, AccessProbability) {
+  EXPECT_DOUBLE_EQ(access_probability(0.3), 0.21);
+  EXPECT_DOUBLE_EQ(access_probability(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(access_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(access_probability(1.0), 0.0);
+}
+
+TEST(ScheduleMath, PaperExpectedWait) {
+  // Section 7.2: "the expected number of slots until the packet can be sent
+  // is 1/(p(1-p)), which for p = 0.3 is 4.76 slot times."
+  EXPECT_NEAR(expected_wait_slots(0.3), 4.7619, 1e-3);
+  EXPECT_DOUBLE_EQ(expected_wait_slots(0.5), 4.0);
+}
+
+TEST(ScheduleMath, WaitPmfIsGeometricAndNormalised) {
+  const double p = 0.3;
+  double total = 0.0;
+  double expectation = 0.0;
+  for (unsigned k = 0; k < 400; ++k) {
+    const double pk = wait_pmf(p, k);
+    total += pk;
+    expectation += k * pk;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Mean of the geometric (counting from 0) is (1-q)/q; the paper's "slots
+  // until sendable" counts the success slot too: 1/q.
+  EXPECT_NEAR(expectation + 1.0, expected_wait_slots(p), 1e-6);
+}
+
+TEST(ScheduleMath, PairwiseOptimumIsHalf) {
+  EXPECT_DOUBLE_EQ(pairwise_optimal_receive_fraction(), 0.5);
+  for (double p : {0.1, 0.3, 0.45, 0.6, 0.9})
+    EXPECT_LE(access_probability(p), access_probability(0.5));
+}
+
+TEST(ScheduleMath, QuarterSlotPackingIs75Percent) {
+  // Section 7.2: quarter-slot packets capture "75% of the total time when
+  // transmission is possible".
+  EXPECT_NEAR(packing_efficiency(0.25), 0.75, 1e-12);
+}
+
+TEST(ScheduleMath, PackingEfficiencyLimits) {
+  // Whole-slot packets: a packet fits only if the overlap is the full slot
+  // (probability 0) -> efficiency 0.
+  EXPECT_NEAR(packing_efficiency(1.0), 0.0, 1e-12);
+  // Tiny packets waste almost nothing.
+  EXPECT_GT(packing_efficiency(0.01), 0.98);
+  // Monotone improvement as packets shrink.
+  EXPECT_GT(packing_efficiency(0.125), packing_efficiency(0.25));
+  EXPECT_GT(packing_efficiency(0.25), packing_efficiency(0.5));
+}
+
+TEST(ScheduleMath, PackingMatchesMonteCarlo) {
+  // Direct simulation of E[floor(U/f)]*f / E[U].
+  for (double f : {0.1, 0.25, 0.5}) {
+    double usable = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      const double overlap = (i + 0.5) / n;  // stratified U ~ Uniform(0,1)
+      usable += static_cast<double>(static_cast<int>(overlap / f)) * f;
+    }
+    EXPECT_NEAR(usable / n / 0.5, packing_efficiency(f), 1e-3) << f;
+  }
+}
+
+TEST(ScheduleMath, PaperUsableFractionFifteenPercent) {
+  // 21% raw per-neighbour availability x 75% packing ~ 15.75%.
+  EXPECT_NEAR(usable_time_fraction(0.3, 0.25), 0.1575, 1e-4);
+}
+
+TEST(ScheduleMath, Contracts) {
+  EXPECT_THROW((void)access_probability(-0.1), ContractViolation);
+  EXPECT_THROW((void)access_probability(1.1), ContractViolation);
+  EXPECT_THROW((void)expected_wait_slots(0.0), ContractViolation);
+  EXPECT_THROW((void)expected_wait_slots(1.0), ContractViolation);
+  EXPECT_THROW((void)wait_pmf(0.0, 1), ContractViolation);
+  EXPECT_THROW((void)packing_efficiency(0.0), ContractViolation);
+  EXPECT_THROW((void)packing_efficiency(1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::analysis

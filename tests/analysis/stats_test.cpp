@@ -1,0 +1,95 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn::analysis {
+namespace {
+
+TEST(Histogram, BinningBasics) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  h.add(1.0);  // exactly the upper edge clamps to the last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(2.0, 6.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 5.5);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, Contracts) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), ContractViolation);
+  EXPECT_THROW((void)h.bin_center(2), ContractViolation);
+}
+
+TEST(Percentile, OrderStatistics) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);  // interpolated
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.0);
+}
+
+TEST(Percentile, UniformSampleQuartiles) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.uniform());
+  EXPECT_NEAR(percentile(v, 25.0), 0.25, 0.01);
+  EXPECT_NEAR(percentile(v, 75.0), 0.75, 0.01);
+}
+
+TEST(Percentile, Contracts) {
+  EXPECT_THROW((void)percentile({}, 50.0), ContractViolation);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), ContractViolation);
+  EXPECT_THROW((void)percentile(v, 101.0), ContractViolation);
+}
+
+TEST(Mean, Basics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_THROW((void)mean({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::analysis

@@ -1,0 +1,56 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace drn::analysis {
+namespace {
+
+TEST(Table, PrintsHeadersRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h", "x"});
+  t.add_row({"longcell", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::string rule;
+  std::getline(is, header);
+  std::getline(is, rule);
+  // Rule under the first column spans "longcell" (8 dashes).
+  EXPECT_NE(rule.find("--------"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace drn::analysis

@@ -1,0 +1,67 @@
+#include "baselines/aloha.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "helpers/test_macs.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace drn::baselines {
+namespace {
+
+radio::ReceptionCriterion criterion() {
+  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+}
+
+sim::SimulatorConfig config() {
+  sim::SimulatorConfig cfg{criterion()};
+  cfg.thermal_noise_w = 1.0e-15;
+  return cfg;
+}
+
+TEST(PureAloha, TransmitsImmediatelyWhenIdle) {
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  sim::Simulator sim(m, config());
+  sim.set_mac(0, std::make_unique<PureAloha>(ContentionConfig{}));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim::Packet p;
+  p.source = 0;
+  p.destination = 1;
+  p.size_bits = 1.0e4;
+  sim.inject(0.25, p);
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.metrics().delivered(), 1u);
+  // No access delay: exactly one 10 ms airtime after the 0.25 s injection.
+  EXPECT_NEAR(sim.metrics().delay().mean(), 0.01, 1e-9);
+}
+
+TEST(PureAloha, CollapsesUnderSymmetricCrossTraffic) {
+  // Two stations saturating each other with 0 dB required SINR: whenever
+  // transmissions overlap at a receiver (or the receiver is itself talking)
+  // packets die — the paper's motivating Type 2/3 failures. The genie ack
+  // retries mask some of it, but throughput stays far below the clean
+  // serial bound while the scheduled scheme (same load, different MAC)
+  // delivers everything; see integration/baseline_comparison_test.cpp.
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  sim::Simulator sim(m, config());
+  ContentionConfig cfg;
+  cfg.max_retries = 2;
+  cfg.backoff_mean_s = 0.005;
+  sim.set_mac(0, std::make_unique<PureAloha>(cfg));
+  sim.set_mac(1, std::make_unique<PureAloha>(cfg));
+  Rng rng(31);
+  for (const auto& inj : sim::poisson_traffic(
+           120.0, 2.0, 1.0e4, sim::uniform_pairs(2), rng))
+    sim.inject(inj.time_s, inj.packet);
+  sim.run_until(30.0);
+  EXPECT_GT(sim.metrics().total_hop_losses(), 0u);
+  EXPECT_LT(sim.metrics().delivery_ratio(), 0.9);
+  EXPECT_GT(sim.metrics().losses(sim::LossType::kType3), 0u);
+}
+
+}  // namespace
+}  // namespace drn::baselines

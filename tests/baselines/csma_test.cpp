@@ -1,0 +1,123 @@
+#include "baselines/csma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/expects.hpp"
+#include "helpers/test_macs.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::baselines {
+namespace {
+
+radio::ReceptionCriterion criterion() {
+  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+}
+
+sim::SimulatorConfig config() {
+  sim::SimulatorConfig cfg{criterion()};
+  cfg.thermal_noise_w = 1.0e-15;
+  return cfg;
+}
+
+sim::Packet packet(StationId src, StationId dst, double bits = 1.0e4) {
+  sim::Packet p;
+  p.source = src;
+  p.destination = dst;
+  p.size_bits = bits;
+  return p;
+}
+
+TEST(Csma, TransmitsOnIdleChannel) {
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  sim::Simulator sim(m, config());
+  sim.set_mac(0, std::make_unique<CsmaMac>(ContentionConfig{}, 1.0e-6));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim.inject(0.0, packet(0, 1));
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.metrics().delivered(), 1u);
+  EXPECT_NEAR(sim.metrics().delay().mean(), 0.01, 1e-9);
+}
+
+TEST(Csma, DefersWhileChannelBusyThenSends) {
+  // A loud scripted station occupies the channel 0-50 ms; CSMA hears it
+  // (gain 1 to the sender) and defers, transmitting only after it ends.
+  radio::PropagationMatrix m(3);
+  m.set_gain(0, 2, 1.0);   // sensing path: 0 hears 2
+  m.set_gain(0, 1, 1.0);   // data path
+  m.set_gain(1, 2, 1e-9);  // receiver barely hears the blocker
+  sim::Simulator sim(m, config());
+  ContentionConfig cfg;
+  cfg.backoff_mean_s = 0.004;
+  sim.set_mac(0, std::make_unique<CsmaMac>(cfg, 1.0e-3));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim.set_mac(2, std::make_unique<drn::testing::ScriptMac>(
+                     std::vector<drn::testing::ScriptedTx>{
+                         {0.0, 1, 1.0, 5.0e4}}));
+  sim.inject(0.001, packet(0, 1));
+  sim.run_until(5.0);
+  EXPECT_EQ(sim.metrics().delivered(), 2u);  // blocker's packet + ours
+  // Our packet could not start before the blocker ended at t=0.05.
+  // Delay = (start - 0.001) + 0.01 airtime > 0.059.
+  EXPECT_GT(sim.metrics().delay().max(), 0.059);
+}
+
+TEST(Csma, HiddenTerminalStillCollides) {
+  // The paper's core argument against carrier sense: sensing at the SENDER
+  // says nothing about the RECEIVER. Stations 0 and 2 cannot hear each
+  // other but both reach receiver 1 -> simultaneous transmissions collide
+  // despite CSMA.
+  radio::PropagationMatrix m(3);
+  m.set_gain(0, 1, 1.0);
+  m.set_gain(2, 1, 1.0);
+  m.set_gain(0, 2, 1.0e-12);  // hidden from each other
+  sim::Simulator sim(m, config());
+  ContentionConfig cfg;
+  cfg.max_retries = 0;
+  sim.set_mac(0, std::make_unique<CsmaMac>(cfg, 1.0e-3));
+  sim.set_mac(2, std::make_unique<CsmaMac>(cfg, 1.0e-3));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim.inject(0.0, packet(0, 1));
+  sim.inject(0.001, packet(2, 1));  // overlaps; sensing shows idle
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.metrics().delivered(), 0u);
+  EXPECT_EQ(sim.metrics().losses(sim::LossType::kType2), 2u);
+}
+
+TEST(Csma, DinOfDistantStationsBlocksLowThreshold) {
+  // Section 4's consequence for CSMA: the aggregate background din keeps
+  // the channel "busy" forever if the sense threshold is set below it, so
+  // the MAC starves even though its link would work fine.
+  radio::PropagationMatrix m(3);
+  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 2, 0.01);  // distant chatterer heard at -20 dB
+  m.set_gain(1, 2, 1e-9);
+  sim::Simulator sim(m, config());
+  ContentionConfig cfg;
+  cfg.max_retries = 0;
+  // Threshold below the chatterer's 0.01 W contribution: never clears.
+  sim.set_mac(0, std::make_unique<CsmaMac>(cfg, 1.0e-3));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  // Chatterer transmits continuously (back-to-back packets).
+  std::vector<drn::testing::ScriptedTx> script;
+  for (int i = 0; i < 100; ++i)
+    script.push_back({0.01 * i, 1, 1.0, 1.0e4});
+  sim.set_mac(2, std::make_unique<drn::testing::ScriptMac>(script));
+  // Inject mid-packet so the din is already on the air at the first sense.
+  sim.inject(0.005, packet(0, 1));
+  sim.run_until(1.0);
+  // The chatterer's stream went through fine (its last packet may end one
+  // fp-ulp past the horizon), but OUR station never transmitted at all: it
+  // was still deferring when the run ended.
+  EXPECT_GE(sim.metrics().delivered(), 99u);
+  EXPECT_DOUBLE_EQ(sim.metrics().airtime_s(0), 0.0);
+}
+
+TEST(Csma, RejectsNonPositiveThreshold) {
+  EXPECT_THROW(CsmaMac(ContentionConfig{}, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::baselines

@@ -1,0 +1,100 @@
+#include "baselines/slotted_aloha.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/expects.hpp"
+#include "helpers/test_macs.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::baselines {
+namespace {
+
+radio::ReceptionCriterion criterion() {
+  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+}
+
+sim::SimulatorConfig config() {
+  sim::SimulatorConfig cfg{criterion()};
+  cfg.thermal_noise_w = 1.0e-15;
+  return cfg;
+}
+
+sim::Packet packet(StationId src, StationId dst) {
+  sim::Packet p;
+  p.source = src;
+  p.destination = dst;
+  p.size_bits = 1.0e4;  // 10 ms = one slot
+  return p;
+}
+
+TEST(SlottedAloha, DefersToNextSlotBoundary) {
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  sim::Simulator sim(m, config());
+  sim.set_mac(0, std::make_unique<SlottedAloha>(ContentionConfig{}, 0.01));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim.inject(0.0042, packet(0, 1));  // mid-slot arrival
+  sim.run_until(1.0);
+  ASSERT_EQ(sim.metrics().delivered(), 1u);
+  // Waited until 0.01, then 10 ms airtime: delay = (0.01 - 0.0042) + 0.01.
+  EXPECT_NEAR(sim.metrics().delay().mean(), 0.0158, 1e-9);
+}
+
+TEST(SlottedAloha, ArrivalOnBoundaryGoesImmediately) {
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  sim::Simulator sim(m, config());
+  sim.set_mac(0, std::make_unique<SlottedAloha>(ContentionConfig{}, 0.01));
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim.inject(0.02, packet(0, 1));
+  sim.run_until(1.0);
+  ASSERT_EQ(sim.metrics().delivered(), 1u);
+  EXPECT_NEAR(sim.metrics().delay().mean(), 0.01, 1e-9);
+}
+
+TEST(SlottedAloha, SynchronisedCollisionsAreTotal) {
+  // The classic slotted-ALOHA pathology: two arrivals in the same slot both
+  // transmit at the next boundary and collide completely (Type 2 at the
+  // shared receiver).
+  radio::PropagationMatrix m(3);
+  m.set_gain(2, 0, 1.0);
+  m.set_gain(2, 1, 1.0);
+  m.set_gain(0, 1, 1e-9);
+  sim::Simulator sim(m, config());
+  ContentionConfig cfg;
+  cfg.max_retries = 0;  // count only the first, synchronised attempt
+  sim.set_mac(0, std::make_unique<SlottedAloha>(cfg, 0.01));
+  sim.set_mac(1, std::make_unique<SlottedAloha>(cfg, 0.01));
+  sim.set_mac(2, std::make_unique<drn::testing::IdleMac>());
+  sim.inject(0.001, packet(0, 2));
+  sim.inject(0.002, packet(1, 2));
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.metrics().delivered(), 0u);
+  EXPECT_EQ(sim.metrics().losses(sim::LossType::kType2), 2u);
+}
+
+TEST(SlottedAloha, RandomisedRetriesResolveTheCollision) {
+  radio::PropagationMatrix m(3);
+  m.set_gain(2, 0, 1.0);
+  m.set_gain(2, 1, 1.0);
+  m.set_gain(0, 1, 1e-9);
+  sim::Simulator sim(m, config());
+  ContentionConfig cfg;
+  cfg.backoff_mean_s = 0.02;
+  sim.set_mac(0, std::make_unique<SlottedAloha>(cfg, 0.01));
+  sim.set_mac(1, std::make_unique<SlottedAloha>(cfg, 0.01));
+  sim.set_mac(2, std::make_unique<drn::testing::IdleMac>());
+  sim.inject(0.001, packet(0, 2));
+  sim.inject(0.002, packet(1, 2));
+  sim.run_until(30.0);
+  EXPECT_EQ(sim.metrics().delivered(), 2u);
+}
+
+TEST(SlottedAloha, RejectsNonPositiveSlot) {
+  EXPECT_THROW(SlottedAloha(ContentionConfig{}, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::baselines

@@ -1,0 +1,41 @@
+#include "common/expects.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace drn {
+namespace {
+
+int checked_increment(int x) {
+  DRN_EXPECTS(x >= 0);
+  const int y = x + 1;
+  DRN_ENSURES(y > x);
+  return y;
+}
+
+TEST(Expects, PassingCheckIsSilent) { EXPECT_EQ(checked_increment(3), 4); }
+
+TEST(Expects, FailingPreconditionThrows) {
+  EXPECT_THROW(checked_increment(-1), ContractViolation);
+}
+
+TEST(Expects, MessageNamesExpressionAndLocation) {
+  try {
+    checked_increment(-5);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("x >= 0"), std::string::npos);
+    EXPECT_NE(what.find("expects_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Expects, ContractViolationIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(checked_increment(-1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace drn

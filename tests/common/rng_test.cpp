@@ -1,0 +1,175 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace drn {
+namespace {
+
+TEST(SplitMix, KnownSequenceAdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64_next(state);
+  const std::uint64_t b = splitmix64_next(state);
+  EXPECT_NE(a, b);
+  // Reference value for splitmix64 with initial state 0 (first output).
+  EXPECT_EQ(a, 0xe220a8397b1dcdafULL);
+}
+
+TEST(HashU64, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(hash_u64(1, 42), hash_u64(1, 42));
+  EXPECT_NE(hash_u64(1, 42), hash_u64(2, 42));
+  EXPECT_NE(hash_u64(1, 42), hash_u64(1, 43));
+}
+
+TEST(HashU64, UniformBitsRoughly) {
+  // Mean of hashes scaled to [0,1) should be near 1/2.
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(hash_u64(99, static_cast<std::uint64_t>(i)) >> 11) *
+           0x1.0p-53;
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ReproducibleAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(r());
+  EXPECT_GT(seen.size(), 30u);  // not stuck
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+  EXPECT_THROW((void)r.uniform(2.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng r(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+  EXPECT_THROW((void)r.uniform_index(0), ContractViolation);
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng r(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_index(1), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW((void)r.bernoulli(1.5), ContractViolation);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  Rng r(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+  EXPECT_THROW((void)r.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng r(12);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GoldenValuesLockCrossPlatformDeterminism) {
+  // These values pin the generator output forever: any platform, compiler,
+  // or refactor that changes them breaks reproducibility of every seeded
+  // simulation in the repository. (Self-golden: captured from this
+  // implementation, which matches the published xoshiro256** update rule.)
+  Rng r(12345);
+  EXPECT_EQ(r(), 0xbe6a36374160d49bULL);
+  EXPECT_EQ(r(), 0x214aaa0637a688c6ULL);
+  EXPECT_EQ(r(), 0xf69d16de9954d388ULL);
+  EXPECT_EQ(r(), 0x0c60048c4e96e033ULL);
+  std::uint64_t s = 42;
+  EXPECT_EQ(splitmix64_next(s), 0xbdd732262feb6e95ULL);
+  EXPECT_EQ(hash_u64(7, 99), 0xe5e7a27c488b4d8cULL);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStreams) {
+  Rng master(42);
+  Rng s1 = master.split(1);
+  Rng s2 = master.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s1() == s2()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace drn

@@ -1,0 +1,71 @@
+#include "common/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn {
+namespace {
+
+TEST(RunningStats, EmptyThrowsOnQueries) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW((void)s.mean(), ContractViolation);
+  EXPECT_THROW((void)s.min(), ContractViolation);
+  EXPECT_THROW((void)s.max(), ContractViolation);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_THROW((void)s.variance(), ContractViolation);  // needs two samples
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sum of squared deviations = 32; unbiased variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesTwoPassComputation) {
+  Rng rng(99);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), var, 1e-8);
+}
+
+TEST(RunningStats, StableUnderLargeOffset) {
+  // Welford should not lose the variance of tiny fluctuations around a large
+  // mean.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1.0e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  // Unbiased: sum of squared deviations 250 over n-1 = 999.
+  EXPECT_NEAR(s.variance(), 250.0 / 999.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace drn

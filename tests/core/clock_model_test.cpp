@@ -1,0 +1,101 @@
+#include "core/clock_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+namespace {
+
+TEST(ClockModel, DefaultIsIdentity) {
+  const ClockModel m;
+  EXPECT_DOUBLE_EQ(m.map(7.5), 7.5);
+  EXPECT_DOUBLE_EQ(m.inverse(7.5), 7.5);
+  EXPECT_DOUBLE_EQ(m.max_residual_s(), 0.0);
+}
+
+TEST(ClockModel, MapInverseRoundTrip) {
+  const ClockModel m(3.0, 1.0001);
+  for (double t : {-50.0, 0.0, 123.456})
+    EXPECT_NEAR(m.inverse(m.map(t)), t, 1e-9);
+}
+
+TEST(ClockModel, ExactMatchesTrueClocks) {
+  const StationClock mine(10.0, 1.0 + 5e-6);
+  const StationClock theirs(-3.0, 1.0 - 8e-6);
+  const ClockModel m = ClockModel::exact(mine, theirs);
+  for (double g : {0.0, 100.0, 5000.0}) {
+    EXPECT_NEAR(m.map(mine.local(g)), theirs.local(g), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(m.max_residual_s(), 0.0);
+}
+
+TEST(ClockModel, SingleSamplePinsOffsetAssumesUnitRate) {
+  const ClockModel m = ClockModel::fit(std::vector<ClockSample>{{100.0, 250.0}});
+  EXPECT_DOUBLE_EQ(m.b(), 1.0);
+  EXPECT_DOUBLE_EQ(m.map(100.0), 250.0);
+  EXPECT_DOUBLE_EQ(m.map(101.0), 251.0);
+}
+
+TEST(ClockModel, TwoSamplesRecoverExactAffine) {
+  // theirs = 5 + 1.00002 * mine.
+  std::vector<ClockSample> samples = {{0.0, 5.0}, {1000.0, 5.0 + 1000.2 * 0.1}};
+  samples[1] = {1000.0, 5.0 + 1000.0 * 1.00002};
+  const ClockModel m = ClockModel::fit(samples);
+  EXPECT_NEAR(m.a(), 5.0, 1e-9);
+  EXPECT_NEAR(m.b(), 1.00002, 1e-12);
+  EXPECT_NEAR(m.max_residual_s(), 0.0, 1e-9);
+}
+
+TEST(ClockModel, NoisyFitResidualBoundsPredictionError) {
+  // Fit over noisy rendezvous; the reported residual must bound the in-
+  // sample error, and prediction error shortly after stays comparable.
+  const StationClock mine(50.0, 1.0 + 12e-6);
+  const StationClock theirs(-20.0, 1.0 - 7e-6);
+  Rng rng(9);
+  std::vector<double> times;
+  for (int i = 0; i < 8; ++i) times.push_back(-120.0 + 15.0 * i);
+  const auto samples = rendezvous(mine, theirs, times, 1.0e-6, rng);
+  const ClockModel m = ClockModel::fit(samples);
+  for (const auto& s : samples)
+    EXPECT_LE(std::abs(m.map(s.mine_s) - s.theirs_s),
+              m.max_residual_s() + 1e-15);
+  // Predict 60 s of global time ahead of the last rendezvous.
+  const double g = 60.0;
+  const double err = std::abs(m.map(mine.local(g)) - theirs.local(g));
+  EXPECT_LT(err, 50.0e-6);  // comfortably under a 1% guard of a 10 ms slot
+}
+
+TEST(ClockModel, RendezvousNoiseFreeSamplesAreExact) {
+  const StationClock mine(1.0, 1.0);
+  const StationClock theirs(2.0, 1.0);
+  Rng rng(1);
+  const std::vector<double> times = {0.0, 10.0, 20.0};
+  const auto samples = rendezvous(mine, theirs, times, 0.0, rng);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].mine_s, mine.local(times[i]));
+    EXPECT_DOUBLE_EQ(samples[i].theirs_s, theirs.local(times[i]));
+  }
+}
+
+TEST(ClockModel, FitContracts) {
+  EXPECT_THROW((void)ClockModel::fit({}), ContractViolation);
+  // Non-increasing sample times.
+  std::vector<ClockSample> bad = {{10.0, 10.0}, {5.0, 5.0}, {20.0, 20.0}};
+  EXPECT_THROW((void)ClockModel::fit(bad), ContractViolation);
+  // Duplicate x values (sxx == 0 after the n==1 shortcut is bypassed).
+  std::vector<ClockSample> dup = {{10.0, 10.0}, {10.0, 11.0}};
+  EXPECT_THROW((void)ClockModel::fit(dup), ContractViolation);
+}
+
+TEST(ClockModel, ConstructorContracts) {
+  EXPECT_THROW(ClockModel(0.0, 0.0), ContractViolation);
+  EXPECT_THROW(ClockModel(0.0, -1.0), ContractViolation);
+  EXPECT_THROW(ClockModel(0.0, 1.0, -0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::core

@@ -1,0 +1,61 @@
+#include "core/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+namespace {
+
+TEST(SlotHash, Deterministic) {
+  EXPECT_EQ(slot_hash(1, 100), slot_hash(1, 100));
+}
+
+TEST(SlotHash, SeedAndSlotSensitivity) {
+  EXPECT_NE(slot_hash(1, 100), slot_hash(2, 100));
+  EXPECT_NE(slot_hash(1, 100), slot_hash(1, 101));
+}
+
+TEST(SlotHash, NegativeSlotsAreValid) {
+  // Clocks start at random offsets, so local time (and slot indices) can be
+  // negative; the hash must be defined there and differ from positives.
+  EXPECT_EQ(slot_hash(7, -5), slot_hash(7, -5));
+  EXPECT_NE(slot_hash(7, -5), slot_hash(7, 5));
+}
+
+TEST(SlotHash, ConsecutiveSlotsDecorrelated) {
+  // Over many consecutive slots the fraction below a p-threshold converges
+  // to p — no streaky correlation between adjacent indices.
+  const std::uint64_t threshold = receive_threshold(0.3);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (slot_hash(42, i) < threshold) ++below;
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.3, 0.01);
+}
+
+TEST(ReceiveThreshold, Endpoints) {
+  EXPECT_EQ(receive_threshold(0.0), 0u);
+  EXPECT_EQ(receive_threshold(1.0), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ReceiveThreshold, Monotone) {
+  EXPECT_LT(receive_threshold(0.1), receive_threshold(0.2));
+  EXPECT_LT(receive_threshold(0.2), receive_threshold(0.5));
+  EXPECT_LT(receive_threshold(0.5), receive_threshold(0.9));
+}
+
+TEST(ReceiveThreshold, HalfIsMidpoint) {
+  // p = 0.5 -> 2^63.
+  EXPECT_EQ(receive_threshold(0.5), 1ULL << 63);
+}
+
+TEST(ReceiveThreshold, RejectsOutOfRange) {
+  EXPECT_THROW((void)receive_threshold(-0.1), ContractViolation);
+  EXPECT_THROW((void)receive_threshold(1.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::core

@@ -1,0 +1,85 @@
+#include "core/neighbor_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "radio/units.hpp"
+
+namespace drn::core {
+namespace {
+
+Neighbor make(StationId id, double gain, bool respect = false) {
+  Neighbor n;
+  n.id = id;
+  n.gain = gain;
+  n.respect_receive_windows = respect;
+  return n;
+}
+
+TEST(NeighborTable, AddAndFind) {
+  NeighborTable t;
+  t.add(make(3, 0.5));
+  t.add(make(7, 0.25, true));
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_NE(t.find(3), nullptr);
+  EXPECT_DOUBLE_EQ(t.find(3)->gain, 0.5);
+  ASSERT_NE(t.find(7), nullptr);
+  EXPECT_TRUE(t.find(7)->respect_receive_windows);
+  EXPECT_EQ(t.find(4), nullptr);
+}
+
+TEST(NeighborTable, AllSpansEntries) {
+  NeighborTable t;
+  t.add(make(1, 0.1));
+  t.add(make(2, 0.2));
+  const auto all = t.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, 1u);
+  EXPECT_EQ(all[1].id, 2u);
+}
+
+TEST(NeighborTable, RejectsDuplicatesAndInvalid) {
+  NeighborTable t;
+  t.add(make(1, 0.1));
+  EXPECT_THROW(t.add(make(1, 0.2)), ContractViolation);
+  EXPECT_THROW(t.add(make(kNoStation, 0.1)), ContractViolation);
+  EXPECT_THROW(t.add(make(2, 0.0)), ContractViolation);
+}
+
+TEST(Significance, OneDbRuleFromSection73) {
+  // "In order for the addition of a weak signal to increase the overall
+  // level of interference by more than 1 dB its power level must be at
+  // least one fourth the power level of the overall interference."
+  const double budget = 1.0;  // tolerated interference, watts
+  // Delivered power exactly one quarter of the budget: not strictly greater,
+  // so not significant.
+  EXPECT_FALSE(interferes_significantly(0.25, 1.0, budget));
+  EXPECT_TRUE(interferes_significantly(0.26, 1.0, budget));
+  EXPECT_FALSE(interferes_significantly(0.01, 1.0, budget));
+  // Confirm the 1 dB equivalence: budget + budget/4 is ~0.97 dB louder.
+  EXPECT_NEAR(radio::to_db(1.25), 0.969, 1e-3);
+}
+
+TEST(Significance, ScalesWithPower) {
+  EXPECT_TRUE(interferes_significantly(0.01, 100.0, 1.0));
+  EXPECT_FALSE(interferes_significantly(0.01, 10.0, 1.0));
+}
+
+TEST(Significance, CustomFraction) {
+  EXPECT_TRUE(interferes_significantly(0.2, 1.0, 1.0, 0.1));
+  EXPECT_FALSE(interferes_significantly(0.2, 1.0, 1.0, 0.5));
+}
+
+TEST(Significance, Contracts) {
+  EXPECT_THROW((void)interferes_significantly(0.0, 1.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)interferes_significantly(1.0, 0.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW((void)interferes_significantly(1.0, 1.0, 0.0),
+               ContractViolation);
+  EXPECT_THROW((void)interferes_significantly(1.0, 1.0, 1.0, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::core

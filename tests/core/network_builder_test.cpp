@@ -1,0 +1,150 @@
+#include "core/network_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace drn::core {
+namespace {
+
+radio::ReceptionCriterion criterion() {
+  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+}
+
+TEST(NetworkBuilder, BasicShape) {
+  Rng rng(1);
+  const auto placement = geo::line(4, {0.0, 0.0}, 100.0);
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+
+  ScheduledNetworkConfig cfg;
+  cfg.target_received_w = 1.0e-9;
+  cfg.max_power_w = 1.0;  // reach = gain >= 1e-9: all pairs here (max 300 m)
+  Rng build_rng(2);
+  const auto net = build_scheduled_network(gains, criterion(), cfg, build_rng);
+
+  EXPECT_EQ(net.macs.size(), 4u);
+  EXPECT_EQ(net.clocks.size(), 4u);
+  EXPECT_EQ(net.neighbors.size(), 4u);
+  EXPECT_DOUBLE_EQ(net.packet_airtime_s, cfg.packet_fraction * cfg.slot_s);
+  EXPECT_DOUBLE_EQ(net.packet_bits, 1.0e6 * net.packet_airtime_s);
+  EXPECT_GT(net.interference_budget_w, 0.0);
+}
+
+TEST(NetworkBuilder, NeighborhoodSymmetricAndThresholded) {
+  Rng rng(3);
+  const auto placement = geo::uniform_disc(30, 500.0, rng);
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+
+  ScheduledNetworkConfig cfg;
+  cfg.target_received_w = 1.0e-9;
+  cfg.max_power_w = 0.01;  // reach limited to gain >= 1e-7 (100 m)
+  Rng build_rng(4);
+  const auto net = build_scheduled_network(gains, criterion(), cfg, build_rng);
+
+  for (StationId i = 0; i < 30; ++i) {
+    for (StationId j : net.neighbors[i]) {
+      EXPECT_GE(gains.gain(i, j), cfg.target_received_w / cfg.max_power_w);
+      // Reciprocal channel -> symmetric neighbourhood.
+      const auto& back = net.neighbors[j];
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(NetworkBuilder, RespectFlagsTrackProximity) {
+  // Three stations on a line: 0 and 1 close (10 m), 2 far (10 km). With
+  // power control, 0's worst-case power is what it needs to reach 2;
+  // delivering that to 1 massively exceeds the significance threshold, so 1
+  // must be respected. Station 2, heard weakly, must not be.
+  const geo::Placement placement = {{0.0, 0.0}, {10.0, 0.0}, {10000.0, 0.0}};
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+
+  ScheduledNetworkConfig cfg;
+  cfg.target_received_w = 1.0e-9;
+  cfg.max_power_w = 1.0;
+  cfg.exact_clock_models = true;
+  Rng build_rng(5);
+  const auto net = build_scheduled_network(gains, criterion(), cfg, build_rng);
+
+  const auto& table0 = net.macs[0]->neighbors();
+  ASSERT_NE(table0.find(1), nullptr);
+  ASSERT_NE(table0.find(2), nullptr);
+  EXPECT_TRUE(table0.find(1)->respect_receive_windows);
+  EXPECT_FALSE(table0.find(2)->respect_receive_windows);
+}
+
+TEST(NetworkBuilder, DisablingRespectClearsFlags) {
+  const geo::Placement placement = {{0.0, 0.0}, {10.0, 0.0}, {10000.0, 0.0}};
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+
+  ScheduledNetworkConfig cfg;
+  cfg.respect_third_party_windows = false;
+  Rng build_rng(6);
+  const auto net = build_scheduled_network(gains, criterion(), cfg, build_rng);
+  for (const auto& mac : net.macs)
+    for (const auto& n : mac->neighbors().all())
+      EXPECT_FALSE(n.respect_receive_windows);
+}
+
+TEST(NetworkBuilder, BuiltNetworkRunsCollisionFree) {
+  // End-to-end smoke: a built 10-station network carries single-hop traffic
+  // with zero Type 2/3 losses.
+  Rng rng(7);
+  const auto placement = geo::uniform_disc(10, 200.0, rng);
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+
+  ScheduledNetworkConfig cfg;
+  cfg.target_received_w = 1.0e-9;
+  cfg.max_power_w = 1.0;
+  cfg.exact_clock_models = true;
+  Rng build_rng(8);
+  auto net = build_scheduled_network(gains, criterion(), cfg, build_rng);
+
+  sim::SimulatorConfig sc{criterion()};
+  sim::Simulator sim(gains, sc);
+  for (StationId s = 0; s < 10; ++s) sim.set_mac(s, std::move(net.macs[s]));
+
+  Rng traffic_rng(9);
+  const auto traffic =
+      sim::poisson_traffic(200.0, 1.0, net.packet_bits,
+                           sim::neighbor_pairs(net.neighbors), traffic_rng);
+  for (const auto& inj : traffic) sim.inject(inj.time_s, inj.packet);
+  sim.run_until(30.0);
+
+  EXPECT_EQ(sim.metrics().delivered(), sim.metrics().offered());
+  EXPECT_EQ(sim.metrics().losses(sim::LossType::kType2), 0u);
+  EXPECT_EQ(sim.metrics().losses(sim::LossType::kType3), 0u);
+}
+
+TEST(NetworkBuilder, ConfigContracts) {
+  const radio::PropagationMatrix gains(2);
+  Rng rng(1);
+  ScheduledNetworkConfig cfg;
+  cfg.slot_s = 0.0;
+  EXPECT_THROW(
+      (void)build_scheduled_network(gains, criterion(), cfg, rng),
+      ContractViolation);
+  cfg = {};
+  cfg.receive_fraction = 1.0;
+  EXPECT_THROW(
+      (void)build_scheduled_network(gains, criterion(), cfg, rng),
+      ContractViolation);
+  cfg = {};
+  cfg.packet_fraction = 0.9;
+  cfg.guard_fraction = 0.1;  // 0.9 + 0.2 > 1
+  EXPECT_THROW(
+      (void)build_scheduled_network(gains, criterion(), cfg, rng),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::core

@@ -1,0 +1,93 @@
+#include "core/rate_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "radio/reception.hpp"
+#include "radio/units.hpp"
+
+namespace drn::core {
+namespace {
+
+TEST(RateLadder, GeometricConstruction) {
+  const RateLadder l = geometric_ladder(1.0e6, 2.0, 5);
+  ASSERT_EQ(l.size(), 5u);
+  EXPECT_DOUBLE_EQ(l[0], 1.0e6);
+  EXPECT_DOUBLE_EQ(l[4], 16.0e6);
+  EXPECT_THROW((void)geometric_ladder(0.0, 2.0, 3), ContractViolation);
+  EXPECT_THROW((void)geometric_ladder(1.0, 1.0, 3), ContractViolation);
+  EXPECT_THROW((void)geometric_ladder(1.0, 2.0, 0), ContractViolation);
+}
+
+TEST(RateSelection, ThresholdMatchesReceptionCriterion) {
+  // required_snr_for_rate must agree with ReceptionCriterion's Eq. 4.
+  const radio::ReceptionCriterion crit(200.0e6, 1.0e6, 5.0);
+  EXPECT_NEAR(required_snr_for_rate(1.0e6, 200.0e6, 5.0), crit.required_snr(),
+              1e-15);
+}
+
+TEST(RateSelection, ThresholdGrowsWithRate) {
+  double prev = 0.0;
+  for (double rate : {1.0e6, 2.0e6, 8.0e6, 64.0e6}) {
+    const double snr = required_snr_for_rate(rate, 200.0e6, 5.0);
+    EXPECT_GT(snr, prev);
+    prev = snr;
+  }
+}
+
+TEST(RateSelection, PicksHighestFittingRung) {
+  const RateLadder ladder = geometric_ladder(1.0e6, 2.0, 8);  // 1..128 Mb/s
+  const double bw = 200.0e6;
+  const double margin = 5.0;
+  // SNR chosen between the 8 Mb/s and 16 Mb/s thresholds.
+  const double snr8 = required_snr_for_rate(8.0e6, bw, margin);
+  const double snr16 = required_snr_for_rate(16.0e6, bw, margin);
+  const double noise = 1.0;
+  const double signal = (snr8 + snr16) / 2.0;
+  EXPECT_DOUBLE_EQ(rate_for_link(signal, noise, bw, margin, ladder), 8.0e6);
+}
+
+TEST(RateSelection, FallsBackToLowestRung) {
+  const RateLadder ladder = geometric_ladder(1.0e6, 2.0, 4);
+  // SNR below even the lowest threshold: return the base rate (caller may
+  // prune the link).
+  EXPECT_DOUBLE_EQ(rate_for_link(1.0e-6, 1.0, 200.0e6, 5.0, ladder), 1.0e6);
+}
+
+TEST(RateSelection, StrongLinkSaturatesLadder) {
+  const RateLadder ladder = geometric_ladder(1.0e6, 2.0, 6);  // up to 32 Mb/s
+  EXPECT_DOUBLE_EQ(rate_for_link(1.0e3, 1.0, 200.0e6, 5.0, ladder), 32.0e6);
+}
+
+TEST(RateSelection, SixDbBuysTwoRungsAtLowSnr) {
+  // In the linear regime the Eq.-4 threshold is ~proportional to rate, so a
+  // 6 dB (4x) SNR improvement buys a factor-4 rate: two rungs of a x2
+  // ladder.
+  const RateLadder ladder = geometric_ladder(0.25e6, 2.0, 10);
+  const double bw = 200.0e6;
+  const double base = rate_for_link(0.02, 1.0, bw, 5.0, ladder);
+  const double better = rate_for_link(0.08, 1.0, bw, 5.0, ladder);
+  EXPECT_NEAR(better / base, 4.0, 1e-9);
+}
+
+TEST(RateSelection, IdealMultiple) {
+  EXPECT_DOUBLE_EQ(ideal_rate_multiple(0.01, 0.01), 1.0);
+  // log2(1.04)/log2(1.01) ~ 3.94.
+  EXPECT_NEAR(ideal_rate_multiple(0.04, 0.01), 3.94, 0.01);
+  EXPECT_THROW((void)ideal_rate_multiple(-0.1, 0.01), ContractViolation);
+  EXPECT_THROW((void)ideal_rate_multiple(0.1, 0.0), ContractViolation);
+}
+
+TEST(RateSelection, Contracts) {
+  const RateLadder ladder = geometric_ladder(1.0e6, 2.0, 2);
+  EXPECT_THROW((void)rate_for_link(0.0, 1.0, 1.0e6, 0.0, ladder),
+               ContractViolation);
+  EXPECT_THROW((void)rate_for_link(1.0, 0.0, 1.0e6, 0.0, ladder),
+               ContractViolation);
+  EXPECT_THROW((void)rate_for_link(1.0, 1.0, 1.0e6, 0.0, {}),
+               ContractViolation);
+  EXPECT_THROW((void)required_snr_for_rate(1.0, 1.0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::core

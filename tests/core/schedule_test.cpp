@@ -1,0 +1,143 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+
+namespace drn::core {
+namespace {
+
+TEST(Schedule, SlotIndexing) {
+  const Schedule s(1, 0.01, 0.3);
+  EXPECT_EQ(s.slot_index(0.0), 0);
+  EXPECT_EQ(s.slot_index(0.0099), 0);
+  EXPECT_EQ(s.slot_index(0.01), 1);
+  EXPECT_EQ(s.slot_index(-0.001), -1);
+  EXPECT_EQ(s.slot_index(-0.01), -1);
+  EXPECT_EQ(s.slot_index(-0.0101), -2);
+}
+
+TEST(Schedule, SlotBoundaries) {
+  const Schedule s(1, 0.25, 0.3);
+  EXPECT_DOUBLE_EQ(s.slot_begin(4), 1.0);
+  EXPECT_DOUBLE_EQ(s.slot_end(4), 1.25);
+  EXPECT_DOUBLE_EQ(s.slot_begin(-2), -0.5);
+}
+
+TEST(Schedule, ReceiveFractionConverges) {
+  // Section 7.1: the threshold is selected to achieve the desired duty
+  // cycle. Check the law of large numbers at several fractions.
+  for (double p : {0.1, 0.3, 0.5, 0.7}) {
+    const Schedule s(99, 0.01, p);
+    EXPECT_NEAR(s.empirical_receive_fraction(0, 200000), p, 0.01)
+        << "p=" << p;
+  }
+}
+
+TEST(Schedule, DifferentSeedsDifferentPatterns) {
+  const Schedule a(1, 0.01, 0.5);
+  const Schedule b(2, 0.01, 0.5);
+  int differ = 0;
+  for (std::int64_t k = 0; k < 1000; ++k)
+    if (a.is_receive_slot(k) != b.is_receive_slot(k)) ++differ;
+  EXPECT_GT(differ, 300);
+}
+
+TEST(Schedule, SameSeedSamePattern) {
+  // All stations share ONE schedule function (Section 7.1) — two Schedule
+  // objects with the same parameters agree everywhere.
+  const Schedule a(77, 0.01, 0.3);
+  const Schedule b(77, 0.01, 0.3);
+  for (std::int64_t k = -500; k < 500; ++k)
+    EXPECT_EQ(a.is_receive_slot(k), b.is_receive_slot(k));
+}
+
+TEST(Schedule, IntervalIsChecksEverySlotCovered) {
+  const Schedule s(5, 1.0, 0.5);
+  // Find a receive slot followed by a transmit slot.
+  std::int64_t k = 0;
+  while (!(s.is_receive_slot(k) && !s.is_receive_slot(k + 1))) ++k;
+  const double t0 = s.slot_begin(k);
+  EXPECT_TRUE(s.interval_is(t0 + 0.1, t0 + 0.9, true));
+  EXPECT_FALSE(s.interval_is(t0 + 0.1, t0 + 1.1, true));   // spills over
+  EXPECT_FALSE(s.interval_is(t0 + 0.1, t0 + 0.9, false));  // wrong kind
+}
+
+TEST(Schedule, IntervalEndingExactlyOnBoundaryExcludesNextSlot) {
+  const Schedule s(5, 1.0, 0.5);
+  std::int64_t k = 0;
+  while (!(s.is_receive_slot(k) && !s.is_receive_slot(k + 1))) ++k;
+  // [begin, end) with end exactly at the next slot boundary: next slot is
+  // NOT covered.
+  EXPECT_TRUE(s.interval_is(s.slot_begin(k), s.slot_end(k), true));
+}
+
+TEST(Schedule, RunEndFindsMaximalRun) {
+  const Schedule s(11, 1.0, 0.4);
+  for (std::int64_t k = 0; k < 200; ++k) {
+    const std::int64_t last = s.run_end(k);
+    const bool v = s.is_receive_slot(k);
+    for (std::int64_t j = k; j <= last; ++j)
+      EXPECT_EQ(s.is_receive_slot(j), v);
+    EXPECT_NE(s.is_receive_slot(last + 1), v);
+  }
+}
+
+TEST(Schedule, RunEndRespectsCap) {
+  const Schedule s(11, 1.0, 0.5);
+  EXPECT_EQ(s.run_end(3, 1), 3);
+}
+
+TEST(Schedule, MeanRunLengthMatchesGeometric) {
+  // Receive runs have geometric length with mean 1/(1-p); transmit runs
+  // 1/p. Sample a few thousand runs of each kind.
+  const double p = 0.3;
+  const Schedule s(123, 1.0, p);
+  double receive_runs = 0;
+  double receive_slots = 0;
+  double transmit_runs = 0;
+  double transmit_slots = 0;
+  std::int64_t k = 0;
+  for (int run = 0; run < 10000; ++run) {
+    const std::int64_t last = s.run_end(k);
+    const auto len = static_cast<double>(last - k + 1);
+    if (s.is_receive_slot(k)) {
+      receive_runs += 1;
+      receive_slots += len;
+    } else {
+      transmit_runs += 1;
+      transmit_slots += len;
+    }
+    k = last + 1;
+  }
+  EXPECT_NEAR(receive_slots / receive_runs, 1.0 / (1.0 - p), 0.05);
+  EXPECT_NEAR(transmit_slots / transmit_runs, 1.0 / p, 0.15);
+}
+
+TEST(Schedule, ExtremeFractions) {
+  const Schedule all_rx(1, 1.0, 1.0);
+  const Schedule all_tx(1, 1.0, 0.0);
+  for (std::int64_t k = -10; k < 10; ++k) {
+    EXPECT_TRUE(all_rx.is_receive_slot(k));
+    EXPECT_FALSE(all_tx.is_receive_slot(k));
+  }
+}
+
+TEST(Schedule, Contracts) {
+  EXPECT_THROW(Schedule(1, 0.0, 0.5), ContractViolation);
+  EXPECT_THROW(Schedule(1, 1.0, 1.5), ContractViolation);
+  const Schedule s(1, 1.0, 0.5);
+  EXPECT_THROW((void)s.interval_is(1.0, 1.0, true), ContractViolation);
+  EXPECT_THROW((void)s.run_end(0, 0), ContractViolation);
+  EXPECT_THROW((void)s.empirical_receive_fraction(0, 0), ContractViolation);
+}
+
+TEST(Schedule, Accessors) {
+  const Schedule s(42, 0.02, 0.35);
+  EXPECT_EQ(s.seed(), 42u);
+  EXPECT_DOUBLE_EQ(s.slot_duration_s(), 0.02);
+  EXPECT_DOUBLE_EQ(s.receive_fraction(), 0.35);
+}
+
+}  // namespace
+}  // namespace drn::core

@@ -1,0 +1,88 @@
+#include "geo/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+
+namespace drn::geo {
+namespace {
+
+TEST(Circle, ContainsInterior) {
+  const Circle c{{0.0, 0.0}, 2.0};
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_FALSE(c.contains({2.0, 0.0}));  // on the boundary: not strict
+  EXPECT_TRUE(c.contains_or_on({2.0, 0.0}));
+  EXPECT_FALSE(c.contains_or_on({2.1, 0.0}));
+}
+
+TEST(Circle, DiameterCircleGeometry) {
+  const Circle c = diameter_circle({0.0, 0.0}, {4.0, 0.0});
+  EXPECT_EQ(c.center, (Vec2{2.0, 0.0}));
+  EXPECT_DOUBLE_EQ(c.radius, 2.0);
+}
+
+// Paper Section 6.2 / Figure 3: with 1/r^2 loss, the relay B between A and C
+// reduces energy exactly when B is strictly inside the circle whose diameter
+// is AC (Thales: angle at B obtuse <=> |AB|^2 + |BC|^2 < |AC|^2).
+TEST(Circle, RelayCriterionMatchesThalesCircleForFreeSpace) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 c{10.0, 0.0};
+  const Circle thales = diameter_circle(a, c);
+
+  const Vec2 candidates[] = {
+      {5.0, 0.0},   // centre: best possible relay
+      {5.0, 4.9},   // inside, near the top
+      {5.0, 5.1},   // just outside
+      {1.0, 1.0},   // inside near A
+      {9.5, -2.0},  // inside-ish near C
+      {12.0, 0.0},  // beyond C
+      {-1.0, 0.0},  // behind A
+      {5.0, 20.0},  // far off-axis
+  };
+  for (const Vec2 b : candidates) {
+    EXPECT_EQ(relay_reduces_energy(a, b, c, 2.0), thales.contains(b))
+        << "b=(" << b.x << "," << b.y << ")";
+  }
+}
+
+TEST(Circle, PerfectlyCenteredRelayQuartersPowerHalvesEnergy) {
+  // Section 6.2: "They would be less by as much as a factor of four if
+  // station B is exactly centered" — each half-distance hop needs 1/4 the
+  // power; two of them halve the total energy.
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{5.0, 0.0};
+  const Vec2 c{10.0, 0.0};
+  const double direct = distance_sq(a, c);  // ∝ power of direct hop
+  const double hop = distance_sq(a, b);     // ∝ power of each relay hop
+  EXPECT_DOUBLE_EQ(hop * 4.0, direct);
+  EXPECT_DOUBLE_EQ(2.0 * hop, direct / 2.0);  // total energy halves
+  EXPECT_TRUE(relay_reduces_energy(a, b, c));
+}
+
+TEST(Circle, OnTheThalesBoundaryRelayDoesNotHelp) {
+  // Right angle at B: |AB|^2 + |BC|^2 == |AC|^2, so relaying is exactly
+  // break-even and the strict criterion must say "no".
+  const Vec2 a{0.0, 0.0};
+  const Vec2 c{5.0, 0.0};
+  const Vec2 b{1.8, 2.4};  // (1.8-2.5)^2 + 2.4^2 = 6.25 = 2.5^2
+  EXPECT_FALSE(diameter_circle(a, c).contains(b));
+  EXPECT_FALSE(relay_reduces_energy(a, b, c));
+}
+
+TEST(Circle, HigherPathLossExponentWidensRelayRegion) {
+  // With alpha = 4 (heavily obstructed), relaying pays off even for relays
+  // outside the Thales circle.
+  const Vec2 a{0.0, 0.0};
+  const Vec2 c{10.0, 0.0};
+  const Vec2 b{5.0, 5.5};  // just outside the alpha=2 region
+  EXPECT_FALSE(relay_reduces_energy(a, b, c, 2.0));
+  EXPECT_TRUE(relay_reduces_energy(a, b, c, 4.0));
+}
+
+TEST(Circle, RelayRejectsNonPositiveExponent) {
+  EXPECT_THROW((void)relay_reduces_energy({0, 0}, {1, 0}, {2, 0}, 0.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::geo

@@ -1,0 +1,80 @@
+#include "geo/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drn::geo {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Addition) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  const Vec2 c = a + b;
+  EXPECT_EQ(c.x, 4.0);
+  EXPECT_EQ(c.y, -2.0);
+}
+
+TEST(Vec2, Subtraction) {
+  const Vec2 c = Vec2{5.0, 1.0} - Vec2{2.0, 7.0};
+  EXPECT_EQ(c.x, 3.0);
+  EXPECT_EQ(c.y, -6.0);
+}
+
+TEST(Vec2, ScalarMultiplicationBothSides) {
+  const Vec2 a{1.5, -2.0};
+  EXPECT_EQ((a * 2.0).x, 3.0);
+  EXPECT_EQ((2.0 * a).y, -4.0);
+}
+
+TEST(Vec2, CompoundOperators) {
+  Vec2 a{1.0, 1.0};
+  a += Vec2{2.0, 3.0};
+  EXPECT_EQ(a, (Vec2{3.0, 4.0}));
+  a -= Vec2{3.0, 0.0};
+  EXPECT_EQ(a, (Vec2{0.0, 4.0}));
+  a *= 0.5;
+  EXPECT_EQ(a, (Vec2{0.0, 2.0}));
+}
+
+TEST(Vec2, DotProduct) {
+  EXPECT_EQ(dot(Vec2{1.0, 2.0}, Vec2{3.0, 4.0}), 11.0);
+  EXPECT_EQ(dot(Vec2{1.0, 0.0}, Vec2{0.0, 1.0}), 0.0);  // orthogonal
+}
+
+TEST(Vec2, NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(norm(Vec2{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_sq(Vec2{3.0, 4.0}), 25.0);
+}
+
+TEST(Vec2, DistanceIsSymmetric) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{-3.0, 5.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Vec2, DistanceSqMatchesDistance) {
+  const Vec2 a{0.5, -0.25};
+  const Vec2 b{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), distance(a, b) * distance(a, b));
+}
+
+TEST(Vec2, Midpoint) {
+  const Vec2 m = midpoint(Vec2{0.0, 0.0}, Vec2{4.0, -2.0});
+  EXPECT_EQ(m, (Vec2{2.0, -1.0}));
+}
+
+TEST(Vec2, TriangleInequality) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 3.0};
+  const Vec2 c{-2.0, 4.0};
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c));
+}
+
+}  // namespace
+}  // namespace drn::geo

@@ -1,0 +1,61 @@
+// Minimal MAC implementations for driving the simulator deterministically in
+// tests: a script-driven transmitter and an idle listener.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/mac.hpp"
+
+namespace drn::testing {
+
+/// One pre-programmed transmission.
+struct ScriptedTx {
+  double start_s = 0.0;
+  StationId to = kNoStation;
+  double power_w = 1.0;
+  double size_bits = 1000.0;
+};
+
+/// Transmits exactly the scripted transmissions at their scripted times.
+/// Forwarded packets (on_enqueue) are dropped — scripts describe the entire
+/// behaviour.
+class ScriptMac final : public sim::MacProtocol {
+ public:
+  explicit ScriptMac(std::vector<ScriptedTx> script)
+      : script_(std::move(script)) {}
+
+  void on_start(sim::MacContext& ctx) override {
+    for (std::size_t i = 0; i < script_.size(); ++i)
+      ctx.set_timer(script_[i].start_s, i);
+  }
+
+  void on_timer(sim::MacContext& ctx, std::uint64_t cookie) override {
+    const ScriptedTx& s = script_[cookie];
+    sim::Packet pkt;
+    pkt.source = ctx.self();
+    pkt.destination = s.to;
+    pkt.size_bits = s.size_bits;
+    ctx.transmit(pkt, s.to, s.power_w, ctx.now());
+  }
+
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                  StationId /*next_hop*/) override {
+    ctx.drop(pkt);
+  }
+
+ private:
+  std::vector<ScriptedTx> script_;
+};
+
+/// Never transmits; drops anything handed to it.
+class IdleMac final : public sim::MacProtocol {
+ public:
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                  StationId /*next_hop*/) override {
+    ctx.drop(pkt);
+  }
+};
+
+}  // namespace drn::testing

@@ -1,0 +1,85 @@
+// Monte-Carlo validation of the Section 4 noise-growth analysis: the closed
+// form SNR = 1/(eta ln M) (Figure 1) against random placements under the
+// simulator's own 1/r^2 physics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/running_stats.hpp"
+#include "radio/noise_growth.hpp"
+#include "radio/units.hpp"
+
+namespace drn::radio {
+namespace {
+
+double monte_carlo_snr_db(std::size_t stations, double eta,
+                          std::uint64_t seed, int trials) {
+  Rng rng(seed);
+  RunningStats snr_db;
+  for (int t = 0; t < trials; ++t) {
+    const auto s = sample_nearest_neighbor_snr(stations, 100.0, eta, rng);
+    if (std::isfinite(s.snr) && s.snr > 0.0) snr_db.add(to_db(s.snr));
+  }
+  return snr_db.mean();
+}
+
+TEST(NoiseValidation, SnrFallsWithScaleAsPredicted) {
+  // Larger systems are noisier, and the measured dB-means track the
+  // analytic curve within a few dB across two decades of M.
+  const double eta = 0.5;
+  double previous = 1.0e9;
+  for (std::size_t m : {std::size_t{200}, std::size_t{2000},
+                        std::size_t{20000}}) {
+    const double measured = monte_carlo_snr_db(m, eta, 42, 40);
+    const double predicted = nearest_neighbor_snr_db(m, eta);
+    EXPECT_LT(measured, previous) << m;
+    EXPECT_NEAR(measured, predicted, 4.0) << m;
+    previous = measured;
+  }
+}
+
+TEST(NoiseValidation, DutyCycleBuysSixDbPerQuartering) {
+  const std::size_t m = 5000;
+  const double full = monte_carlo_snr_db(m, 1.0, 7, 60);
+  const double quarter = monte_carlo_snr_db(m, 0.25, 7, 60);
+  EXPECT_NEAR(quarter - full, 6.0, 2.5);
+}
+
+TEST(NoiseValidation, SnrIndependentOfScaleLength) {
+  // Eq. 15's striking property: only M and eta matter, not the physical
+  // region size (power density cancels).
+  const std::size_t m = 3000;
+  Rng rng_small(9);
+  Rng rng_large(9);
+  RunningStats small_db;
+  RunningStats large_db;
+  for (int t = 0; t < 40; ++t) {
+    small_db.add(to_db(sample_nearest_neighbor_snr(m, 10.0, 0.5, rng_small).snr));
+    large_db.add(
+        to_db(sample_nearest_neighbor_snr(m, 10000.0, 0.5, rng_large).snr));
+  }
+  EXPECT_NEAR(small_db.mean(), large_db.mean(), 2.0);
+}
+
+TEST(NoiseValidation, InterferenceDominatedByAggregateNotNearest) {
+  // The "din": no single interferer dominates; the aggregate matters. With
+  // eta = 1 the total interference is ln(M)/pi times... simply check the
+  // measured interference exceeds any plausible single-station bound most
+  // of the time by comparing against the analytic aggregate.
+  const std::size_t m = 5000;
+  Rng rng(11);
+  RunningStats ratio;
+  for (int t = 0; t < 30; ++t) {
+    const auto s = sample_nearest_neighbor_snr(m, 100.0, 1.0, rng);
+    // Analytic N/S: eta ln M. Measured: interference/signal.
+    ratio.add((s.interference / s.signal) /
+              (1.0 * std::log(static_cast<double>(m))));
+  }
+  // Mean ratio near 1 (within a factor ~2): the integral model captures the
+  // din's magnitude.
+  EXPECT_GT(ratio.mean(), 0.4);
+  EXPECT_LT(ratio.mean(), 2.5);
+}
+
+}  // namespace
+}  // namespace drn::radio

@@ -1,0 +1,81 @@
+#include "radio/propagation_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn::radio {
+namespace {
+
+TEST(PropagationMatrix, EmptyConstructionHasSelfGainDiagonal) {
+  const PropagationMatrix m(3, 2.0);
+  EXPECT_EQ(m.size(), 3u);
+  for (StationId i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m.gain(i, i), 2.0);
+    for (StationId j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(m.gain(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(PropagationMatrix, FromPlacementMatchesModel) {
+  const geo::Placement placement = {{0.0, 0.0}, {2.0, 0.0}, {0.0, 4.0}};
+  const FreeSpacePropagation model;
+  const auto m = PropagationMatrix::from_placement(placement, model);
+  EXPECT_DOUBLE_EQ(m.gain(0, 1), 0.25);          // r = 2
+  EXPECT_DOUBLE_EQ(m.gain(0, 2), 1.0 / 16.0);    // r = 4
+  EXPECT_DOUBLE_EQ(m.gain(1, 2), 1.0 / 20.0);    // r = sqrt(20)
+  EXPECT_DOUBLE_EQ(m.gain(0, 0), 1.0);           // default self gain
+}
+
+TEST(PropagationMatrix, IsSymmetric) {
+  Rng rng(4);
+  const auto placement = geo::uniform_disc(30, 100.0, rng);
+  const FreeSpacePropagation model;
+  const auto m = PropagationMatrix::from_placement(placement, model);
+  EXPECT_TRUE(m.is_symmetric());
+  for (StationId i = 0; i < m.size(); ++i)
+    for (StationId j = 0; j < m.size(); ++j)
+      EXPECT_DOUBLE_EQ(m.gain(i, j), m.gain(j, i));
+}
+
+TEST(PropagationMatrix, SetGainUpdatesBothDirections) {
+  PropagationMatrix m(4);
+  m.set_gain(1, 3, 0.5);
+  EXPECT_DOUBLE_EQ(m.gain(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(m.gain(3, 1), 0.5);
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(PropagationMatrix, StrongestNeighborGain) {
+  PropagationMatrix m(3);
+  m.set_gain(0, 1, 0.3);
+  m.set_gain(0, 2, 0.7);
+  m.set_gain(1, 2, 0.1);
+  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(0), 0.7);
+  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(1), 0.3);
+  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(2), 0.7);
+}
+
+TEST(PropagationMatrix, Contracts) {
+  EXPECT_THROW(PropagationMatrix(0), ContractViolation);
+  EXPECT_THROW(PropagationMatrix(2, 0.0), ContractViolation);
+  PropagationMatrix m(2);
+  EXPECT_THROW((void)m.gain(0, 2), ContractViolation);
+  EXPECT_THROW(m.set_gain(0, 1, 0.0), ContractViolation);
+}
+
+TEST(PropagationMatrix, SelfGainConfigurable) {
+  const geo::Placement placement = {{0.0, 0.0}, {1.0, 0.0}};
+  const FreeSpacePropagation model;
+  const auto m =
+      PropagationMatrix::from_placement(placement, model, /*self_gain=*/42.0);
+  EXPECT_DOUBLE_EQ(m.gain(0, 0), 42.0);
+  EXPECT_DOUBLE_EQ(m.gain(1, 1), 42.0);
+}
+
+}  // namespace
+}  // namespace drn::radio

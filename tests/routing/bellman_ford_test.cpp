@@ -1,0 +1,122 @@
+#include "routing/bellman_ford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/expects.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+#include "routing/dijkstra.hpp"
+
+namespace drn::routing {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Graph random_graph(std::uint64_t seed, std::size_t n = 30,
+                   double region = 400.0) {
+  Rng rng(seed);
+  const auto placement = geo::uniform_disc(n, region, rng);
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  return Graph::min_energy(gains, 1.0e-6);
+}
+
+TEST(BellmanFord, InitialStateKnowsOnlySelf) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  const DistributedBellmanFord bf(g);
+  EXPECT_DOUBLE_EQ(bf.cost(0, 0), 0.0);
+  EXPECT_EQ(bf.cost(0, 1), kInf);
+  EXPECT_EQ(bf.next_hop(0, 1), kNoStation);
+}
+
+TEST(BellmanFord, SynchronousConvergesToDijkstra) {
+  const Graph g = random_graph(11);
+  DistributedBellmanFord bf(g);
+  const std::size_t rounds = bf.run_synchronous();
+  EXPECT_LT(rounds, g.size() + 2);  // diameter-bounded
+  for (StationId src = 0; src < g.size(); ++src) {
+    const PathTree t = shortest_paths(g, src);
+    for (StationId dst = 0; dst < g.size(); ++dst)
+      EXPECT_NEAR(bf.cost(src, dst), t.cost[dst], 1e-9);
+  }
+}
+
+TEST(BellmanFord, AsynchronousRandomOrderConvergesToo) {
+  // The paper relies on the Bertsekas-Gallager result that asynchronous
+  // relaxations converge regardless of order; test several random orders.
+  const Graph g = random_graph(12);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    DistributedBellmanFord bf(g);
+    Rng rng(seed);
+    (void)bf.run_asynchronous(rng);
+    for (StationId src = 0; src < g.size(); ++src) {
+      const PathTree t = shortest_paths(g, src);
+      for (StationId dst = 0; dst < g.size(); ++dst)
+        EXPECT_NEAR(bf.cost(src, dst), t.cost[dst], 1e-9);
+    }
+  }
+}
+
+TEST(BellmanFord, NextHopsAreOptimal) {
+  const Graph g = random_graph(13);
+  DistributedBellmanFord bf(g);
+  (void)bf.run_synchronous();
+  // cost(at, dst) == edge(at, next) + cost(next, dst) for every pair.
+  for (StationId at = 0; at < g.size(); ++at) {
+    for (StationId dst = 0; dst < g.size(); ++dst) {
+      if (at == dst || bf.cost(at, dst) == kInf) continue;
+      const StationId next = bf.next_hop(at, dst);
+      ASSERT_NE(next, kNoStation);
+      double edge = kInf;
+      for (const Edge& e : g.edges(at))
+        if (e.to == next) edge = std::min(edge, e.cost);
+      EXPECT_NEAR(bf.cost(at, dst), edge + bf.cost(next, dst), 1e-9);
+    }
+  }
+}
+
+TEST(BellmanFord, DisconnectedStaysInfinite) {
+  radio::PropagationMatrix m(4);
+  m.set_gain(0, 1, 1.0);
+  m.set_gain(2, 3, 1.0);
+  const Graph g = Graph::min_energy(m, 0.5);
+  DistributedBellmanFord bf(g);
+  (void)bf.run_synchronous();
+  EXPECT_EQ(bf.cost(0, 2), kInf);
+  EXPECT_EQ(bf.next_hop(0, 2), kNoStation);
+  EXPECT_DOUBLE_EQ(bf.cost(0, 1), 1.0);
+}
+
+TEST(BellmanFord, HopByHopForwardingReachesDestination) {
+  const Graph g = random_graph(14);
+  DistributedBellmanFord bf(g);
+  (void)bf.run_synchronous();
+  for (StationId src = 0; src < g.size(); ++src) {
+    for (StationId dst = 0; dst < g.size(); ++dst) {
+      if (src == dst || bf.cost(src, dst) == kInf) continue;
+      StationId at = src;
+      std::size_t steps = 0;
+      while (at != dst) {
+        at = bf.next_hop(at, dst);
+        ASSERT_NE(at, kNoStation);
+        ASSERT_LT(++steps, g.size() + 1) << "routing loop";
+      }
+    }
+  }
+}
+
+TEST(BellmanFord, Contracts) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0, 1.0);
+  DistributedBellmanFord bf(g);
+  EXPECT_THROW((void)bf.relax(2), ContractViolation);
+  EXPECT_THROW((void)bf.cost(0, 2), ContractViolation);
+  Rng rng(1);
+  EXPECT_THROW((void)bf.run_asynchronous(rng, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::routing

@@ -1,0 +1,166 @@
+#include "routing/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+
+namespace drn::routing {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Graph diamond() {
+  // 0 -1- 1 -1- 3, 0 -5- 2 -1- 3: best 0->3 is via 1 (cost 2).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 1.0);
+  g.add_edge(1, 3, 1.0, 1.0);
+  g.add_edge(0, 2, 5.0, 0.2);
+  g.add_edge(2, 3, 1.0, 1.0);
+  return g;
+}
+
+TEST(Dijkstra, ShortestCostsOnDiamond) {
+  const PathTree t = shortest_paths(diamond(), 0);
+  EXPECT_DOUBLE_EQ(t.cost[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.cost[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.cost[2], 3.0);  // via 3! 0-1-3-2 = 3 < direct 5
+  EXPECT_DOUBLE_EQ(t.cost[3], 2.0);
+}
+
+TEST(Dijkstra, ExtractPath) {
+  const PathTree t = shortest_paths(diamond(), 0);
+  const auto path = extract_path(t, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 3u);
+  const auto self_path = extract_path(t, 0);
+  ASSERT_EQ(self_path.size(), 1u);
+  EXPECT_EQ(self_path[0], 0u);
+}
+
+TEST(Dijkstra, UnreachableIsInfiniteAndEmptyPath) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  const PathTree t = shortest_paths(g, 0);
+  EXPECT_EQ(t.cost[2], kInf);
+  EXPECT_TRUE(extract_path(t, 2).empty());
+}
+
+TEST(Dijkstra, MatchesBruteForceOnRandomGraphs) {
+  // Compare against Floyd-Warshall on small random graphs.
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 12;
+    Graph g(n);
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInf));
+    for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0.0;
+    for (StationId i = 0; i < n; ++i) {
+      for (StationId j = static_cast<StationId>(i + 1); j < n; ++j) {
+        if (!rng.bernoulli(0.4)) continue;
+        const double c = rng.uniform(0.1, 10.0);
+        g.add_edge(i, j, c, 1.0 / c);
+        dist[i][j] = dist[j][i] = std::min(dist[i][j], c);
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+    for (StationId src = 0; src < n; ++src) {
+      const PathTree t = shortest_paths(g, src);
+      for (std::size_t dst = 0; dst < n; ++dst)
+        EXPECT_NEAR(t.cost[dst], dist[src][dst], 1e-9);
+    }
+  }
+}
+
+TEST(RoutingTables, NextHopsOnDiamond) {
+  const auto tables = RoutingTables::build(diamond());
+  EXPECT_EQ(tables.next_hop(0, 3), 1u);
+  EXPECT_EQ(tables.next_hop(1, 3), 3u);
+  EXPECT_EQ(tables.next_hop(3, 0), 1u);
+  EXPECT_EQ(tables.next_hop(2, 0), 3u);  // 2-3-1-0 = 3 < 2-0 = 5
+  EXPECT_DOUBLE_EQ(tables.cost(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(tables.cost(0, 0), 0.0);
+}
+
+TEST(RoutingTables, PrefixConsistencyHoldsOnRandomNetworks) {
+  // Section 6.2: hop-by-hop forwarding works because suffixes of optimal
+  // paths are optimal.
+  Rng rng(43);
+  const auto placement = geo::uniform_disc(40, 500.0, rng);
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  const auto g = Graph::min_energy(gains, 1.0e-6);
+  const auto tables = RoutingTables::build(g);
+  EXPECT_TRUE(tables.prefix_consistent());
+}
+
+TEST(RoutingTables, FollowingNextHopsReproducesDijkstraCost) {
+  Rng rng(44);
+  const auto placement = geo::uniform_disc(25, 300.0, rng);
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  const auto g = Graph::min_energy(gains, 1.0e-6);
+  const auto tables = RoutingTables::build(g);
+  for (StationId src = 0; src < 25; ++src) {
+    const PathTree t = shortest_paths(g, src);
+    for (StationId dst = 0; dst < 25; ++dst) {
+      if (src == dst || t.cost[dst] == kInf) continue;
+      // Walk the tables and accumulate edge costs.
+      double walked = 0.0;
+      StationId at = src;
+      int steps = 0;
+      while (at != dst) {
+        const StationId next = tables.next_hop(at, dst);
+        ASSERT_NE(next, kNoStation);
+        double edge = kInf;
+        for (const Edge& e : g.edges(at))
+          if (e.to == next) edge = std::min(edge, e.cost);
+        walked += edge;
+        at = next;
+        ASSERT_LT(++steps, 26);
+      }
+      EXPECT_NEAR(walked, t.cost[dst], 1e-9);
+    }
+  }
+}
+
+TEST(RoutingTables, UnreachableNextHopIsNoStation) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 1.0);
+  const auto tables = RoutingTables::build(g);
+  EXPECT_EQ(tables.next_hop(0, 2), kNoStation);
+  EXPECT_EQ(tables.cost(0, 2), kInf);
+}
+
+TEST(RoutingTables, RouterClosureMatchesTables) {
+  const auto tables = RoutingTables::build(diamond());
+  const auto router = tables.router();
+  for (StationId at = 0; at < 4; ++at) {
+    for (StationId dst = 0; dst < 4; ++dst) {
+      if (at != dst) {
+        EXPECT_EQ(router(at, dst), tables.next_hop(at, dst));
+      }
+    }
+  }
+}
+
+TEST(Dijkstra, Contracts) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0, 1.0);
+  EXPECT_THROW((void)shortest_paths(g, 2), ContractViolation);
+  const PathTree t = shortest_paths(g, 0);
+  EXPECT_THROW((void)extract_path(t, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::routing

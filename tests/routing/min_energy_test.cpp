@@ -1,0 +1,117 @@
+#include "routing/min_energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "radio/propagation.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/graph.hpp"
+
+namespace drn::routing {
+namespace {
+
+TEST(MinEnergy, PathEnergyCostSumsReciprocalGains) {
+  radio::PropagationMatrix m(3);
+  m.set_gain(0, 1, 0.5);
+  m.set_gain(1, 2, 0.25);
+  const std::array<StationId, 3> path = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(path_energy_cost(m, path), 2.0 + 4.0);
+}
+
+TEST(MinEnergy, CenteredRelayHalvesInterferenceEnergyAtDistantObserver) {
+  // Figure 3's quantitative claim: relaying through the exact midpoint
+  // doubles the interference duration but quarters the power, halving the
+  // energy deposited at a distant observer D.
+  const geo::Placement placement = {
+      {0.0, 0.0},      // A
+      {50.0, 0.0},     // B (midpoint)
+      {100.0, 0.0},    // C
+      {50.0, 1.0e5},   // D, far away and ~equidistant from all
+  };
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  const std::array<StationId, 2> direct = {0, 2};
+  const std::array<StationId, 3> relayed = {0, 1, 2};
+  const double e_direct = interference_energy_at(gains, direct, 3);
+  const double e_relayed = interference_energy_at(gains, relayed, 3);
+  EXPECT_NEAR(e_relayed / e_direct, 0.5, 0.01);
+}
+
+TEST(MinEnergy, OffCenterRelayReducesEnergyLess) {
+  const geo::Placement placement = {
+      {0.0, 0.0}, {20.0, 0.0}, {100.0, 0.0}, {50.0, 1.0e5}};
+  const radio::FreeSpacePropagation model;
+  const auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  const std::array<StationId, 2> direct = {0, 2};
+  const std::array<StationId, 3> relayed = {0, 1, 2};
+  const double ratio = interference_energy_at(gains, relayed, 3) /
+                       interference_energy_at(gains, direct, 3);
+  // (20^2 + 80^2) / 100^2 = 0.68: better than direct, worse than centred.
+  EXPECT_NEAR(ratio, 0.68, 0.01);
+  EXPECT_GT(ratio, 0.5);
+}
+
+TEST(MinEnergy, ObserverOnPathIsSkipped) {
+  radio::PropagationMatrix m(3);
+  m.set_gain(0, 1, 0.5);
+  m.set_gain(1, 2, 0.25);
+  m.set_gain(0, 2, 0.1);
+  const std::array<StationId, 3> path = {0, 1, 2};
+  // Observer 1 hears hop 0->1 (tx 0) but its own transmission is skipped.
+  const double e = interference_energy_at(m, path, 1);
+  EXPECT_DOUBLE_EQ(e, (1.0 / 0.5) * m.gain(1, 0));
+}
+
+TEST(MinEnergy, RelayCircleCriterion) {
+  const geo::Vec2 a{0.0, 0.0};
+  const geo::Vec2 c{10.0, 0.0};
+  EXPECT_TRUE(relay_inside_criterion_circle(a, {5.0, 2.0}, c));
+  EXPECT_FALSE(relay_inside_criterion_circle(a, {5.0, 5.0}, c));  // on circle
+  EXPECT_FALSE(relay_inside_criterion_circle(a, {-1.0, 0.0}, c));
+}
+
+TEST(MinEnergy, DijkstraChoosesRelayExactlyWhenCircleCriterionSays) {
+  // Sweep a relay B across positions; Dijkstra on the 1/gain graph must use
+  // the relay exactly when B lies inside the A-C diameter circle.
+  const geo::Vec2 a{0.0, 0.0};
+  const geo::Vec2 c{100.0, 0.0};
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const geo::Vec2 b{rng.uniform(-30.0, 130.0), rng.uniform(-80.0, 80.0)};
+    const geo::Placement placement = {a, b, c};
+    const radio::FreeSpacePropagation model;
+    const auto gains =
+        radio::PropagationMatrix::from_placement(placement, model);
+    const auto g = Graph::min_energy(gains, 1.0e-12);
+    const PathTree t = shortest_paths(g, 0);
+    const auto path = extract_path(t, 2);
+    const bool used_relay = path.size() == 3;
+    EXPECT_EQ(used_relay, relay_inside_criterion_circle(a, b, c))
+        << "b=(" << b.x << "," << b.y << ")";
+  }
+}
+
+TEST(MinEnergy, HopCount) {
+  const std::array<StationId, 4> path = {0, 1, 2, 3};
+  EXPECT_EQ(hop_count(path), 3u);
+  const std::array<StationId, 1> single = {0};
+  EXPECT_EQ(hop_count(single), 0u);
+}
+
+TEST(MinEnergy, Contracts) {
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  const std::array<StationId, 1> short_path = {0};
+  EXPECT_THROW((void)path_energy_cost(m, short_path), ContractViolation);
+  EXPECT_THROW((void)interference_energy_at(m, short_path, 1),
+               ContractViolation);
+  EXPECT_THROW((void)hop_count(std::span<const StationId>{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::routing

@@ -1,0 +1,124 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn::sim {
+namespace {
+
+Event make(double t, EventKind k, std::uint64_t id = 0) {
+  Event e;
+  e.time_s = t;
+  e.kind = k;
+  e.tx_id = id;
+  return e;
+}
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.next_time(), ContractViolation);
+  EXPECT_THROW((void)q.pop(), ContractViolation);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(make(3.0, EventKind::kTimer));
+  q.push(make(1.0, EventKind::kTimer));
+  q.push(make(2.0, EventKind::kTimer));
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time_s, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time_s, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time_s, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EndBeforeStartAtSameInstant) {
+  // The physics requires: a transmission ending at t is processed before one
+  // starting at t (back-to-back transmissions must not overlap).
+  EventQueue q;
+  q.push(make(5.0, EventKind::kTransmitStart, 2));
+  q.push(make(5.0, EventKind::kTransmitEnd, 1));
+  EXPECT_EQ(q.pop().kind, EventKind::kTransmitEnd);
+  EXPECT_EQ(q.pop().kind, EventKind::kTransmitStart);
+}
+
+TEST(EventQueue, FullKindPriorityOrder) {
+  EventQueue q;
+  q.push(make(1.0, EventKind::kTransmitStart));
+  q.push(make(1.0, EventKind::kInject));
+  q.push(make(1.0, EventKind::kTimer));
+  q.push(make(1.0, EventKind::kTransmitEnd));
+  EXPECT_EQ(q.pop().kind, EventKind::kTransmitEnd);
+  EXPECT_EQ(q.pop().kind, EventKind::kTimer);
+  EXPECT_EQ(q.pop().kind, EventKind::kInject);
+  EXPECT_EQ(q.pop().kind, EventKind::kTransmitStart);
+}
+
+TEST(EventQueue, FifoAmongIdenticalEvents) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    q.push(make(1.0, EventKind::kTimer, i));
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(q.pop().tx_id, i);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(make(2.0, EventKind::kTimer, 2));
+  q.push(make(1.0, EventKind::kTimer, 1));
+  EXPECT_EQ(q.pop().tx_id, 1u);
+  q.push(make(0.5, EventKind::kTimer, 3));
+  EXPECT_EQ(q.pop().tx_id, 3u);
+  EXPECT_EQ(q.pop().tx_id, 2u);
+}
+
+TEST(EventQueue, PropertyMatchesReferenceSort) {
+  // Random soup of events: popping everything must yield exactly the stable
+  // sort by (time, kind, insertion order).
+  drn::Rng rng(31337);
+  EventQueue q;
+  struct Ref {
+    double t;
+    EventKind k;
+    std::uint64_t seq;
+  };
+  std::vector<Ref> ref;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    Event e;
+    // Coarse times so ties are common.
+    e.time_s = static_cast<double>(rng.uniform_index(50));
+    e.kind = static_cast<EventKind>(rng.uniform_index(4));
+    e.tx_id = i;
+    q.push(e);
+    ref.push_back({e.time_s, e.kind, i});
+  }
+  std::stable_sort(ref.begin(), ref.end(), [](const Ref& a, const Ref& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.k < b.k;
+  });
+  for (const Ref& r : ref) {
+    const Event e = q.pop();
+    EXPECT_DOUBLE_EQ(e.time_s, r.t);
+    EXPECT_EQ(e.kind, r.k);
+    EXPECT_EQ(e.tx_id, r.seq);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  q.push(make(1.0, EventKind::kTimer));
+  q.push(make(2.0, EventKind::kTimer));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace drn::sim

@@ -1,0 +1,86 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+
+namespace drn::sim {
+namespace {
+
+TEST(Metrics, StartsZeroed) {
+  const Metrics m(4);
+  EXPECT_EQ(m.offered(), 0u);
+  EXPECT_EQ(m.hop_attempts(), 0u);
+  EXPECT_EQ(m.hop_successes(), 0u);
+  EXPECT_EQ(m.total_hop_losses(), 0u);
+  EXPECT_EQ(m.delivered(), 0u);
+  EXPECT_EQ(m.mac_drops(), 0u);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.0);
+}
+
+TEST(Metrics, LossTaxonomyCounters) {
+  Metrics m(2);
+  m.record_hop_loss(LossType::kType1);
+  m.record_hop_loss(LossType::kType2);
+  m.record_hop_loss(LossType::kType2);
+  m.record_hop_loss(LossType::kType3);
+  EXPECT_EQ(m.losses(LossType::kType1), 1u);
+  EXPECT_EQ(m.losses(LossType::kType2), 2u);
+  EXPECT_EQ(m.losses(LossType::kType3), 1u);
+  EXPECT_EQ(m.total_hop_losses(), 4u);
+  EXPECT_THROW(m.record_hop_loss(LossType::kNone), ContractViolation);
+}
+
+TEST(Metrics, DeliveryRatio) {
+  Metrics m(2);
+  for (int i = 0; i < 4; ++i) m.record_offered();
+  m.record_delivery(0.5, 1);
+  m.record_delivery(1.5, 3);
+  m.record_delivery(2.5, 2);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.75);
+  EXPECT_DOUBLE_EQ(m.delay().mean(), 1.5);
+  EXPECT_DOUBLE_EQ(m.hops().mean(), 2.0);
+}
+
+TEST(Metrics, SinrMarginTracked) {
+  Metrics m(2);
+  m.record_hop_success(3.0);
+  m.record_hop_success(5.0);
+  EXPECT_EQ(m.hop_successes(), 2u);
+  EXPECT_DOUBLE_EQ(m.sinr_margin_db().mean(), 4.0);
+}
+
+TEST(Metrics, AirtimeAndDutyCycle) {
+  Metrics m(3);
+  m.record_airtime(0, 2.0);
+  m.record_airtime(0, 1.0);
+  m.record_airtime(2, 6.0);
+  EXPECT_DOUBLE_EQ(m.airtime_s(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.airtime_s(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.duty_cycle(0, 10.0), 0.3);
+  EXPECT_DOUBLE_EQ(m.duty_cycle(2, 10.0), 0.6);
+  EXPECT_DOUBLE_EQ(m.mean_duty_cycle(10.0), (3.0 + 0.0 + 6.0) / 30.0);
+}
+
+TEST(Metrics, BroadcastCounters) {
+  Metrics m(2);
+  m.record_broadcast();
+  m.record_broadcast();
+  m.record_broadcast_reception();
+  EXPECT_EQ(m.broadcasts_sent(), 2u);
+  EXPECT_EQ(m.broadcast_receptions(), 1u);
+  // Broadcasts never contaminate the unicast hop accounting.
+  EXPECT_EQ(m.hop_attempts(), 0u);
+  EXPECT_EQ(m.hop_successes(), 0u);
+}
+
+TEST(Metrics, Contracts) {
+  EXPECT_THROW(Metrics(0), ContractViolation);
+  Metrics m(2);
+  EXPECT_THROW(m.record_airtime(2, 1.0), ContractViolation);
+  EXPECT_THROW(m.record_airtime(0, -1.0), ContractViolation);
+  EXPECT_THROW((void)m.duty_cycle(0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::sim

@@ -1,0 +1,269 @@
+// drn_sim — command-line driver for the whole stack: build a random network,
+// pick a MAC, offer Poisson traffic, print the outcome. The quickest way for
+// a downstream user to poke at the system without writing C++.
+//
+//   $ drn_sim --stations 50 --region 1200 --mac scheme --rate 300
+//   $ drn_sim --mac aloha --seed 9 --csv-trace /tmp/trace.csv
+//   $ drn_sim --help
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "baselines/aloha.hpp"
+#include "baselines/csma.hpp"
+#include "baselines/maca.hpp"
+#include "baselines/slotted_aloha.hpp"
+#include "core/network_builder.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/graph.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace drn;
+
+struct Options {
+  std::size_t stations = 40;
+  double region_m = 1000.0;
+  std::uint64_t seed = 1;
+  std::string mac = "scheme";
+  double rate_pps = 200.0;
+  double duration_s = 2.0;
+  double drain_s = 60.0;
+  double receive_fraction = 0.3;
+  double slot_s = 0.01;
+  double target_received_w = 1.0e-9;
+  double max_power_w = 1.6e-4;
+  double bandwidth_hz = 200.0e6;
+  double data_rate_bps = 1.0e6;
+  double margin_db = 5.0;
+  bool dual_slope = false;
+  double breakpoint_m = 100.0;
+  double shadowing_db = 0.0;
+  std::string csv_trace;
+  bool help = false;
+};
+
+void print_help() {
+  std::cout <<
+      R"(drn_sim - dense packet radio network simulator (Shepard, SIGCOMM '96)
+
+usage: drn_sim [--key value]...
+
+topology
+  --stations N          station count               (default 40)
+  --region METERS       disc radius                 (default 1000)
+  --seed N              master seed                 (default 1)
+  --dual-slope 0|1      two-ray propagation         (default 0 = free space)
+  --breakpoint METERS   dual-slope breakpoint       (default 100)
+  --shadowing DB        log-normal shadowing sigma  (default 0)
+
+radio design point
+  --bandwidth HZ        spread bandwidth W          (default 2e8)
+  --data-rate BPS       design rate C               (default 1e6)
+  --margin DB           detection margin            (default 5)
+  --target-power W      delivered power target      (default 1e-9)
+  --max-power W         transmit power limit        (default 1.6e-4)
+
+channel access
+  --mac NAME            scheme|aloha|slotted|csma|maca   (default scheme)
+  --receive-fraction P  schedule receive duty p     (default 0.3)
+  --slot S              slot duration               (default 0.01)
+
+workload
+  --rate PPS            aggregate Poisson offer     (default 200)
+  --duration S          offer window                (default 2)
+  --drain S             extra time to drain queues  (default 60)
+
+output
+  --csv-trace PATH      dump the physical-layer trace as CSV
+  --help                this text
+)";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key == "--help" || key == "-h") {
+      opt.help = true;
+      return true;
+    }
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::cerr << "bad argument: " << key << " (try --help)\n";
+      return false;
+    }
+    kv[key.substr(2)] = argv[++i];
+  }
+  auto num = [&](const char* name, double& out) {
+    if (auto it = kv.find(name); it != kv.end()) out = std::stod(it->second);
+  };
+  auto integer = [&](const char* name, auto& out) {
+    if (auto it = kv.find(name); it != kv.end())
+      out = static_cast<std::remove_reference_t<decltype(out)>>(
+          std::stoull(it->second));
+  };
+  integer("stations", opt.stations);
+  num("region", opt.region_m);
+  integer("seed", opt.seed);
+  if (auto it = kv.find("mac"); it != kv.end()) opt.mac = it->second;
+  num("rate", opt.rate_pps);
+  num("duration", opt.duration_s);
+  num("drain", opt.drain_s);
+  num("receive-fraction", opt.receive_fraction);
+  num("slot", opt.slot_s);
+  num("target-power", opt.target_received_w);
+  num("max-power", opt.max_power_w);
+  num("bandwidth", opt.bandwidth_hz);
+  num("data-rate", opt.data_rate_bps);
+  num("margin", opt.margin_db);
+  double ds = 0.0;
+  num("dual-slope", ds);
+  opt.dual_slope = ds != 0.0;
+  num("breakpoint", opt.breakpoint_m);
+  num("shadowing", opt.shadowing_db);
+  if (auto it = kv.find("csv-trace"); it != kv.end())
+    opt.csv_trace = it->second;
+  return true;
+}
+
+int run(const Options& opt) {
+  Rng rng(opt.seed);
+  const geo::Placement placement =
+      geo::uniform_disc(opt.stations, opt.region_m, rng);
+
+  std::shared_ptr<radio::PropagationModel> model;
+  if (opt.dual_slope) {
+    model = std::make_shared<radio::DualSlopePropagation>(opt.breakpoint_m);
+  } else {
+    model = std::make_shared<radio::FreeSpacePropagation>();
+  }
+  if (opt.shadowing_db > 0.0) {
+    model = std::make_shared<radio::LogNormalShadowing>(model,
+                                                        opt.shadowing_db,
+                                                        opt.seed ^ 0x5AD0ull);
+  }
+  const auto gains = radio::PropagationMatrix::from_placement(placement, *model);
+  const radio::ReceptionCriterion criterion(opt.bandwidth_hz,
+                                            opt.data_rate_bps, opt.margin_db);
+
+  core::ScheduledNetworkConfig net_cfg;
+  net_cfg.slot_s = opt.slot_s;
+  net_cfg.receive_fraction = opt.receive_fraction;
+  net_cfg.target_received_w = opt.target_received_w;
+  net_cfg.max_power_w = opt.max_power_w;
+  Rng build_rng = rng.split(1);
+  auto net = core::build_scheduled_network(gains, criterion, net_cfg, build_rng);
+
+  const double min_gain = opt.target_received_w / opt.max_power_w;
+  const auto graph = routing::Graph::min_energy(gains, min_gain);
+  const auto tables = routing::RoutingTables::build(graph);
+
+  sim::SimulatorConfig sim_cfg{criterion};
+  sim_cfg.seed = opt.seed;
+  sim::Simulator sim(gains, sim_cfg);
+  sim::TraceRecorder trace;
+  if (!opt.csv_trace.empty()) sim.set_observer(&trace);
+
+  if (opt.mac == "scheme") {
+    for (StationId s = 0; s < gains.size(); ++s)
+      sim.set_mac(s, std::move(net.macs[s]));
+  } else if (opt.mac == "aloha" || opt.mac == "slotted" || opt.mac == "csma") {
+    baselines::ContentionConfig cc;
+    cc.power_w = opt.max_power_w;
+    cc.max_retries = 6;
+    cc.backoff_mean_s = opt.slot_s;
+    for (StationId s = 0; s < gains.size(); ++s) {
+      if (opt.mac == "aloha") {
+        sim.set_mac(s, std::make_unique<baselines::PureAloha>(cc));
+      } else if (opt.mac == "slotted") {
+        sim.set_mac(s, std::make_unique<baselines::SlottedAloha>(
+                           cc, opt.slot_s / 4.0));
+      } else {
+        sim.set_mac(s, std::make_unique<baselines::CsmaMac>(
+                           cc, 2.5 * opt.target_received_w));
+      }
+    }
+  } else if (opt.mac == "maca") {
+    baselines::MacaConfig mc;
+    mc.power_w = opt.max_power_w;
+    mc.data_rate_bps = opt.data_rate_bps;
+    for (StationId s = 0; s < gains.size(); ++s)
+      sim.set_mac(s, std::make_unique<baselines::MacaMac>(mc));
+  } else {
+    std::cerr << "unknown --mac " << opt.mac << " (try --help)\n";
+    return 2;
+  }
+  sim.set_router(tables.router());
+
+  Rng traffic_rng = rng.split(2);
+  for (const auto& inj : sim::poisson_traffic(
+           opt.rate_pps, opt.duration_s, net.packet_bits,
+           sim::uniform_pairs(gains.size()), traffic_rng))
+    sim.inject(inj.time_s, inj.packet);
+  sim.run_until(opt.duration_s + opt.drain_s);
+
+  const auto& m = sim.metrics();
+  std::cout << "drn_sim: " << opt.stations << " stations, " << opt.region_m
+            << " m disc, MAC=" << opt.mac << ", seed=" << opt.seed << ", "
+            << (graph.connected() ? "connected" : "NOT fully connected")
+            << " (min usable gain " << min_gain << ", free-space reach "
+            << 1.0 / std::sqrt(min_gain) << " m)\n\n";
+  analysis::Table t({"metric", "value"});
+  t.add_row({"offered packets", analysis::Table::num(m.offered())});
+  t.add_row({"delivered", analysis::Table::num(m.delivered())});
+  t.add_row({"delivery ratio", analysis::Table::num(m.delivery_ratio(), 4)});
+  t.add_row({"hop attempts", analysis::Table::num(m.hop_attempts())});
+  t.add_row({"type 1 losses", analysis::Table::num(m.losses(sim::LossType::kType1))});
+  t.add_row({"type 2 losses", analysis::Table::num(m.losses(sim::LossType::kType2))});
+  t.add_row({"type 3 losses", analysis::Table::num(m.losses(sim::LossType::kType3))});
+  t.add_row({"MAC drops (incl. unroutable)", analysis::Table::num(m.mac_drops())});
+  if (m.delivered() > 0) {
+    t.add_row({"mean delay (ms)", analysis::Table::num(m.delay().mean() * 1e3, 2)});
+    t.add_row({"mean hops", analysis::Table::num(m.hops().mean(), 2)});
+  }
+  t.add_row({"mean transmit duty",
+             analysis::Table::num(
+                 m.mean_duty_cycle(opt.duration_s + opt.drain_s), 4)});
+  t.print(std::cout);
+
+  if (!opt.csv_trace.empty()) {
+    std::ofstream out(opt.csv_trace);
+    if (!out) {
+      std::cerr << "cannot write " << opt.csv_trace << '\n';
+      return 3;
+    }
+    trace.write_transmissions_csv(out);
+    out << '\n';
+    trace.write_receptions_csv(out);
+    std::cout << "\ntrace written to " << opt.csv_trace << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+  if (opt.help) {
+    print_help();
+    return 0;
+  }
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
