@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_multiuser.dir/abl_multiuser.cpp.o"
+  "CMakeFiles/bench_abl_multiuser.dir/abl_multiuser.cpp.o.d"
+  "bench_abl_multiuser"
+  "bench_abl_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

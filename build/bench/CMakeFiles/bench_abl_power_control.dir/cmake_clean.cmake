@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_power_control.dir/abl_power_control.cpp.o"
+  "CMakeFiles/bench_abl_power_control.dir/abl_power_control.cpp.o.d"
+  "bench_abl_power_control"
+  "bench_abl_power_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_power_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_rate_adaptation.dir/abl_rate_adaptation.cpp.o"
+  "CMakeFiles/bench_abl_rate_adaptation.dir/abl_rate_adaptation.cpp.o.d"
+  "bench_abl_rate_adaptation"
+  "bench_abl_rate_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

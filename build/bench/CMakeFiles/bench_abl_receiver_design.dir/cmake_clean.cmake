@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_receiver_design.dir/abl_receiver_design.cpp.o"
+  "CMakeFiles/bench_abl_receiver_design.dir/abl_receiver_design.cpp.o.d"
+  "bench_abl_receiver_design"
+  "bench_abl_receiver_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_receiver_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

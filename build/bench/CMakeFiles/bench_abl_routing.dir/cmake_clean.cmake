@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_routing.dir/abl_routing.cpp.o"
+  "CMakeFiles/bench_abl_routing.dir/abl_routing.cpp.o.d"
+  "bench_abl_routing"
+  "bench_abl_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

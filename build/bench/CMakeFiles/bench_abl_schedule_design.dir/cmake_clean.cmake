@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_schedule_design.dir/abl_schedule_design.cpp.o"
+  "CMakeFiles/bench_abl_schedule_design.dir/abl_schedule_design.cpp.o.d"
+  "bench_abl_schedule_design"
+  "bench_abl_schedule_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_schedule_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_snr_scaling.dir/fig1_snr_scaling.cpp.o"
+  "CMakeFiles/bench_fig1_snr_scaling.dir/fig1_snr_scaling.cpp.o.d"
+  "bench_fig1_snr_scaling"
+  "bench_fig1_snr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_snr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_schedule_raster.dir/fig4_schedule_raster.cpp.o"
+  "CMakeFiles/bench_fig4_schedule_raster.dir/fig4_schedule_raster.cpp.o.d"
+  "bench_fig4_schedule_raster"
+  "bench_fig4_schedule_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_schedule_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

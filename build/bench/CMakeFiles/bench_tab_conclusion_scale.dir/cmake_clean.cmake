@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_conclusion_scale.dir/tab_conclusion_scale.cpp.o"
+  "CMakeFiles/bench_tab_conclusion_scale.dir/tab_conclusion_scale.cpp.o.d"
+  "bench_tab_conclusion_scale"
+  "bench_tab_conclusion_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_conclusion_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

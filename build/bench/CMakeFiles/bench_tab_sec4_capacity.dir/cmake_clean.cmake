@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_sec4_capacity.dir/tab_sec4_capacity.cpp.o"
+  "CMakeFiles/bench_tab_sec4_capacity.dir/tab_sec4_capacity.cpp.o.d"
+  "bench_tab_sec4_capacity"
+  "bench_tab_sec4_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_sec4_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_sec6_design.dir/tab_sec6_design.cpp.o"
+  "CMakeFiles/bench_tab_sec6_design.dir/tab_sec6_design.cpp.o.d"
+  "bench_tab_sec6_design"
+  "bench_tab_sec6_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_sec6_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

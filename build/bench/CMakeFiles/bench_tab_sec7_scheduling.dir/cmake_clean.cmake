@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_sec7_scheduling.dir/tab_sec7_scheduling.cpp.o"
+  "CMakeFiles/bench_tab_sec7_scheduling.dir/tab_sec7_scheduling.cpp.o.d"
+  "bench_tab_sec7_scheduling"
+  "bench_tab_sec7_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_sec7_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_sec8_network_sim.dir/tab_sec8_network_sim.cpp.o"
+  "CMakeFiles/bench_tab_sec8_network_sim.dir/tab_sec8_network_sim.cpp.o.d"
+  "bench_tab_sec8_network_sim"
+  "bench_tab_sec8_network_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_sec8_network_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

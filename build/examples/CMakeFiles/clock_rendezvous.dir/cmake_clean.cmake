@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_rendezvous.dir/clock_rendezvous.cpp.o"
+  "CMakeFiles/clock_rendezvous.dir/clock_rendezvous.cpp.o.d"
+  "clock_rendezvous"
+  "clock_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

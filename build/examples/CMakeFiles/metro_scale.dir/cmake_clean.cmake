@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metro_scale.dir/metro_scale.cpp.o"
+  "CMakeFiles/metro_scale.dir/metro_scale.cpp.o.d"
+  "metro_scale"
+  "metro_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metro_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

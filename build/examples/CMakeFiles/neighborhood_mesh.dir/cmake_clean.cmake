@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_mesh.dir/neighborhood_mesh.cpp.o"
+  "CMakeFiles/neighborhood_mesh.dir/neighborhood_mesh.cpp.o.d"
+  "neighborhood_mesh"
+  "neighborhood_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

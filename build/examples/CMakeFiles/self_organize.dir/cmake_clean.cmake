@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_organize.dir/self_organize.cpp.o"
+  "CMakeFiles/self_organize.dir/self_organize.cpp.o.d"
+  "self_organize"
+  "self_organize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_organize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

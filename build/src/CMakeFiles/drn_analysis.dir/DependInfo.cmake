@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_plot.cpp" "src/CMakeFiles/drn_analysis.dir/analysis/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/drn_analysis.dir/analysis/ascii_plot.cpp.o.d"
+  "/root/repo/src/analysis/capacity.cpp" "src/CMakeFiles/drn_analysis.dir/analysis/capacity.cpp.o" "gcc" "src/CMakeFiles/drn_analysis.dir/analysis/capacity.cpp.o.d"
+  "/root/repo/src/analysis/delay_model.cpp" "src/CMakeFiles/drn_analysis.dir/analysis/delay_model.cpp.o" "gcc" "src/CMakeFiles/drn_analysis.dir/analysis/delay_model.cpp.o.d"
+  "/root/repo/src/analysis/schedule_math.cpp" "src/CMakeFiles/drn_analysis.dir/analysis/schedule_math.cpp.o" "gcc" "src/CMakeFiles/drn_analysis.dir/analysis/schedule_math.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/CMakeFiles/drn_analysis.dir/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/drn_analysis.dir/analysis/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/CMakeFiles/drn_analysis.dir/analysis/table.cpp.o" "gcc" "src/CMakeFiles/drn_analysis.dir/analysis/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

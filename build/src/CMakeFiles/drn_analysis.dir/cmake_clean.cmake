@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_analysis.dir/analysis/ascii_plot.cpp.o"
+  "CMakeFiles/drn_analysis.dir/analysis/ascii_plot.cpp.o.d"
+  "CMakeFiles/drn_analysis.dir/analysis/capacity.cpp.o"
+  "CMakeFiles/drn_analysis.dir/analysis/capacity.cpp.o.d"
+  "CMakeFiles/drn_analysis.dir/analysis/delay_model.cpp.o"
+  "CMakeFiles/drn_analysis.dir/analysis/delay_model.cpp.o.d"
+  "CMakeFiles/drn_analysis.dir/analysis/schedule_math.cpp.o"
+  "CMakeFiles/drn_analysis.dir/analysis/schedule_math.cpp.o.d"
+  "CMakeFiles/drn_analysis.dir/analysis/stats.cpp.o"
+  "CMakeFiles/drn_analysis.dir/analysis/stats.cpp.o.d"
+  "CMakeFiles/drn_analysis.dir/analysis/table.cpp.o"
+  "CMakeFiles/drn_analysis.dir/analysis/table.cpp.o.d"
+  "libdrn_analysis.a"
+  "libdrn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

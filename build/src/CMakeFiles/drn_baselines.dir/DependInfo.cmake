@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aloha.cpp" "src/CMakeFiles/drn_baselines.dir/baselines/aloha.cpp.o" "gcc" "src/CMakeFiles/drn_baselines.dir/baselines/aloha.cpp.o.d"
+  "/root/repo/src/baselines/contention_mac.cpp" "src/CMakeFiles/drn_baselines.dir/baselines/contention_mac.cpp.o" "gcc" "src/CMakeFiles/drn_baselines.dir/baselines/contention_mac.cpp.o.d"
+  "/root/repo/src/baselines/csma.cpp" "src/CMakeFiles/drn_baselines.dir/baselines/csma.cpp.o" "gcc" "src/CMakeFiles/drn_baselines.dir/baselines/csma.cpp.o.d"
+  "/root/repo/src/baselines/maca.cpp" "src/CMakeFiles/drn_baselines.dir/baselines/maca.cpp.o" "gcc" "src/CMakeFiles/drn_baselines.dir/baselines/maca.cpp.o.d"
+  "/root/repo/src/baselines/slotted_aloha.cpp" "src/CMakeFiles/drn_baselines.dir/baselines/slotted_aloha.cpp.o" "gcc" "src/CMakeFiles/drn_baselines.dir/baselines/slotted_aloha.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_baselines.dir/baselines/aloha.cpp.o"
+  "CMakeFiles/drn_baselines.dir/baselines/aloha.cpp.o.d"
+  "CMakeFiles/drn_baselines.dir/baselines/contention_mac.cpp.o"
+  "CMakeFiles/drn_baselines.dir/baselines/contention_mac.cpp.o.d"
+  "CMakeFiles/drn_baselines.dir/baselines/csma.cpp.o"
+  "CMakeFiles/drn_baselines.dir/baselines/csma.cpp.o.d"
+  "CMakeFiles/drn_baselines.dir/baselines/maca.cpp.o"
+  "CMakeFiles/drn_baselines.dir/baselines/maca.cpp.o.d"
+  "CMakeFiles/drn_baselines.dir/baselines/slotted_aloha.cpp.o"
+  "CMakeFiles/drn_baselines.dir/baselines/slotted_aloha.cpp.o.d"
+  "libdrn_baselines.a"
+  "libdrn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access.cpp" "src/CMakeFiles/drn_core.dir/core/access.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/access.cpp.o.d"
+  "/root/repo/src/core/clock.cpp" "src/CMakeFiles/drn_core.dir/core/clock.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/clock.cpp.o.d"
+  "/root/repo/src/core/clock_model.cpp" "src/CMakeFiles/drn_core.dir/core/clock_model.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/clock_model.cpp.o.d"
+  "/root/repo/src/core/discovery.cpp" "src/CMakeFiles/drn_core.dir/core/discovery.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/discovery.cpp.o.d"
+  "/root/repo/src/core/hash.cpp" "src/CMakeFiles/drn_core.dir/core/hash.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/hash.cpp.o.d"
+  "/root/repo/src/core/neighbor_table.cpp" "src/CMakeFiles/drn_core.dir/core/neighbor_table.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/neighbor_table.cpp.o.d"
+  "/root/repo/src/core/network_builder.cpp" "src/CMakeFiles/drn_core.dir/core/network_builder.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/network_builder.cpp.o.d"
+  "/root/repo/src/core/power_control.cpp" "src/CMakeFiles/drn_core.dir/core/power_control.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/power_control.cpp.o.d"
+  "/root/repo/src/core/rate_selection.cpp" "src/CMakeFiles/drn_core.dir/core/rate_selection.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/rate_selection.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/drn_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/scheduled_station.cpp" "src/CMakeFiles/drn_core.dir/core/scheduled_station.cpp.o" "gcc" "src/CMakeFiles/drn_core.dir/core/scheduled_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_core.dir/core/access.cpp.o"
+  "CMakeFiles/drn_core.dir/core/access.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/clock.cpp.o"
+  "CMakeFiles/drn_core.dir/core/clock.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/clock_model.cpp.o"
+  "CMakeFiles/drn_core.dir/core/clock_model.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/discovery.cpp.o"
+  "CMakeFiles/drn_core.dir/core/discovery.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/hash.cpp.o"
+  "CMakeFiles/drn_core.dir/core/hash.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/neighbor_table.cpp.o"
+  "CMakeFiles/drn_core.dir/core/neighbor_table.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/network_builder.cpp.o"
+  "CMakeFiles/drn_core.dir/core/network_builder.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/power_control.cpp.o"
+  "CMakeFiles/drn_core.dir/core/power_control.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/rate_selection.cpp.o"
+  "CMakeFiles/drn_core.dir/core/rate_selection.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/drn_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/drn_core.dir/core/scheduled_station.cpp.o"
+  "CMakeFiles/drn_core.dir/core/scheduled_station.cpp.o.d"
+  "libdrn_core.a"
+  "libdrn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

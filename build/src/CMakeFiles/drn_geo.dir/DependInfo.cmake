@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/circle.cpp" "src/CMakeFiles/drn_geo.dir/geo/circle.cpp.o" "gcc" "src/CMakeFiles/drn_geo.dir/geo/circle.cpp.o.d"
+  "/root/repo/src/geo/placement.cpp" "src/CMakeFiles/drn_geo.dir/geo/placement.cpp.o" "gcc" "src/CMakeFiles/drn_geo.dir/geo/placement.cpp.o.d"
+  "/root/repo/src/geo/vec2.cpp" "src/CMakeFiles/drn_geo.dir/geo/vec2.cpp.o" "gcc" "src/CMakeFiles/drn_geo.dir/geo/vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

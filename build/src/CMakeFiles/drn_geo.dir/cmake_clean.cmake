@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_geo.dir/geo/circle.cpp.o"
+  "CMakeFiles/drn_geo.dir/geo/circle.cpp.o.d"
+  "CMakeFiles/drn_geo.dir/geo/placement.cpp.o"
+  "CMakeFiles/drn_geo.dir/geo/placement.cpp.o.d"
+  "CMakeFiles/drn_geo.dir/geo/vec2.cpp.o"
+  "CMakeFiles/drn_geo.dir/geo/vec2.cpp.o.d"
+  "libdrn_geo.a"
+  "libdrn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

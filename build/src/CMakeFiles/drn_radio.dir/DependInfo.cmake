@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/noise_growth.cpp" "src/CMakeFiles/drn_radio.dir/radio/noise_growth.cpp.o" "gcc" "src/CMakeFiles/drn_radio.dir/radio/noise_growth.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/CMakeFiles/drn_radio.dir/radio/propagation.cpp.o" "gcc" "src/CMakeFiles/drn_radio.dir/radio/propagation.cpp.o.d"
+  "/root/repo/src/radio/propagation_matrix.cpp" "src/CMakeFiles/drn_radio.dir/radio/propagation_matrix.cpp.o" "gcc" "src/CMakeFiles/drn_radio.dir/radio/propagation_matrix.cpp.o.d"
+  "/root/repo/src/radio/reception.cpp" "src/CMakeFiles/drn_radio.dir/radio/reception.cpp.o" "gcc" "src/CMakeFiles/drn_radio.dir/radio/reception.cpp.o.d"
+  "/root/repo/src/radio/units.cpp" "src/CMakeFiles/drn_radio.dir/radio/units.cpp.o" "gcc" "src/CMakeFiles/drn_radio.dir/radio/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

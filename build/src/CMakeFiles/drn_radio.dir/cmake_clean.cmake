@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_radio.dir/radio/noise_growth.cpp.o"
+  "CMakeFiles/drn_radio.dir/radio/noise_growth.cpp.o.d"
+  "CMakeFiles/drn_radio.dir/radio/propagation.cpp.o"
+  "CMakeFiles/drn_radio.dir/radio/propagation.cpp.o.d"
+  "CMakeFiles/drn_radio.dir/radio/propagation_matrix.cpp.o"
+  "CMakeFiles/drn_radio.dir/radio/propagation_matrix.cpp.o.d"
+  "CMakeFiles/drn_radio.dir/radio/reception.cpp.o"
+  "CMakeFiles/drn_radio.dir/radio/reception.cpp.o.d"
+  "CMakeFiles/drn_radio.dir/radio/units.cpp.o"
+  "CMakeFiles/drn_radio.dir/radio/units.cpp.o.d"
+  "libdrn_radio.a"
+  "libdrn_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

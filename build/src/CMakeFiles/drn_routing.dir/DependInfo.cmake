@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bellman_ford.cpp" "src/CMakeFiles/drn_routing.dir/routing/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/drn_routing.dir/routing/bellman_ford.cpp.o.d"
+  "/root/repo/src/routing/dijkstra.cpp" "src/CMakeFiles/drn_routing.dir/routing/dijkstra.cpp.o" "gcc" "src/CMakeFiles/drn_routing.dir/routing/dijkstra.cpp.o.d"
+  "/root/repo/src/routing/graph.cpp" "src/CMakeFiles/drn_routing.dir/routing/graph.cpp.o" "gcc" "src/CMakeFiles/drn_routing.dir/routing/graph.cpp.o.d"
+  "/root/repo/src/routing/min_energy.cpp" "src/CMakeFiles/drn_routing.dir/routing/min_energy.cpp.o" "gcc" "src/CMakeFiles/drn_routing.dir/routing/min_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_routing.dir/routing/bellman_ford.cpp.o"
+  "CMakeFiles/drn_routing.dir/routing/bellman_ford.cpp.o.d"
+  "CMakeFiles/drn_routing.dir/routing/dijkstra.cpp.o"
+  "CMakeFiles/drn_routing.dir/routing/dijkstra.cpp.o.d"
+  "CMakeFiles/drn_routing.dir/routing/graph.cpp.o"
+  "CMakeFiles/drn_routing.dir/routing/graph.cpp.o.d"
+  "CMakeFiles/drn_routing.dir/routing/min_energy.cpp.o"
+  "CMakeFiles/drn_routing.dir/routing/min_energy.cpp.o.d"
+  "libdrn_routing.a"
+  "libdrn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/drn_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/drn_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/drn_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/drn_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/drn_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/drn_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/drn_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/drn_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/drn_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/drn_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/CMakeFiles/drn_sim.dir/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/drn_sim.dir/sim/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/drn_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/drn_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/drn_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/drn_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/drn_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/drn_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/drn_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/drn_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/drn_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/drn_sim.dir/sim/traffic.cpp.o"
+  "CMakeFiles/drn_sim.dir/sim/traffic.cpp.o.d"
+  "libdrn_sim.a"
+  "libdrn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/ascii_plot_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/ascii_plot_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/capacity_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/capacity_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/delay_model_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/delay_model_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/schedule_math_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/schedule_math_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/stats_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/stats_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/table_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/table_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/aloha_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/aloha_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/contention_mac_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/contention_mac_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/csma_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/csma_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/maca_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/maca_test.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/slotted_aloha_test.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/slotted_aloha_test.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/expects_test.cpp" "tests/CMakeFiles/test_common.dir/common/expects_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/expects_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/running_stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/running_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/running_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

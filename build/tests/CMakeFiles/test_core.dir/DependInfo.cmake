@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/access_test.cpp" "tests/CMakeFiles/test_core.dir/core/access_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/access_test.cpp.o.d"
+  "/root/repo/tests/core/clock_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/clock_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/clock_model_test.cpp.o.d"
+  "/root/repo/tests/core/clock_test.cpp" "tests/CMakeFiles/test_core.dir/core/clock_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/clock_test.cpp.o.d"
+  "/root/repo/tests/core/discovery_test.cpp" "tests/CMakeFiles/test_core.dir/core/discovery_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/discovery_test.cpp.o.d"
+  "/root/repo/tests/core/hash_test.cpp" "tests/CMakeFiles/test_core.dir/core/hash_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hash_test.cpp.o.d"
+  "/root/repo/tests/core/maintenance_test.cpp" "tests/CMakeFiles/test_core.dir/core/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/maintenance_test.cpp.o.d"
+  "/root/repo/tests/core/neighbor_table_test.cpp" "tests/CMakeFiles/test_core.dir/core/neighbor_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/neighbor_table_test.cpp.o.d"
+  "/root/repo/tests/core/network_builder_test.cpp" "tests/CMakeFiles/test_core.dir/core/network_builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/network_builder_test.cpp.o.d"
+  "/root/repo/tests/core/power_control_test.cpp" "tests/CMakeFiles/test_core.dir/core/power_control_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/power_control_test.cpp.o.d"
+  "/root/repo/tests/core/rate_selection_test.cpp" "tests/CMakeFiles/test_core.dir/core/rate_selection_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/rate_selection_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/test_core.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/core/scheduled_station_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheduled_station_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduled_station_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

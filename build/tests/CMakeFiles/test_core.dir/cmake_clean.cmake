@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/access_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/access_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/clock_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/clock_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/clock_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/clock_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/discovery_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/discovery_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/hash_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/hash_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/maintenance_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/maintenance_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/neighbor_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/neighbor_table_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/network_builder_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/network_builder_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/power_control_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/power_control_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rate_selection_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rate_selection_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/schedule_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/schedule_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scheduled_station_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scheduled_station_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

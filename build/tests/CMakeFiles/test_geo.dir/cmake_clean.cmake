@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo.dir/geo/circle_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/circle_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/placement_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/placement_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/vec2_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/vec2_test.cpp.o.d"
+  "test_geo"
+  "test_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

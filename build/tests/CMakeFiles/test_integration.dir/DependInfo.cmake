@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/baseline_comparison_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/baseline_comparison_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/baseline_comparison_test.cpp.o.d"
+  "/root/repo/tests/integration/collision_free_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/collision_free_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/collision_free_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/multihop_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/multihop_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/multihop_test.cpp.o.d"
+  "/root/repo/tests/integration/noise_validation_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/noise_validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/noise_validation_test.cpp.o.d"
+  "/root/repo/tests/integration/properties_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/properties_test.cpp.o.d"
+  "/root/repo/tests/integration/schedule_compliance_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/schedule_compliance_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/schedule_compliance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/baseline_comparison_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/baseline_comparison_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/collision_free_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/collision_free_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/multihop_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/multihop_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/noise_validation_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/noise_validation_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/properties_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/properties_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/schedule_compliance_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/schedule_compliance_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/radio/noise_growth_test.cpp" "tests/CMakeFiles/test_radio.dir/radio/noise_growth_test.cpp.o" "gcc" "tests/CMakeFiles/test_radio.dir/radio/noise_growth_test.cpp.o.d"
+  "/root/repo/tests/radio/propagation_matrix_test.cpp" "tests/CMakeFiles/test_radio.dir/radio/propagation_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_radio.dir/radio/propagation_matrix_test.cpp.o.d"
+  "/root/repo/tests/radio/propagation_test.cpp" "tests/CMakeFiles/test_radio.dir/radio/propagation_test.cpp.o" "gcc" "tests/CMakeFiles/test_radio.dir/radio/propagation_test.cpp.o.d"
+  "/root/repo/tests/radio/reception_test.cpp" "tests/CMakeFiles/test_radio.dir/radio/reception_test.cpp.o" "gcc" "tests/CMakeFiles/test_radio.dir/radio/reception_test.cpp.o.d"
+  "/root/repo/tests/radio/units_test.cpp" "tests/CMakeFiles/test_radio.dir/radio/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_radio.dir/radio/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drn_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

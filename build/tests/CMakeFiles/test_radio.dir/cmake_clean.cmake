@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/noise_growth_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/noise_growth_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/propagation_matrix_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/propagation_matrix_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/propagation_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/propagation_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/reception_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/reception_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/units_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/units_test.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

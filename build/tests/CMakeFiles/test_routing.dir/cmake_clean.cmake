@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/bellman_ford_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/bellman_ford_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/dijkstra_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/dijkstra_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/graph_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/graph_test.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/min_energy_test.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/min_energy_test.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

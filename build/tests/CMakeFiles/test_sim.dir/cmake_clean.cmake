@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/broadcast_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/broadcast_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/traffic_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/traffic_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

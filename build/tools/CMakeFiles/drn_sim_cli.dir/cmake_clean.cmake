@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drn_sim_cli.dir/drn_sim.cpp.o"
+  "CMakeFiles/drn_sim_cli.dir/drn_sim.cpp.o.d"
+  "drn_sim"
+  "drn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drn_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

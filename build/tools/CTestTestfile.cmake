@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(drn_sim_help "/root/repo/build/tools/drn_sim" "--help")
+set_tests_properties(drn_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drn_sim_scheme "/root/repo/build/tools/drn_sim" "--stations" "8" "--region" "400" "--max-power" "1e-3" "--rate" "50" "--duration" "0.3" "--drain" "10" "--mac" "scheme")
+set_tests_properties(drn_sim_scheme PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drn_sim_aloha "/root/repo/build/tools/drn_sim" "--stations" "8" "--region" "400" "--max-power" "1e-3" "--rate" "50" "--duration" "0.3" "--drain" "10" "--mac" "aloha")
+set_tests_properties(drn_sim_aloha PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drn_sim_slotted "/root/repo/build/tools/drn_sim" "--stations" "8" "--region" "400" "--max-power" "1e-3" "--rate" "50" "--duration" "0.3" "--drain" "10" "--mac" "slotted")
+set_tests_properties(drn_sim_slotted PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drn_sim_csma "/root/repo/build/tools/drn_sim" "--stations" "8" "--region" "400" "--max-power" "1e-3" "--rate" "50" "--duration" "0.3" "--drain" "10" "--mac" "csma")
+set_tests_properties(drn_sim_csma PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(drn_sim_maca "/root/repo/build/tools/drn_sim" "--stations" "8" "--region" "400" "--max-power" "1e-3" "--rate" "50" "--duration" "0.3" "--drain" "10" "--mac" "maca")
+set_tests_properties(drn_sim_maca PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
