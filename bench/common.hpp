@@ -1,79 +1,18 @@
-// Shared scenario assembly for the bench binaries (mirrors the integration
-// tests' helper; kept separate so bench/ has no dependency on tests/).
+// Shared scenario assembly for the bench binaries — now a thin façade over
+// the runner subsystem (src/runner/scenario.hpp), which owns the single
+// definition of scenario assembly for benches, tools and sweeps alike.
 #pragma once
 
-#include <memory>
-#include <utility>
-
-#include "core/network_builder.hpp"
-#include "geo/placement.hpp"
-#include "radio/propagation.hpp"
-#include "radio/propagation_matrix.hpp"
-#include "routing/dijkstra.hpp"
-#include "routing/graph.hpp"
-#include "sim/simulator.hpp"
-#include "sim/traffic.hpp"
+#include "radio/propagation.hpp"  // transitive deps of the old header,
+#include "sim/traffic.hpp"        // which bench binaries still rely on
+#include "runner/scenario.hpp"
 
 namespace drn::bench {
 
-/// 1 Mb/s design rate over 200 MHz spread (23 dB processing gain), 5 dB
-/// detection margin — the Section 6 design point.
-inline radio::ReceptionCriterion scheme_criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
-}
-
-/// Multihop-flavoured network defaults: reach ~400 m from a 1 nW delivered
-/// power target.
-inline core::ScheduledNetworkConfig multihop_config() {
-  core::ScheduledNetworkConfig cfg;
-  cfg.target_received_w = 1.0e-9;
-  cfg.max_power_w = 1.6e-4;
-  cfg.exact_clock_models = false;
-  cfg.max_drift_ppm = 20.0;
-  cfg.rendezvous_noise_s = 1.0e-6;
-  return cfg;
-}
-
-struct Scenario {
-  geo::Placement placement;
-  radio::PropagationMatrix gains;
-  core::ScheduledNetwork net;
-  routing::RoutingTables tables;
-};
-
-inline Scenario make_scenario(std::size_t stations, double region_m,
-                              std::uint64_t seed,
-                              core::ScheduledNetworkConfig net_cfg) {
-  Rng rng(seed);
-  auto placement = geo::uniform_disc(stations, region_m, rng);
-  const radio::FreeSpacePropagation model;
-  auto gains = radio::PropagationMatrix::from_placement(placement, model);
-  Rng build_rng = rng.split(1);
-  auto net =
-      build_scheduled_network(gains, scheme_criterion(), net_cfg, build_rng);
-  const auto graph = routing::Graph::min_energy(
-      gains, net_cfg.target_received_w / net_cfg.max_power_w);
-  auto tables = routing::RoutingTables::build(graph);
-  return Scenario{std::move(placement), std::move(gains), std::move(net),
-                  std::move(tables)};
-}
-
-/// Installs the scheme MACs + min-energy router and runs Poisson uniform-pair
-/// traffic; returns the simulator for metric inspection.
-inline const sim::Metrics& run_scheme(Scenario& scenario, sim::Simulator& sim,
-                                      double packets_per_s, double duration_s,
-                                      std::uint64_t traffic_seed,
-                                      double drain_s = 60.0) {
-  for (StationId s = 0; s < scenario.gains.size(); ++s)
-    sim.set_mac(s, std::move(scenario.net.macs[s]));
-  sim.set_router(scenario.tables.router());
-  Rng rng(traffic_seed);
-  for (const auto& inj : sim::poisson_traffic(
-           packets_per_s, duration_s, scenario.net.packet_bits,
-           sim::uniform_pairs(scenario.gains.size()), rng))
-    sim.inject(inj.time_s, inj.packet);
-  sim.run_until(duration_s + drain_s);
-  return sim.metrics();
-}
+using runner::Scenario;
+using runner::make_scenario;
+using runner::multihop_config;
+using runner::run_scheme;
+using runner::scheme_criterion;
 
 }  // namespace drn::bench

@@ -4,80 +4,31 @@
 // placements, noisy fitted clock models, minimum-energy multihop routing,
 // Poisson traffic; versus ALOHA and CSMA baselines under the identical
 // physical model (with genie acks, a bias in their favour).
+//
+// Runs through the runner subsystem: the four MACs form one sweep whose
+// trials execute in parallel across hardware threads — results are
+// bit-identical to a serial run (see DESIGN.md, runner determinism).
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/table.hpp"
-#include "baselines/aloha.hpp"
-#include "baselines/csma.hpp"
-#include "baselines/maca.hpp"
-#include "common.hpp"
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
 
 namespace {
 
-using drn::StationId;
 using drn::analysis::Table;
-namespace sim = drn::sim;
+namespace runner = drn::runner;
 
-struct Row {
-  std::string mac;
-  std::uint64_t offered = 0;
-  double delivery = 0.0;
-  std::uint64_t t1 = 0;
-  std::uint64_t t2 = 0;
-  std::uint64_t t3 = 0;
-  double delay_ms = 0.0;
-  double hops = 0.0;
-  double tx_per_hop = 0.0;  // attempts / successes: 1.0 = no waste
-};
-
-Row summarize(const std::string& name, const sim::Metrics& m) {
-  Row r;
-  r.mac = name;
-  r.offered = m.offered();
-  r.delivery = m.delivery_ratio();
-  r.t1 = m.losses(sim::LossType::kType1);
-  r.t2 = m.losses(sim::LossType::kType2);
-  r.t3 = m.losses(sim::LossType::kType3);
-  r.delay_ms = m.delivered() > 0 ? m.delay().mean() * 1000.0 : 0.0;
-  r.hops = m.delivered() > 0 ? m.hops().mean() : 0.0;
-  r.tx_per_hop = m.hop_successes() > 0
-                     ? static_cast<double>(m.hop_attempts()) /
-                           static_cast<double>(m.hop_successes())
-                     : 0.0;
-  return r;
-}
-
-template <typename MakeMac>
-Row run_baseline(const std::string& name, const drn::bench::Scenario& scenario,
-                 MakeMac&& make_mac, double rate, double duration,
-                 std::uint64_t seed) {
-  sim::SimulatorConfig sc{drn::bench::scheme_criterion()};
-  sim::Simulator simulator(scenario.gains, sc);
-  for (StationId s = 0; s < scenario.gains.size(); ++s)
-    simulator.set_mac(s, make_mac());
-  simulator.set_router(scenario.tables.router());
-  drn::Rng rng(seed);
-  for (const auto& inj : sim::poisson_traffic(
-           rate, duration, scenario.net.packet_bits,
-           sim::uniform_pairs(scenario.gains.size()), rng))
-    simulator.inject(inj.time_s, inj.packet);
-  simulator.run_until(duration + 60.0);
-  return summarize(name, simulator.metrics());
-}
-
-void print_rows(const std::vector<Row>& rows) {
-  Table t({"MAC", "offered", "delivery", "T1", "T2", "T3", "tx/hop",
-           "mean delay ms", "mean hops"});
-  for (const auto& r : rows) {
-    t.add_row({r.mac, Table::num(r.offered), Table::num(r.delivery, 4),
-               Table::num(r.t1), Table::num(r.t2), Table::num(r.t3),
-               Table::num(r.tx_per_hop, 3), Table::num(r.delay_ms, 1),
-               Table::num(r.hops, 2)});
+std::string mac_label(runner::MacKind mac) {
+  switch (mac) {
+    case runner::MacKind::kScheme: return "scheduled scheme";
+    case runner::MacKind::kAloha: return "pure ALOHA (genie ack)";
+    case runner::MacKind::kCsma: return "CSMA (genie ack)";
+    case runner::MacKind::kMaca: return "MACA (RTS/CTS, no genie)";
+    default: return std::string(runner::mac_name(mac));
   }
-  t.print(std::cout);
 }
 
 void network_run(std::size_t stations, double region, double rate,
@@ -86,54 +37,35 @@ void network_run(std::size_t stations, double region, double rate,
             << " m radius, Poisson " << rate << " pkt/s aggregate, "
             << duration << " s):\n\n";
 
-  std::vector<Row> rows;
-  {
-    auto scenario =
-        drn::bench::make_scenario(stations, region, seed,
-                                  drn::bench::multihop_config());
-    sim::SimulatorConfig sc{drn::bench::scheme_criterion()};
-    sim::Simulator simulator(scenario.gains, sc);
-    const auto& m = drn::bench::run_scheme(scenario, simulator, rate,
-                                           duration, seed, 120.0);
-    rows.push_back(summarize("scheduled scheme", m));
+  runner::SweepSpec spec;
+  spec.stations = {stations};
+  spec.region_m = {region};
+  spec.macs = {runner::MacKind::kScheme, runner::MacKind::kAloha,
+               runner::MacKind::kCsma, runner::MacKind::kMaca};
+  spec.rates_pps = {rate};
+  spec.seeds = 1;
+  spec.master_seed = seed;
+  spec.paired_seeds = true;  // all four MACs on the identical placement
+  spec.duration_s = duration;
+  spec.drain_s = 120.0;
+
+  const auto result =
+      runner::run_sweep(spec, runner::ThreadPool::hardware_jobs());
+
+  Table t({"MAC", "offered", "delivery", "T1", "T2", "T3", "tx/hop",
+           "mean delay ms", "mean hops"});
+  for (std::size_t i = 0; i < result.trials.size(); ++i) {
+    const auto& r = result.results[i];
+    t.add_row({mac_label(result.trials[i].point.mac), Table::num(r.offered),
+               Table::num(r.delivery_ratio, 4), Table::num(r.type1_losses),
+               Table::num(r.type2_losses), Table::num(r.type3_losses),
+               Table::num(r.tx_per_hop, 3),
+               Table::num(r.mean_delay_s * 1000.0, 1),
+               Table::num(r.mean_hops, 2)});
   }
-  drn::baselines::ContentionConfig cc;
-  cc.power_w = 1.0e-4;
-  cc.max_retries = 6;
-  cc.backoff_mean_s = 0.01;
-  {
-    auto scenario =
-        drn::bench::make_scenario(stations, region, seed,
-                                  drn::bench::multihop_config());
-    rows.push_back(run_baseline(
-        "pure ALOHA (genie ack)", scenario,
-        [&] { return std::make_unique<drn::baselines::PureAloha>(cc); }, rate,
-        duration, seed));
-  }
-  {
-    auto scenario =
-        drn::bench::make_scenario(stations, region, seed,
-                                  drn::bench::multihop_config());
-    rows.push_back(run_baseline(
-        "CSMA (genie ack)", scenario,
-        [&] { return std::make_unique<drn::baselines::CsmaMac>(cc, 2.5e-9); },
-        rate, duration, seed));
-  }
-  {
-    auto scenario =
-        drn::bench::make_scenario(stations, region, seed,
-                                  drn::bench::multihop_config());
-    drn::baselines::MacaConfig mc;
-    mc.power_w = 1.0e-4;
-    mc.max_retries = 6;
-    mc.backoff_mean_s = 0.01;
-    rows.push_back(run_baseline(
-        "MACA (RTS/CTS, no genie)", scenario,
-        [&] { return std::make_unique<drn::baselines::MacaMac>(mc); }, rate,
-        duration, seed));
-  }
-  print_rows(rows);
-  std::cout << "\n";
+  t.print(std::cout);
+  std::cout << "\n(" << result.trials.size() << " trials, " << result.jobs
+            << " worker threads)\n\n";
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+#include "runner/scenario.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "baselines/aloha.hpp"
+#include "baselines/csma.hpp"
+#include "baselines/maca.hpp"
+#include "baselines/slotted_aloha.hpp"
+#include "radio/propagation.hpp"
+#include "sim/traffic.hpp"
+
+namespace drn::runner {
+
+std::optional<MacKind> parse_mac(std::string_view name) {
+  if (name == "scheme") return MacKind::kScheme;
+  if (name == "aloha") return MacKind::kAloha;
+  if (name == "slotted") return MacKind::kSlottedAloha;
+  if (name == "csma") return MacKind::kCsma;
+  if (name == "maca") return MacKind::kMaca;
+  return std::nullopt;
+}
+
+std::string_view mac_name(MacKind mac) {
+  switch (mac) {
+    case MacKind::kScheme: return "scheme";
+    case MacKind::kAloha: return "aloha";
+    case MacKind::kSlottedAloha: return "slotted";
+    case MacKind::kCsma: return "csma";
+    case MacKind::kMaca: return "maca";
+  }
+  return "?";
+}
+
+radio::ReceptionCriterion scheme_criterion() {
+  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+}
+
+core::ScheduledNetworkConfig multihop_config() {
+  core::ScheduledNetworkConfig cfg;
+  cfg.target_received_w = 1.0e-9;
+  cfg.max_power_w = 1.6e-4;
+  cfg.exact_clock_models = false;
+  cfg.max_drift_ppm = 20.0;
+  cfg.rendezvous_noise_s = 1.0e-6;
+  return cfg;
+}
+
+Scenario make_scenario(std::size_t stations, double region_m,
+                       std::uint64_t seed,
+                       core::ScheduledNetworkConfig net_cfg) {
+  Rng rng(seed);
+  auto placement = geo::uniform_disc(stations, region_m, rng);
+  const radio::FreeSpacePropagation model;
+  auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  Rng build_rng = rng.split(1);
+  auto net =
+      core::build_scheduled_network(gains, scheme_criterion(), net_cfg, build_rng);
+  const auto graph = routing::Graph::min_energy(
+      gains, net_cfg.target_received_w / net_cfg.max_power_w);
+  auto tables = routing::RoutingTables::build(graph);
+  return Scenario{std::move(placement), std::move(gains), std::move(net),
+                  std::move(tables)};
+}
+
+TrialResult summarize(const sim::Metrics& m, double total_duration_s) {
+  TrialResult r;
+  r.offered = m.offered();
+  r.delivered = m.delivered();
+  r.hop_attempts = m.hop_attempts();
+  r.hop_successes = m.hop_successes();
+  r.type1_losses = m.losses(sim::LossType::kType1);
+  r.type2_losses = m.losses(sim::LossType::kType2);
+  r.type3_losses = m.losses(sim::LossType::kType3);
+  r.mac_drops = m.mac_drops();
+  r.delivery_ratio = m.delivery_ratio();
+  r.mean_delay_s = m.delivered() > 0 ? m.delay().mean() : 0.0;
+  r.mean_hops = m.delivered() > 0 ? m.hops().mean() : 0.0;
+  r.tx_per_hop = m.hop_successes() > 0
+                     ? static_cast<double>(m.hop_attempts()) /
+                           static_cast<double>(m.hop_successes())
+                     : 0.0;
+  r.mean_duty = m.mean_duty_cycle(total_duration_s);
+  return r;
+}
+
+void install_macs(sim::Simulator& sim, Scenario& scenario,
+                  const ScenarioSpec& spec) {
+  const auto stations = scenario.gains.size();
+  switch (spec.mac) {
+    case MacKind::kScheme:
+      for (StationId s = 0; s < stations; ++s)
+        sim.set_mac(s, std::move(scenario.net.macs[s]));
+      return;
+    case MacKind::kAloha:
+    case MacKind::kSlottedAloha:
+    case MacKind::kCsma: {
+      baselines::ContentionConfig cc;
+      cc.power_w = spec.baseline_power_w;
+      cc.max_retries = spec.baseline_max_retries;
+      cc.backoff_mean_s = spec.baseline_backoff_mean_s;
+      for (StationId s = 0; s < stations; ++s) {
+        if (spec.mac == MacKind::kAloha) {
+          sim.set_mac(s, std::make_unique<baselines::PureAloha>(cc));
+        } else if (spec.mac == MacKind::kSlottedAloha) {
+          sim.set_mac(s, std::make_unique<baselines::SlottedAloha>(
+                             cc, spec.net.slot_s / 4.0));
+        } else {
+          sim.set_mac(s, std::make_unique<baselines::CsmaMac>(
+                             cc, spec.csma_sense_threshold_w));
+        }
+      }
+      return;
+    }
+    case MacKind::kMaca: {
+      baselines::MacaConfig mc;
+      mc.power_w = spec.baseline_power_w;
+      mc.max_retries = spec.baseline_max_retries;
+      mc.backoff_mean_s = spec.baseline_backoff_mean_s;
+      mc.data_rate_bps = spec.data_rate_bps;
+      for (StationId s = 0; s < stations; ++s)
+        sim.set_mac(s, std::make_unique<baselines::MacaMac>(mc));
+      return;
+    }
+  }
+}
+
+TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
+  auto scenario =
+      make_scenario(spec.stations, spec.region_m, seed, spec.net);
+  sim::SimulatorConfig sim_cfg{spec.criterion()};
+  sim_cfg.seed = seed;
+  sim::Simulator sim(scenario.gains, sim_cfg);
+  install_macs(sim, scenario, spec);
+  sim.set_router(scenario.tables.router());
+  Rng traffic_rng = Rng(seed).split(2);
+  for (const auto& inj : sim::poisson_traffic(
+           spec.rate_pps, spec.duration_s, scenario.net.packet_bits,
+           sim::uniform_pairs(scenario.gains.size()), traffic_rng))
+    sim.inject(inj.time_s, inj.packet);
+  const double total = spec.duration_s + spec.drain_s;
+  sim.run_until(total);
+  return summarize(sim.metrics(), total);
+}
+
+const sim::Metrics& run_scheme(Scenario& scenario, sim::Simulator& sim,
+                               double packets_per_s, double duration_s,
+                               std::uint64_t traffic_seed, double drain_s) {
+  for (StationId s = 0; s < scenario.gains.size(); ++s)
+    sim.set_mac(s, std::move(scenario.net.macs[s]));
+  sim.set_router(scenario.tables.router());
+  Rng rng(traffic_seed);
+  for (const auto& inj : sim::poisson_traffic(
+           packets_per_s, duration_s, scenario.net.packet_bits,
+           sim::uniform_pairs(scenario.gains.size()), rng))
+    sim.inject(inj.time_s, inj.packet);
+  sim.run_until(duration_s + drain_s);
+  return sim.metrics();
+}
+
+}  // namespace drn::runner

@@ -1,0 +1,127 @@
+// Declarative scenario assembly + single-trial execution for the experiment
+// runner. This is the scenario logic the bench binaries used to carry
+// privately in bench/common.hpp, promoted to a library so sweeps, tools and
+// benches share one definition.
+//
+// A trial is a pure function of (ScenarioSpec, seed): it builds a fresh
+// placement, propagation matrix, network and simulator, runs Poisson traffic
+// and returns plain-scalar results. No state is shared between trials, which
+// is what lets the sweep runner execute them on any thread in any order and
+// still produce bit-identical output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/network_builder.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation_matrix.hpp"
+#include "radio/reception.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::runner {
+
+/// The channel-access schemes a trial can install: the paper's scheduled
+/// scheme or one of the Section 2 prior-work baselines.
+enum class MacKind : std::uint8_t {
+  kScheme,
+  kAloha,
+  kSlottedAloha,
+  kCsma,
+  kMaca,
+};
+
+/// CLI name <-> enum. parse_mac returns nullopt for unknown names.
+[[nodiscard]] std::optional<MacKind> parse_mac(std::string_view name);
+[[nodiscard]] std::string_view mac_name(MacKind mac);
+
+/// 1 Mb/s design rate over 200 MHz spread (23 dB processing gain), 5 dB
+/// detection margin — the Section 6 design point.
+[[nodiscard]] radio::ReceptionCriterion scheme_criterion();
+
+/// Multihop-flavoured network defaults: reach ~400 m from a 1 nW delivered
+/// power target.
+[[nodiscard]] core::ScheduledNetworkConfig multihop_config();
+
+/// A fully assembled network: placement, physics, scheduled-network state
+/// and min-energy routing tables.
+struct Scenario {
+  geo::Placement placement;
+  radio::PropagationMatrix gains;
+  core::ScheduledNetwork net;
+  routing::RoutingTables tables;
+};
+
+[[nodiscard]] Scenario make_scenario(std::size_t stations, double region_m,
+                                     std::uint64_t seed,
+                                     core::ScheduledNetworkConfig net_cfg);
+
+/// Everything that defines one experiment point, MAC and workload included.
+struct ScenarioSpec {
+  std::size_t stations = 40;
+  double region_m = 1000.0;
+  MacKind mac = MacKind::kScheme;
+  /// Aggregate Poisson offer and window.
+  double rate_pps = 200.0;
+  double duration_s = 2.0;
+  double drain_s = 60.0;
+  core::ScheduledNetworkConfig net = multihop_config();
+  /// Radio design point (criterion() assembles these).
+  double bandwidth_hz = 200.0e6;
+  double data_rate_bps = 1.0e6;
+  double margin_db = 5.0;
+  /// Baseline-MAC knobs (the Section 8 comparison defaults).
+  double baseline_power_w = 1.0e-4;
+  int baseline_max_retries = 6;
+  double baseline_backoff_mean_s = 0.01;
+  double csma_sense_threshold_w = 2.5e-9;
+
+  [[nodiscard]] radio::ReceptionCriterion criterion() const {
+    return radio::ReceptionCriterion(bandwidth_hz, data_rate_bps, margin_db);
+  }
+};
+
+/// Plain-scalar summary of one simulation run — everything the paper's
+/// Section 8 table reports, cheap to copy across threads.
+struct TrialResult {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t hop_attempts = 0;
+  std::uint64_t hop_successes = 0;
+  std::uint64_t type1_losses = 0;
+  std::uint64_t type2_losses = 0;
+  std::uint64_t type3_losses = 0;
+  std::uint64_t mac_drops = 0;
+  double delivery_ratio = 0.0;
+  double mean_delay_s = 0.0;  // 0 when nothing delivered
+  double mean_hops = 0.0;     // 0 when nothing delivered
+  double tx_per_hop = 0.0;    // attempts / successes; 1.0 = no waste
+  double mean_duty = 0.0;     // mean transmit duty cycle
+};
+
+/// Extracts a TrialResult from a finished simulator's metrics.
+[[nodiscard]] TrialResult summarize(const sim::Metrics& m,
+                                    double total_duration_s);
+
+/// Installs the spec's MAC at every station of `scenario` into `sim`.
+/// Consumes scenario.net.macs for MacKind::kScheme.
+void install_macs(sim::Simulator& sim, Scenario& scenario,
+                  const ScenarioSpec& spec);
+
+/// Builds the scenario for (spec, seed), runs it, and summarises. The whole
+/// trial is deterministic in its two arguments.
+[[nodiscard]] TrialResult run_trial(const ScenarioSpec& spec,
+                                    std::uint64_t seed);
+
+/// Installs the scheme MACs + min-energy router and runs Poisson
+/// uniform-pair traffic; returns the metrics for inspection. (The historical
+/// bench/common.hpp helper, kept for the fig/tab binaries.)
+const sim::Metrics& run_scheme(Scenario& scenario, sim::Simulator& sim,
+                               double packets_per_s, double duration_s,
+                               std::uint64_t traffic_seed, double drain_s = 60.0);
+
+}  // namespace drn::runner

@@ -1,0 +1,28 @@
+#include "runner/summary.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace drn::runner {
+
+double t_critical_95(std::uint64_t df) {
+  DRN_EXPECTS(df >= 1);
+  // Two-sided 95% (alpha/2 = 0.025) critical values, df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df <= kTable.size()) return kTable[df - 1];
+  return 1.960;
+}
+
+double SummaryStats::ci95_half_width() const {
+  const auto n = stats_.count();
+  if (n < 2) return 0.0;
+  return t_critical_95(n - 1) * stats_.stddev() /
+         std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace drn::runner

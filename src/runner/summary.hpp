@@ -1,0 +1,53 @@
+// Cross-replicate aggregation for sweep results: mean, stddev, and a 95%
+// confidence interval per (parameter point, metric), exactly the form the
+// SINR-stability literature reports multi-seed sweeps in.
+#pragma once
+
+#include <cstdint>
+
+#include "common/running_stats.hpp"
+
+namespace drn::runner {
+
+/// Streaming mean / stddev / 95% CI accumulator. Thin layer over
+/// RunningStats adding the Student-t interval arithmetic.
+class SummaryStats {
+ public:
+  void add(double x) { stats_.add(x); }
+
+  [[nodiscard]] std::uint64_t count() const { return stats_.count(); }
+
+  /// Mean of the samples; 0 when empty (sweeps key metrics that may have no
+  /// samples, e.g. delay when nothing was delivered).
+  [[nodiscard]] double mean() const {
+    return stats_.count() > 0 ? stats_.mean() : 0.0;
+  }
+
+  /// Sample standard deviation; 0 with fewer than two samples.
+  [[nodiscard]] double stddev() const {
+    return stats_.count() > 1 ? stats_.stddev() : 0.0;
+  }
+
+  [[nodiscard]] double min() const {
+    return stats_.count() > 0 ? stats_.min() : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return stats_.count() > 0 ? stats_.max() : 0.0;
+  }
+
+  /// Half-width of the 95% confidence interval on the mean,
+  /// t_{0.975, n-1} * s / sqrt(n). Zero with fewer than two samples.
+  [[nodiscard]] double ci95_half_width() const;
+
+  [[nodiscard]] double ci95_lo() const { return mean() - ci95_half_width(); }
+  [[nodiscard]] double ci95_hi() const { return mean() + ci95_half_width(); }
+
+ private:
+  RunningStats stats_;
+};
+
+/// Two-sided 95% Student-t critical value t_{0.975, df}. Exact table for
+/// df <= 30, the asymptotic normal value 1.960 beyond. df must be >= 1.
+[[nodiscard]] double t_critical_95(std::uint64_t df);
+
+}  // namespace drn::runner

@@ -4,10 +4,18 @@ namespace drn::sim {
 
 void TraceRecorder::on_transmit_start(const TxEvent& tx) {
   transmissions_.push_back(tx);
+  if (max_events_ > 0 && transmissions_.size() > max_events_) {
+    transmissions_.pop_front();
+    ++dropped_transmissions_;
+  }
 }
 
 void TraceRecorder::on_reception_complete(const RxEvent& rx) {
   receptions_.push_back(rx);
+  if (max_events_ > 0 && receptions_.size() > max_events_) {
+    receptions_.pop_front();
+    ++dropped_receptions_;
+  }
 }
 
 std::vector<TxEvent> TraceRecorder::transmissions_from(
@@ -56,6 +64,8 @@ void TraceRecorder::write_receptions_csv(std::ostream& os) const {
 void TraceRecorder::clear() {
   transmissions_.clear();
   receptions_.clear();
+  dropped_transmissions_ = 0;
+  dropped_receptions_ = 0;
 }
 
 }  // namespace drn::sim

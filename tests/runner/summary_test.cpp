@@ -1,0 +1,89 @@
+#include "runner/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace drn::runner {
+namespace {
+
+TEST(SummaryStats, EmptyIsAllZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(SummaryStats, SingleSampleHasZeroWidthInterval) {
+  SummaryStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_lo(), 3.5);
+  EXPECT_DOUBLE_EQ(s.ci95_hi(), 3.5);
+}
+
+TEST(SummaryStats, CiMatchesHandComputation) {
+  // Samples {1, 2, 3, 4, 5}: mean 3, sample stddev sqrt(2.5), n = 5,
+  // t_{0.975, 4} = 2.776 -> half width = 2.776 * sqrt(2.5) / sqrt(5).
+  SummaryStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.5));
+  const double expected = 2.776 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(s.ci95_half_width(), expected, 1e-12);
+  EXPECT_NEAR(s.ci95_lo(), 3.0 - expected, 1e-12);
+  EXPECT_NEAR(s.ci95_hi(), 3.0 + expected, 1e-12);
+}
+
+TEST(SummaryStats, TwoSamples) {
+  // {0, 1}: mean 0.5, stddev sqrt(0.5), t_{0.975, 1} = 12.706.
+  SummaryStats s;
+  s.add(0.0);
+  s.add(1.0);
+  EXPECT_NEAR(s.ci95_half_width(), 12.706 * std::sqrt(0.5) / std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(SummaryStats, IdenticalSamplesHaveZeroWidth) {
+  SummaryStats s;
+  for (int i = 0; i < 10; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(SummaryStats, MinMaxTracked) {
+  SummaryStats s;
+  for (double x : {4.0, -2.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(TCritical, TableValues) {
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(4), 2.776);
+  EXPECT_DOUBLE_EQ(t_critical_95(15), 2.131);
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  // Beyond the table: the asymptotic normal value.
+  EXPECT_DOUBLE_EQ(t_critical_95(31), 1.960);
+  EXPECT_DOUBLE_EQ(t_critical_95(1000), 1.960);
+}
+
+TEST(TCritical, MonotoneDecreasingInDf) {
+  for (std::uint64_t df = 1; df < 30; ++df)
+    EXPECT_GT(t_critical_95(df), t_critical_95(df + 1)) << "df=" << df;
+}
+
+TEST(SummaryStats, WidthShrinksWithMoreSamples) {
+  // Same alternating data, more of it: the interval must tighten.
+  SummaryStats small, large;
+  for (int i = 0; i < 4; ++i) small.add(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 64; ++i) large.add(i % 2 ? 1.0 : -1.0);
+  EXPECT_LT(large.ci95_half_width(), small.ci95_half_width());
+}
+
+}  // namespace
+}  // namespace drn::runner

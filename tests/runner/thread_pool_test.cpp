@@ -1,0 +1,97 @@
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace drn::runner {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  auto f = pool.submit([] {});
+  f.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      (void)pool.submit([&count] { ++count; });
+  }  // ~ThreadPool must run everything already queued
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker that threw must still be alive for further tasks.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(pool, 64, [&completed](std::size_t i) {
+      if (i == 7) throw std::out_of_range("seven");
+      if (i == 40) throw std::runtime_error("forty");
+      ++completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "seven");  // lowest failing index wins
+  }
+  // All non-throwing iterations still ran (no early abandonment).
+  EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, HardwareJobsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace drn::runner

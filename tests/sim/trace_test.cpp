@@ -103,6 +103,48 @@ TEST(Trace, EmptyAndClear) {
   EXPECT_TRUE(trace.receptions().empty());
 }
 
+TEST(Trace, MaxEventsCapDropsOldestAndCounts) {
+  TraceRecorder trace(3);
+  EXPECT_EQ(trace.max_events(), 3u);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    TxEvent tx;
+    tx.tx_id = i;
+    trace.on_transmit_start(tx);
+  }
+  ASSERT_EQ(trace.transmissions().size(), 3u);
+  EXPECT_EQ(trace.dropped_transmissions(), 2u);
+  // Oldest two (1, 2) were shed; the newest three remain in order.
+  EXPECT_EQ(trace.transmissions()[0].tx_id, 3u);
+  EXPECT_EQ(trace.transmissions()[2].tx_id, 5u);
+
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    RxEvent rx;
+    rx.tx_id = i;
+    rx.delivered = true;
+    trace.on_reception_complete(rx);
+  }
+  EXPECT_EQ(trace.receptions().size(), 3u);
+  EXPECT_EQ(trace.dropped_receptions(), 1u);
+  EXPECT_DOUBLE_EQ(trace.delivery_fraction(), 1.0);
+
+  trace.clear();
+  EXPECT_EQ(trace.dropped_transmissions(), 0u);
+  EXPECT_EQ(trace.dropped_receptions(), 0u);
+  EXPECT_TRUE(trace.transmissions().empty());
+}
+
+TEST(Trace, UncappedByDefault) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.max_events(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    TxEvent tx;
+    tx.tx_id = i;
+    trace.on_transmit_start(tx);
+  }
+  EXPECT_EQ(trace.transmissions().size(), 100u);
+  EXPECT_EQ(trace.dropped_transmissions(), 0u);
+}
+
 TEST(Trace, BroadcastToFieldInCsvIsMinusOne) {
   TraceRecorder trace;
   TxEvent tx;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI driver: build + ctest under the default config, then again under
+# ThreadSanitizer (exercising the runner's thread pool). Usage:
+#
+#   tools/ci.sh                # default + tsan
+#   DRN_CI_SANITIZERS="thread address,undefined" tools/ci.sh
+#
+# Each config builds into build-ci[-<sanitizer>] so a developer's ./build
+# tree is left alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+sanitizers="${DRN_CI_SANITIZERS:-thread}"
+
+# Uninstrumented-libstdc++ false positives (see tools/tsan.supp).
+export TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp ${TSAN_OPTIONS:-}"
+
+run_config() {
+  local dir="$1" sanitize="$2"
+  echo "==== config: ${dir} (DRN_SANITIZE='${sanitize}') ===="
+  cmake -B "${dir}" -S . -DDRN_SANITIZE="${sanitize}" -DDRN_WERROR=ON
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config build-ci ""
+for s in ${sanitizers}; do
+  # "address,undefined" -> directory suffix "address-undefined"
+  run_config "build-ci-${s//,/-}" "${s}"
+done
+
+echo "==== all configs passed ===="

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "analysis/table.hpp"
+#include "runner/json.hpp"
 #include "baselines/aloha.hpp"
 #include "baselines/csma.hpp"
 #include "baselines/maca.hpp"
@@ -51,6 +52,7 @@ struct Options {
   double breakpoint_m = 100.0;
   double shadowing_db = 0.0;
   std::string csv_trace;
+  bool json = false;
   bool help = false;
 };
 
@@ -87,6 +89,7 @@ workload
 
 output
   --csv-trace PATH      dump the physical-layer trace as CSV
+  --json 0|1            one-line JSON summary instead of the table (default 0)
   --help                this text
 )";
 }
@@ -134,6 +137,9 @@ bool parse(int argc, char** argv, Options& opt) {
   num("shadowing", opt.shadowing_db);
   if (auto it = kv.find("csv-trace"); it != kv.end())
     opt.csv_trace = it->second;
+  double js = 0.0;
+  num("json", js);
+  opt.json = js != 0.0;
   return true;
 }
 
@@ -214,6 +220,43 @@ int run(const Options& opt) {
   sim.run_until(opt.duration_s + opt.drain_s);
 
   const auto& m = sim.metrics();
+  if (opt.json) {
+    // One machine-readable line on stdout (schema drn-sim-v1), nothing else.
+    runner::json::Writer w(std::cout, 0);
+    w.begin_object();
+    w.key("schema").value("drn-sim-v1");
+    w.key("stations").value(opt.stations);
+    w.key("region_m").value(opt.region_m);
+    w.key("mac").value(opt.mac);
+    w.key("seed").value(opt.seed);
+    w.key("rate_pps").value(opt.rate_pps);
+    w.key("duration_s").value(opt.duration_s);
+    w.key("connected").value(graph.connected());
+    w.key("offered").value(m.offered());
+    w.key("delivered").value(m.delivered());
+    w.key("delivery_ratio").value(m.delivery_ratio());
+    w.key("hop_attempts").value(m.hop_attempts());
+    w.key("type1_losses").value(m.losses(sim::LossType::kType1));
+    w.key("type2_losses").value(m.losses(sim::LossType::kType2));
+    w.key("type3_losses").value(m.losses(sim::LossType::kType3));
+    w.key("mac_drops").value(m.mac_drops());
+    w.key("mean_delay_s").value(m.delivered() > 0 ? m.delay().mean() : 0.0);
+    w.key("mean_hops").value(m.delivered() > 0 ? m.hops().mean() : 0.0);
+    w.key("mean_duty").value(m.mean_duty_cycle(opt.duration_s + opt.drain_s));
+    w.end_object();
+    std::cout << '\n';
+    if (!opt.csv_trace.empty()) {
+      std::ofstream out(opt.csv_trace);
+      if (!out) {
+        std::cerr << "cannot write " << opt.csv_trace << '\n';
+        return 3;
+      }
+      trace.write_transmissions_csv(out);
+      out << '\n';
+      trace.write_receptions_csv(out);
+    }
+    return 0;
+  }
   std::cout << "drn_sim: " << opt.stations << " stations, " << opt.region_m
             << " m disc, MAC=" << opt.mac << ", seed=" << opt.seed << ", "
             << (graph.connected() ? "connected" : "NOT fully connected")

@@ -1,0 +1,280 @@
+// drn_sweep — parallel, deterministic experiment sweeps over the simulator.
+//
+// Every figure/table in the paper is a sweep over stations, load, MAC and
+// seeds; this tool exposes that as a declarative cross-product fanned across
+// a thread pool, with JSON results suitable for plotting.
+//
+//   $ drn_sweep --stations 20:320:x2 --seeds 16 --mac scheme,aloha
+//               --jobs 8 --json out.json
+//   $ drn_sweep --stations 50,100 --rate 200:600:+200 --seeds 4
+//
+// Determinism: the results document is a pure function of the sweep spec —
+// byte-identical for any --jobs value (trial RNG is derived from the trial
+// index, never from scheduling). Timing (wall seconds, trials/sec) is
+// emitted as a separate JSON line on stderr so results files can be diffed.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.hpp"
+
+namespace {
+
+using namespace drn;
+
+struct Options {
+  runner::SweepSpec spec;
+  unsigned jobs = 1;
+  std::string json_path;  // empty = stdout
+  bool progress = true;
+  bool help = false;
+};
+
+void print_help() {
+  std::cout <<
+      R"(drn_sweep - parallel deterministic experiment sweeps (Shepard, SIGCOMM '96)
+
+usage: drn_sweep [--key value]...
+
+Axis values accept three forms:
+  a,b,c       explicit list          (e.g. --stations 50,100,200)
+  lo:hi:xF    geometric, step xF     (e.g. --stations 20:320:x2 -> 20 40 80 160 320)
+  lo:hi:+S    arithmetic, step +S    (e.g. --rate 200:600:+200 -> 200 400 600)
+
+axes (cross-product; every combination is a parameter point)
+  --stations AXIS       station counts              (default 40)
+  --region AXIS         disc radii, metres          (default 1000)
+  --mac LIST            scheme|aloha|slotted|csma|maca  (default scheme)
+  --rate AXIS           aggregate Poisson pkt/s     (default 200)
+
+replication
+  --seeds N             seed replicates per point   (default 1)
+  --seed N              master seed                 (default 1)
+  --paired 0|1          common random numbers: replicate r of every
+                        parameter point shares one seed, pairing MAC
+                        comparisons on identical networks (default 0)
+
+workload
+  --duration S          offer window                (default 2)
+  --drain S             extra drain time            (default 60)
+
+execution
+  --jobs N              worker threads (0 = all hardware threads; default 1)
+  --progress 0|1        progress ticks on stderr    (default 1)
+  --json PATH           results file (default: stdout)
+
+The results JSON (schema drn-sweep-v1) is byte-identical for any --jobs
+value. Timing {"jobs","trials","wall_s","trials_per_s"} prints to stderr.
+)";
+}
+
+/// Parses an axis: "a,b,c" | "lo:hi:xF" | "lo:hi:+S" | single value.
+std::optional<std::vector<double>> parse_axis(const std::string& text) {
+  std::vector<double> out;
+  try {
+    if (const auto colon = text.find(':'); colon != std::string::npos) {
+      const auto colon2 = text.find(':', colon + 1);
+      if (colon2 == std::string::npos || colon2 + 1 >= text.size())
+        return std::nullopt;
+      const double lo = std::stod(text.substr(0, colon));
+      const double hi = std::stod(text.substr(colon + 1, colon2 - colon - 1));
+      const char kind = text[colon2 + 1];
+      const double step = std::stod(text.substr(colon2 + 2));
+      if (lo <= 0 && kind == 'x') return std::nullopt;
+      if (kind == 'x' && step <= 1.0) return std::nullopt;
+      if (kind == '+' && step <= 0.0) return std::nullopt;
+      // Tiny epsilon so "20:320:x2" includes 320 despite rounding.
+      for (double v = lo; v <= hi * (1.0 + 1e-12);
+           v = (kind == 'x') ? v * step : v + step) {
+        out.push_back(v);
+        if (out.size() > 100000) return std::nullopt;
+      }
+      if (kind != 'x' && kind != '+') return std::nullopt;
+    } else {
+      std::size_t pos = 0;
+      while (pos <= text.size()) {
+        const auto comma = text.find(',', pos);
+        const auto piece = text.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (piece.empty()) return std::nullopt;
+        out.push_back(std::stod(piece));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::size_t>> parse_count_axis(
+    const std::string& text) {
+  const auto vals = parse_axis(text);
+  if (!vals) return std::nullopt;
+  std::vector<std::size_t> out;
+  for (double v : *vals) {
+    if (v < 1.0) return std::nullopt;
+    out.push_back(static_cast<std::size_t>(v + 0.5));
+  }
+  return out;
+}
+
+std::optional<std::vector<runner::MacKind>> parse_mac_list(
+    const std::string& text) {
+  std::vector<runner::MacKind> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto piece = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const auto mac = runner::parse_mac(piece);
+    if (!mac) return std::nullopt;
+    out.push_back(*mac);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key == "--help" || key == "-h") {
+      opt.help = true;
+      return true;
+    }
+    if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      std::cerr << "bad argument: " << key << " (try --help)\n";
+      return false;
+    }
+    kv[key.substr(2)] = argv[++i];
+  }
+  auto fail = [](const std::string& name, const std::string& v) {
+    std::cerr << "bad --" << name << " value: " << v << " (try --help)\n";
+    return false;
+  };
+  if (auto it = kv.find("stations"); it != kv.end()) {
+    auto axis = parse_count_axis(it->second);
+    if (!axis) return fail("stations", it->second);
+    opt.spec.stations = std::move(*axis);
+    kv.erase(it);
+  }
+  if (auto it = kv.find("region"); it != kv.end()) {
+    auto axis = parse_axis(it->second);
+    if (!axis) return fail("region", it->second);
+    opt.spec.region_m = std::move(*axis);
+    kv.erase(it);
+  }
+  if (auto it = kv.find("mac"); it != kv.end()) {
+    auto macs = parse_mac_list(it->second);
+    if (!macs) return fail("mac", it->second);
+    opt.spec.macs = std::move(*macs);
+    kv.erase(it);
+  }
+  if (auto it = kv.find("rate"); it != kv.end()) {
+    auto axis = parse_axis(it->second);
+    if (!axis) return fail("rate", it->second);
+    opt.spec.rates_pps = std::move(*axis);
+    kv.erase(it);
+  }
+  try {
+    if (auto it = kv.find("seeds"); it != kv.end()) {
+      opt.spec.seeds = std::stoull(it->second);
+      kv.erase(it);
+    }
+    if (auto it = kv.find("seed"); it != kv.end()) {
+      opt.spec.master_seed = std::stoull(it->second);
+      kv.erase(it);
+    }
+    if (auto it = kv.find("duration"); it != kv.end()) {
+      opt.spec.duration_s = std::stod(it->second);
+      kv.erase(it);
+    }
+    if (auto it = kv.find("drain"); it != kv.end()) {
+      opt.spec.drain_s = std::stod(it->second);
+      kv.erase(it);
+    }
+    if (auto it = kv.find("jobs"); it != kv.end()) {
+      opt.jobs = static_cast<unsigned>(std::stoul(it->second));
+      kv.erase(it);
+    }
+    if (auto it = kv.find("paired"); it != kv.end()) {
+      opt.spec.paired_seeds = it->second != "0";
+      kv.erase(it);
+    }
+    if (auto it = kv.find("progress"); it != kv.end()) {
+      opt.progress = it->second != "0";
+      kv.erase(it);
+    }
+  } catch (const std::exception&) {
+    std::cerr << "bad numeric argument (try --help)\n";
+    return false;
+  }
+  if (opt.spec.seeds == 0) {
+    std::cerr << "--seeds must be >= 1\n";
+    return false;
+  }
+  if (auto it = kv.find("json"); it != kv.end()) {
+    opt.json_path = it->second;
+    kv.erase(it);
+  }
+  if (!kv.empty()) {
+    std::cerr << "unknown option: --" << kv.begin()->first << " (try --help)\n";
+    return false;
+  }
+  return true;
+}
+
+int run(const Options& opt) {
+  const auto total = opt.spec.trial_count();
+  std::function<void(std::size_t, std::size_t)> progress;
+  if (opt.progress) {
+    progress = [](std::size_t done, std::size_t n) {
+      // \r progress tick; worker threads interleave at worst harmlessly.
+      std::cerr << "\rdrn_sweep: " << done << "/" << n << " trials" << std::flush;
+    };
+  }
+  const auto result = runner::run_sweep(opt.spec, opt.jobs, progress);
+  if (opt.progress) std::cerr << '\n';
+
+  if (opt.json_path.empty() || opt.json_path == "-") {
+    runner::write_results_json(std::cout, opt.spec, result);
+  } else {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << '\n';
+      return 3;
+    }
+    runner::write_results_json(out, opt.spec, result);
+    std::cerr << "results (" << total << " trials) written to "
+              << opt.json_path << '\n';
+  }
+  runner::write_timing_json(std::cerr, result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+  if (opt.help) {
+    print_help();
+    return 0;
+  }
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
