@@ -1,0 +1,337 @@
+#include "audit/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/expects.hpp"
+#include "radio/reception.hpp"
+#include "radio/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::audit {
+
+namespace {
+
+/// Open-interval overlap: shared boundary instants (a transmission ending
+/// exactly when another starts) do not count, matching the event queue's
+/// end-before-start simultaneity rule.
+bool overlaps(double a_start, double a_end, double b_start, double b_end) {
+  return a_start < b_end && b_start < a_end;
+}
+
+const char* loss_name(sim::LossType type) {
+  switch (type) {
+    case sim::LossType::kNone: return "none";
+    case sim::LossType::kType1: return "type1";
+    case sim::LossType::kType2: return "type2";
+    case sim::LossType::kType3: return "type3";
+  }
+  return "?";
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(AuditConfig config)
+    : config_(config),
+      own_tx_(config.stations),
+      occupancy_(config.stations) {
+  DRN_EXPECTS(config_.stations > 0);
+  DRN_EXPECTS(config_.despreading_channels > 0);
+  DRN_EXPECTS(config_.thermal_noise_w > 0.0);
+}
+
+namespace {
+
+AuditConfig config_from(const sim::Simulator& sim) {
+  AuditConfig cfg;
+  cfg.stations = sim.station_count();
+  cfg.despreading_channels = sim.config().despreading_channels;
+  cfg.thermal_noise_w = sim.config().thermal_noise_w;
+  cfg.bandwidth_hz = sim.config().criterion.bandwidth_hz();
+  cfg.margin_db = sim.config().criterion.margin_db();
+  return cfg;
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(const sim::Simulator& sim)
+    : InvariantAuditor(config_from(sim)) {}
+
+void InvariantAuditor::violate(const std::string& invariant, double time_s,
+                               const std::string& detail) {
+  ++total_violations_;
+  ++counts_[invariant];
+  if (violations_.size() < config_.max_recorded_violations)
+    violations_.push_back(Violation{invariant, detail, time_s});
+}
+
+void InvariantAuditor::check(bool pass, const char* invariant, double time_s,
+                             const std::string& detail) {
+  ++checks_run_;
+  if (!pass) violate(invariant, time_s, detail);
+}
+
+double InvariantAuditor::min_active_start() const {
+  double min_start = std::numeric_limits<double>::infinity();
+  for (const auto& [id, rec] : active_)
+    min_start = std::min(min_start, rec.ev.start_s);
+  return min_start;
+}
+
+void InvariantAuditor::on_transmit_start(const sim::TxEvent& tx) {
+  std::ostringstream who;
+  who << "tx " << tx.tx_id << " from " << tx.from;
+
+  check(tx.start_s >= last_event_s_, "event-monotonicity", tx.start_s,
+        who.str() + " starts in the past of the event stream");
+  last_event_s_ = std::max(last_event_s_, tx.start_s);
+
+  check(tx.end_s > tx.start_s && tx.power_w > 0.0 && tx.rate_bps > 0.0,
+        "tx-wellformed", tx.start_s,
+        who.str() + " has a non-positive airtime, power or rate");
+  check(tx.from < config_.stations &&
+            (tx.to < config_.stations || tx.to == kBroadcast) &&
+            tx.to != tx.from,
+        "tx-wellformed", tx.start_s, who.str() + " has out-of-range endpoints");
+  if (tx.from >= config_.stations) return;  // cannot index further checks
+
+  // One transmitter per station: this station's transmissions must not
+  // overlap each other.
+  auto& own = own_tx_[tx.from];
+  bool serialized = true;
+  for (const Interval& i : own)
+    serialized &= !overlaps(i.start_s, i.end_s, tx.start_s, tx.end_s);
+  check(serialized, "tx-serialization", tx.start_s,
+        who.str() + " overlaps an earlier transmission of the same station");
+  own.push_back(Interval{tx.start_s, tx.end_s});
+
+  max_airtime_s_ = std::max(max_airtime_s_, tx.end_s - tx.start_s);
+  // A past own-tx interval only matters while some reception could still
+  // overlap it; anything ending more than one max airtime ago cannot.
+  const double horizon = tx.start_s - max_airtime_s_;
+  std::erase_if(own, [horizon](const Interval& i) { return i.end_s < horizon; });
+
+  TxRecord rec;
+  rec.ev = tx;
+  rec.expected_rx = tx.to == kBroadcast ? config_.stations - 1 : 1;
+  if (tx.to == kBroadcast) {
+    rec.seen_at.assign(config_.stations, false);
+    ++broadcast_starts_;
+  } else {
+    ++unicast_starts_;
+  }
+  const bool fresh = active_.emplace(tx.tx_id, std::move(rec)).second;
+  check(fresh, "conservation", tx.start_s,
+        who.str() + " reuses a live transmission id");
+}
+
+void InvariantAuditor::check_reception_identity(const TxRecord& rec,
+                                                const sim::RxEvent& rx) {
+  std::ostringstream who;
+  who << "rx of tx " << rx.tx_id << " at " << rx.rx;
+  const sim::TxEvent& tx = rec.ev;
+  if (tx.to == kBroadcast) {
+    check(rx.rx < config_.stations && rx.rx != tx.from, "conservation",
+          tx.end_s, who.str() + " reported at an impossible station");
+  } else {
+    check(rx.rx == tx.to, "conservation", tx.end_s,
+          who.str() + " reported at a station the packet was not sent to");
+  }
+  check(rx.delivered == (rx.loss == sim::LossType::kNone), "outcome-exclusive",
+        tx.end_s,
+        who.str() + " is both delivered and lost (" + loss_name(rx.loss) + ")");
+}
+
+void InvariantAuditor::check_sinr(const TxRecord& rec, const sim::RxEvent& rx) {
+  std::ostringstream who;
+  who << "rx of tx " << rx.tx_id << " at " << rx.rx;
+  const double t = rec.ev.end_s;
+  const double slack = 1.0 + config_.rel_tol;
+
+  check(rx.signal_w >= 0.0 && rx.required_snr > 0.0, "sinr-consistency", t,
+        who.str() + " reports a negative signal or non-positive threshold");
+
+  // Eq. 5-6: interference only ever adds to thermal noise, so no reported
+  // SINR can exceed the zero-interference bound signal/thermal. (Multiuser
+  // subtraction clamps its residual at the thermal floor, preserving this.)
+  check(rx.min_sinr <= (rx.signal_w / config_.thermal_noise_w) * slack,
+        "sinr-consistency", t,
+        who.str() + " reports an SINR above its zero-interference bound");
+
+  // Eq. 3-4: a delivered packet held SINR at or above the threshold for its
+  // whole airtime.
+  if (rx.delivered) {
+    check(rx.min_sinr * slack >= rx.required_snr, "sinr-threshold", t,
+          who.str() + " was delivered below its required SINR");
+  }
+
+  // Eq. 4 at this transmission's rate: the threshold the simulator applied
+  // must equal margin * snr_for_rate_fraction(rate / W).
+  if (config_.bandwidth_hz > 0.0 && rec.ev.rate_bps > 0.0) {
+    const double expected =
+        radio::from_db(config_.margin_db) *
+        radio::snr_for_rate_fraction(rec.ev.rate_bps / config_.bandwidth_hz);
+    const bool matches = rx.required_snr <= expected * slack &&
+                         rx.required_snr * slack >= expected;
+    check(matches, "required-snr", t,
+          who.str() + " was held to a threshold inconsistent with its rate");
+  }
+}
+
+void InvariantAuditor::check_half_duplex(const TxRecord& rec,
+                                          const sim::RxEvent& rx) {
+  if (!rx.delivered || rx.rx >= config_.stations) return;
+  const sim::TxEvent& tx = rec.ev;
+  bool clean = true;
+  for (const Interval& own : own_tx_[rx.rx])
+    clean &= !overlaps(own.start_s, own.end_s, tx.start_s, tx.end_s);
+  std::ostringstream what;
+  what << "rx of tx " << rx.tx_id << " at " << rx.rx
+       << " delivered while the receiver was transmitting (Type 3)";
+  check(clean, "half-duplex", tx.end_s, what.str());
+}
+
+void InvariantAuditor::check_despreading_cap(const TxRecord& rec,
+                                              const sim::RxEvent& rx) {
+  // Delivered and Type 1 outcomes both held one of the receiver's
+  // despreading channels for the packet's whole airtime (a Type 3 reception
+  // never gets a channel; a Type 2 may or may not have). So among
+  // {delivered, type1} receptions at one station, no instant may be covered
+  // by more than despreading_channels intervals.
+  if (rx.rx >= config_.stations) return;
+  if (!rx.delivered && rx.loss != sim::LossType::kType1) return;
+  const sim::TxEvent& tx = rec.ev;
+  const int cap = config_.despreading_channels;
+  auto& pending = occupancy_[rx.rx];
+
+  // Max clique of an interval set = max over intervals of how many intervals
+  // contain that interval's start. Completions arrive in end-time order, so
+  // count this interval's already-completed containers now and let longer
+  // receptions still in flight increment it (and each stored count) as they
+  // complete.
+  PendingOccupancy mine{tx.start_s, tx.end_s, 1};
+  for (PendingOccupancy& p : pending) {
+    if (p.start_s <= tx.start_s && tx.start_s < p.end_s) ++mine.stabbing;
+    if (tx.start_s <= p.start_s && p.start_s < tx.end_s) {
+      ++p.stabbing;
+      std::ostringstream what;
+      what << "station " << rx.rx << " held " << p.stabbing
+           << " simultaneous receptions with only " << cap
+           << " despreading channels";
+      check(p.stabbing <= cap, "despreading-cap", tx.end_s, what.str());
+    }
+  }
+  std::ostringstream what;
+  what << "station " << rx.rx << " held " << mine.stabbing
+       << " simultaneous receptions with only " << cap
+       << " despreading channels";
+  check(mine.stabbing <= cap, "despreading-cap", tx.end_s, what.str());
+  pending.push_back(mine);
+
+  // A stored interval is dead once no in-flight transmission can still
+  // produce a reception starting inside it: its own count can no longer
+  // grow, and it can no longer contain a future start instant. In-flight
+  // receptions start no earlier than min_active_start, so that is exactly
+  // when the interval ends at or before that bound.
+  const double min_start = min_active_start();
+  std::erase_if(pending, [min_start](const PendingOccupancy& p) {
+    return p.end_s <= min_start;
+  });
+}
+
+void InvariantAuditor::on_reception_complete(const sim::RxEvent& rx) {
+  auto it = active_.find(rx.tx_id);
+  if (it == active_.end()) {
+    std::ostringstream what;
+    what << "rx at " << rx.rx << " references unknown or already-completed tx "
+         << rx.tx_id;
+    ++checks_run_;
+    violate("conservation", last_event_s_, what.str());
+    return;
+  }
+  TxRecord& rec = it->second;
+  const sim::TxEvent& tx = rec.ev;
+
+  // Reception outcomes surface exactly when their transmission ends.
+  check(tx.end_s >= last_event_s_, "event-monotonicity", tx.end_s,
+        "rx of tx " + std::to_string(rx.tx_id) +
+            " completes in the past of the event stream");
+  last_event_s_ = std::max(last_event_s_, tx.end_s);
+
+  check_reception_identity(rec, rx);
+
+  // Exactly-once accounting per (transmission, receiver).
+  bool duplicate = false;
+  if (tx.to == kBroadcast && rx.rx < rec.seen_at.size()) {
+    duplicate = rec.seen_at[rx.rx];
+    rec.seen_at[rx.rx] = true;
+  }
+  check(!duplicate, "conservation", tx.end_s,
+        "station " + std::to_string(rx.rx) +
+            " reported two outcomes for broadcast tx " +
+            std::to_string(rx.tx_id));
+
+  check_sinr(rec, rx);
+  check_half_duplex(rec, rx);
+  check_despreading_cap(rec, rx);
+
+  if (tx.to == kBroadcast) {
+    if (rx.delivered) ++broadcast_delivered_;
+  } else {
+    if (rx.delivered) {
+      ++unicast_delivered_;
+    } else {
+      ++unicast_losses_[static_cast<std::size_t>(rx.loss)];
+    }
+  }
+
+  if (++rec.seen_rx >= rec.expected_rx) active_.erase(it);
+}
+
+void InvariantAuditor::finalize(double cutoff_s) {
+  for (const auto& [id, rec] : active_) {
+    std::ostringstream what;
+    what << "tx " << id << " ended at " << rec.ev.end_s << " but reported "
+         << rec.seen_rx << "/" << rec.expected_rx << " reception outcomes";
+    // A transmission still on the air at the cutoff is legitimately
+    // unresolved; one that ended inside the audited window is not.
+    check(rec.ev.end_s > cutoff_s, "conservation", rec.ev.end_s, what.str());
+  }
+}
+
+void InvariantAuditor::cross_check(const sim::Metrics& m) {
+  const auto expect_eq = [this](const char* what, std::uint64_t metrics_says,
+                                std::uint64_t audit_says) {
+    std::ostringstream detail;
+    detail << what << ": metrics counted " << metrics_says
+           << ", the event stream implies " << audit_says;
+    check(metrics_says == audit_says, "metrics-crosscheck", last_event_s_,
+          detail.str());
+  };
+  expect_eq("hop attempts", m.hop_attempts(), unicast_starts_);
+  expect_eq("hop successes", m.hop_successes(), unicast_delivered_);
+  expect_eq("type 1 losses", m.losses(sim::LossType::kType1),
+            unicast_losses_[1]);
+  expect_eq("type 2 losses", m.losses(sim::LossType::kType2),
+            unicast_losses_[2]);
+  expect_eq("type 3 losses", m.losses(sim::LossType::kType3),
+            unicast_losses_[3]);
+  expect_eq("broadcasts sent", m.broadcasts_sent(), broadcast_starts_);
+  expect_eq("broadcast receptions", m.broadcast_receptions(),
+            broadcast_delivered_);
+}
+
+std::string InvariantAuditor::report() const {
+  std::ostringstream os;
+  os << "invariant audit: " << checks_run_ << " checks, " << total_violations_
+     << " violations\n";
+  for (const auto& [invariant, count] : counts_)
+    os << "  " << invariant << ": " << count << "\n";
+  for (const Violation& v : violations_)
+    os << "  [" << v.invariant << "] t=" << v.time_s << " " << v.detail
+       << "\n";
+  return os.str();
+}
+
+}  // namespace drn::audit

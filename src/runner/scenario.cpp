@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "audit/invariant_auditor.hpp"
 #include "baselines/aloha.hpp"
 #include "baselines/csma.hpp"
 #include "baselines/maca.hpp"
@@ -131,6 +132,11 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
   sim::SimulatorConfig sim_cfg{spec.criterion()};
   sim_cfg.seed = seed;
   sim::Simulator sim(scenario.gains, sim_cfg);
+  std::unique_ptr<audit::InvariantAuditor> auditor;
+  if (spec.audit) {
+    auditor = std::make_unique<audit::InvariantAuditor>(sim);
+    sim.add_observer(auditor.get());
+  }
   install_macs(sim, scenario, spec);
   sim.set_router(scenario.tables.router());
   Rng traffic_rng = Rng(seed).split(2);
@@ -140,7 +146,14 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
     sim.inject(inj.time_s, inj.packet);
   const double total = spec.duration_s + spec.drain_s;
   sim.run_until(total);
-  return summarize(sim.metrics(), total);
+  TrialResult result = summarize(sim.metrics(), total);
+  if (auditor) {
+    auditor->finalize(total);
+    auditor->cross_check(sim.metrics());
+    result.audit_checks = auditor->checks_run();
+    result.audit_violations = auditor->violation_count();
+  }
+  return result;
 }
 
 const sim::Metrics& run_scheme(Scenario& scenario, sim::Simulator& sim,

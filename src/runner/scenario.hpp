@@ -79,6 +79,9 @@ struct ScenarioSpec {
   int baseline_max_retries = 6;
   double baseline_backoff_mean_s = 0.01;
   double csma_sense_threshold_w = 2.5e-9;
+  /// Ride an audit::InvariantAuditor along on the trial's simulator and
+  /// report its verdict in the result (audit_checks / audit_violations).
+  bool audit = false;
 
   [[nodiscard]] radio::ReceptionCriterion criterion() const {
     return radio::ReceptionCriterion(bandwidth_hz, data_rate_bps, margin_db);
@@ -101,6 +104,9 @@ struct TrialResult {
   double mean_hops = 0.0;     // 0 when nothing delivered
   double tx_per_hop = 0.0;    // attempts / successes; 1.0 = no waste
   double mean_duty = 0.0;     // mean transmit duty cycle
+  /// Invariant-audit verdict; both stay 0 unless ScenarioSpec::audit is set.
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
 };
 
 /// Extracts a TrialResult from a finished simulator's metrics.

@@ -120,12 +120,13 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
                         const SweepResult& result) {
   json::Writer w(os);
   w.begin_object();
-  w.key("schema").value("drn-sweep-v1");
+  w.key("schema").value("drn-sweep-v2");
 
   w.key("spec").begin_object();
   w.key("master_seed").value(spec.master_seed);
   w.key("seeds").value(spec.seeds);
   w.key("paired_seeds").value(spec.paired_seeds);
+  w.key("audit").value(spec.base.audit);
   w.key("duration_s").value(spec.duration_s);
   w.key("drain_s").value(spec.drain_s);
   w.key("stations").begin_array();
@@ -164,6 +165,10 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
     w.key("mean_hops").value(r.mean_hops);
     w.key("tx_per_hop").value(r.tx_per_hop);
     w.key("mean_duty").value(r.mean_duty);
+    if (spec.base.audit) {
+      w.key("audit_checks").value(r.audit_checks);
+      w.key("audit_violations").value(r.audit_violations);
+    }
     w.end_object();
   }
   w.end_array();

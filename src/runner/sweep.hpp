@@ -114,7 +114,7 @@ struct SweepResult {
 [[nodiscard]] std::vector<PointSummary> summarize(const SweepSpec& spec,
                                                   const SweepResult& result);
 
-/// Writes the deterministic results document (schema "drn-sweep-v1"):
+/// Writes the deterministic results document (schema "drn-sweep-v2"):
 /// spec, per-trial results, per-point summaries. Byte-identical for any
 /// thread count.
 void write_results_json(std::ostream& os, const SweepSpec& spec,

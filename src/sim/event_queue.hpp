@@ -56,7 +56,11 @@ class EventQueue {
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      if (a.event.time_s != b.event.time_s) return a.event.time_s > b.event.time_s;
+      // Exact comparison is deliberate: only bit-identical times may fall
+      // through to the kind/sequence tie-break that encodes the
+      // end-before-start simultaneity rule.
+      if (a.event.time_s != b.event.time_s)  // drn-lint: allow(float-eq)
+        return a.event.time_s > b.event.time_s;
       if (a.event.kind != b.event.kind) return a.event.kind > b.event.kind;
       return a.seq > b.seq;
     }

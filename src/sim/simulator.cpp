@@ -50,6 +50,11 @@ void Simulator::set_router(Router router) {
   router_ = std::move(router);
 }
 
+void Simulator::add_observer(SimObserver* observer) {
+  DRN_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
 void Simulator::inject(double time_s, Packet packet) {
   DRN_EXPECTS(time_s >= now_s_);
   DRN_EXPECTS(packet.source < gains_.size());
@@ -284,7 +289,7 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
   }
   ++transmitting_count_[tx.from];
 
-  if (observer_ != nullptr) {
+  if (!observers_.empty()) {
     TxEvent ev;
     ev.tx_id = tx_id;
     ev.from = tx.from;
@@ -294,7 +299,7 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
     ev.end_s = tx.end_s;
     ev.rate_bps = tx.rate_bps;
     ev.packet = tx.packet.id;
-    observer_->on_transmit_start(ev);
+    for (SimObserver* o : observers_) o->on_transmit_start(ev);
   }
 
   const bool track = config_.multiuser_subtract_k > 0;
@@ -361,7 +366,7 @@ void Simulator::handle_transmit_end(std::uint64_t tx_id) {
     const bool delivered = r.failure == LossType::kNone;
     any_delivered |= delivered;
 
-    if (observer_ != nullptr) {
+    if (!observers_.empty()) {
       RxEvent ev;
       ev.tx_id = tx_id;
       ev.rx = r.rx;
@@ -370,7 +375,7 @@ void Simulator::handle_transmit_end(std::uint64_t tx_id) {
       ev.min_sinr = r.min_sinr;
       ev.required_snr = r.required_snr;
       ev.signal_w = r.signal_w;
-      observer_->on_reception_complete(ev);
+      for (SimObserver* o : observers_) o->on_reception_complete(ev);
     }
 
     if (tx.to == kBroadcast) {

@@ -82,8 +82,16 @@ class Simulator final : public MacContext {
   /// Installs the next-hop chooser. Default: one-hop direct to destination.
   void set_router(Router router);
 
-  /// Installs a passive observer (not owned; may be null). See observer.hpp.
-  void set_observer(SimObserver* observer) { observer_ = observer; }
+  /// Installs a passive observer (not owned; null clears), replacing any
+  /// already installed. See observer.hpp.
+  void set_observer(SimObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  /// Adds a passive observer alongside any already installed (not owned).
+  /// Observers are notified in installation order.
+  void add_observer(SimObserver* observer);
 
   /// Schedules a packet to enter the network at its source at `time_s`.
   void inject(double time_s, Packet packet);
@@ -181,7 +189,7 @@ class Simulator final : public MacContext {
   std::vector<std::unique_ptr<MacProtocol>> macs_;
   std::vector<Rng> rngs_;
   Router router_;
-  SimObserver* observer_ = nullptr;
+  std::vector<SimObserver*> observers_;
 
   std::uint64_t next_tx_id_ = 1;
   PacketId next_packet_id_ = 1;

@@ -1,0 +1,155 @@
+// Mutation tests: prove the auditor actually has teeth. A deliberately
+// broken MAC transmits right over its own incoming reception; the simulator
+// correctly kills that reception (Type 3), so an auditor watching the true
+// event stream stays green (the control). A MutatingObserver then replays
+// the same run with one fault injected — the fault a buggy simulator or MAC
+// enforcement would produce — and the auditor must flag it.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "audit/invariant_auditor.hpp"
+#include "helpers/test_macs.hpp"
+#include "radio/propagation_matrix.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::audit {
+namespace {
+
+using drn::testing::IdleMac;
+using drn::testing::ScriptMac;
+using drn::testing::ScriptedTx;
+
+constexpr double kThermalW = 1.0e-12;
+
+/// Relays simulator events into an auditor, applying a mutation to each
+/// reception outcome on the way through. Returning nullopt drops the event.
+/// This models the failure classes the auditor exists to catch: the
+/// simulator mis-reporting what happened on the channel.
+class MutatingObserver final : public sim::SimObserver {
+ public:
+  using RxMutation = std::function<std::optional<sim::RxEvent>(sim::RxEvent)>;
+
+  MutatingObserver(InvariantAuditor& auditor, RxMutation mutate)
+      : auditor_(&auditor), mutate_(std::move(mutate)) {}
+
+  void on_transmit_start(const sim::TxEvent& tx) override {
+    auditor_->on_transmit_start(tx);
+  }
+  void on_reception_complete(const sim::RxEvent& rx) override {
+    if (auto mutated = mutate_(rx)) auditor_->on_reception_complete(*mutated);
+  }
+
+ private:
+  InvariantAuditor* auditor_;
+  RxMutation mutate_;
+};
+
+/// Three stations in a line. Station 0 sends to 1; the broken MAC at 1
+/// keys up towards 2 in the middle of that incoming packet, so the
+/// reception at 1 dies as a Type 3 loss while 1's own packet gets through.
+struct BrokenMacRun {
+  sim::Simulator sim;
+
+  BrokenMacRun() : sim(gains(), config()) {}
+
+  static radio::PropagationMatrix gains() {
+    radio::PropagationMatrix m(3);
+    m.set_gain(0, 1, 1.0);
+    m.set_gain(1, 2, 1.0);
+    m.set_gain(0, 2, 1.0e-9);
+    return m;
+  }
+  static sim::SimulatorConfig config() {
+    sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+    cfg.thermal_noise_w = kThermalW;
+    return cfg;
+  }
+
+  void run() {
+    sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                       {0.000, 1, 1.0, 1.0e4}}));
+    // The broken MAC: deaf to its own receiver, transmits mid-reception.
+    sim.set_mac(1, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                       {0.005, 2, 1.0, 1.0e4}}));
+    sim.set_mac(2, std::make_unique<IdleMac>());
+    sim.run_until(1.0);
+    // The scenario only exercises the auditor if the self-blast happened.
+    ASSERT_EQ(sim.metrics().losses(sim::LossType::kType3), 1u);
+  }
+};
+
+TEST(MutationTest, ControlBrokenMacRunKeepsAuditorGreen) {
+  BrokenMacRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  fixture.sim.add_observer(&auditor);
+  fixture.run();
+  auditor.finalize(fixture.sim.now());
+  auditor.cross_check(fixture.sim.metrics());
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  EXPECT_GT(auditor.checks_run(), 0u);
+}
+
+TEST(MutationTest, FlippingType3ToDeliveredTripsHalfDuplex) {
+  BrokenMacRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  // The fault: half-duplex enforcement silently broken — the reception the
+  // receiver's own transmitter should have killed is reported delivered.
+  MutatingObserver relay(auditor, [](sim::RxEvent rx) {
+    if (rx.loss == sim::LossType::kType3) {
+      rx.loss = sim::LossType::kNone;
+      rx.delivered = true;
+    }
+    return std::optional<sim::RxEvent>(rx);
+  });
+  fixture.sim.add_observer(&relay);
+  fixture.run();
+  auditor.finalize(fixture.sim.now());
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GT(auditor.counts_by_invariant().count("half-duplex"), 0u)
+      << auditor.report();
+  // The metrics cross-check independently catches the same fault: the
+  // simulator's counters still say "one Type 3 loss", the mutated stream
+  // says "delivered".
+  auditor.cross_check(fixture.sim.metrics());
+  EXPECT_GT(auditor.counts_by_invariant().count("metrics-crosscheck"), 0u)
+      << auditor.report();
+}
+
+TEST(MutationTest, DroppingReceptionOutcomesTripsConservation) {
+  BrokenMacRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  // The fault: reception outcomes silently vanish from the stream.
+  MutatingObserver relay(auditor, [](const sim::RxEvent&) {
+    return std::optional<sim::RxEvent>();
+  });
+  fixture.sim.add_observer(&relay);
+  fixture.run();
+  auditor.finalize(fixture.sim.now());
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GT(auditor.counts_by_invariant().count("conservation"), 0u)
+      << auditor.report();
+}
+
+TEST(MutationTest, CorruptedSinrBookkeepingTripsConsistency) {
+  BrokenMacRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  // The fault: interference bookkeeping undercounts, reporting an SINR that
+  // exceeds the physically possible zero-interference bound.
+  MutatingObserver relay(auditor, [](sim::RxEvent rx) {
+    rx.min_sinr = (rx.signal_w / kThermalW) * 1.0e6;
+    return std::optional<sim::RxEvent>(rx);
+  });
+  fixture.sim.add_observer(&relay);
+  fixture.run();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GT(auditor.counts_by_invariant().count("sinr-consistency"), 0u)
+      << auditor.report();
+}
+
+}  // namespace
+}  // namespace drn::audit

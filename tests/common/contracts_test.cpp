@@ -1,0 +1,139 @@
+// Contract-path coverage: every public API guarded by DRN_EXPECTS /
+// DRN_ENSURES must reject misuse by throwing drn::ContractViolation whose
+// message names the failed expression and its file:line — never by silently
+// corrupting a simulation. One representative contract per module.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "audit/invariant_auditor.hpp"
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "common/running_stats.hpp"
+#include "geo/placement.hpp"
+#include "helpers/test_macs.hpp"
+#include "radio/propagation_matrix.hpp"
+#include "radio/reception.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn {
+namespace {
+
+/// Runs `fn`, requires it to throw ContractViolation, returns the message.
+template <typename Fn>
+std::string violation_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected ContractViolation";
+  return {};
+}
+
+TEST(Contracts, RngRejectsInvertedRangeWithLocation) {
+  Rng rng(1);
+  const std::string what =
+      violation_message([&] { (void)rng.uniform(2.0, 1.0); });
+  EXPECT_NE(what.find("lo <= hi"), std::string::npos) << what;
+  EXPECT_NE(what.find("rng.hpp:"), std::string::npos) << what;
+}
+
+TEST(Contracts, RngRejectsEmptyIndexRangeAndBadProbability) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_index(0), ContractViolation);
+  EXPECT_THROW((void)rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW((void)rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Contracts, EventQueueRejectsPopAndNextTimeWhenEmpty) {
+  sim::EventQueue q;
+  EXPECT_THROW((void)q.pop(), ContractViolation);
+  EXPECT_THROW((void)q.next_time(), ContractViolation);
+}
+
+TEST(Contracts, RunningStatsRejectsMomentsOfNoSamples) {
+  const RunningStats stats;
+  EXPECT_THROW((void)stats.mean(), ContractViolation);
+}
+
+TEST(Contracts, PropagationMatrixRejectsBadConstructionAndIndices) {
+  EXPECT_THROW(radio::PropagationMatrix m(0), ContractViolation);
+  radio::PropagationMatrix m(3);
+  EXPECT_THROW((void)m.gain(0, 3), ContractViolation);
+  EXPECT_THROW(m.set_gain(0, 1, 0.0), ContractViolation);
+}
+
+TEST(Contracts, ReceptionCriterionRejectsNonPositiveDesignPoint) {
+  EXPECT_THROW(radio::ReceptionCriterion(0.0, 1.0e6, 0.0), ContractViolation);
+  EXPECT_THROW(radio::ReceptionCriterion(1.0e6, 0.0, 0.0), ContractViolation);
+  EXPECT_THROW(radio::ReceptionCriterion(1.0e6, 1.0e6, -1.0),
+               ContractViolation);
+}
+
+TEST(Contracts, PlacementRejectsNonPositiveRegion) {
+  Rng rng(1);
+  EXPECT_THROW((void)geo::uniform_disc(4, 0.0, rng), ContractViolation);
+}
+
+TEST(Contracts, MetricsRejectsBadRecordsAndQueries) {
+  EXPECT_THROW(sim::Metrics m(0), ContractViolation);
+  sim::Metrics m(2);
+  EXPECT_THROW(m.record_hop_loss(sim::LossType::kNone), ContractViolation);
+  EXPECT_THROW((void)m.airtime_s(2), ContractViolation);
+  EXPECT_THROW((void)m.duty_cycle(0, 0.0), ContractViolation);
+}
+
+TEST(Contracts, SimulatorRejectsMisuseWithLocation) {
+  radio::PropagationMatrix gains(2);
+  gains.set_gain(0, 1, 1.0);
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  sim::Simulator sim(gains, cfg);
+  EXPECT_THROW(sim.set_mac(2, std::make_unique<drn::testing::IdleMac>()),
+               ContractViolation);
+  EXPECT_THROW(sim.set_mac(0, nullptr), ContractViolation);
+  EXPECT_THROW(sim.add_observer(nullptr), ContractViolation);
+
+  sim::Packet pkt;
+  pkt.source = 0;
+  pkt.destination = 0;  // source == destination
+  pkt.size_bits = 100.0;
+  const std::string what = violation_message([&] { sim.inject(0.0, pkt); });
+  EXPECT_NE(what.find("packet.source != packet.destination"),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("simulator.cpp:"), std::string::npos) << what;
+
+  // Running requires every station to have a MAC installed.
+  EXPECT_THROW(sim.run_until(1.0), ContractViolation);
+}
+
+TEST(Contracts, SimulatorRejectsRunningBackwards) {
+  radio::PropagationMatrix gains(2);
+  gains.set_gain(0, 1, 1.0);
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  sim::Simulator sim(gains, cfg);
+  sim.set_mac(0, std::make_unique<drn::testing::IdleMac>());
+  sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
+  sim.run_until(1.0);
+  EXPECT_THROW(sim.run_until(0.5), ContractViolation);
+}
+
+TEST(Contracts, AuditorRejectsUnusableConfiguration) {
+  audit::AuditConfig cfg;
+  cfg.stations = 0;  // nothing to audit
+  cfg.thermal_noise_w = 1e-12;
+  EXPECT_THROW(audit::InvariantAuditor a(cfg), ContractViolation);
+  cfg.stations = 4;
+  cfg.thermal_noise_w = 0.0;  // SINR bound would divide by zero
+  EXPECT_THROW(audit::InvariantAuditor a(cfg), ContractViolation);
+  cfg.thermal_noise_w = 1e-12;
+  cfg.despreading_channels = 0;
+  EXPECT_THROW(audit::InvariantAuditor a(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn

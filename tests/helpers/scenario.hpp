@@ -3,9 +3,12 @@
 // with Poisson traffic.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <memory>
 #include <utility>
 
+#include "audit/invariant_auditor.hpp"
 #include "core/network_builder.hpp"
 #include "geo/placement.hpp"
 #include "radio/propagation.hpp"
@@ -22,6 +25,31 @@ namespace drn::testing {
 inline radio::ReceptionCriterion scheme_criterion() {
   return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
 }
+
+/// Rides an InvariantAuditor along on `sim` for the scope's lifetime and
+/// asserts a clean verdict (including the metrics cross-check) on
+/// destruction. Declare one right after constructing a Simulator; every
+/// integration test runs fully audited this way.
+class ScopedAudit {
+ public:
+  explicit ScopedAudit(sim::Simulator& sim) : auditor_(sim), sim_(&sim) {
+    sim.add_observer(&auditor_);
+  }
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+  ~ScopedAudit() {
+    auditor_.finalize(sim_->now());
+    auditor_.cross_check(sim_->metrics());
+    EXPECT_TRUE(auditor_.ok()) << auditor_.report();
+    EXPECT_GT(auditor_.checks_run(), 0u);
+  }
+
+  [[nodiscard]] audit::InvariantAuditor& auditor() { return auditor_; }
+
+ private:
+  audit::InvariantAuditor auditor_;
+  sim::Simulator* sim_;
+};
 
 struct Scenario {
   geo::Placement placement;

@@ -37,6 +37,7 @@ RunOutcome run_baseline(const Scenario& scenario, MakeMac&& make_mac,
                         std::uint64_t traffic_seed) {
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < scenario.gains.size(); ++s)
     sim.set_mac(s, make_mac());
   sim.set_router(scenario.tables.router());
@@ -64,6 +65,7 @@ TEST(BaselineComparison, SchemeBeatsRandomAccessUnderLoad) {
 
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator scheme_sim(scheme_scenario.gains, sc);
+  ScopedAudit audited_scheme(scheme_sim);
   const auto& scheme =
       run_scheme(scheme_scenario, scheme_sim, rate, duration, seed);
 
@@ -96,6 +98,7 @@ TEST(BaselineComparison, CsmaSuffersHiddenTerminalsTheSchemeDoesNot) {
 
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator scheme_sim(scheme_scenario.gains, sc);
+  ScopedAudit audited_scheme(scheme_sim);
   const auto& scheme =
       run_scheme(scheme_scenario, scheme_sim, rate, duration, seed);
 

@@ -40,6 +40,7 @@ TEST_P(CollisionFree, RandomNetworkLosesNothingToCollisions) {
   sim::SimulatorConfig sc{scheme_criterion()};
   sc.seed = GetParam();
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   const auto& m = run_scheme(scenario, sim, /*packets_per_s=*/150.0,
                              /*duration_s=*/2.0, /*traffic_seed=*/GetParam());
 
@@ -67,6 +68,7 @@ TEST_P(ReceiveFractionSweep, CollisionFreedomHoldsAcrossDutyCycles) {
   auto scenario = make_scenario(30, 900.0, 7, cfg);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   const auto& m = run_scheme(scenario, sim, 100.0, 2.0, 7);
   EXPECT_EQ(m.losses(sim::LossType::kType2), 0u) << "p " << GetParam();
   EXPECT_EQ(m.losses(sim::LossType::kType3), 0u) << "p " << GetParam();
@@ -87,6 +89,7 @@ TEST(CollisionFreeEdge, InsufficientGuardBreaksTheInvariant) {
   auto scenario = make_scenario(30, 900.0, 13, cfg);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   const auto& m = run_scheme(scenario, sim, 150.0, 2.0, 13);
   EXPECT_GT(m.total_hop_losses(), 0u);
 }
@@ -120,6 +123,7 @@ TEST(CollisionFreeEdge, RespectingThirdPartyWindowsPreventsType1) {
 
     sim::SimulatorConfig sc{scheme_criterion()};
     sim::Simulator sim(gains, sc);
+    ScopedAudit audited(sim);
     for (StationId s = 0; s < 4; ++s) sim.set_mac(s, std::move(net.macs[s]));
 
     for (int i = 0; i < 150; ++i) {
@@ -155,6 +159,7 @@ TEST(CollisionFreeEdge, SingleTransmissionPerHop) {
   auto scenario = make_scenario(25, 800.0, 21, multihop_config());
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   const auto& m = run_scheme(scenario, sim, 100.0, 2.0, 21);
   EXPECT_EQ(m.hop_attempts(), m.hop_successes());
   const double total_hops = m.hops().sum();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/access.hpp"
+#include "helpers/scenario.hpp"
 #include "helpers/test_macs.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -75,8 +76,9 @@ TEST_P(SinrFuzz, TraceMinSinrMatchesBruteForce) {
   cfg.thermal_noise_w = thermal;
   cfg.despreading_channels = 16;
   sim::Simulator sim(gains, cfg);
+  ScopedAudit audited(sim);
   sim::TraceRecorder trace;
-  sim.set_observer(&trace);
+  sim.add_observer(&trace);
 
   // Random scripts: every station sends a few packets at random times, each
   // serialized per sender by spacing them at least one airtime apart.

@@ -35,6 +35,7 @@ TEST(Multihop, ChainDeliversEndToEndWithExpectedHops) {
 
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < 6; ++s) sim.set_mac(s, std::move(net.macs[s]));
   sim.set_router(tables.router());
 
@@ -63,6 +64,7 @@ TEST(Multihop, HopCountsMatchDijkstraOracle) {
       scenario.gains, cfg.target_received_w / cfg.max_power_w);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < scenario.gains.size(); ++s)
     sim.set_mac(s, std::move(scenario.net.macs[s]));
   sim.set_router(scenario.tables.router());
@@ -107,6 +109,7 @@ TEST(Multihop, MinEnergyPrefersRelaysOverDirectBlast) {
 
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < 3; ++s) sim.set_mac(s, std::move(net.macs[s]));
   sim.set_router(tables.router());
 
@@ -171,6 +174,7 @@ TEST(Multihop, StationChurnRerouteViaBellmanFord) {
                                            build_rng);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < gains.size(); ++s)
     sim.set_mac(s, std::move(net.macs[s]));
   sim.set_router([&bf](StationId a, StationId d) { return bf.next_hop(a, d); });
@@ -207,6 +211,7 @@ TEST(Multihop, SchemeWorksUnderDualSlopePropagation) {
 
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < gains.size(); ++s)
     sim.set_mac(s, std::move(net.macs[s]));
   sim.set_router(tables.router());
@@ -240,6 +245,7 @@ TEST(Multihop, DistributedBellmanFordRoutesWorkInTheSimulator) {
 
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   for (StationId s = 0; s < scenario.gains.size(); ++s)
     sim.set_mac(s, std::move(scenario.net.macs[s]));
   sim.set_router(

@@ -110,6 +110,7 @@ TEST(SinrBookkeeping, MarginMatchesBruteForceForStaggeredOverlaps) {
   sim::SimulatorConfig sc{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
   sc.thermal_noise_w = thermal;
   sim::Simulator sim(m, sc);
+  ScopedAudit audited(sim);
   sim.set_mac(0, std::make_unique<ScriptMac>(
                      std::vector<ScriptedTx>{{0.000, 3, 1.0, 1.0e4}}));
   sim.set_mac(1, std::make_unique<ScriptMac>(
@@ -141,6 +142,7 @@ TEST_P(Conservation, AttemptsEqualSuccessesPlusLosses) {
   auto scenario = make_scenario(25, 800.0, GetParam(), cfg);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
+  ScopedAudit audited(sim);
   const auto& m = run_scheme(scenario, sim, 200.0, 1.5, GetParam(), 60.0);
   EXPECT_EQ(m.hop_attempts(), m.hop_successes() + m.total_hop_losses());
   EXPECT_EQ(m.delivered() + m.mac_drops(), m.offered());
@@ -160,6 +162,7 @@ TEST(Conservation, HoldsForContendingBaselinesToo) {
   sim::SimulatorConfig sc{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
   sc.thermal_noise_w = 1.0e-15;
   sim::Simulator sim(m, sc);
+  ScopedAudit audited(sim);
   baselines::ContentionConfig cc;
   cc.max_retries = 3;
   cc.backoff_mean_s = 0.003;
@@ -186,6 +189,7 @@ TEST(Determinism, FullScenarioIsBitReproducible) {
     auto scenario = make_scenario(20, 700.0, 31, cfg);
     sim::SimulatorConfig sc{scheme_criterion()};
     sim::Simulator sim(scenario.gains, sc);
+    ScopedAudit audited(sim);
     const auto& m = run_scheme(scenario, sim, 80.0, 1.0, 31, 30.0);
     return std::tuple{m.offered(), m.delivered(), m.hop_attempts(),
                       m.delivered() > 0 ? m.delay().mean() : 0.0};

@@ -71,7 +71,8 @@ TEST_P(ScheduleCompliance, EveryTransmissionHonoursBothSchedules) {
   WindowAuditor auditor(scenario.net.schedule, scenario.net.clocks);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
-  sim.set_observer(&auditor);
+  ScopedAudit audited(sim);
+  sim.add_observer(&auditor);
   (void)run_scheme(scenario, sim, 120.0, 2.0, GetParam());
 
   EXPECT_GT(auditor.transmissions(), 200u);
@@ -93,7 +94,8 @@ TEST(ScheduleCompliance, BaselinesDoViolateSchedules) {
   WindowAuditor auditor(scenario.net.schedule, scenario.net.clocks);
   sim::SimulatorConfig sc{scheme_criterion()};
   sim::Simulator sim(scenario.gains, sc);
-  sim.set_observer(&auditor);
+  ScopedAudit audited(sim);
+  sim.add_observer(&auditor);
   baselines::ContentionConfig cc;
   cc.power_w = 1.0e-4;
   for (StationId s = 0; s < scenario.gains.size(); ++s)

@@ -123,7 +123,7 @@ TEST(Sweep, ResultsJsonShapeAndTimingSeparation) {
   std::ostringstream os;
   write_results_json(os, spec, result);
   const std::string doc = os.str();
-  EXPECT_NE(doc.find("\"schema\": \"drn-sweep-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"drn-sweep-v2\""), std::string::npos);
   EXPECT_NE(doc.find("\"trials\""), std::string::npos);
   EXPECT_NE(doc.find("\"summaries\""), std::string::npos);
   // Timing must NOT leak into the deterministic document.

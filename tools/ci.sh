@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# CI driver: build + ctest under the default config, then again under
-# ThreadSanitizer (exercising the runner's thread pool). Usage:
+# CI driver. Stages:
 #
-#   tools/ci.sh                # default + tsan
-#   DRN_CI_SANITIZERS="thread address,undefined" tools/ci.sh
+#   1. lint          tools/drn_lint.py (determinism + hygiene rules)
+#   2. format        clang-format --dry-run over src/bench/tools/tests
+#   3. build + test  default config
+#   4. clang-tidy    over src/ and tools/ (needs stage 3's compile commands)
+#   5. build + test  once per sanitizer config (default: tsan, then
+#                    asan+ubsan)
+#
+# Stages 1, 3 and 5 fail the build on any finding. Stages 2 and 4 also fail
+# on findings, but are skipped with a notice when the host has no
+# clang-format/clang-tidy (the baked toolchain is gcc-only); the configs are
+# checked in so any host that has the tools enforces them.
+#
+#   tools/ci.sh                # everything
+#   DRN_CI_SANITIZERS="thread" tools/ci.sh      # trim the matrix
 #
 # Each config builds into build-ci[-<sanitizer>] so a developer's ./build
 # tree is left alone.
@@ -12,23 +23,48 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
-sanitizers="${DRN_CI_SANITIZERS:-thread}"
+sanitizers="${DRN_CI_SANITIZERS:-thread address,undefined}"
 
 # Uninstrumented-libstdc++ false positives (see tools/tsan.supp).
 export TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp ${TSAN_OPTIONS:-}"
 
+echo "==== stage: lint ===="
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/drn_lint.py
+else
+  echo "lint SKIPPED: no python3 on this host"
+fi
+
+echo "==== stage: format check ===="
+if command -v clang-format >/dev/null 2>&1; then
+  find src bench tools tests \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+    xargs -0 clang-format --dry-run -Werror
+else
+  echo "format check SKIPPED: no clang-format on this host"
+fi
+
 run_config() {
   local dir="$1" sanitize="$2"
   echo "==== config: ${dir} (DRN_SANITIZE='${sanitize}') ===="
-  cmake -B "${dir}" -S . -DDRN_SANITIZE="${sanitize}" -DDRN_WERROR=ON
+  cmake -B "${dir}" -S . -DDRN_SANITIZE="${sanitize}" -DDRN_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build "${dir}" -j "${jobs}"
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
 run_config build-ci ""
+
+echo "==== stage: clang-tidy ===="
+if command -v clang-tidy >/dev/null 2>&1; then
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -P "${jobs}" -n 8 clang-tidy -p build-ci --quiet
+else
+  echo "clang-tidy SKIPPED: no clang-tidy on this host"
+fi
+
 for s in ${sanitizers}; do
   # "address,undefined" -> directory suffix "address-undefined"
   run_config "build-ci-${s//,/-}" "${s}"
 done
 
-echo "==== all configs passed ===="
+echo "==== all stages passed ===="

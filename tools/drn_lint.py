@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Project lint for the drn codebase (src/, bench/, tools/).
+
+Enforces the determinism and hygiene rules the simulator's reproducibility
+depends on, none of which clang-tidy checks:
+
+  rand            no C rand()/srand(): unseedable per-stream, breaks sweep
+                  determinism.
+  std-rng         no <random> engines (mt19937, default_random_engine) or
+                  std::random_device: all randomness flows through drn::Rng
+                  so every stream is derived from the master seed.
+  wall-clock-seed no time(NULL)/system_clock-derived values: results must be
+                  a pure function of the command line.
+  float-eq        no ==/!= where an operand is a float literal or carries a
+                  unit suffix (_s,_w,_db,_bps,_hz,_m,_pps): exact equality
+                  on computed physical quantities is almost always a bug.
+  pragma-once     every header starts its include guard with #pragma once.
+  using-std       no `using namespace std`.
+  iostream-lib    no <iostream> in library code under src/: libraries report
+                  through return values and exceptions, only CLIs print.
+
+Suppress a finding by appending `// drn-lint: allow(<rule>)` to the line,
+which is a grep-able record that a human judged the exception sound.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+RULES = {
+    "rand": re.compile(r"\b(?:std::)?s?rand\s*\("),
+    "std-rng": re.compile(
+        r"\bstd::(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?"
+        r"|random_device)\b"
+    ),
+    "wall-clock-seed": re.compile(
+        r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|\bsystem_clock\b"
+    ),
+    "using-std": re.compile(r"\busing\s+namespace\s+std\b"),
+}
+
+# An operand that makes ==/!= a floating-point comparison: a float literal
+# (1.0, .5, 1e-9) or an identifier with a physical-unit suffix.
+FLOAT_OPERAND = (
+    r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+"
+    r"|[A-Za-z_][\w.\->\[\]]*_(?:s|w|db|bps|hz|m|pps)\b)"
+)
+FLOAT_EQ = re.compile(
+    rf"(?:{FLOAT_OPERAND}\s*[=!]=|[=!]=\s*{FLOAT_OPERAND})"
+)
+# ==/!= inside relational contexts we must not misread: exact-match guards
+# against <=, >=, ->, templates are handled by requiring a bare [=!]= above.
+
+ALLOW = re.compile(r"//\s*drn-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+COMMENT = re.compile(r"//.*$")
+STRING = re.compile(r'"(?:[^"\\]|\\.)*"' + r"|'(?:[^'\\]|\\.)'")
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW.search(line)
+    return bool(m) and rule in [r.strip() for r in m.group(1).split(",")]
+
+
+def strip_noise(line: str) -> str:
+    """Removes string/char literals and trailing // comments so rule
+    patterns only see code."""
+    line = STRING.sub('""', line)
+    return COMMENT.sub("", line)
+
+
+def lint_file(path: pathlib.Path, repo: pathlib.Path) -> list[str]:
+    findings: list[str] = []
+    rel = path.relative_to(repo)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [f"{rel}: unreadable: {err}"]
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    is_header = path.suffix == ".hpp"
+    in_library = rel.parts[0] == "src"
+    lines = text.splitlines()
+
+    if is_header and not any(
+        line.strip() == "#pragma once" for line in lines[:40]
+    ):
+        report(1, "pragma-once", "header does not start with #pragma once")
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and "*/" not in line[start:]:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_noise(line)
+
+        for rule, pattern in RULES.items():
+            if pattern.search(code) and not allowed(raw, rule):
+                report(lineno, rule, f"forbidden pattern: {pattern.pattern}")
+        if FLOAT_EQ.search(code) and not allowed(raw, "float-eq"):
+            report(
+                lineno,
+                "float-eq",
+                "exact ==/!= on a floating-point quantity "
+                "(compare with a tolerance, or justify with "
+                "// drn-lint: allow(float-eq))",
+            )
+        if (
+            in_library
+            and "#include <iostream>" in code
+            and not allowed(raw, "iostream-lib")
+        ):
+            report(lineno, "iostream-lib", "<iostream> in library code")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=["src", "bench", "tools"],
+        help="directories (relative to the repo root) to lint",
+    )
+    args = parser.parse_args(argv)
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    files: list[pathlib.Path] = []
+    for root in args.roots:
+        base = repo / root
+        if not base.is_dir():
+            print(f"drn_lint: no such directory: {root}", file=sys.stderr)
+            return 2
+        files += sorted(base.rglob("*.cpp")) + sorted(base.rglob("*.hpp"))
+
+    findings: list[str] = []
+    for path in files:
+        findings += lint_file(path, repo)
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"drn_lint: {len(files)} files, {len(findings)} findings",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

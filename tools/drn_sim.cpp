@@ -15,6 +15,7 @@
 #include <string>
 
 #include "analysis/table.hpp"
+#include "audit/invariant_auditor.hpp"
 #include "runner/json.hpp"
 #include "baselines/aloha.hpp"
 #include "baselines/csma.hpp"
@@ -52,7 +53,9 @@ struct Options {
   double breakpoint_m = 100.0;
   double shadowing_db = 0.0;
   std::string csv_trace;
+  std::size_t trace_cap = 0;
   bool json = false;
+  bool audit = false;
   bool help = false;
 };
 
@@ -89,7 +92,13 @@ workload
 
 output
   --csv-trace PATH      dump the physical-layer trace as CSV
+  --trace-cap N         keep only the newest N trace events per stream
+                        (0 = unbounded; requires --csv-trace)
   --json 0|1            one-line JSON summary instead of the table (default 0)
+  --audit 0|1           re-derive the physics invariants (Type 1/2/3
+                        taxonomy, SINR identities, half-duplex, despreading
+                        cap) from the event stream and cross-check the
+                        metrics; exit 4 on any violation (default 0)
   --help                this text
 )";
 }
@@ -109,17 +118,38 @@ bool parse(int argc, char** argv, Options& opt) {
     kv[key.substr(2)] = argv[++i];
   }
   auto num = [&](const char* name, double& out) {
-    if (auto it = kv.find(name); it != kv.end()) out = std::stod(it->second);
+    if (auto it = kv.find(name); it != kv.end()) {
+      out = std::stod(it->second);
+      kv.erase(it);
+    }
   };
   auto integer = [&](const char* name, auto& out) {
-    if (auto it = kv.find(name); it != kv.end())
+    if (auto it = kv.find(name); it != kv.end()) {
       out = static_cast<std::remove_reference_t<decltype(out)>>(
           std::stoull(it->second));
+      kv.erase(it);
+    }
+  };
+  // Flags take exactly "0" or "1"; anything fuzzier is a user error.
+  auto flag = [&](const char* name, bool& out) {
+    auto it = kv.find(name);
+    if (it == kv.end()) return true;
+    if (it->second != "0" && it->second != "1") {
+      std::cerr << "bad --" << name << " value: " << it->second
+                << " (want 0 or 1)\n";
+      return false;
+    }
+    out = it->second == "1";
+    kv.erase(it);
+    return true;
   };
   integer("stations", opt.stations);
   num("region", opt.region_m);
   integer("seed", opt.seed);
-  if (auto it = kv.find("mac"); it != kv.end()) opt.mac = it->second;
+  if (auto it = kv.find("mac"); it != kv.end()) {
+    opt.mac = it->second;
+    kv.erase(it);
+  }
   num("rate", opt.rate_pps);
   num("duration", opt.duration_s);
   num("drain", opt.drain_s);
@@ -130,16 +160,25 @@ bool parse(int argc, char** argv, Options& opt) {
   num("bandwidth", opt.bandwidth_hz);
   num("data-rate", opt.data_rate_bps);
   num("margin", opt.margin_db);
-  double ds = 0.0;
-  num("dual-slope", ds);
-  opt.dual_slope = ds != 0.0;
+  if (!flag("dual-slope", opt.dual_slope)) return false;
   num("breakpoint", opt.breakpoint_m);
   num("shadowing", opt.shadowing_db);
-  if (auto it = kv.find("csv-trace"); it != kv.end())
+  if (auto it = kv.find("csv-trace"); it != kv.end()) {
     opt.csv_trace = it->second;
-  double js = 0.0;
-  num("json", js);
-  opt.json = js != 0.0;
+    kv.erase(it);
+  }
+  integer("trace-cap", opt.trace_cap);
+  if (!flag("json", opt.json)) return false;
+  if (!flag("audit", opt.audit)) return false;
+  if (!kv.empty()) {
+    std::cerr << "unknown option: --" << kv.begin()->first << " (try --help)\n";
+    return false;
+  }
+  if (opt.trace_cap > 0 && opt.csv_trace.empty()) {
+    std::cerr << "--trace-cap only bounds a trace being recorded; "
+                 "combine it with --csv-trace\n";
+    return false;
+  }
   return true;
 }
 
@@ -178,8 +217,13 @@ int run(const Options& opt) {
   sim::SimulatorConfig sim_cfg{criterion};
   sim_cfg.seed = opt.seed;
   sim::Simulator sim(gains, sim_cfg);
-  sim::TraceRecorder trace;
-  if (!opt.csv_trace.empty()) sim.set_observer(&trace);
+  sim::TraceRecorder trace(opt.trace_cap);
+  if (!opt.csv_trace.empty()) sim.add_observer(&trace);
+  std::unique_ptr<audit::InvariantAuditor> auditor;
+  if (opt.audit) {
+    auditor = std::make_unique<audit::InvariantAuditor>(sim);
+    sim.add_observer(auditor.get());
+  }
 
   if (opt.mac == "scheme") {
     for (StationId s = 0; s < gains.size(); ++s)
@@ -220,6 +264,11 @@ int run(const Options& opt) {
   sim.run_until(opt.duration_s + opt.drain_s);
 
   const auto& m = sim.metrics();
+  if (auditor) {
+    auditor->finalize(opt.duration_s + opt.drain_s);
+    auditor->cross_check(m);
+  }
+  const bool audit_failed = auditor && !auditor->ok();
   if (opt.json) {
     // One machine-readable line on stdout (schema drn-sim-v1), nothing else.
     runner::json::Writer w(std::cout, 0);
@@ -243,8 +292,13 @@ int run(const Options& opt) {
     w.key("mean_delay_s").value(m.delivered() > 0 ? m.delay().mean() : 0.0);
     w.key("mean_hops").value(m.delivered() > 0 ? m.hops().mean() : 0.0);
     w.key("mean_duty").value(m.mean_duty_cycle(opt.duration_s + opt.drain_s));
+    if (auditor) {
+      w.key("audit_checks").value(auditor->checks_run());
+      w.key("audit_violations").value(auditor->violation_count());
+    }
     w.end_object();
     std::cout << '\n';
+    if (audit_failed) std::cerr << auditor->report();
     if (!opt.csv_trace.empty()) {
       std::ofstream out(opt.csv_trace);
       if (!out) {
@@ -255,7 +309,7 @@ int run(const Options& opt) {
       out << '\n';
       trace.write_receptions_csv(out);
     }
-    return 0;
+    return audit_failed ? 4 : 0;
   }
   std::cout << "drn_sim: " << opt.stations << " stations, " << opt.region_m
             << " m disc, MAC=" << opt.mac << ", seed=" << opt.seed << ", "
@@ -278,7 +332,13 @@ int run(const Options& opt) {
   t.add_row({"mean transmit duty",
              analysis::Table::num(
                  m.mean_duty_cycle(opt.duration_s + opt.drain_s), 4)});
+  if (auditor) {
+    t.add_row({"audit checks", analysis::Table::num(auditor->checks_run())});
+    t.add_row({"audit violations",
+               analysis::Table::num(auditor->violation_count())});
+  }
   t.print(std::cout);
+  if (audit_failed) std::cout << '\n' << auditor->report();
 
   if (!opt.csv_trace.empty()) {
     std::ofstream out(opt.csv_trace);
@@ -290,8 +350,13 @@ int run(const Options& opt) {
     out << '\n';
     trace.write_receptions_csv(out);
     std::cout << "\ntrace written to " << opt.csv_trace << '\n';
+    if (trace.dropped_transmissions() > 0 || trace.dropped_receptions() > 0) {
+      std::cout << "trace cap shed " << trace.dropped_transmissions()
+                << " transmissions, " << trace.dropped_receptions()
+                << " receptions\n";
+    }
   }
-  return 0;
+  return audit_failed ? 4 : 0;
 }
 
 }  // namespace

@@ -67,8 +67,11 @@ execution
   --jobs N              worker threads (0 = all hardware threads; default 1)
   --progress 0|1        progress ticks on stderr    (default 1)
   --json PATH           results file (default: stdout)
+  --audit 0|1           ride an invariant auditor along on every trial; the
+                        per-trial verdict lands in the results JSON and any
+                        violation fails the sweep with exit 4 (default 0)
 
-The results JSON (schema drn-sweep-v1) is byte-identical for any --jobs
+The results JSON (schema drn-sweep-v2) is byte-identical for any --jobs
 value. Timing {"jobs","trials","wall_s","trials_per_s"} prints to stderr.
 )";
 }
@@ -215,6 +218,15 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.progress = it->second != "0";
       kv.erase(it);
     }
+    if (auto it = kv.find("audit"); it != kv.end()) {
+      if (it->second != "0" && it->second != "1") {
+        std::cerr << "bad --audit value: " << it->second
+                  << " (want 0 or 1)\n";
+        return false;
+      }
+      opt.spec.base.audit = it->second == "1";
+      kv.erase(it);
+    }
   } catch (const std::exception&) {
     std::cerr << "bad numeric argument (try --help)\n";
     return false;
@@ -259,6 +271,16 @@ int run(const Options& opt) {
               << opt.json_path << '\n';
   }
   runner::write_timing_json(std::cerr, result);
+
+  if (opt.spec.base.audit) {
+    std::uint64_t violations = 0;
+    for (const auto& r : result.results) violations += r.audit_violations;
+    if (violations > 0) {
+      std::cerr << "drn_sweep: invariant audit found " << violations
+                << " violations across " << total << " trials\n";
+      return 4;
+    }
+  }
   return 0;
 }
 
