@@ -1,6 +1,7 @@
 #include "audit/invariant_auditor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -276,6 +277,11 @@ void InvariantAuditor::on_reception_complete(const sim::RxEvent& rx) {
   check_half_duplex(rec, rx);
   check_despreading_cap(rec, rx);
 
+  if (config_.record_receptions) {
+    recorded_[{rx.tx_id, rx.rx}] = RecordedReception{
+        rx.delivered, rx.loss, rx.min_sinr, rx.required_snr, rx.signal_w};
+  }
+
   if (tx.to == kBroadcast) {
     if (rx.delivered) ++broadcast_delivered_;
   } else {
@@ -320,6 +326,51 @@ void InvariantAuditor::cross_check(const sim::Metrics& m) {
   expect_eq("broadcasts sent", m.broadcasts_sent(), broadcast_starts_);
   expect_eq("broadcast receptions", m.broadcast_receptions(),
             broadcast_delivered_);
+}
+
+void InvariantAuditor::cross_check_engine(const InvariantAuditor& reference,
+                                          double sinr_rel_bound) {
+  DRN_EXPECTS(sinr_rel_bound > 0.0);
+  DRN_EXPECTS(config_.record_receptions);
+  DRN_EXPECTS(reference.config_.record_receptions);
+  const auto rel_close = [sinr_rel_bound](double a, double b) {
+    const double scale = std::max(std::abs(a), std::abs(b));
+    return std::abs(a - b) <= sinr_rel_bound * std::max(scale, 1e-300);
+  };
+
+  for (const auto& [key, ref] : reference.recorded_) {
+    const auto it = recorded_.find(key);
+    std::ostringstream who;
+    who << "rx of tx " << key.first << " at " << key.second;
+    if (it == recorded_.end()) {
+      check(false, "engine-crosscheck", last_event_s_,
+            who.str() + " exists only in the reference engine's run");
+      continue;
+    }
+    const RecordedReception& mine = it->second;
+
+    check(rel_close(mine.min_sinr, ref.min_sinr), "engine-crosscheck",
+          last_event_s_,
+          who.str() + " min-SINR disagrees beyond the configured bound (" +
+              std::to_string(mine.min_sinr) + " vs reference " +
+              std::to_string(ref.min_sinr) + ")");
+
+    if (mine.delivered != ref.delivered) {
+      // A flipped outcome is only legitimate when the reference call was
+      // borderline: its SINR within the bound of the threshold. Anything
+      // else means the approximation changed physics, not rounding.
+      check(rel_close(ref.min_sinr, ref.required_snr), "engine-crosscheck",
+            last_event_s_,
+            who.str() + " outcome flipped on a non-borderline reception");
+    }
+  }
+  for (const auto& [key, mine] : recorded_) {
+    if (reference.recorded_.contains(key)) continue;
+    std::ostringstream who;
+    who << "rx of tx " << key.first << " at " << key.second;
+    check(false, "engine-crosscheck", last_event_s_,
+          who.str() + " exists only in this engine's run");
+  }
 }
 
 std::string InvariantAuditor::report() const {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/metrics.hpp"
@@ -47,10 +48,17 @@ struct AuditConfig {
   /// rate (Eq. 4 at margin). bandwidth_hz <= 0 disables that check.
   double bandwidth_hz = 0.0;
   double margin_db = 0.0;
-  /// Relative tolerance for floating-point identities.
-  double rel_tol = 1e-9;
+  /// Relative tolerance for floating-point identities. The compensated
+  /// interference engine keeps running sums exact, so the SINR identities
+  /// hold to rounding error and the default is tight; loosen only for
+  /// engines with a documented approximation bound.
+  double rel_tol = 1e-12;
   /// How many violations keep full detail text (all are always counted).
   std::size_t max_recorded_violations = 64;
+  /// Keep every reception outcome (keyed by tx id and receiver) so two
+  /// audited runs can be compared with cross_check_engine(). Off by default:
+  /// it stores one record per reception for the whole run.
+  bool record_receptions = false;
 };
 
 /// One observed breach of an invariant.
@@ -80,6 +88,34 @@ class InvariantAuditor final : public sim::SimObserver {
   /// simulator's own Metrics (hop attempts/successes, per-type losses,
   /// broadcast accounting). Call after finalize().
   void cross_check(const sim::Metrics& metrics);
+
+  /// One recorded reception outcome (record_receptions mode).
+  struct RecordedReception {
+    bool delivered = false;
+    sim::LossType loss = sim::LossType::kNone;
+    double min_sinr = 0.0;
+    double required_snr = 0.0;
+    double signal_w = 0.0;
+  };
+
+  /// Exact-vs-approximate engine cross-check: compares this run's recorded
+  /// receptions against `reference` (the exact engine's run over the same
+  /// scenario and seed). Every reception must exist in both runs, each
+  /// per-reception min-SINR must agree within relative `sinr_rel_bound`, and
+  /// a delivered/lost disagreement is tolerated only when the reference SINR
+  /// sits within the bound of its threshold (a genuine borderline call).
+  /// Both auditors need record_receptions; violations land on *this* under
+  /// the "engine-crosscheck" key. Call after finalize().
+  void cross_check_engine(const InvariantAuditor& reference,
+                          double sinr_rel_bound);
+
+  /// Recorded outcomes, keyed by (tx id, receiver). Empty unless
+  /// record_receptions was set.
+  [[nodiscard]] const std::map<std::pair<std::uint64_t, StationId>,
+                               RecordedReception>&
+  recorded_receptions() const {
+    return recorded_;
+  }
 
   /// True while no invariant has been breached.
   [[nodiscard]] bool ok() const { return total_violations_ == 0; }
@@ -147,6 +183,9 @@ class InvariantAuditor final : public sim::SimObserver {
   std::vector<std::vector<Interval>> own_tx_;
   /// Per-station completed channel-occupying receptions (despreading cap).
   std::vector<std::vector<PendingOccupancy>> occupancy_;
+
+  /// Reception outcomes by (tx id, receiver); only in record_receptions mode.
+  std::map<std::pair<std::uint64_t, StationId>, RecordedReception> recorded_;
 
   // Independently derived counters, cross-checked against sim::Metrics.
   std::uint64_t unicast_starts_ = 0;

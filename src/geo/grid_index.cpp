@@ -1,0 +1,95 @@
+#include "geo/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace drn::geo {
+
+GridIndex::GridIndex(const Placement& placement, double cell_m)
+    : cell_m_(cell_m), positions_(placement) {
+  DRN_EXPECTS(!placement.empty());
+  DRN_EXPECTS(cell_m > 0.0);
+  Vec2 lo = placement.front();
+  Vec2 hi = placement.front();
+  for (const Vec2& p : placement) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  origin_ = lo;
+  cols_ = static_cast<int>(std::floor((hi.x - lo.x) / cell_m)) + 1;
+  rows_ = static_cast<int>(std::floor((hi.y - lo.y) / cell_m)) + 1;
+  DRN_EXPECTS(cols_ >= 1 && rows_ >= 1);
+  // 2^24 cells ≈ 128 MiB of empty buckets; a placement that sparse wants a
+  // bigger cell, not a bigger grid.
+  DRN_EXPECTS(static_cast<std::int64_t>(cols_) * rows_ < (1 << 24));
+
+  cells_.resize(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_));
+  cell_of_.reserve(placement.size());
+  for (StationId s = 0; s < placement.size(); ++s) {
+    const std::int32_t c = cell_at(placement[s]);
+    cell_of_.push_back(c);
+    cells_[static_cast<std::size_t>(c)].push_back(s);
+  }
+}
+
+std::int32_t GridIndex::cell_at(Vec2 p) const {
+  int cx = static_cast<int>(std::floor((p.x - origin_.x) / cell_m_));
+  int cy = static_cast<int>(std::floor((p.y - origin_.y) / cell_m_));
+  cx = std::clamp(cx, 0, cols_ - 1);
+  cy = std::clamp(cy, 0, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+Vec2 GridIndex::cell_center(std::int32_t cell) const {
+  DRN_EXPECTS(cell >= 0 && cell < cell_count());
+  const int cx = cell % cols_;
+  const int cy = cell / cols_;
+  return {origin_.x + (cx + 0.5) * cell_m_, origin_.y + (cy + 0.5) * cell_m_};
+}
+
+int GridIndex::chebyshev(std::int32_t a, std::int32_t b) const {
+  DRN_EXPECTS(a >= 0 && a < cell_count() && b >= 0 && b < cell_count());
+  const int dx = std::abs(a % cols_ - b % cols_);
+  const int dy = std::abs(a / cols_ - b / cols_);
+  return std::max(dx, dy);
+}
+
+StationId GridIndex::nearest_other(StationId s) const {
+  DRN_EXPECTS(s < positions_.size());
+  if (positions_.size() < 2) return kNoStation;
+  const Vec2 p = positions_[s];
+  const int cx = cell_of(s) % cols_;
+  const int cy = cell_of(s) / cols_;
+  StationId best = kNoStation;
+  double best_sq = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(cols_, rows_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate is in hand, any station in a farther ring is at least
+    // (ring - 1) cells away; stop when that lower bound beats the best.
+    if (best != kNoStation && ring >= 2) {
+      const double bound = (ring - 1) * cell_m_;
+      if (bound * bound > best_sq) break;
+    }
+    for (int y = cy - ring; y <= cy + ring; ++y) {
+      if (y < 0 || y >= rows_) continue;
+      for (int x = cx - ring; x <= cx + ring; ++x) {
+        if (x < 0 || x >= cols_) continue;
+        if (std::max(std::abs(x - cx), std::abs(y - cy)) != ring) continue;
+        for (StationId cand : cells_[static_cast<std::size_t>(y * cols_ + x)]) {
+          if (cand == s) continue;
+          const double d = distance_sq(p, positions_[cand]);
+          if (d < best_sq) {
+            best_sq = d;
+            best = cand;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace drn::geo

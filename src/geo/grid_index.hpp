@@ -1,0 +1,104 @@
+// Uniform spatial grid over a station placement.
+//
+// Section 4 of the paper argues that interference splits into a handful of
+// dominant near-field terms plus an aggregate far-field din; turning that
+// into an O(near) algorithm needs a spatial index that answers "which
+// stations are within r of here" without walking all M stations. Stations
+// never move, so a uniform grid built once is the right structure: cell
+// lookup is O(1), range enumeration is O(cells in range), and everything is
+// deterministic (cells are visited in row-major order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/types.hpp"
+#include "geo/placement.hpp"
+#include "geo/vec2.hpp"
+
+namespace drn::geo {
+
+class GridIndex {
+ public:
+  /// Buckets `placement` into square cells of side `cell_m`. The grid covers
+  /// the placement's bounding box exactly; points outside (queries only) are
+  /// clamped to the border cells.
+  GridIndex(const Placement& placement, double cell_m);
+
+  [[nodiscard]] std::size_t station_count() const { return cell_of_.size(); }
+  [[nodiscard]] double cell_m() const { return cell_m_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] std::int32_t cell_count() const {
+    return static_cast<std::int32_t>(cols_) * rows_;
+  }
+
+  /// Cell (row-major flattened index) holding station `s`.
+  [[nodiscard]] std::int32_t cell_of(StationId s) const {
+    DRN_EXPECTS(s < cell_of_.size());
+    return cell_of_[s];
+  }
+
+  /// Cell containing point `p`, clamped into the grid.
+  [[nodiscard]] std::int32_t cell_at(Vec2 p) const;
+
+  /// Centre point of a cell (metres).
+  [[nodiscard]] Vec2 cell_center(std::int32_t cell) const;
+
+  /// Chebyshev distance between two cells, in cell units. Two stations in
+  /// cells with chebyshev(a, b) <= r are at most (r + 1) * cell_m * sqrt(2)
+  /// apart; with chebyshev(a, b) > r they are at least (r - 1) * cell_m
+  /// apart (0 when r <= 1).
+  [[nodiscard]] int chebyshev(std::int32_t a, std::int32_t b) const;
+
+  /// Stations bucketed in `cell`.
+  [[nodiscard]] const std::vector<StationId>& stations_in(
+      std::int32_t cell) const {
+    DRN_EXPECTS(cell >= 0 && cell < cell_count());
+    return cells_[static_cast<std::size_t>(cell)];
+  }
+
+  /// Visits every cell within Chebyshev `range` of `cell`, row-major order
+  /// (deterministic — callers accumulate floating-point sums over this).
+  template <typename F>
+  void for_each_cell_in_range(std::int32_t cell, int range, F&& visit) const {
+    const int cx = cell % cols_;
+    const int cy = cell / cols_;
+    const int y_lo = cy - range < 0 ? 0 : cy - range;
+    const int y_hi = cy + range >= rows_ ? rows_ - 1 : cy + range;
+    const int x_lo = cx - range < 0 ? 0 : cx - range;
+    const int x_hi = cx + range >= cols_ ? cols_ - 1 : cx + range;
+    for (int y = y_lo; y <= y_hi; ++y)
+      for (int x = x_lo; x <= x_hi; ++x) visit(y * cols_ + x);
+  }
+
+  /// Visits every station strictly within `radius` metres of `p` (exact
+  /// distance filter over the covering cells), ascending station id within a
+  /// cell, cells in row-major order.
+  template <typename F>
+  void for_each_station_within(Vec2 p, double radius, F&& visit) const {
+    DRN_EXPECTS(radius >= 0.0);
+    const int range = static_cast<int>(radius / cell_m_) + 1;
+    const double r2 = radius * radius;
+    for_each_cell_in_range(cell_at(p), range, [&](std::int32_t cell) {
+      for (StationId s : stations_in(cell))
+        if (distance_sq(p, positions_[s]) < r2) visit(s);
+    });
+  }
+
+  /// Nearest station to `s` other than `s` itself (expanding ring search);
+  /// kNoStation when the placement has a single station.
+  [[nodiscard]] StationId nearest_other(StationId s) const;
+
+ private:
+  double cell_m_ = 0.0;
+  Vec2 origin_;
+  int cols_ = 0;
+  int rows_ = 0;
+  Placement positions_;
+  std::vector<std::int32_t> cell_of_;         // per station
+  std::vector<std::vector<StationId>> cells_;  // per cell, ascending ids
+};
+
+}  // namespace drn::geo

@@ -1,0 +1,650 @@
+#include "radio/interference_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "geo/grid_index.hpp"
+
+namespace drn::radio {
+
+namespace {
+
+/// Incremental recomputation period: after this many updates a reception's
+/// running sum is rebuilt exactly from the live transmission set, so
+/// compensated rounding residue can never accumulate across more than
+/// kRecomputePeriod operations.
+constexpr std::uint32_t kRecomputePeriod = 64;
+
+struct ActiveTx {
+  StationId from = kNoStation;
+  double power_w = 0.0;
+};
+
+/// Shared slot bookkeeping for the two dense-matrix engines.
+template <typename Slot>
+class SlotTable {
+ public:
+  ReceptionHandle alloc() {
+    if (!free_.empty()) {
+      const ReceptionHandle h = free_.back();
+      free_.pop_back();
+      slots_[h] = Slot{};
+      slots_[h].live = true;
+      return h;
+    }
+    slots_.emplace_back();
+    slots_.back().live = true;
+    return static_cast<ReceptionHandle>(slots_.size() - 1);
+  }
+
+  void release(ReceptionHandle h) {
+    slots_[h].live = false;
+    free_.push_back(h);
+  }
+
+  Slot& at(ReceptionHandle h) {
+    DRN_EXPECTS(h < slots_.size() && slots_[h].live);
+    return slots_[h];
+  }
+  const Slot& at(ReceptionHandle h) const {
+    DRN_EXPECTS(h < slots_.size() && slots_[h].live);
+    return slots_[h];
+  }
+
+  [[nodiscard]] std::size_t live_count() const {
+    return slots_.size() - free_.size();
+  }
+
+  /// Visits live slots in ascending handle order (deterministic).
+  template <typename F>
+  void for_each_live(F&& visit) {
+    for (ReceptionHandle h = 0; h < slots_.size(); ++h)
+      if (slots_[h].live) visit(h, slots_[h]);
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  std::vector<ReceptionHandle> free_;
+};
+
+// ---------------------------------------------------------------------------
+// Dense engine: the historical subtract-and-clamp arithmetic, verbatim.
+
+class DenseEngine final : public InterferenceEngine {
+ public:
+  explicit DenseEngine(PropagationMatrix gains) : gains_(std::move(gains)) {}
+
+  [[nodiscard]] std::size_t station_count() const override {
+    return gains_.size();
+  }
+  [[nodiscard]] const char* name() const override { return "dense"; }
+  [[nodiscard]] double gain(StationId rx, StationId tx) const override {
+    return gains_.gain(rx, tx);
+  }
+
+  void transmit_started(std::uint64_t tx_id, StationId from, double power_w,
+                        const SenderVisitor& at_sender,
+                        const AffectedVisitor& affected) override {
+    active_.emplace(tx_id, ActiveTx{from, power_w});
+    slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
+      if (s.rx == from) {
+        if (at_sender) at_sender(h);
+        return;
+      }
+      const double watts = gains_.gain(s.rx, from) * power_w;
+      s.interference_w += watts;
+      if (affected) affected(h, watts);
+    });
+  }
+
+  void transmit_ended(std::uint64_t tx_id,
+                      const AffectedVisitor& affected) override {
+    const auto node = active_.extract(tx_id);
+    DRN_EXPECTS(!node.empty());
+    const ActiveTx tx = node.mapped();
+    slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
+      if (s.tx_id == tx_id || s.rx == tx.from) return;
+      const double watts = gains_.gain(s.rx, tx.from) * tx.power_w;
+      // The drift bug under test: `watts` was added when the rounding context
+      // was different, so this subtraction leaves a residue, and the clamp
+      // only hides the cases that would have gone below thermal.
+      s.interference_w = std::max(thermal_w_, s.interference_w - watts);
+      if (affected) affected(h, watts);
+    });
+  }
+
+  [[nodiscard]] ReceptionHandle open_reception(
+      std::uint64_t tx_id, StationId rx,
+      const ContributionVisitor& contribution) override {
+    DRN_EXPECTS(active_.contains(tx_id));
+    const ReceptionHandle h = slots_.alloc();
+    Slot& s = slots_.at(h);
+    s.tx_id = tx_id;
+    s.rx = rx;
+    s.interference_w = thermal_w_;
+    for (const auto& [id, other] : active_) {
+      if (id == tx_id || other.from == rx) continue;
+      const double watts = gains_.gain(rx, other.from) * other.power_w;
+      s.interference_w += watts;
+      if (contribution) contribution(id, watts);
+    }
+    return h;
+  }
+
+  void close_reception(ReceptionHandle h) override { slots_.release(h); }
+  [[nodiscard]] std::size_t open_receptions() const override {
+    return slots_.live_count();
+  }
+
+  [[nodiscard]] double interference_w(ReceptionHandle h) const override {
+    return slots_.at(h).interference_w;
+  }
+
+  [[nodiscard]] double recomputed_interference_w(
+      ReceptionHandle h) const override {
+    const Slot& s = slots_.at(h);
+    CompensatedSum sum;
+    for (const auto& [id, other] : active_) {
+      if (id == s.tx_id || other.from == s.rx) continue;
+      sum.add(gains_.gain(s.rx, other.from) * other.power_w);
+    }
+    return thermal_w_ + std::max(0.0, sum.value());
+  }
+
+  [[nodiscard]] double power_at(StationId st) const override {
+    double power = thermal_w_;
+    for (const auto& [id, tx] : active_)
+      power += gains_.gain(st, tx.from) * tx.power_w;
+    return power;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t tx_id = 0;
+    StationId rx = kNoStation;
+    double interference_w = 0.0;
+    bool live = false;
+  };
+
+  PropagationMatrix gains_;
+  std::map<std::uint64_t, ActiveTx> active_;
+  SlotTable<Slot> slots_;
+};
+
+// ---------------------------------------------------------------------------
+// Compensated engine: Neumaier sums + periodic exact recomputation.
+
+class CompensatedEngine final : public InterferenceEngine {
+ public:
+  explicit CompensatedEngine(PropagationMatrix gains)
+      : gains_(std::move(gains)) {}
+
+  [[nodiscard]] std::size_t station_count() const override {
+    return gains_.size();
+  }
+  [[nodiscard]] const char* name() const override { return "compensated"; }
+  [[nodiscard]] double gain(StationId rx, StationId tx) const override {
+    return gains_.gain(rx, tx);
+  }
+
+  void transmit_started(std::uint64_t tx_id, StationId from, double power_w,
+                        const SenderVisitor& at_sender,
+                        const AffectedVisitor& affected) override {
+    active_.emplace(tx_id, ActiveTx{from, power_w});
+    slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
+      if (s.rx == from) {
+        if (at_sender) at_sender(h);
+        return;
+      }
+      const double watts = gains_.gain(s.rx, from) * power_w;
+      s.sum.add(watts);
+      bump(s);
+      if (affected) affected(h, watts);
+    });
+  }
+
+  void transmit_ended(std::uint64_t tx_id,
+                      const AffectedVisitor& affected) override {
+    const auto node = active_.extract(tx_id);
+    DRN_EXPECTS(!node.empty());
+    const ActiveTx tx = node.mapped();
+    slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
+      if (s.tx_id == tx_id || s.rx == tx.from) return;
+      const double watts = gains_.gain(s.rx, tx.from) * tx.power_w;
+      s.sum.add(-watts);
+      bump(s);
+      if (affected) affected(h, watts);
+    });
+  }
+
+  [[nodiscard]] ReceptionHandle open_reception(
+      std::uint64_t tx_id, StationId rx,
+      const ContributionVisitor& contribution) override {
+    DRN_EXPECTS(active_.contains(tx_id));
+    const ReceptionHandle h = slots_.alloc();
+    Slot& s = slots_.at(h);
+    s.tx_id = tx_id;
+    s.rx = rx;
+    for (const auto& [id, other] : active_) {
+      if (id == tx_id || other.from == rx) continue;
+      const double watts = gains_.gain(rx, other.from) * other.power_w;
+      s.sum.add(watts);
+      if (contribution) contribution(id, watts);
+    }
+    return h;
+  }
+
+  void close_reception(ReceptionHandle h) override { slots_.release(h); }
+  [[nodiscard]] std::size_t open_receptions() const override {
+    return slots_.live_count();
+  }
+
+  [[nodiscard]] double interference_w(ReceptionHandle h) const override {
+    // max(0, ·): a fully-compensated sum of removals can still leave a
+    // residue of a few ulps below zero; physical interference cannot.
+    return thermal_w_ + std::max(0.0, slots_.at(h).sum.value());
+  }
+
+  [[nodiscard]] double recomputed_interference_w(
+      ReceptionHandle h) const override {
+    const Slot& s = slots_.at(h);
+    return thermal_w_ + std::max(0.0, exact_sum(s).value());
+  }
+
+  [[nodiscard]] double power_at(StationId st) const override {
+    CompensatedSum sum;
+    for (const auto& [id, tx] : active_)
+      sum.add(gains_.gain(st, tx.from) * tx.power_w);
+    return thermal_w_ + std::max(0.0, sum.value());
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t tx_id = 0;
+    StationId rx = kNoStation;
+    CompensatedSum sum;  // excludes thermal
+    std::uint32_t ops = 0;
+    bool live = false;
+  };
+
+  [[nodiscard]] CompensatedSum exact_sum(const Slot& s) const {
+    CompensatedSum sum;
+    for (const auto& [id, other] : active_) {
+      if (id == s.tx_id || other.from == s.rx) continue;
+      sum.add(gains_.gain(s.rx, other.from) * other.power_w);
+    }
+    return sum;
+  }
+
+  void bump(Slot& s) {
+    if (++s.ops >= kRecomputePeriod) {
+      s.sum = exact_sum(s);
+      s.ops = 0;
+    }
+  }
+
+  PropagationMatrix gains_;
+  std::map<std::uint64_t, ActiveTx> active_;
+  SlotTable<Slot> slots_;
+};
+
+// ---------------------------------------------------------------------------
+// Near/far engine: exact near field over a spatial grid, aggregated far din.
+
+class NearFarEngine final : public InterferenceEngine {
+ public:
+  NearFarEngine(const geo::Placement& placement,
+                std::shared_ptr<const PropagationModel> model,
+                NearFarConfig config)
+      : placement_(placement),
+        model_(std::move(model)),
+        config_(config),
+        grid_(placement,
+              config.cell_m > 0.0 ? config.cell_m : config.cutoff_m / 4.0) {
+    DRN_EXPECTS(model_ != nullptr);
+    DRN_EXPECTS(config_.cutoff_m > 0.0);
+    // Near = every cell whose Chebyshev distance is within the cutoff in
+    // cell units; +1 so a pair straddling the cutoff is classified near
+    // (erring exact) never far.
+    range_ = static_cast<int>(config_.cutoff_m / grid_.cell_m()) + 1;
+  }
+
+  [[nodiscard]] std::size_t station_count() const override {
+    return placement_.size();
+  }
+  [[nodiscard]] const char* name() const override { return "nearfar"; }
+  [[nodiscard]] double gain(StationId rx, StationId tx) const override {
+    return pair_gain(rx, tx);
+  }
+
+  void transmit_started(std::uint64_t tx_id, StationId from, double power_w,
+                        const SenderVisitor& at_sender,
+                        const AffectedVisitor& affected) override {
+    const std::int32_t cell = grid_.cell_of(from);
+    active_.emplace(tx_id, Tx{from, power_w, cell});
+    tx_ids_by_cell_[cell].push_back(tx_id);
+    auto& load = tx_cells_[cell];
+    load.power_w.add(power_w);
+    ++load.count;
+
+    // Far field: fold the new signal into the din of every occupied
+    // receiver cell beyond the cutoff, then notify its receptions.
+    for (auto& [rx_cell, far] : far_) {
+      if (grid_.chebyshev(cell, rx_cell) <= range_) continue;
+      const double watts = power_w * cell_gain(cell, rx_cell);
+      far.din_w.add(watts);
+      ++far.contributors;
+      for (const ReceptionHandle h : far.handles) {
+        const Slot& s = slots_.at(h);
+        if (s.rx == from) continue;  // cannot happen (own cell is near)
+        if (affected) affected(h, watts);
+      }
+    }
+
+    // Near field: exact per-pair update of receptions in cells within range.
+    for_each_occupied(far_, cell, [&](std::int32_t, FarField& far) {
+      for (const ReceptionHandle h : far.handles) {
+        Slot& s = slots_.at(h);
+        if (s.rx == from) {
+          if (at_sender) at_sender(h);
+          continue;
+        }
+        if (s.tx_id == tx_id) continue;
+        const double watts = pair_gain(s.rx, from) * power_w;
+        s.near_w.add(watts);
+        bump(s);
+        if (affected) affected(h, watts);
+      }
+    });
+  }
+
+  void transmit_ended(std::uint64_t tx_id,
+                      const AffectedVisitor& affected) override {
+    const auto node = active_.extract(tx_id);
+    DRN_EXPECTS(!node.empty());
+    const Tx tx = node.mapped();
+    auto& ids = tx_ids_by_cell_[tx.cell];
+    const auto idit = std::find(ids.begin(), ids.end(), tx_id);
+    DRN_EXPECTS(idit != ids.end());
+    ids.erase(idit);
+    if (ids.empty()) tx_ids_by_cell_.erase(tx.cell);
+    const auto lit = tx_cells_.find(tx.cell);
+    DRN_EXPECTS(lit != tx_cells_.end());
+    if (--lit->second.count == 0) {
+      tx_cells_.erase(lit);  // exact reset: an idle cell carries no residue
+    } else {
+      lit->second.power_w.add(-tx.power_w);
+    }
+
+    for (auto& [rx_cell, far] : far_) {
+      if (grid_.chebyshev(tx.cell, rx_cell) <= range_) continue;
+      const double watts = tx.power_w * cell_gain(tx.cell, rx_cell);
+      if (--far.contributors == 0) {
+        far.din_w.reset();  // exact reset at quiescence
+      } else {
+        far.din_w.add(-watts);
+      }
+      for (const ReceptionHandle h : far.handles) {
+        const Slot& s = slots_.at(h);
+        if (s.tx_id == tx_id || s.rx == tx.from) continue;
+        if (affected) affected(h, watts);
+      }
+    }
+
+    for_each_occupied(far_, tx.cell, [&](std::int32_t, FarField& far) {
+      for (const ReceptionHandle h : far.handles) {
+        Slot& s = slots_.at(h);
+        if (s.tx_id == tx_id || s.rx == tx.from) continue;
+        const double watts = pair_gain(s.rx, tx.from) * tx.power_w;
+        s.near_w.add(-watts);
+        bump(s);
+        if (affected) affected(h, watts);
+      }
+    });
+  }
+
+  [[nodiscard]] ReceptionHandle open_reception(
+      std::uint64_t tx_id, StationId rx,
+      const ContributionVisitor& contribution) override {
+    const auto txit = active_.find(tx_id);
+    DRN_EXPECTS(txit != active_.end());
+    const ReceptionHandle h = slots_.alloc();
+    Slot& s = slots_.at(h);
+    s.tx_id = tx_id;
+    s.rx = rx;
+    s.rx_cell = grid_.cell_of(rx);
+    s.tx_from = txit->second.from;
+    s.tx_power_w = txit->second.power_w;
+    s.tx_cell = txit->second.cell;
+
+    // Near: exact sum over active transmissions in cells within range.
+    for_each_occupied(tx_ids_by_cell_, s.rx_cell,
+                      [&](std::int32_t, const std::vector<std::uint64_t>& ids) {
+      for (const std::uint64_t id : ids) {
+        if (id == tx_id) continue;
+        const Tx& other = active_.at(id);
+        if (other.from == rx) continue;
+        const double watts = pair_gain(rx, other.from) * other.power_w;
+        s.near_w.add(watts);
+        if (contribution) contribution(id, watts);
+      }
+    });
+
+    // Far: share (or build) the din aggregate for this receiver cell.
+    auto& far = far_[s.rx_cell];
+    if (far.handles.empty()) {
+      far.din_w.reset();
+      far.contributors = 0;
+      for (const auto& [id, other] : active_) {
+        if (grid_.chebyshev(other.cell, s.rx_cell) <= range_) continue;
+        far.din_w.add(other.power_w * cell_gain(other.cell, s.rx_cell));
+        ++far.contributors;
+      }
+    }
+    far.handles.push_back(h);
+    if (contribution) {
+      // Per-interferer far contributions (multiuser detection wants every
+      // interferer): approximate by the same cell-centre gain the aggregate
+      // uses, in deterministic id order.
+      for (const auto& [id, other] : active_) {
+        if (id == tx_id || other.from == rx) continue;
+        if (grid_.chebyshev(other.cell, s.rx_cell) <= range_) continue;
+        contribution(id, other.power_w * cell_gain(other.cell, s.rx_cell));
+      }
+    }
+    return h;
+  }
+
+  void close_reception(ReceptionHandle h) override {
+    const Slot& s = slots_.at(h);
+    const auto it = far_.find(s.rx_cell);
+    DRN_EXPECTS(it != far_.end());
+    auto& handles = it->second.handles;
+    const auto hit = std::find(handles.begin(), handles.end(), h);
+    DRN_EXPECTS(hit != handles.end());
+    handles.erase(hit);
+    if (handles.empty()) far_.erase(it);
+    slots_.release(h);
+  }
+
+  [[nodiscard]] std::size_t open_receptions() const override {
+    return slots_.live_count();
+  }
+
+  [[nodiscard]] double interference_w(ReceptionHandle h) const override {
+    const Slot& s = slots_.at(h);
+    const auto it = far_.find(s.rx_cell);
+    DRN_EXPECTS(it != far_.end());
+    double far = std::max(0.0, it->second.din_w.value());
+    if (grid_.chebyshev(s.tx_cell, s.rx_cell) > range_) {
+      // The reception's own signal sits in the far aggregate; take it out.
+      far = std::max(
+          0.0, far - s.tx_power_w * cell_gain(s.tx_cell, s.rx_cell));
+    }
+    return thermal_w_ + std::max(0.0, s.near_w.value()) + far;
+  }
+
+  [[nodiscard]] double recomputed_interference_w(
+      ReceptionHandle h) const override {
+    const Slot& s = slots_.at(h);
+    CompensatedSum near;
+    CompensatedSum far;
+    for (const auto& [id, other] : active_) {
+      if (id == s.tx_id || other.from == s.rx) continue;
+      if (grid_.chebyshev(other.cell, s.rx_cell) <= range_) {
+        near.add(pair_gain(s.rx, other.from) * other.power_w);
+      } else {
+        far.add(other.power_w * cell_gain(other.cell, s.rx_cell));
+      }
+    }
+    return thermal_w_ + std::max(0.0, near.value()) +
+           std::max(0.0, far.value());
+  }
+
+  [[nodiscard]] double power_at(StationId st) const override {
+    const std::int32_t cell = grid_.cell_of(st);
+    CompensatedSum sum;
+    for_each_occupied(tx_ids_by_cell_, cell,
+                      [&](std::int32_t, const std::vector<std::uint64_t>& ids) {
+      for (const std::uint64_t id : ids) {
+        const Tx& tx = active_.at(id);
+        sum.add(pair_gain(st, tx.from) * tx.power_w);
+      }
+    });
+    for (const auto& [c, load] : tx_cells_) {
+      if (grid_.chebyshev(c, cell) <= range_) continue;
+      sum.add(std::max(0.0, load.power_w.value()) * cell_gain(c, cell));
+    }
+    return thermal_w_ + std::max(0.0, sum.value());
+  }
+
+ private:
+  struct Tx {
+    StationId from = kNoStation;
+    double power_w = 0.0;
+    std::int32_t cell = 0;
+  };
+
+  struct Slot {
+    std::uint64_t tx_id = 0;
+    StationId rx = kNoStation;
+    std::int32_t rx_cell = 0;
+    StationId tx_from = kNoStation;
+    double tx_power_w = 0.0;
+    std::int32_t tx_cell = 0;
+    CompensatedSum near_w;  // exact near field, thermal excluded
+    std::uint32_t ops = 0;
+    bool live = false;
+  };
+
+  /// Per occupied receiver cell: the aggregated far-field din (Section 4's
+  /// "din of distant transmitters") plus the open receptions sharing it.
+  struct FarField {
+    CompensatedSum din_w;
+    int contributors = 0;
+    std::vector<ReceptionHandle> handles;  // event (insertion) order
+  };
+
+  struct CellLoad {
+    CompensatedSum power_w;
+    int count = 0;
+  };
+
+  /// Visits `map`'s entries whose cell key lies within Chebyshev range_ of
+  /// `cell`, row-major (the same order for_each_cell_in_range would visit
+  /// them, so floating-point accumulation order is unchanged). One
+  /// lower_bound per row instead of one find per cell: the near window is
+  /// mostly empty, and this walks only occupied entries.
+  template <typename Map, typename F>
+  void for_each_occupied(Map& map, std::int32_t cell, F&& visit) const {
+    const int cols = grid_.cols();
+    const int cx = cell % cols;
+    const int cy = cell / cols;
+    const int y_lo = cy - range_ < 0 ? 0 : cy - range_;
+    const int y_hi = cy + range_ >= grid_.rows() ? grid_.rows() - 1 : cy + range_;
+    const int x_lo = cx - range_ < 0 ? 0 : cx - range_;
+    const int x_hi = cx + range_ >= cols ? cols - 1 : cx + range_;
+    for (int y = y_lo; y <= y_hi; ++y) {
+      const std::int32_t row_hi = y * cols + x_hi;
+      for (auto it = map.lower_bound(y * cols + x_lo);
+           it != map.end() && it->first <= row_hi; ++it)
+        visit(it->first, it->second);
+    }
+  }
+
+  [[nodiscard]] double pair_gain(StationId rx, StationId tx) const {
+    if (rx == tx) return config_.self_gain;
+    return model_->power_gain(placement_[rx], placement_[tx]);
+  }
+
+  [[nodiscard]] double cell_gain(std::int32_t a, std::int32_t b) const {
+    return model_->power_gain(grid_.cell_center(a), grid_.cell_center(b));
+  }
+
+  void bump(Slot& s) {
+    if (++s.ops < kRecomputePeriod) return;
+    CompensatedSum near;
+    for (const auto& [id, other] : active_) {
+      if (id == s.tx_id || other.from == s.rx) continue;
+      if (grid_.chebyshev(other.cell, s.rx_cell) > range_) continue;
+      near.add(pair_gain(s.rx, other.from) * other.power_w);
+    }
+    s.near_w = near;
+    s.ops = 0;
+  }
+
+  geo::Placement placement_;
+  std::shared_ptr<const PropagationModel> model_;
+  NearFarConfig config_;
+  geo::GridIndex grid_;
+  int range_ = 1;
+  std::map<std::uint64_t, Tx> active_;
+  std::map<std::int32_t, std::vector<std::uint64_t>> tx_ids_by_cell_;
+  std::map<std::int32_t, CellLoad> tx_cells_;
+  std::map<std::int32_t, FarField> far_;
+  SlotTable<Slot> slots_;
+};
+
+}  // namespace
+
+std::optional<InterferenceEngineKind> parse_engine(std::string_view text) {
+  if (text == "dense") return InterferenceEngineKind::kDense;
+  if (text == "compensated") return InterferenceEngineKind::kCompensated;
+  if (text == "nearfar") return InterferenceEngineKind::kNearFar;
+  return std::nullopt;
+}
+
+const char* engine_name(InterferenceEngineKind kind) {
+  switch (kind) {
+    case InterferenceEngineKind::kDense: return "dense";
+    case InterferenceEngineKind::kCompensated: return "compensated";
+    case InterferenceEngineKind::kNearFar: return "nearfar";
+  }
+  return "?";
+}
+
+PropagationMatrix make_dense_gains(const geo::Placement& placement,
+                                   const PropagationModel& model,
+                                   double self_gain) {
+  DRN_EXPECTS(placement.size() <= kDenseMatrixGuardM);
+  // drn-lint: allow(dense-matrix) — the sanctioned guarded route.
+  return PropagationMatrix::from_placement(placement, model, self_gain);
+}
+
+std::unique_ptr<InterferenceEngine> make_dense_engine(PropagationMatrix gains) {
+  return std::make_unique<DenseEngine>(std::move(gains));
+}
+
+std::unique_ptr<InterferenceEngine> make_compensated_engine(
+    PropagationMatrix gains) {
+  return std::make_unique<CompensatedEngine>(std::move(gains));
+}
+
+std::unique_ptr<InterferenceEngine> make_nearfar_engine(
+    const geo::Placement& placement,
+    std::shared_ptr<const PropagationModel> model, NearFarConfig config) {
+  return std::make_unique<NearFarEngine>(placement, std::move(model), config);
+}
+
+}  // namespace drn::radio

@@ -53,7 +53,7 @@ Scenario make_scenario(std::size_t stations, double region_m,
   Rng rng(seed);
   auto placement = geo::uniform_disc(stations, region_m, rng);
   const radio::FreeSpacePropagation model;
-  auto gains = radio::PropagationMatrix::from_placement(placement, model);
+  auto gains = radio::make_dense_gains(placement, model);
   Rng build_rng = rng.split(1);
   auto net =
       core::build_scheduled_network(gains, scheme_criterion(), net_cfg, build_rng);
@@ -131,7 +131,24 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
       make_scenario(spec.stations, spec.region_m, seed, spec.net);
   sim::SimulatorConfig sim_cfg{spec.criterion()};
   sim_cfg.seed = seed;
-  sim::Simulator sim(scenario.gains, sim_cfg);
+  sim_cfg.engine = spec.engine;
+  std::optional<sim::Simulator> sim_box;
+  if (spec.engine == radio::InterferenceEngineKind::kNearFar) {
+    // Lazy near/far evaluation over the same free-space physics the dense
+    // scenario matrix was built from.
+    radio::NearFarConfig nf;
+    nf.cutoff_m =
+        spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m;
+    nf.cell_m = spec.engine_cell_m;
+    sim_box.emplace(
+        radio::make_nearfar_engine(
+            scenario.placement,
+            std::make_shared<radio::FreeSpacePropagation>(), nf),
+        sim_cfg);
+  } else {
+    sim_box.emplace(scenario.gains, sim_cfg);
+  }
+  sim::Simulator& sim = *sim_box;
   std::unique_ptr<audit::InvariantAuditor> auditor;
   if (spec.audit) {
     auditor = std::make_unique<audit::InvariantAuditor>(sim);

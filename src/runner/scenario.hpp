@@ -16,6 +16,7 @@
 
 #include "core/network_builder.hpp"
 #include "geo/placement.hpp"
+#include "radio/interference_engine.hpp"
 #include "radio/propagation_matrix.hpp"
 #include "radio/reception.hpp"
 #include "routing/dijkstra.hpp"
@@ -82,6 +83,14 @@ struct ScenarioSpec {
   /// Ride an audit::InvariantAuditor along on the trial's simulator and
   /// report its verdict in the result (audit_checks / audit_violations).
   bool audit = false;
+  /// Interference accounting engine for the trial's simulator.
+  radio::InterferenceEngineKind engine =
+      radio::InterferenceEngineKind::kCompensated;
+  /// Near/far engine knobs (engine == kNearFar only): cutoff radius inside
+  /// which interferers are summed exactly (<= 0 = the whole region, i.e.
+  /// near-exact) and grid cell side (<= 0 = cutoff / 4).
+  double engine_cutoff_m = 0.0;
+  double engine_cell_m = 0.0;
 
   [[nodiscard]] radio::ReceptionCriterion criterion() const {
     return radio::ReceptionCriterion(bandwidth_hz, data_rate_bps, margin_db);

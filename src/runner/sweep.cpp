@@ -127,6 +127,9 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
   w.key("seeds").value(spec.seeds);
   w.key("paired_seeds").value(spec.paired_seeds);
   w.key("audit").value(spec.base.audit);
+  w.key("engine").value(radio::engine_name(spec.base.engine));
+  w.key("engine_cutoff_m").value(spec.base.engine_cutoff_m);
+  w.key("engine_cell_m").value(spec.base.engine_cell_m);
   w.key("duration_s").value(spec.duration_s);
   w.key("drain_s").value(spec.drain_s);
   w.key("stations").begin_array();

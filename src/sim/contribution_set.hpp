@@ -1,0 +1,65 @@
+// Per-interferer contribution tracking for multiuser detection.
+//
+// The SINR test with multiuser_subtract_k > 0 needs "the sum of the k
+// strongest interfering contributions" on every interference update. The old
+// code copied the whole contribution map into a vector and partial-sorted it
+// per query — O(n log k) copies on the hot path. This keeps the watt values
+// in an ordered multiset alongside the id map, so a query walks the first k
+// elements in descending order and insert/erase stay O(log n), with results
+// bit-identical to the sort-based code (both sum the same k doubles in the
+// same descending order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/expects.hpp"
+
+namespace drn::sim {
+
+class ContributionSet {
+ public:
+  void add(std::uint64_t tx_id, double watts) {
+    const bool inserted = by_id_.emplace(tx_id, watts).second;
+    DRN_EXPECTS(inserted);
+    watts_.insert(watts);
+  }
+
+  /// Removes tx_id's contribution if present (a transmission that never
+  /// reached this receiver's record has nothing to erase).
+  void erase(std::uint64_t tx_id) {
+    const auto it = by_id_.find(tx_id);
+    if (it == by_id_.end()) return;
+    // erase(find(...)): remove ONE instance of the value, not every
+    // transmission that happens to contribute identical watts.
+    watts_.erase(watts_.find(it->second));
+    by_id_.erase(it);
+  }
+
+  [[nodiscard]] bool empty() const { return by_id_.empty(); }
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+  /// Sum of the k strongest contributions (all of them if k >= size).
+  [[nodiscard]] double sum_top(std::size_t k) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const double w : watts_) {
+      if (n++ == k) break;
+      sum += w;
+    }
+    return sum;
+  }
+
+  void clear() {
+    by_id_.clear();
+    watts_.clear();
+  }
+
+ private:
+  std::map<std::uint64_t, double> by_id_;
+  std::multiset<double, std::greater<>> watts_;  // descending
+};
+
+}  // namespace drn::sim

@@ -13,26 +13,50 @@ namespace {
 /// Default router: every destination is assumed to be in direct reach.
 StationId direct_router(StationId /*at*/, StationId dst) { return dst; }
 
+std::unique_ptr<radio::InterferenceEngine> engine_from_matrix(
+    radio::PropagationMatrix gains, radio::InterferenceEngineKind kind) {
+  switch (kind) {
+    case radio::InterferenceEngineKind::kDense:
+      return radio::make_dense_engine(std::move(gains));
+    case radio::InterferenceEngineKind::kCompensated:
+      return radio::make_compensated_engine(std::move(gains));
+    case radio::InterferenceEngineKind::kNearFar:
+      break;  // needs station geometry; use the engine constructor
+  }
+  DRN_EXPECTS(kind != radio::InterferenceEngineKind::kNearFar);
+  return nullptr;
+}
+
+std::size_t station_count_of(const radio::InterferenceEngine* engine) {
+  DRN_EXPECTS(engine != nullptr);
+  return engine->station_count();
+}
+
 }  // namespace
 
 Simulator::Simulator(radio::PropagationMatrix gains, SimulatorConfig config)
-    : gains_(std::move(gains)),
+    : Simulator(engine_from_matrix(std::move(gains), config.engine), config) {}
+
+Simulator::Simulator(std::unique_ptr<radio::InterferenceEngine> engine,
+                     SimulatorConfig config)
+    : engine_(std::move(engine)),
       config_(config),
-      metrics_(gains_.size()),
-      macs_(gains_.size()),
+      metrics_(station_count_of(engine_.get())),
+      macs_(engine_->station_count()),
       router_(direct_router),
-      transmitting_count_(gains_.size(), 0),
-      reception_count_(gains_.size(), 0),
-      tx_busy_until_s_(gains_.size(), 0.0) {
+      transmitting_count_(engine_->station_count(), 0),
+      reception_count_(engine_->station_count(), 0),
+      tx_busy_until_s_(engine_->station_count(), 0.0) {
   DRN_EXPECTS(config_.despreading_channels > 0);
   DRN_EXPECTS(config_.multiuser_subtract_k >= 0);
   if (config_.thermal_noise_w < 0.0) {
     config_.thermal_noise_w =
         radio::thermal_noise_watts(config_.criterion.bandwidth_hz());
   }
+  engine_->set_thermal_noise(config_.thermal_noise_w);
   Rng master(config_.seed);
-  rngs_.reserve(gains_.size());
-  for (std::size_t i = 0; i < gains_.size(); ++i)
+  rngs_.reserve(engine_->station_count());
+  for (std::size_t i = 0; i < engine_->station_count(); ++i)
     rngs_.push_back(master.split(i));
 }
 
@@ -57,8 +81,8 @@ void Simulator::add_observer(SimObserver* observer) {
 
 void Simulator::inject(double time_s, Packet packet) {
   DRN_EXPECTS(time_s >= now_s_);
-  DRN_EXPECTS(packet.source < gains_.size());
-  DRN_EXPECTS(packet.destination < gains_.size());
+  DRN_EXPECTS(packet.source < station_count());
+  DRN_EXPECTS(packet.destination < station_count());
   DRN_EXPECTS(packet.source != packet.destination);
   DRN_EXPECTS(packet.size_bits > 0.0);
   Event e;
@@ -80,7 +104,7 @@ void Simulator::with_station(StationId station, F&& hook) {
 void Simulator::run_until(double t_end_s) {
   DRN_EXPECTS(t_end_s >= now_s_);
   if (!started_) {
-    for (StationId s = 0; s < gains_.size(); ++s) {
+    for (StationId s = 0; s < station_count(); ++s) {
       DRN_EXPECTS(macs_[s] != nullptr);  // every station needs a MAC
       with_station(s, [this](MacProtocol& mac) { mac.on_start(*this); });
     }
@@ -120,7 +144,7 @@ StationId Simulator::self() const {
 void Simulator::transmit(const Packet& pkt, StationId to, double power_w,
                          double start_s, double rate_bps) {
   const StationId from = self();
-  DRN_EXPECTS(to < gains_.size() || to == kBroadcast);
+  DRN_EXPECTS(to < station_count() || to == kBroadcast);
   DRN_EXPECTS(to != from);
   DRN_EXPECTS(power_w > 0.0);
   DRN_EXPECTS(rate_bps >= 0.0);
@@ -180,16 +204,12 @@ void Simulator::set_timer(double at_s, std::uint64_t cookie) {
 bool Simulator::transmitting() const { return station_transmitting(self()); }
 
 double Simulator::received_power_w() const {
-  const StationId s = self();
-  double power = config_.thermal_noise_w;
-  for (const auto& [id, tx] : active_)
-    power += gains_.gain(s, tx.from) * tx.power_w;
-  return power;
+  return engine_->power_at(self());
 }
 
 double Simulator::gain_to(StationId other) const {
-  DRN_EXPECTS(other < gains_.size());
-  return gains_.gain(other, self());
+  DRN_EXPECTS(other < station_count());
+  return engine_->gain(other, self());
 }
 
 void Simulator::drop(const Packet& pkt) {
@@ -213,42 +233,39 @@ void Simulator::fail_reception(Reception& r, const ActiveTx& cause) {
 }
 
 double Simulator::effective_sinr(const Reception& r) const {
+  const double interference = engine_->interference_w(r.handle);
   if (config_.multiuser_subtract_k == 0 || r.contributions.empty())
-    return r.signal_w / r.interference_w;
+    return r.signal_w / interference;
   // Subtract the k strongest interfering contributions (idealised multiuser
   // detection: the receiver reconstructs and cancels them).
-  std::vector<double> top;
-  top.reserve(r.contributions.size());
-  for (const auto& [id, watts] : r.contributions) top.push_back(watts);
-  const auto k = std::min<std::size_t>(
-      static_cast<std::size_t>(config_.multiuser_subtract_k), top.size());
-  std::partial_sort(top.begin(), top.begin() + static_cast<std::ptrdiff_t>(k),
-                    top.end(), std::greater<>());
-  double cancelled = 0.0;
-  for (std::size_t i = 0; i < k; ++i) cancelled += top[i];
+  const double cancelled = r.contributions.sum_top(
+      static_cast<std::size_t>(config_.multiuser_subtract_k));
   const double residual =
-      std::max(config_.thermal_noise_w, r.interference_w - cancelled);
+      std::max(config_.thermal_noise_w, interference - cancelled);
   return r.signal_w / residual;
 }
 
-Simulator::Reception Simulator::open_reception(std::uint64_t tx_id,
-                                               const ActiveTx& tx,
-                                               StationId rx) {
+void Simulator::note_interference_change(Reception& r, const ActiveTx& cause) {
+  const double sinr = effective_sinr(r);
+  r.min_sinr = std::min(r.min_sinr, sinr);
+  if (r.failure == LossType::kNone && sinr < r.required_snr)
+    fail_reception(r, cause);
+}
+
+void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
+                               StationId rx,
+                               std::vector<Reception>& records) {
   Reception r;
   r.rx = rx;
-  r.signal_w = gains_.gain(rx, tx.from) * tx.power_w;
+  r.signal_w = engine_->gain(rx, tx.from) * tx.power_w;
   r.required_snr = tx.required_snr;
-  r.interference_w = config_.thermal_noise_w;
-  const bool track = config_.multiuser_subtract_k > 0;
-  for (const auto& [id, other] : active_) {
-    // The receiver's own transmissions are never part of the SINR sum: they
-    // kill the reception administratively (Type 3) and their contribution
-    // is skipped symmetrically at start, open, and end.
-    if (id == tx_id || other.from == rx) continue;
-    const double watts = gains_.gain(rx, other.from) * other.power_w;
-    r.interference_w += watts;
-    if (track) r.contributions.emplace(id, watts);
+  radio::InterferenceEngine::ContributionVisitor on_contribution;
+  if (config_.multiuser_subtract_k > 0) {
+    on_contribution = [&r](std::uint64_t id, double watts) {
+      r.contributions.add(id, watts);
+    };
   }
+  r.handle = engine_->open_reception(tx_id, rx, on_contribution);
 
   if (station_transmitting(rx)) {
     r.failure = LossType::kType3;
@@ -273,7 +290,14 @@ Simulator::Reception Simulator::open_reception(std::uint64_t tx_id,
       }
     }
   }
-  return r;
+
+  // The vector was reserved by the caller, so push_back never reallocates
+  // and the back-pointer registered here stays valid until close.
+  DRN_EXPECTS(records.size() < records.capacity());
+  records.push_back(std::move(r));
+  const radio::ReceptionHandle h = records.back().handle;
+  if (by_handle_.size() <= h) by_handle_.resize(h + 1, nullptr);
+  by_handle_[h] = &records.back();
 }
 
 void Simulator::handle_transmit_start(std::uint64_t tx_id) {
@@ -304,34 +328,31 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
 
   const bool track = config_.multiuser_subtract_k > 0;
 
-  // The new signal raises the interference of every in-flight reception and
-  // kills any reception in progress at the (now radiating) sender itself.
-  for (auto& [id, receptions] : receptions_) {
-    for (Reception& r : receptions) {
-      if (r.rx == tx.from) {
-        fail_reception(r, tx);  // Type 3: receiver's own transmitter keyed up
-        continue;
-      }
-      const double watts = gains_.gain(r.rx, tx.from) * tx.power_w;
-      r.interference_w += watts;
-      if (track) r.contributions.emplace(tx_id, watts);
-      const double sinr = effective_sinr(r);
-      r.min_sinr = std::min(r.min_sinr, sinr);
-      if (r.failure == LossType::kNone && sinr < r.required_snr)
-        fail_reception(r, tx);
-    }
-  }
+  // The new signal raises the interference of every in-flight reception it
+  // reaches and kills any reception in progress at the (now radiating)
+  // sender itself; the engine walks them and notifies us per reception.
+  engine_->transmit_started(
+      tx_id, tx.from, tx.power_w,
+      [this, &tx](radio::ReceptionHandle h) {
+        fail_reception(reception_at(h), tx);  // Type 3: own transmitter up
+      },
+      [this, &tx, tx_id, track](radio::ReceptionHandle h, double watts) {
+        Reception& r = reception_at(h);
+        if (track) r.contributions.add(tx_id, watts);
+        note_interference_change(r, tx);
+      });
 
   // Open the reception record(s).
   auto& records = receptions_[tx_id];
   if (tx.to == kBroadcast) {
-    records.reserve(gains_.size() - 1);
-    for (StationId rx = 0; rx < gains_.size(); ++rx) {
+    records.reserve(station_count() - 1);
+    for (StationId rx = 0; rx < station_count(); ++rx) {
       if (rx == tx.from) continue;
-      records.push_back(open_reception(tx_id, tx, rx));
+      open_reception(tx_id, tx, rx, records);
     }
   } else {
-    records.push_back(open_reception(tx_id, tx, tx.to));
+    records.reserve(1);
+    open_reception(tx_id, tx, tx.to, records);
   }
 }
 
@@ -341,27 +362,25 @@ void Simulator::handle_transmit_end(std::uint64_t tx_id) {
   const ActiveTx tx = node.mapped();
   --transmitting_count_[tx.from];
 
-  const bool track = config_.multiuser_subtract_k > 0;
-
-  // The signal leaves the air: lower everyone else's interference. Mirror
-  // the start-side bookkeeping exactly: receptions at the sender's own
-  // station never had this contribution added (they die via Type 3), so it
-  // must not be subtracted either.
-  for (auto& [id, receptions] : receptions_) {
-    if (id == tx_id) continue;
-    for (Reception& r : receptions) {
-      if (r.rx == tx.from) continue;
-      r.interference_w = std::max(
-          config_.thermal_noise_w,
-          r.interference_w - gains_.gain(r.rx, tx.from) * tx.power_w);
-      if (track) r.contributions.erase(tx_id);
-    }
+  // The signal leaves the air: the engine lowers everyone else's
+  // interference (receptions at the sender's own station never had this
+  // contribution added — they die via Type 3 — and the engine skips them
+  // symmetrically). Interference only drops here, so min_sinr cannot move;
+  // the notification is only needed to retire tracked contributions.
+  radio::InterferenceEngine::AffectedVisitor on_affected;
+  if (config_.multiuser_subtract_k > 0) {
+    on_affected = [this, tx_id](radio::ReceptionHandle h, double /*watts*/) {
+      reception_at(h).contributions.erase(tx_id);
+    };
   }
+  engine_->transmit_ended(tx_id, on_affected);
 
   auto rnode = receptions_.extract(tx_id);
   DRN_EXPECTS(!rnode.empty());
   bool any_delivered = false;
-  for (const Reception& r : rnode.mapped()) {
+  for (Reception& r : rnode.mapped()) {
+    engine_->close_reception(r.handle);
+    by_handle_[r.handle] = nullptr;
     if (r.occupies_channel) --reception_count_[r.rx];
     const bool delivered = r.failure == LossType::kNone;
     any_delivered |= delivered;
@@ -418,7 +437,7 @@ void Simulator::enqueue_at(StationId station, const Packet& packet) {
     metrics_.record_mac_drop();  // no route
     return;
   }
-  DRN_EXPECTS(next < gains_.size());
+  DRN_EXPECTS(next < station_count());
   with_station(station, [this, &packet, next](MacProtocol& mac) {
     mac.on_enqueue(*this, packet, next);
   });
@@ -426,7 +445,14 @@ void Simulator::enqueue_at(StationId station, const Packet& packet) {
 
 void Simulator::handle_inject(const Packet& packet) {
   Packet pkt = packet;
-  if (pkt.id == 0) pkt.id = next_packet_id_++;
+  if (pkt.id == 0) {
+    pkt.id = next_packet_id_++;
+  } else if (pkt.id >= next_packet_id_) {
+    // Caller-chosen ids and generated ids share one namespace: advance the
+    // generator past every injected id so later zero-id injections can never
+    // collide with it and corrupt exactly-once accounting.
+    next_packet_id_ = pkt.id + 1;
+  }
   pkt.created_s = now_s_;
   pkt.hop_count = 0;
   metrics_.record_offered();

@@ -1,7 +1,9 @@
 // The event-driven radio network simulator.
 //
 // Physics implemented (Sections 3.3-3.4 of the paper):
-//   * propagation is the scalar power-gain matrix H (radio/propagation_matrix);
+//   * propagation is a scalar power gain per ordered station pair, served by
+//     a pluggable interference engine (radio/interference_engine) — dense
+//     matrix or lazy grid-indexed near/far evaluation;
 //   * the received "noise" for a reception is thermal noise plus the summed
 //     power of every OTHER active transmission at the receiver (Eq. 5-6);
 //   * a packet is decoded iff its SINR stays at or above the threshold for
@@ -9,9 +11,12 @@
 //     radiates during that airtime (Type 3), and a despreading channel was
 //     free when the packet arrived (Type 2 overload otherwise).
 //
-// Interference sums are maintained incrementally: every transmission start or
-// end updates the running interference of each in-flight reception in O(1),
-// so an event costs O(active receptions).
+// Interference sums are maintained incrementally by the engine: every
+// transmission start or end updates the running interference of each
+// in-flight reception it reaches, and the simulator re-tests SINR through
+// the engine's change notifications. The default (compensated) engine keeps
+// those running sums exact; the near/far engine trades a bounded SINR error
+// for locality (see interference_engine.hpp).
 //
 // Extensions beyond the base model (all off by default / opt-in):
 //   * broadcast transmissions (to = kBroadcast): every station attempts
@@ -38,8 +43,10 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "radio/interference_engine.hpp"
 #include "radio/propagation_matrix.hpp"
 #include "radio/reception.hpp"
+#include "sim/contribution_set.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/mac.hpp"
 #include "sim/metrics.hpp"
@@ -66,11 +73,20 @@ struct SimulatorConfig {
   int multiuser_subtract_k = 0;
   /// Master seed for the per-station MAC random streams.
   std::uint64_t seed = 1;
+  /// Interference accounting engine used by the matrix constructor (the
+  /// engine constructor brings its own). kNearFar needs geometry the matrix
+  /// does not carry, so it is only reachable via the engine constructor.
+  radio::InterferenceEngineKind engine =
+      radio::InterferenceEngineKind::kCompensated;
 };
 
 class Simulator final : public MacContext {
  public:
+  /// Builds a dense-matrix engine of config.engine's kind over `gains`.
   Simulator(radio::PropagationMatrix gains, SimulatorConfig config);
+  /// Adopts a ready-made engine (the only route to the near/far engine).
+  Simulator(std::unique_ptr<radio::InterferenceEngine> engine,
+            SimulatorConfig config);
   ~Simulator() override;
 
   Simulator(const Simulator&) = delete;
@@ -102,8 +118,12 @@ class Simulator final : public MacContext {
 
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
-  [[nodiscard]] std::size_t station_count() const { return gains_.size(); }
-  [[nodiscard]] const radio::PropagationMatrix& gains() const { return gains_; }
+  [[nodiscard]] std::size_t station_count() const {
+    return engine_->station_count();
+  }
+  [[nodiscard]] const radio::InterferenceEngine& engine() const {
+    return *engine_;
+  }
   [[nodiscard]] const SimulatorConfig& config() const { return config_; }
 
   /// Number of transmissions currently in flight (for tests).
@@ -139,14 +159,16 @@ class Simulator final : public MacContext {
   struct Reception {
     StationId rx = kNoStation;
     double signal_w = 0.0;
-    double interference_w = 0.0;  // thermal + all other active transmissions
-    double min_sinr = 0.0;        // worst (effective) SINR seen so far
+    /// Engine-side interference state for this reception (the engine's
+    /// interference_w(handle) is thermal + all other active transmissions).
+    radio::ReceptionHandle handle = radio::kInvalidReception;
+    double min_sinr = 0.0;  // worst (effective) SINR seen so far
     double required_snr = 0.0;
     LossType failure = LossType::kNone;
     bool occupies_channel = false;  // holds one of rx's despreading channels
     /// Per-interferer contributions, kept only when multiuser detection is
     /// on (needed to subtract the strongest k).
-    std::map<std::uint64_t, double> contributions;
+    ContributionSet contributions;
   };
 
   void handle_transmit_start(std::uint64_t tx_id);
@@ -156,12 +178,17 @@ class Simulator final : public MacContext {
   void enqueue_at(StationId station, const Packet& packet);
 
   /// Opens the reception record for `tx` at receiver `rx` (admission rules:
-  /// not transmitting, free despreading channel, initial SINR).
-  [[nodiscard]] Reception open_reception(std::uint64_t tx_id,
-                                         const ActiveTx& tx, StationId rx);
+  /// not transmitting, free despreading channel, initial SINR) and registers
+  /// its engine handle in by_handle_.
+  void open_reception(std::uint64_t tx_id, const ActiveTx& tx, StationId rx,
+                      std::vector<Reception>& records);
 
   /// Effective SINR of a reception after optional multiuser subtraction.
   [[nodiscard]] double effective_sinr(const Reception& r) const;
+
+  /// Re-tests a reception against its threshold after an interference
+  /// change and folds the result into min_sinr.
+  void note_interference_change(Reception& r, const ActiveTx& cause);
 
   /// Marks `r` failed (first failure wins) with the taxonomy type implied by
   /// the interfering transmission `cause`.
@@ -175,11 +202,16 @@ class Simulator final : public MacContext {
     return transmitting_count_[s] > 0;
   }
 
+  [[nodiscard]] Reception& reception_at(radio::ReceptionHandle h) {
+    DRN_EXPECTS(h < by_handle_.size() && by_handle_[h] != nullptr);
+    return *by_handle_[h];
+  }
+
   /// Runs a MAC hook with the context bound to `station`.
   template <typename F>
   void with_station(StationId station, F&& hook);
 
-  radio::PropagationMatrix gains_;
+  std::unique_ptr<radio::InterferenceEngine> engine_;
   SimulatorConfig config_;
   Metrics metrics_;
   EventQueue queue_;
@@ -197,7 +229,10 @@ class Simulator final : public MacContext {
   std::map<std::uint64_t, ActiveTx> scheduled_;
   std::map<std::uint64_t, ActiveTx> active_;
   // In-flight receptions, keyed by tx_id (one per receiver for broadcasts).
+  // Vectors are reserved before records are appended so the back-pointers
+  // in by_handle_ stay valid for a record's whole lifetime.
   std::map<std::uint64_t, std::vector<Reception>> receptions_;
+  std::vector<Reception*> by_handle_;     // engine handle -> live record
   std::vector<int> transmitting_count_;   // per station
   std::vector<int> reception_count_;      // per station (despreading channels)
   std::vector<double> tx_busy_until_s_;   // per station: serialization check

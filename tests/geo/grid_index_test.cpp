@@ -1,0 +1,134 @@
+#include "geo/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "geo/placement.hpp"
+
+namespace drn::geo {
+namespace {
+
+Placement random_disc(std::size_t n, double radius_m, std::uint64_t seed) {
+  Rng rng(seed);
+  return uniform_disc(n, radius_m, rng);
+}
+
+TEST(GridIndex, EveryStationLandsInItsOwnCell) {
+  const auto placement = random_disc(200, 1000.0, 7);
+  const GridIndex grid(placement, 150.0);
+  EXPECT_EQ(grid.station_count(), placement.size());
+  std::size_t bucketed = 0;
+  for (std::int32_t cell = 0; cell < grid.cell_count(); ++cell) {
+    for (StationId s : grid.stations_in(cell)) {
+      EXPECT_EQ(grid.cell_of(s), cell);
+      EXPECT_EQ(grid.cell_at(placement[s]), cell);
+      ++bucketed;
+    }
+  }
+  EXPECT_EQ(bucketed, placement.size());
+}
+
+TEST(GridIndex, CellsListStationsInAscendingIdOrder) {
+  const auto placement = random_disc(300, 800.0, 11);
+  const GridIndex grid(placement, 100.0);
+  for (std::int32_t cell = 0; cell < grid.cell_count(); ++cell) {
+    const auto& ids = grid.stations_in(cell);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  }
+}
+
+TEST(GridIndex, RangeQueryMatchesBruteForce) {
+  const auto placement = random_disc(250, 1000.0, 3);
+  const GridIndex grid(placement, 120.0);
+  for (const double radius : {0.0, 50.0, 333.0, 1500.0}) {
+    for (StationId probe : {StationId{0}, StationId{17}, StationId{249}}) {
+      std::vector<StationId> via_grid;
+      grid.for_each_station_within(placement[probe], radius,
+                                   [&](StationId s) { via_grid.push_back(s); });
+      std::vector<StationId> brute;
+      for (StationId s = 0; s < placement.size(); ++s)
+        if (distance_sq(placement[probe], placement[s]) < radius * radius)
+          brute.push_back(s);
+      std::sort(via_grid.begin(), via_grid.end());
+      EXPECT_EQ(via_grid, brute) << "radius " << radius << " probe " << probe;
+    }
+  }
+}
+
+TEST(GridIndex, RangeQueryOutsideTheGridClampsToBorderCells) {
+  const auto placement = random_disc(60, 500.0, 5);
+  const GridIndex grid(placement, 80.0);
+  // A probe far outside the bounding box still enumerates correctly: the
+  // covering-cell range is computed from the clamped cell but the exact
+  // distance filter decides membership.
+  const Vec2 outside{4000.0, -4000.0};
+  std::vector<StationId> via_grid;
+  grid.for_each_station_within(outside, 5000.0,
+                               [&](StationId s) { via_grid.push_back(s); });
+  std::vector<StationId> brute;
+  for (StationId s = 0; s < placement.size(); ++s)
+    if (distance_sq(outside, placement[s]) < 5000.0 * 5000.0)
+      brute.push_back(s);
+  std::sort(via_grid.begin(), via_grid.end());
+  EXPECT_EQ(via_grid, brute);
+}
+
+TEST(GridIndex, ChebyshevSeparationBoundsPairDistance) {
+  const auto placement = random_disc(150, 1000.0, 9);
+  const double cell = 130.0;
+  const GridIndex grid(placement, cell);
+  for (StationId a = 0; a < placement.size(); a += 7) {
+    for (StationId b = 0; b < placement.size(); b += 11) {
+      const int cheb = grid.chebyshev(grid.cell_of(a), grid.cell_of(b));
+      const double d = std::sqrt(distance_sq(placement[a], placement[b]));
+      // Stations in cells r apart (Chebyshev) are at least (r - 1) * cell_m
+      // apart and at most (r + 1) * cell_m * sqrt(2) apart.
+      if (cheb > 1) {
+        EXPECT_GE(d, (cheb - 1) * cell);
+      }
+      EXPECT_LE(d, (cheb + 1) * cell * std::sqrt(2.0) + 1e-9);
+    }
+  }
+}
+
+TEST(GridIndex, NearestOtherMatchesBruteForce) {
+  const auto placement = random_disc(120, 900.0, 13);
+  const GridIndex grid(placement, 110.0);
+  for (StationId s = 0; s < placement.size(); ++s) {
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (StationId t = 0; t < placement.size(); ++t) {
+      if (t == s) continue;
+      best_d2 = std::min(best_d2, distance_sq(placement[s], placement[t]));
+    }
+    const StationId got = grid.nearest_other(s);
+    ASSERT_NE(got, kNoStation);
+    // Ties (exactly equal distances) may resolve to either id; compare
+    // distances, not ids.
+    EXPECT_DOUBLE_EQ(distance_sq(placement[s], placement[got]), best_d2);
+  }
+}
+
+TEST(GridIndex, SingleStationHasNoNearestOther) {
+  Placement one;
+  one.push_back(Vec2{0.0, 0.0});
+  const GridIndex grid(one, 10.0);
+  EXPECT_EQ(grid.nearest_other(0), kNoStation);
+}
+
+TEST(GridIndex, ContractsRejectBadArguments) {
+  const auto placement = random_disc(10, 100.0, 1);
+  EXPECT_THROW(GridIndex(placement, 0.0), ContractViolation);
+  EXPECT_THROW(GridIndex(Placement{}, 10.0), ContractViolation);
+  const GridIndex grid(placement, 25.0);
+  EXPECT_THROW((void)grid.cell_of(10), ContractViolation);
+  EXPECT_THROW((void)grid.stations_in(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace drn::geo

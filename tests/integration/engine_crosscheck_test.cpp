@@ -1,0 +1,170 @@
+// Exact-vs-approximate interference engine cross-check (ISSUE 4 acceptance):
+// the near/far engine must reproduce the compensated (exact) engine's
+// physics on tab_sec8-style scenarios — per-reception min-SINR within the
+// configured far-field bound, and headline metrics (delivery rate, loss-type
+// mix) within 0.5%.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "audit/invariant_auditor.hpp"
+#include "radio/interference_engine.hpp"
+#include "radio/propagation.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+#include "sim/simulator.hpp"
+#include "sim/traffic.hpp"
+
+namespace drn {
+namespace {
+
+audit::AuditConfig recording_config(const sim::Simulator& sim) {
+  audit::AuditConfig cfg;
+  cfg.stations = sim.station_count();
+  cfg.despreading_channels = sim.config().despreading_channels;
+  cfg.thermal_noise_w = sim.config().thermal_noise_w;
+  cfg.bandwidth_hz = sim.config().criterion.bandwidth_hz();
+  cfg.margin_db = sim.config().criterion.margin_db();
+  cfg.record_receptions = true;
+  return cfg;
+}
+
+struct AuditedRun {
+  runner::TrialResult result;
+  std::unique_ptr<audit::InvariantAuditor> auditor;
+};
+
+/// runner::run_trial with a recording auditor riding along (the runner's own
+/// audit path records no per-reception outcomes, which the engine
+/// cross-check needs).
+AuditedRun run_audited(const runner::ScenarioSpec& spec, std::uint64_t seed) {
+  auto scenario =
+      runner::make_scenario(spec.stations, spec.region_m, seed, spec.net);
+  sim::SimulatorConfig sim_cfg{spec.criterion()};
+  sim_cfg.seed = seed;
+  sim_cfg.engine = spec.engine;
+  std::optional<sim::Simulator> sim_box;
+  if (spec.engine == radio::InterferenceEngineKind::kNearFar) {
+    radio::NearFarConfig nf;
+    nf.cutoff_m =
+        spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m;
+    nf.cell_m = spec.engine_cell_m;
+    sim_box.emplace(
+        radio::make_nearfar_engine(scenario.placement,
+                                   std::make_shared<radio::FreeSpacePropagation>(),
+                                   nf),
+        sim_cfg);
+  } else {
+    sim_box.emplace(scenario.gains, sim_cfg);
+  }
+  sim::Simulator& sim = *sim_box;
+  auto auditor =
+      std::make_unique<audit::InvariantAuditor>(recording_config(sim));
+  sim.add_observer(auditor.get());
+  runner::install_macs(sim, scenario, spec);
+  sim.set_router(scenario.tables.router());
+  Rng traffic_rng = Rng(seed).split(2);
+  for (const auto& inj : sim::poisson_traffic(
+           spec.rate_pps, spec.duration_s, scenario.net.packet_bits,
+           sim::uniform_pairs(scenario.gains.size()), traffic_rng))
+    sim.inject(inj.time_s, inj.packet);
+  const double total = spec.duration_s + spec.drain_s;
+  sim.run_until(total);
+  AuditedRun out;
+  out.result = runner::summarize(sim.metrics(), total);
+  auditor->finalize(total);
+  auditor->cross_check(sim.metrics());
+  return AuditedRun{out.result, std::move(auditor)};
+}
+
+/// Per-far-field-term relative gain error of the near/far engine: both
+/// endpoints sit at most cell_m * sqrt(2) / 2 from their cell centres and
+/// far pairs are at least cutoff_m apart, so a 1/d^2 gain is off by at most
+/// this factor (see DESIGN.md "Interference engines").
+double far_field_bound(const radio::NearFarConfig& nf) {
+  const double cell = nf.cell_m > 0.0 ? nf.cell_m : nf.cutoff_m / 4.0;
+  return std::pow(1.0 + std::sqrt(2.0) * cell / nf.cutoff_m, 2.0) - 1.0;
+}
+
+void expect_headline_metrics_close(const runner::TrialResult& approx,
+                                   const runner::TrialResult& exact) {
+  EXPECT_EQ(approx.offered, exact.offered);
+  EXPECT_NEAR(approx.delivery_ratio, exact.delivery_ratio,
+              0.005 * exact.delivery_ratio + 1e-12);
+  // Loss-type mix: each class within 0.5% of the exact run's hop attempts.
+  const double slack = 0.005 * static_cast<double>(exact.hop_attempts);
+  EXPECT_NEAR(static_cast<double>(approx.type1_losses),
+              static_cast<double>(exact.type1_losses), slack);
+  EXPECT_NEAR(static_cast<double>(approx.type2_losses),
+              static_cast<double>(exact.type2_losses), slack);
+  EXPECT_NEAR(static_cast<double>(approx.type3_losses),
+              static_cast<double>(exact.type3_losses), slack);
+}
+
+TEST(EngineCrossCheck, SchemeOnTabSec8Seed) {
+  // The tab_sec8 100-station point (region 1600 m, Poisson 400 pkt/s,
+  // master seed 606) at a shortened offer window.
+  runner::ScenarioSpec spec;
+  spec.stations = 100;
+  spec.region_m = 1600.0;
+  spec.mac = runner::MacKind::kScheme;
+  spec.rate_pps = 400.0;
+  spec.duration_s = 1.0;
+  spec.drain_s = 60.0;
+  const std::uint64_t seed = runner::trial_seed(606, 0);
+
+  spec.engine = radio::InterferenceEngineKind::kCompensated;
+  auto exact = run_audited(spec, seed);
+  EXPECT_TRUE(exact.auditor->ok()) << exact.auditor->report();
+
+  spec.engine = radio::InterferenceEngineKind::kNearFar;
+  spec.engine_cutoff_m = 800.0;  // 2x the 400 m free-space reach
+  auto approx = run_audited(spec, seed);
+  EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
+
+  radio::NearFarConfig nf;
+  nf.cutoff_m = spec.engine_cutoff_m;
+  approx.auditor->cross_check_engine(*exact.auditor, far_field_bound(nf));
+  EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
+  EXPECT_GT(exact.auditor->recorded_receptions().size(), 100u);
+  expect_headline_metrics_close(approx.result, exact.result);
+}
+
+TEST(EngineCrossCheck, AlohaLossMixOnTabSec8Seed) {
+  // ALOHA generates real collision losses — the loss-type mix actually
+  // exercises interference-driven outcomes, unlike the (collision-free)
+  // scheduled scheme.
+  runner::ScenarioSpec spec;
+  spec.stations = 100;
+  spec.region_m = 1600.0;
+  spec.mac = runner::MacKind::kAloha;
+  spec.rate_pps = 400.0;
+  spec.duration_s = 1.0;
+  spec.drain_s = 30.0;
+  const std::uint64_t seed = runner::trial_seed(606, 0);
+
+  spec.engine = radio::InterferenceEngineKind::kCompensated;
+  auto exact = run_audited(spec, seed);
+  EXPECT_TRUE(exact.auditor->ok()) << exact.auditor->report();
+  EXPECT_GT(exact.result.type1_losses + exact.result.type2_losses +
+                exact.result.type3_losses,
+            0u)
+      << "workload produced no collisions; the cross-check is vacuous";
+
+  spec.engine = radio::InterferenceEngineKind::kNearFar;
+  spec.engine_cutoff_m = 800.0;
+  auto approx = run_audited(spec, seed);
+  EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
+
+  radio::NearFarConfig nf;
+  nf.cutoff_m = spec.engine_cutoff_m;
+  approx.auditor->cross_check_engine(*exact.auditor, far_field_bound(nf));
+  EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
+  expect_headline_metrics_close(approx.result, exact.result);
+}
+
+}  // namespace
+}  // namespace drn

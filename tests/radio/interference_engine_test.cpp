@@ -1,0 +1,311 @@
+// Tests for the pluggable interference engines: name parsing, dense /
+// compensated / nearfar agreement on shared scenarios, the near/far
+// far-field approximation bound, and the drift regression the compensated
+// engine exists to fix.
+#include "radio/interference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "geo/placement.hpp"
+#include "radio/propagation.hpp"
+#include "radio/propagation_matrix.hpp"
+
+namespace drn::radio {
+namespace {
+
+TEST(InterferenceEngine, ParseAndNameRoundTrip) {
+  for (const auto kind :
+       {InterferenceEngineKind::kDense, InterferenceEngineKind::kCompensated,
+        InterferenceEngineKind::kNearFar}) {
+    const auto parsed = parse_engine(engine_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_engine("exact").has_value());
+  EXPECT_FALSE(parse_engine("").has_value());
+}
+
+TEST(CompensatedSum, RecoversWhatPlainSummationLoses) {
+  // 1 + 1e-16 added 10^4 times: plain double summation drops every tiny
+  // addend; the compensated sum carries them.
+  CompensatedSum sum;
+  double plain = 1.0;
+  sum.add(1.0);
+  for (int i = 0; i < 10000; ++i) {
+    sum.add(1.0e-16);
+    plain += 1.0e-16;
+  }
+  EXPECT_DOUBLE_EQ(plain, 1.0);  // all 10^4 addends lost
+  EXPECT_NEAR(sum.value(), 1.0 + 1.0e-12, 1.0e-16);
+}
+
+TEST(CompensatedSum, ExactWhenSubtractingTheLargerTerm) {
+  // The transmit-end case Neumaier handles and Kahan does not: the addend
+  // (the contribution being removed) dwarfs the running sum.
+  CompensatedSum sum;
+  sum.add(1.0e-12);
+  sum.add(1.0e4);
+  sum.add(-1.0e4);
+  EXPECT_DOUBLE_EQ(sum.value(), 1.0e-12);
+}
+
+TEST(InterferenceEngine, MakeDenseGainsGuardsStationCount) {
+  // The guard constant itself is far too large to exercise with a real
+  // allocation; check the contract wiring with the documented constant.
+  Rng rng(2);
+  const auto placement = geo::uniform_disc(16, 200.0, rng);
+  const FreeSpacePropagation model;
+  const auto gains = make_dense_gains(placement, model);
+  EXPECT_EQ(gains.size(), 16u);
+  EXPECT_LE(gains.size(), kDenseMatrixGuardM);
+}
+
+// ---------------------------------------------------------------------------
+// Engine agreement on a shared random workload.
+
+struct Workload {
+  geo::Placement placement;
+  PropagationMatrix gains;
+};
+
+Workload make_workload(std::size_t stations, std::uint64_t seed) {
+  Rng rng(seed);
+  auto placement = geo::uniform_disc(stations, 1000.0, rng);
+  const FreeSpacePropagation model;
+  auto gains = make_dense_gains(placement, model);
+  return {std::move(placement), std::move(gains)};
+}
+
+/// Drives `engine` through a deterministic start/open/end script and returns
+/// the interference of every open reception at a few sample points.
+std::vector<double> run_script(InterferenceEngine& engine,
+                               std::size_t stations, std::uint64_t seed) {
+  std::vector<double> samples;
+  Rng rng(seed);
+  std::deque<std::uint64_t> on_air;
+  std::vector<std::pair<ReceptionHandle, std::uint64_t>> open;
+  std::uint64_t next_tx = 1;
+  const auto sender_noop = [](ReceptionHandle) {};
+  const auto affected_noop = [](ReceptionHandle, double) {};
+  for (int step = 0; step < 400; ++step) {
+    const auto choice = rng() % 3;
+    if (choice == 0 || on_air.size() < 2) {
+      const std::uint64_t tx = next_tx++;
+      const auto from = static_cast<StationId>(rng() % stations);
+      const double power = 1.0e-4 * (1.0 + 1.0e-3 * static_cast<double>(
+                                               rng() % 1000));
+      engine.transmit_started(tx, from, power, sender_noop, affected_noop);
+      on_air.push_back(tx);
+      const auto rx = static_cast<StationId>(rng() % stations);
+      open.emplace_back(engine.open_reception(tx, rx, nullptr), tx);
+    } else if (choice == 1 && !open.empty()) {
+      const auto idx = rng() % open.size();
+      engine.close_reception(open[idx].first);
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const std::uint64_t tx = on_air.front();
+      on_air.pop_front();
+      for (std::size_t i = open.size(); i-- > 0;) {
+        if (open[i].second == tx) {
+          engine.close_reception(open[i].first);
+          open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      engine.transmit_ended(tx, affected_noop);
+    }
+    if (step % 25 == 0)
+      for (const auto& [h, tx] : open) samples.push_back(engine.interference_w(h));
+  }
+  for (const auto& [h, tx] : open) samples.push_back(engine.interference_w(h));
+  return samples;
+}
+
+TEST(InterferenceEngine, CompensatedMatchesDenseRecomputation) {
+  const std::size_t stations = 24;
+  auto w = make_workload(stations, 41);
+  const auto dense = make_dense_engine(w.gains);
+  const auto comp = make_compensated_engine(w.gains);
+  dense->set_thermal_noise(1.0e-15);
+  comp->set_thermal_noise(1.0e-15);
+  const auto a = run_script(*dense, stations, 99);
+  const auto b = run_script(*comp, stations, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], 1.0e-9 * a[i]) << "sample " << i;
+}
+
+TEST(InterferenceEngine, NearFarWithFullCutoffMatchesCompensated) {
+  // Cutoff spanning the whole region: every interferer is in the near field,
+  // so the nearfar engine must agree with the dense-matrix engines to
+  // rounding error.
+  const std::size_t stations = 24;
+  auto w = make_workload(stations, 43);
+  const auto comp = make_compensated_engine(w.gains);
+  NearFarConfig nf;
+  nf.cutoff_m = 4000.0;  // > region diameter: no far field at all
+  const auto nearfar = make_nearfar_engine(
+      w.placement, std::make_shared<FreeSpacePropagation>(), nf);
+  comp->set_thermal_noise(1.0e-15);
+  nearfar->set_thermal_noise(1.0e-15);
+  EXPECT_STREQ(nearfar->name(), "nearfar");
+  // Lazy gains must match the dense matrix entries exactly.
+  for (StationId rx = 0; rx < stations; rx += 5)
+    for (StationId tx = 0; tx < stations; ++tx)
+      EXPECT_DOUBLE_EQ(nearfar->gain(rx, tx), w.gains.gain(rx, tx));
+  const auto a = run_script(*comp, stations, 77);
+  const auto b = run_script(*nearfar, stations, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], 1.0e-9 * a[i]) << "sample " << i;
+}
+
+TEST(InterferenceEngine, NearFarFarFieldStaysWithinCellBound) {
+  // Finite cutoff: far-field interferers are folded into cell aggregates.
+  // The approximation replaces each far gain by the gain between cell
+  // centres; with both endpoints at most cell_m * sqrt(2) / 2 from their
+  // centres and separated by at least cutoff_m, the per-term relative error
+  // of a 1/d^2 gain is bounded by (1 + sqrt(2) * cell_m / cutoff_m)^2 - 1.
+  const std::size_t stations = 48;
+  auto w = make_workload(stations, 47);
+  NearFarConfig nf;
+  nf.cutoff_m = 600.0;
+  nf.cell_m = 100.0;
+  const auto nearfar = make_nearfar_engine(
+      w.placement, std::make_shared<FreeSpacePropagation>(), nf);
+  nearfar->set_thermal_noise(1.0e-15);
+  const double per_term =
+      std::pow(1.0 + std::sqrt(2.0) * nf.cell_m / nf.cutoff_m, 2.0) - 1.0;
+
+  std::uint64_t next_tx = 1;
+  const auto noop_s = [](ReceptionHandle) {};
+  const auto noop_a = [](ReceptionHandle, double) {};
+  for (StationId from = 1; from < stations; ++from)
+    nearfar->transmit_started(next_tx++, from, 1.0e-4, noop_s, noop_a);
+  nearfar->transmit_started(next_tx, 0, 1.0e-4, noop_s, noop_a);
+  for (StationId rx = 1; rx < stations; rx += 3) {
+    const auto h = nearfar->open_reception(next_tx, rx, nullptr);
+    const double engine_w = nearfar->interference_w(h);
+    // Ground truth: exact lazy-gain sum over every other active transmitter.
+    double exact = nearfar->thermal_noise_w();
+    for (StationId from = 1; from < stations; ++from)
+      if (from != rx) exact += nearfar->gain(rx, from) * 1.0e-4;
+    EXPECT_NEAR(engine_w, exact, per_term * exact) << "rx " << rx;
+    // The incremental value and the engine's own recomputation agree.
+    EXPECT_NEAR(nearfar->recomputed_interference_w(h), engine_w,
+                1.0e-12 * engine_w);
+    nearfar->close_reception(h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The drift regression (ISSUE 4 satellite 1).
+//
+// One long-lived reception watches >= 10^4 overlapping transmissions come
+// and go. The legacy dense engine's subtract-and-clamp accumulates rounding
+// error in its incremental interference; the compensated engine stays within
+// 1e-12 relative of a from-scratch recomputation throughout.
+
+/// Churns `total` overlapping transmissions (a sliding window of `overlap`
+/// concurrently on air) past one reception held open for the whole run, and
+/// returns the worst relative error of interference_w vs
+/// recomputed_interference_w observed at any point.
+double churn_and_measure(InterferenceEngine& engine, int total, int overlap) {
+  Rng rng(4242);
+  const auto noop_s = [](ReceptionHandle) {};
+  const auto noop_a = [](ReceptionHandle, double) {};
+  // tx 1: the persistent weak interferer that keeps the true interference
+  // tiny, so absolute drift from the loud churn shows up as relative error.
+  engine.transmit_started(1, 1, 1.0e-10, noop_s, noop_a);
+  // tx 2: the transmission being received (its own power never counts).
+  engine.transmit_started(2, 0, 1.0e-4, noop_s, noop_a);
+  const auto h = engine.open_reception(2, 2, nullptr);
+
+  double worst_rel = 0.0;
+  const auto measure = [&] {
+    const double inc = engine.interference_w(h);
+    const double exact = engine.recomputed_interference_w(h);
+    const double rel = std::abs(inc - exact) / exact;
+    if (rel > worst_rel) worst_rel = rel;
+  };
+  std::deque<std::uint64_t> on_air;
+  std::uint64_t next_tx = 10;
+  for (int i = 0; i < total; ++i) {
+    // Loud interferers (~1 W at the receiver) with ragged mantissas so
+    // nearly every add/subtract rounds.
+    const double power =
+        1.0 + 1.0e-6 * static_cast<double>(rng() % 999983);
+    const std::uint64_t tx = next_tx++;
+    engine.transmit_started(tx, 3, power, noop_s, noop_a);
+    on_air.push_back(tx);
+    if (on_air.size() > static_cast<std::size_t>(overlap)) {
+      engine.transmit_ended(on_air.front(), noop_a);
+      on_air.pop_front();
+    }
+    if (i % 500 == 0) measure();
+  }
+  while (!on_air.empty()) {
+    engine.transmit_ended(on_air.front(), noop_a);
+    on_air.pop_front();
+  }
+  // Quiescent again: only the 1e-10 interferer remains. Any leftover from
+  // the 10^4 loud transmissions is pure bookkeeping drift.
+  measure();
+  engine.close_reception(h);
+  return worst_rel;
+}
+
+PropagationMatrix drift_matrix() {
+  // Receiver is station 2. Station 3 (the churn source) reaches it at unit
+  // gain; station 1's persistent trickle and station 0's signal define the
+  // tiny true residual.
+  PropagationMatrix m(4);
+  m.set_gain(2, 0, 1.0);
+  m.set_gain(2, 1, 1.0);
+  m.set_gain(2, 3, 1.0);
+  return m;
+}
+
+TEST(InterferenceDrift, LegacyDenseEngineDriftsBeyondTolerance) {
+  const auto dense = make_dense_engine(drift_matrix());
+  dense->set_thermal_noise(1.0e-15);
+  const double worst = churn_and_measure(*dense, 10000, 16);
+  // The teeth of the regression test: the subtract-and-clamp baseline is
+  // measurably wrong. (Observed ~3e-3 relative on this workload; anything
+  // over the fixed engine's 1e-12 bound demonstrates the bug.)
+  EXPECT_GT(worst, 1.0e-12);
+}
+
+TEST(InterferenceDrift, CompensatedEngineStaysExact) {
+  const auto comp = make_compensated_engine(drift_matrix());
+  comp->set_thermal_noise(1.0e-15);
+  const double worst = churn_and_measure(*comp, 10000, 16);
+  EXPECT_LE(worst, 1.0e-12);
+}
+
+TEST(InterferenceDrift, NearFarEngineStaysExactUnderChurn) {
+  // Same churn through the grid-indexed path: stations placed so the churn
+  // source sits in the receiver's near field.
+  geo::Placement p;
+  p.push_back({0.0, 0.0});    // 0: wanted sender
+  p.push_back({10.0, 0.0});   // 1: persistent weak interferer
+  p.push_back({5.0, 5.0});    // 2: receiver
+  p.push_back({0.0, 10.0});   // 3: churn source
+  NearFarConfig nf;
+  nf.cutoff_m = 100.0;
+  const auto nearfar = make_nearfar_engine(
+      p, std::make_shared<FreeSpacePropagation>(), nf);
+  nearfar->set_thermal_noise(1.0e-15);
+  const double worst = churn_and_measure(*nearfar, 10000, 16);
+  EXPECT_LE(worst, 1.0e-12);
+}
+
+}  // namespace
+}  // namespace drn::radio

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/expects.hpp"
+#include "helpers/scenario.hpp"
 #include "helpers/test_macs.hpp"
 #include "sim/simulator.hpp"
 
@@ -293,6 +294,80 @@ TEST(MultiuserDetection, SubtractionCapResidualIsThermal) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(MultiuserDetection, BroadcastContributionsTrackedAcrossStartAndEnd) {
+  // Broadcast + multiuser_subtract_k > 0: per-interferer contributions must
+  // be tracked for every broadcast reception across all three paths —
+  // open_reception (jammer 3 is already on air when the beacon starts),
+  // transmit start (jammer 5 keys up mid-beacon) and transmit end (jammer 5
+  // leaves the air mid-beacon). With k=2 the listeners cancel both jammers
+  // and hear the beacon at the thermal-limited SINR throughout.
+  radio::PropagationMatrix m(6);
+  for (StationId s = 1; s < 6; ++s) m.set_gain(0, s, 0.5);  // beacon links
+  m.set_gain(3, 1, 50.0);  // jammer 1 blankets both listeners
+  m.set_gain(3, 2, 50.0);
+  m.set_gain(5, 1, 50.0);  // jammer 2 too
+  m.set_gain(5, 2, 50.0);
+  m.set_gain(3, 4, 1.0);   // jammers' own unicast links to station 4
+  m.set_gain(5, 4, 1.0);
+  auto cfg = SimulatorConfig{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  cfg.thermal_noise_w = 1.0e-3;
+  cfg.multiuser_subtract_k = 2;
+  class Recorder final : public SimObserver {
+   public:
+    std::vector<RxEvent> rxs;
+    void on_reception_complete(const RxEvent& rx) override {
+      rxs.push_back(rx);
+    }
+  };
+  Recorder rec;
+  Simulator sim(m, cfg);
+  drn::testing::ScopedAudit audited(sim);
+  sim.add_observer(&rec);
+  // Beacon: 2 ms .. 12 ms. Jammer 3: 0 .. 20 ms. Jammer 5: 5 .. 6 ms.
+  class Beacon final : public MacProtocol {
+   public:
+    void on_start(MacContext& ctx) override { ctx.set_timer(0.002, 0); }
+    void on_timer(MacContext& ctx, std::uint64_t) override {
+      Packet b;
+      b.source = ctx.self();
+      b.destination = kBroadcast;
+      b.size_bits = 1.0e4;
+      ctx.transmit(b, kBroadcast, 1.0, ctx.now());
+    }
+    void on_enqueue(MacContext& ctx, const Packet& p, StationId) override {
+      ctx.drop(p);
+    }
+  };
+  sim.set_mac(0, std::make_unique<Beacon>());
+  sim.set_mac(1, std::make_unique<IdleMac>());
+  sim.set_mac(2, std::make_unique<IdleMac>());
+  sim.set_mac(3, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                     {0.0, 4, 1.0, 2.0e4}}));
+  sim.set_mac(4, std::make_unique<IdleMac>());
+  sim.set_mac(5, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                     {0.005, 4, 1.0, 1.0e3}}));
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.metrics().broadcasts_sent(), 1u);
+  // Stations 1, 2 and 4 hear the beacon; 3 is transmitting throughout and 5
+  // keys up mid-beacon (half-duplex kill).
+  EXPECT_EQ(sim.metrics().broadcast_receptions(), 3u);
+  // Both jammers' unicasts to 4 get through (each cancels the other + the
+  // beacon).
+  EXPECT_EQ(sim.metrics().hop_successes(), 2u);
+  EXPECT_EQ(sim.metrics().total_hop_losses(), 0u);
+  // The listeners' beacon SINR is thermal-limited for the whole airtime:
+  // every jammer contribution was cancelled, whether it predated the beacon,
+  // keyed up mid-flight, or ended mid-flight.
+  int checked = 0;
+  for (const auto& rx : rec.rxs) {
+    if ((rx.rx == 1 || rx.rx == 2) && rx.delivered) {
+      EXPECT_NEAR(rx.min_sinr, 0.5 / 1.0e-3, 1e-6);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 2);
 }
 
 TEST(Broadcast, InjectToBroadcastIsRejected) {

@@ -1,0 +1,102 @@
+// ContributionSet must return bit-identical top-k sums to the code it
+// replaced: copy every contribution into a vector, partial_sort descending,
+// then sum the first k in that order.
+#include "sim/contribution_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace drn::sim {
+namespace {
+
+/// The replaced implementation, verbatim semantics: copy + partial_sort +
+/// sum the k largest in descending order.
+double sum_top_reference(const std::map<std::uint64_t, double>& contributions,
+                         std::size_t k) {
+  std::vector<double> watts;
+  watts.reserve(contributions.size());
+  for (const auto& [id, w] : contributions) watts.push_back(w);
+  const std::size_t take = std::min(k, watts.size());
+  std::partial_sort(watts.begin(),
+                    watts.begin() + static_cast<std::ptrdiff_t>(take),
+                    watts.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < take; ++i) sum += watts[i];
+  return sum;
+}
+
+TEST(ContributionSet, EmptyAndTrivialQueries) {
+  ContributionSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_DOUBLE_EQ(set.sum_top(0), 0.0);
+  EXPECT_DOUBLE_EQ(set.sum_top(5), 0.0);
+  set.add(7, 2.5);
+  EXPECT_DOUBLE_EQ(set.sum_top(0), 0.0);
+  EXPECT_DOUBLE_EQ(set.sum_top(1), 2.5);
+  EXPECT_DOUBLE_EQ(set.sum_top(99), 2.5);
+}
+
+TEST(ContributionSet, DuplicateWattsEraseOnlyOneInstance) {
+  ContributionSet set;
+  set.add(1, 0.5);
+  set.add(2, 0.5);  // identical contribution from a different transmission
+  set.add(3, 0.25);
+  set.erase(2);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.sum_top(2), 0.75);
+  set.erase(42);  // absent id: no-op
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ContributionSet, RejectsDuplicateTransmissionIds) {
+  ContributionSet set;
+  set.add(9, 1.0);
+  EXPECT_THROW(set.add(9, 2.0), ContractViolation);
+}
+
+TEST(ContributionSet, MatchesPartialSortReferenceUnderChurn) {
+  // Randomised adds/erases, checking every k against the replaced
+  // copy-and-partial_sort code after each operation. Values are drawn from a
+  // small set so duplicates are common (the hard case for the multiset).
+  ContributionSet set;
+  std::map<std::uint64_t, double> reference;
+  Rng rng(321);
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 1500; ++step) {
+    if (reference.empty() || rng() % 2 != 0) {
+      const double w = 1.0e-6 * static_cast<double>(rng() % 8 + 1);
+      const std::uint64_t id = next_id++;
+      set.add(id, w);
+      reference.emplace(id, w);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % reference.size()));
+      set.erase(it->first);
+      reference.erase(it);
+    }
+    ASSERT_EQ(set.size(), reference.size());
+    const std::size_t n = reference.size();
+    for (const std::size_t k :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4},
+          n / 2, n, n + 1}) {
+      // Bit-identical, not just close: both sum the same descending values.
+      ASSERT_EQ(set.sum_top(k), sum_top_reference(reference, k))
+          << "step " << step << " k " << k;
+    }
+  }
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.sum_top(3), 0.0);
+}
+
+}  // namespace
+}  // namespace drn::sim

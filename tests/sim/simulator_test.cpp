@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <tuple>
+#include <vector>
 
 #include "baselines/aloha.hpp"
 #include "common/expects.hpp"
@@ -345,6 +347,42 @@ TEST(Simulator, InjectAfterPartialRunWorks) {
   EXPECT_EQ(sim.metrics().delivered(), 2u);
   // Injecting into the past is rejected.
   EXPECT_THROW(sim.inject(0.2, p), ContractViolation);
+}
+
+TEST(Simulator, InjectedPacketIdsNeverCollideWithGeneratedOnes) {
+  // handle_inject: a caller-supplied nonzero Packet::id used to leave
+  // next_packet_id_ untouched, so a later zero-id injection could be handed
+  // the same id and corrupt exactly-once accounting. The generator must
+  // advance past every injected id.
+  class IdRecorder final : public SimObserver {
+   public:
+    std::vector<PacketId> ids;
+    void on_transmit_start(const TxEvent& tx) override {
+      ids.push_back(tx.packet);
+    }
+  };
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, 1.0);
+  Simulator sim(m, config_with(zero_db_criterion()));
+  IdRecorder rec;
+  sim.set_observer(&rec);
+  sim.set_mac(0, std::make_unique<baselines::PureAloha>(
+                     baselines::ContentionConfig{}));
+  sim.set_mac(1, std::make_unique<IdleMac>());
+  Packet p;
+  p.source = 0;
+  p.destination = 1;
+  p.size_bits = 1.0e4;
+  p.id = 5;  // caller-chosen id ahead of the generator (which starts at 1)
+  sim.inject(0.0, p);
+  p.id = 0;  // six generated ids; the fifth used to collide with 5
+  for (int i = 1; i <= 6; ++i) sim.inject(0.05 * i, p);
+  sim.run_until(2.0);
+  ASSERT_EQ(rec.ids.size(), 7u);
+  std::set<PacketId> unique(rec.ids.begin(), rec.ids.end());
+  EXPECT_EQ(unique.size(), 7u) << "duplicate packet id on the air";
+  EXPECT_EQ(sim.metrics().offered(), 7u);
+  EXPECT_EQ(sim.metrics().delivered(), 7u);
 }
 
 TEST(Simulator, ActiveTransmissionCountTracksAir) {

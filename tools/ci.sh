@@ -4,8 +4,10 @@
 #   1. lint          tools/drn_lint.py (determinism + hygiene rules)
 #   2. format        clang-format --dry-run over src/bench/tools/tests
 #   3. build + test  default config
-#   4. clang-tidy    over src/ and tools/ (needs stage 3's compile commands)
-#   5. build + test  once per sanitizer config (default: tsan, then
+#   4. bench smoke   interference-engine ablation in --smoke mode; the JSON
+#                    it emits is schema-checked when python3 is present
+#   5. clang-tidy    over src/ and tools/ (needs stage 3's compile commands)
+#   6. build + test  once per sanitizer config (default: tsan, then
 #                    asan+ubsan)
 #
 # Stages 1, 3 and 5 fail the build on any finding. Stages 2 and 4 also fail
@@ -53,6 +55,28 @@ run_config() {
 }
 
 run_config build-ci ""
+
+echo "==== stage: bench smoke ===="
+bench_json="build-ci/BENCH_interference.json"
+./build-ci/bench/bench_abl_interference_engine --smoke --out "${bench_json}"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${bench_json}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "drn-bench-interference-v1", doc.get("schema")
+assert doc["smoke"] is True
+runs = doc["runs"]
+assert runs, "no benchmark runs recorded"
+for run in runs:
+    assert run["events"] >= doc["target_events"], run
+    assert run["events_per_s"] > 0, run
+engines = {run["engine"] for run in runs}
+assert engines == {"dense", "compensated", "nearfar"}, engines
+print(f"bench smoke OK: {len(runs)} runs, engines {sorted(engines)}")
+PY
+else
+  echo "bench schema check SKIPPED: no python3 on this host"
+fi
 
 echo "==== stage: clang-tidy ===="
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -18,6 +18,11 @@ depends on, none of which clang-tidy checks:
   using-std       no `using namespace std`.
   iostream-lib    no <iostream> in library code under src/: libraries report
                   through return values and exceptions, only CLIs print.
+  dense-matrix    no PropagationMatrix::from_placement in library code under
+                  src/ outside radio/propagation_matrix.* and
+                  radio/interference_engine.*: the O(M^2) matrix only enters
+                  library code via the guarded make_dense_gains route (or the
+                  near/far engine, which never builds it).
 
 Suppress a finding by appending `// drn-lint: allow(<rule>)` to the line,
 which is a grep-able record that a human judged the exception sound.
@@ -55,6 +60,10 @@ FLOAT_EQ = re.compile(
 )
 # ==/!= inside relational contexts we must not misread: exact-match guards
 # against <=, >=, ->, templates are handled by requiring a bare [=!]= above.
+
+DENSE_MATRIX = re.compile(r"\bfrom_placement\s*\(")
+# The only library files allowed to touch the O(M^2) dense-matrix build.
+DENSE_MATRIX_EXEMPT = ("propagation_matrix", "interference_engine")
 
 ALLOW = re.compile(r"//\s*drn-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 COMMENT = re.compile(r"//.*$")
@@ -125,6 +134,19 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path) -> list[str]:
             and not allowed(raw, "iostream-lib")
         ):
             report(lineno, "iostream-lib", "<iostream> in library code")
+        if (
+            in_library
+            and path.stem not in DENSE_MATRIX_EXEMPT
+            and DENSE_MATRIX.search(code)
+            and not allowed(raw, "dense-matrix")
+        ):
+            report(
+                lineno,
+                "dense-matrix",
+                "from_placement builds the O(M^2) matrix; library code "
+                "must go through radio::make_dense_gains (guarded) or the "
+                "near/far engine",
+            )
     return findings
 
 

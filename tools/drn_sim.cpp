@@ -12,6 +12,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/table.hpp"
@@ -23,6 +24,7 @@
 #include "baselines/slotted_aloha.hpp"
 #include "core/network_builder.hpp"
 #include "geo/placement.hpp"
+#include "radio/interference_engine.hpp"
 #include "radio/propagation.hpp"
 #include "routing/dijkstra.hpp"
 #include "routing/graph.hpp"
@@ -52,6 +54,9 @@ struct Options {
   bool dual_slope = false;
   double breakpoint_m = 100.0;
   double shadowing_db = 0.0;
+  std::string engine = "compensated";
+  double cutoff_m = 0.0;
+  double cell_m = 0.0;
   std::string csv_trace;
   std::size_t trace_cap = 0;
   bool json = false;
@@ -89,6 +94,16 @@ workload
   --rate PPS            aggregate Poisson offer     (default 200)
   --duration S          offer window                (default 2)
   --drain S             extra time to drain queues  (default 60)
+
+interference engine
+  --engine NAME         dense|compensated|nearfar   (default compensated)
+                        dense = legacy subtract-and-clamp accounting (drifts
+                        over long runs, kept as a baseline); compensated =
+                        exact Neumaier accumulation; nearfar = grid-indexed
+                        exact near field + aggregated far-field din
+  --cutoff METERS       nearfar only: exact-summation radius (default 0 =
+                        2x the free-space reach of the power budget)
+  --cell METERS         nearfar only: grid cell side (default 0 = cutoff/4)
 
 output
   --csv-trace PATH      dump the physical-layer trace as CSV
@@ -163,6 +178,12 @@ bool parse(int argc, char** argv, Options& opt) {
   if (!flag("dual-slope", opt.dual_slope)) return false;
   num("breakpoint", opt.breakpoint_m);
   num("shadowing", opt.shadowing_db);
+  if (auto it = kv.find("engine"); it != kv.end()) {
+    opt.engine = it->second;
+    kv.erase(it);
+  }
+  num("cutoff", opt.cutoff_m);
+  num("cell", opt.cell_m);
   if (auto it = kv.find("csv-trace"); it != kv.end()) {
     opt.csv_trace = it->second;
     kv.erase(it);
@@ -177,6 +198,15 @@ bool parse(int argc, char** argv, Options& opt) {
   if (opt.trace_cap > 0 && opt.csv_trace.empty()) {
     std::cerr << "--trace-cap only bounds a trace being recorded; "
                  "combine it with --csv-trace\n";
+    return false;
+  }
+  if (!radio::parse_engine(opt.engine)) {
+    std::cerr << "unknown --engine " << opt.engine << " (try --help)\n";
+    return false;
+  }
+  if ((opt.cutoff_m > 0.0 || opt.cell_m > 0.0) && opt.engine != "nearfar") {
+    std::cerr << "--cutoff/--cell tune the near/far engine; "
+                 "combine them with --engine nearfar\n";
     return false;
   }
   return true;
@@ -216,7 +246,19 @@ int run(const Options& opt) {
 
   sim::SimulatorConfig sim_cfg{criterion};
   sim_cfg.seed = opt.seed;
-  sim::Simulator sim(gains, sim_cfg);
+  const auto engine_kind = *radio::parse_engine(opt.engine);
+  std::optional<sim::Simulator> sim_box;
+  if (engine_kind == radio::InterferenceEngineKind::kNearFar) {
+    radio::NearFarConfig nf;
+    nf.cutoff_m =
+        opt.cutoff_m > 0.0 ? opt.cutoff_m : 2.0 / std::sqrt(min_gain);
+    nf.cell_m = opt.cell_m;
+    sim_box.emplace(radio::make_nearfar_engine(placement, model, nf), sim_cfg);
+  } else {
+    sim_cfg.engine = engine_kind;
+    sim_box.emplace(gains, sim_cfg);
+  }
+  sim::Simulator& sim = *sim_box;
   sim::TraceRecorder trace(opt.trace_cap);
   if (!opt.csv_trace.empty()) sim.add_observer(&trace);
   std::unique_ptr<audit::InvariantAuditor> auditor;
@@ -277,6 +319,7 @@ int run(const Options& opt) {
     w.key("stations").value(opt.stations);
     w.key("region_m").value(opt.region_m);
     w.key("mac").value(opt.mac);
+    w.key("engine").value(opt.engine);
     w.key("seed").value(opt.seed);
     w.key("rate_pps").value(opt.rate_pps);
     w.key("duration_s").value(opt.duration_s);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "radio/interference_engine.hpp"
 #include "runner/sweep.hpp"
 
 namespace {
@@ -62,6 +63,13 @@ replication
 workload
   --duration S          offer window                (default 2)
   --drain S             extra drain time            (default 60)
+
+interference engine
+  --engine NAME         dense|compensated|nearfar applied to every trial
+                        (default compensated; see drn_sim --help)
+  --cutoff METERS       nearfar only: exact-summation radius (default 0 =
+                        twice the trial's region radius, i.e. near-exact)
+  --cell METERS         nearfar only: grid cell side (default 0 = cutoff/4)
 
 execution
   --jobs N              worker threads (0 = all hardware threads; default 1)
@@ -218,6 +226,23 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.progress = it->second != "0";
       kv.erase(it);
     }
+    if (auto it = kv.find("engine"); it != kv.end()) {
+      const auto kind = drn::radio::parse_engine(it->second);
+      if (!kind) {
+        std::cerr << "unknown --engine " << it->second << " (try --help)\n";
+        return false;
+      }
+      opt.spec.base.engine = *kind;
+      kv.erase(it);
+    }
+    if (auto it = kv.find("cutoff"); it != kv.end()) {
+      opt.spec.base.engine_cutoff_m = std::stod(it->second);
+      kv.erase(it);
+    }
+    if (auto it = kv.find("cell"); it != kv.end()) {
+      opt.spec.base.engine_cell_m = std::stod(it->second);
+      kv.erase(it);
+    }
     if (auto it = kv.find("audit"); it != kv.end()) {
       if (it->second != "0" && it->second != "1") {
         std::cerr << "bad --audit value: " << it->second
@@ -233,6 +258,13 @@ bool parse(int argc, char** argv, Options& opt) {
   }
   if (opt.spec.seeds == 0) {
     std::cerr << "--seeds must be >= 1\n";
+    return false;
+  }
+  if ((opt.spec.base.engine_cutoff_m > 0.0 ||
+       opt.spec.base.engine_cell_m > 0.0) &&
+      opt.spec.base.engine != drn::radio::InterferenceEngineKind::kNearFar) {
+    std::cerr << "--cutoff/--cell tune the near/far engine; "
+                 "combine them with --engine nearfar\n";
     return false;
   }
   if (auto it = kv.find("json"); it != kv.end()) {
