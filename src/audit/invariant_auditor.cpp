@@ -27,6 +27,7 @@ const char* loss_name(sim::LossType type) {
     case sim::LossType::kType1: return "type1";
     case sim::LossType::kType2: return "type2";
     case sim::LossType::kType3: return "type3";
+    case sim::LossType::kAborted: return "aborted";
   }
   return "?";
 }
@@ -80,6 +81,25 @@ double InvariantAuditor::min_active_start() const {
   return min_start;
 }
 
+void InvariantAuditor::note_own_transmission(const sim::TxEvent& tx,
+                                             const std::string& who) {
+  // One transmitter per station: this station's transmissions (data or
+  // noise) must not overlap each other.
+  auto& own = own_tx_[tx.from];
+  bool serialized = true;
+  for (const Interval& i : own)
+    serialized &= !overlaps(i.start_s, i.end_s, tx.start_s, tx.end_s);
+  check(serialized, "tx-serialization", tx.start_s,
+        who + " overlaps an earlier transmission of the same station");
+  own.push_back(Interval{tx.start_s, tx.end_s});
+
+  max_airtime_s_ = std::max(max_airtime_s_, tx.end_s - tx.start_s);
+  // A past own-tx interval only matters while some reception could still
+  // overlap it; anything ending more than one max airtime ago cannot.
+  const double horizon = tx.start_s - max_airtime_s_;
+  std::erase_if(own, [horizon](const Interval& i) { return i.end_s < horizon; });
+}
+
 void InvariantAuditor::on_transmit_start(const sim::TxEvent& tx) {
   std::ostringstream who;
   who << "tx " << tx.tx_id << " from " << tx.from;
@@ -87,6 +107,20 @@ void InvariantAuditor::on_transmit_start(const sim::TxEvent& tx) {
   check(tx.start_s >= last_event_s_, "event-monotonicity", tx.start_s,
         who.str() + " starts in the past of the event stream");
   last_event_s_ = std::max(last_event_s_, tx.start_s);
+
+  if (tx.to == kNoStation) {
+    // A pure noise burst (dynamics jammer): it occupies the transmitter like
+    // any transmission but is rateless, carries no packet and produces no
+    // reception outcomes.
+    check(tx.end_s > tx.start_s && tx.power_w > 0.0, "tx-wellformed",
+          tx.start_s, who.str() + " (noise) has a non-positive duration or power");
+    check(tx.from < config_.stations, "tx-wellformed", tx.start_s,
+          who.str() + " (noise) has an out-of-range emitter");
+    if (tx.from >= config_.stations) return;
+    note_own_transmission(tx, who.str());
+    ++noise_starts_;
+    return;
+  }
 
   check(tx.end_s > tx.start_s && tx.power_w > 0.0 && tx.rate_bps > 0.0,
         "tx-wellformed", tx.start_s,
@@ -97,21 +131,7 @@ void InvariantAuditor::on_transmit_start(const sim::TxEvent& tx) {
         "tx-wellformed", tx.start_s, who.str() + " has out-of-range endpoints");
   if (tx.from >= config_.stations) return;  // cannot index further checks
 
-  // One transmitter per station: this station's transmissions must not
-  // overlap each other.
-  auto& own = own_tx_[tx.from];
-  bool serialized = true;
-  for (const Interval& i : own)
-    serialized &= !overlaps(i.start_s, i.end_s, tx.start_s, tx.end_s);
-  check(serialized, "tx-serialization", tx.start_s,
-        who.str() + " overlaps an earlier transmission of the same station");
-  own.push_back(Interval{tx.start_s, tx.end_s});
-
-  max_airtime_s_ = std::max(max_airtime_s_, tx.end_s - tx.start_s);
-  // A past own-tx interval only matters while some reception could still
-  // overlap it; anything ending more than one max airtime ago cannot.
-  const double horizon = tx.start_s - max_airtime_s_;
-  std::erase_if(own, [horizon](const Interval& i) { return i.end_s < horizon; });
+  note_own_transmission(tx, who.str());
 
   TxRecord rec;
   rec.ev = tx;
@@ -295,6 +315,40 @@ void InvariantAuditor::on_reception_complete(const sim::RxEvent& rx) {
   if (++rec.seen_rx >= rec.expected_rx) active_.erase(it);
 }
 
+void InvariantAuditor::on_transmit_aborted(const sim::TxEvent& tx,
+                                           double time_s) {
+  std::ostringstream who;
+  who << "abort of tx " << tx.tx_id << " from " << tx.from;
+
+  check(time_s >= last_event_s_, "event-monotonicity", time_s,
+        who.str() + " happens in the past of the event stream");
+  last_event_s_ = std::max(last_event_s_, time_s);
+  check(time_s >= tx.start_s && time_s < tx.end_s, "abort-wellformed", time_s,
+        who.str() + " lies outside the transmission's airtime");
+
+  // The signal left the air at time_s, not at the planned end: truncate the
+  // sender's transmit interval so later receptions at a rejoined station are
+  // not falsely flagged as half-duplex breaches. Serialization guarantees at
+  // most one own interval contains time_s.
+  if (tx.from < config_.stations) {
+    for (Interval& i : own_tx_[tx.from])
+      if (i.start_s <= time_s && time_s < i.end_s) i.end_s = time_s;
+  }
+
+  if (tx.to == kNoStation) return;  // noise: no record, no outcomes expected
+
+  const auto it = active_.find(tx.tx_id);
+  ++checks_run_;
+  if (it == active_.end()) {
+    violate("conservation", time_s,
+            who.str() + " references an unknown or completed transmission");
+    return;
+  }
+  // The kAborted reception outcomes that follow immediately complete at
+  // time_s; move the record's end so monotonicity and finalize() agree.
+  it->second.ev.end_s = time_s;
+}
+
 void InvariantAuditor::finalize(double cutoff_s) {
   for (const auto& [id, rec] : active_) {
     std::ostringstream what;
@@ -323,9 +377,12 @@ void InvariantAuditor::cross_check(const sim::Metrics& m) {
             unicast_losses_[2]);
   expect_eq("type 3 losses", m.losses(sim::LossType::kType3),
             unicast_losses_[3]);
+  expect_eq("aborted losses", m.losses(sim::LossType::kAborted),
+            unicast_losses_[4]);
   expect_eq("broadcasts sent", m.broadcasts_sent(), broadcast_starts_);
   expect_eq("broadcast receptions", m.broadcast_receptions(),
             broadcast_delivered_);
+  expect_eq("noise bursts", m.noise_bursts(), noise_starts_);
 }
 
 void InvariantAuditor::cross_check_engine(const InvariantAuditor& reference,

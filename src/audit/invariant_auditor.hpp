@@ -77,6 +77,11 @@ class InvariantAuditor final : public sim::SimObserver {
 
   void on_transmit_start(const sim::TxEvent& tx) override;
   void on_reception_complete(const sim::RxEvent& rx) override;
+  /// Dynamics teardown cut a transmission short at `time_s`: the auditor
+  /// truncates its record (and the sender's transmit interval) to the actual
+  /// end before the kAborted reception outcomes arrive, so monotonicity and
+  /// half-duplex keep holding across churn.
+  void on_transmit_aborted(const sim::TxEvent& tx, double time_s) override;
 
   /// Closes the audit at simulated time `cutoff_s`: every transmission that
   /// ended at or before the cutoff must have produced its full set of
@@ -163,6 +168,9 @@ class InvariantAuditor final : public sim::SimObserver {
   /// Runs one check: records a violation when `pass` is false.
   void check(bool pass, const char* invariant, double time_s,
              const std::string& detail);
+  /// Serialization check + interval bookkeeping shared by data transmissions
+  /// and noise bursts (both occupy the station's one transmitter).
+  void note_own_transmission(const sim::TxEvent& tx, const std::string& who);
   void check_reception_identity(const TxRecord& rec, const sim::RxEvent& rx);
   void check_sinr(const TxRecord& rec, const sim::RxEvent& rx);
   void check_half_duplex(const TxRecord& rec, const sim::RxEvent& rx);
@@ -192,7 +200,8 @@ class InvariantAuditor final : public sim::SimObserver {
   std::uint64_t unicast_delivered_ = 0;
   std::uint64_t broadcast_starts_ = 0;
   std::uint64_t broadcast_delivered_ = 0;
-  std::array<std::uint64_t, 4> unicast_losses_{};  // by LossType
+  std::uint64_t noise_starts_ = 0;
+  std::array<std::uint64_t, 5> unicast_losses_{};  // by LossType (incl aborted)
 };
 
 }  // namespace drn::audit

@@ -23,6 +23,16 @@ Neighbor* NeighborTable::find_mutable(StationId id) {
   return nullptr;
 }
 
+bool NeighborTable::erase(StationId id) {
+  for (auto it = neighbors_.begin(); it != neighbors_.end(); ++it) {
+    if (it->id == id) {
+      neighbors_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 bool interferes_significantly(double gain_to_neighbor, double power_w,
                               double interference_budget_w,
                               double significance_fraction) {

@@ -43,6 +43,10 @@ class NeighborTable {
   /// Mutable access (clock-model refits during maintenance rendezvous).
   [[nodiscard]] Neighbor* find_mutable(StationId id);
 
+  /// Removes the entry for `id` (dynamics: a crashed neighbour is evicted
+  /// once it falls silent). Returns false when `id` was not present.
+  bool erase(StationId id);
+
   [[nodiscard]] std::span<const Neighbor> all() const { return neighbors_; }
   [[nodiscard]] std::size_t size() const { return neighbors_.size(); }
 

@@ -103,6 +103,13 @@ ScheduledNetwork build_scheduled_network(
                               config.max_queue,
                               /*interference_budget_w=*/net.interference_budget_w,
                               config.significance_fraction};
+    if (config.beacon_interval_s > 0.0) {
+      sc.data_rate_bps = criterion.data_rate_bps();
+      sc.beacon_interval_s = config.beacon_interval_s;
+      sc.beacon_bits = config.beacon_bits;
+      sc.neighbor_timeout_s = config.neighbor_timeout_s;
+      sc.readopt_neighbors = config.readopt_neighbors;
+    }
     net.macs.push_back(std::make_unique<ScheduledStation>(sc, std::move(table)));
   }
   return net;

@@ -53,6 +53,16 @@ struct ScheduledNetworkConfig {
   double significance_fraction = 0.25;
 
   std::size_t max_queue = 4096;
+
+  /// Maintenance beacons + dynamics resilience, copied into every station's
+  /// ScheduledStationConfig (see scheduled_station.hpp). beacon_interval_s
+  /// > 0 also sets each station's data_rate_bps from the criterion (beacons
+  /// need a rate to have an airtime). All default off: a network built
+  /// without them behaves draw-for-draw as before.
+  double beacon_interval_s = 0.0;
+  double beacon_bits = 500.0;
+  double neighbor_timeout_s = 0.0;
+  bool readopt_neighbors = false;
 };
 
 struct ScheduledNetwork {

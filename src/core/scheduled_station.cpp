@@ -1,6 +1,7 @@
 #include "core/scheduled_station.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -32,6 +33,10 @@ ScheduledStation::ScheduledStation(ScheduledStationConfig config,
   // paper uses quarter-slot packets precisely to make fitting easy.
   DRN_EXPECTS(config_.packet_airtime_s + 2.0 * config_.guard_s <=
               config_.schedule.slot_duration_s());
+  // Timeout eviction and re-adoption both hinge on hearing (or not hearing)
+  // periodic beacons; without beacons they could only misfire.
+  DRN_EXPECTS(config_.neighbor_timeout_s <= 0.0 || beacons_enabled());
+  DRN_EXPECTS(!config_.readopt_neighbors || beacons_enabled());
   if (beacons_enabled()) {
     DRN_EXPECTS(config_.data_rate_bps > 0.0);
     DRN_EXPECTS(config_.beacon_bits > 0.0);
@@ -46,7 +51,9 @@ ScheduledStation::ScheduledStation(ScheduledStationConfig config,
 }
 
 void ScheduledStation::on_start(sim::MacContext& ctx) {
-  if (!beacons_enabled() || neighbors_.size() == 0) return;
+  eviction_epoch_s_ = ctx.now();
+  if (!beacons_enabled()) return;
+  if (neighbors_.size() == 0 && !config_.readopt_neighbors) return;
   // Desynchronise the first beacon across stations.
   next_beacon_due_global_s_ =
       ctx.now() + ctx.rng().uniform(0.0, config_.beacon_interval_s);
@@ -143,9 +150,12 @@ void ScheduledStation::replan(sim::MacContext& ctx) {
         best = Plan{neighbor, *start};
     }
   }
-  // A due maintenance beacon competes like any packet.
-  if (beacons_enabled() && neighbors_.size() > 0 &&
-      ctx.now() >= next_beacon_due_global_s_) {
+  // A due maintenance beacon competes like any packet. Under re-adoption a
+  // station keeps beaconing even with every neighbour evicted — that is how
+  // the others re-discover it.
+  if (beacons_enabled() &&
+      (neighbors_.size() > 0 || config_.readopt_neighbors) &&
+      beacon_power_w_ > 0.0 && ctx.now() >= next_beacon_due_global_s_) {
     if (const auto start = find_beacon_start(earliest_local)) {
       if (!best || *start < best->start_local_s)
         best = Plan{kBroadcast, *start};
@@ -167,6 +177,7 @@ void ScheduledStation::send_beacon(sim::MacContext& ctx) {
   beacon.size_bits = config_.beacon_bits;
   const double start = std::max(ctx.now(), busy_until_global_s_);
   beacon.sender_local_s = config_.clock.local(start);
+  beacon.tx_power_w = beacon_power_w_;  // lets receivers observe the gain
   ctx.transmit(beacon, kBroadcast, beacon_power_w_, start);
   busy_until_global_s_ = start + beacon_airtime_s();
   next_beacon_due_global_s_ = start + config_.beacon_interval_s;
@@ -191,7 +202,15 @@ void ScheduledStation::on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
 
 void ScheduledStation::on_timer(sim::MacContext& ctx, std::uint64_t cookie) {
   if (cookie == kBeaconWakeCookie) {
-    replan(ctx);  // a beacon may have just become due
+    evict_stale(ctx);  // beacon cadence doubles as the staleness sweep
+    replan(ctx);       // a beacon may have just become due
+    // If nothing could be planned (e.g. no neighbours yet — a rejoined
+    // station still listening for its first adoption), keep the periodic
+    // wake alive instead of letting the beacon chain die.
+    if (!plan_ && beacons_enabled()) {
+      next_beacon_due_global_s_ = ctx.now() + config_.beacon_interval_s;
+      ctx.set_timer(next_beacon_due_global_s_, kBeaconWakeCookie);
+    }
     return;
   }
   if (!plan_ || cookie != plan_generation_) return;  // superseded plan
@@ -230,10 +249,11 @@ void ScheduledStation::on_transmit_end(sim::MacContext& ctx,
 void ScheduledStation::on_broadcast_received(sim::MacContext& ctx,
                                              const sim::Packet& pkt,
                                              StationId from,
-                                             double /*signal_w*/) {
+                                             double signal_w) {
   if (!beacons_enabled()) return;
+  last_heard_global_s_[from] = ctx.now();
   Neighbor* n = neighbors_.find_mutable(from);
-  if (n == nullptr) return;  // not a neighbour we exchange packets with
+  if (n == nullptr && !config_.readopt_neighbors) return;
 
   auto& samples = beacon_samples_[from];
   ClockSample sample;
@@ -243,10 +263,67 @@ void ScheduledStation::on_broadcast_received(sim::MacContext& ctx,
   samples.push_back(sample);
   while (samples.size() > config_.max_clock_samples) samples.pop_front();
 
+  if (n == nullptr) {
+    // An unknown beaconer — a station that joined or rejoined. Adopt it once
+    // two stamps allow a clock fit and the stamped power reveals the gain.
+    if (samples.size() < 2 || pkt.tx_power_w <= 0.0 || signal_w <= 0.0) return;
+    Neighbor fresh;
+    fresh.id = from;
+    fresh.gain = signal_w / pkt.tx_power_w;
+    const std::vector<ClockSample> window(samples.begin(), samples.end());
+    fresh.clock = ClockModel::fit(window);
+    neighbors_.add(fresh);
+    beacon_power_w_ =
+        std::max(beacon_power_w_, config_.power.transmit_power_w(fresh.gain));
+    replan(ctx);
+    return;
+  }
+
+  // Refresh the observed gain (mobility changes it). Sub-ppb wobble from the
+  // power round-trip is ignored so a static network keeps bit-identical
+  // gains; any real change dwarfs the threshold.
+  if (pkt.tx_power_w > 0.0 && signal_w > 0.0) {
+    const double observed = signal_w / pkt.tx_power_w;
+    if (std::abs(observed - n->gain) > 1e-9 * n->gain) n->gain = observed;
+  }
+
   // Refit once the window holds enough points to track drift.
   if (samples.size() >= 2) {
     const std::vector<ClockSample> window(samples.begin(), samples.end());
     n->clock = ClockModel::fit(window);
+  }
+}
+
+void ScheduledStation::on_clock_rate_changed(sim::MacContext& ctx,
+                                             double delta_ppm) {
+  // The oscillator sped up or slowed down relative to its CURRENT rate; the
+  // reading is continuous at this instant, so re-anchor the offset at now.
+  const double now = ctx.now();
+  const double new_rate = config_.clock.rate() * (1.0 + delta_ppm * 1e-6);
+  const double offset = config_.clock.local(now) - new_rate * now;
+  config_.clock = StationClock(offset, new_rate);
+}
+
+void ScheduledStation::evict_stale(sim::MacContext& ctx) {
+  if (config_.neighbor_timeout_s <= 0.0) return;
+  const double now = ctx.now();
+  std::vector<StationId> stale;
+  for (const auto& n : neighbors_.all()) {
+    const auto heard = last_heard_global_s_.find(n.id);
+    const double since =
+        heard != last_heard_global_s_.end() ? heard->second : eviction_epoch_s_;
+    if (now - since > config_.neighbor_timeout_s) stale.push_back(n.id);
+  }
+  for (const StationId id : stale) {
+    neighbors_.erase(id);
+    beacon_samples_.erase(id);
+    last_heard_global_s_.erase(id);
+    // The ghost's queue dies with it: those packets had nowhere to go.
+    if (const auto it = queues_.find(id); it != queues_.end()) {
+      for (const sim::Packet& pkt : it->second) ctx.drop(pkt);
+      queues_.erase(it);
+    }
+    if (plan_ && plan_->neighbor == id) plan_.reset();
   }
 }
 

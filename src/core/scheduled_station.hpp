@@ -74,6 +74,17 @@ struct ScheduledStationConfig {
   double beacon_bits = 500.0;
   /// Sliding window of clock samples kept per neighbour for refitting.
   std::size_t max_clock_samples = 8;
+  /// Dynamics resilience: when > 0 (requires beacons), a neighbour not heard
+  /// from for this long is evicted — its queue is dropped and its receive
+  /// windows stop constraining us, so packets are never routed at a ghost
+  /// and a crashed near neighbour cannot pin our schedule forever.
+  double neighbor_timeout_s = 0.0;
+  /// Dynamics resilience: when true (requires beacons), a station heard
+  /// beaconing that is not in the neighbour table is adopted once two clock
+  /// stamps are in hand — gain observed as signal_w / tx_power_w, clock
+  /// model fitted from the stamps. This is how a rejoining station is
+  /// re-discovered by its neighbours.
+  bool readopt_neighbors = false;
 };
 
 class ScheduledStation final : public sim::MacProtocol {
@@ -88,9 +99,11 @@ class ScheduledStation final : public sim::MacProtocol {
                        StationId to, bool delivered) override;
   void on_broadcast_received(sim::MacContext& ctx, const sim::Packet& pkt,
                              StationId from, double signal_w) override;
+  void on_clock_rate_changed(sim::MacContext& ctx, double delta_ppm) override;
 
-  /// Packets currently queued across all next hops (test introspection).
-  [[nodiscard]] std::size_t queued_packets() const;
+  /// Packets currently queued across all next hops (also consulted by the
+  /// simulator at churn teardown).
+  [[nodiscard]] std::size_t queued_packets() const override;
 
   [[nodiscard]] const NeighborTable& neighbors() const { return neighbors_; }
   [[nodiscard]] const ScheduledStationConfig& config() const { return config_; }
@@ -126,6 +139,10 @@ class ScheduledStation final : public sim::MacProtocol {
 
   void send_beacon(sim::MacContext& ctx);
 
+  /// Evicts every neighbour silent for longer than neighbor_timeout_s,
+  /// dropping its queue and invalidating any plan aimed at it.
+  void evict_stale(sim::MacContext& ctx);
+
   [[nodiscard]] bool beacons_enabled() const {
     return config_.beacon_interval_s > 0.0;
   }
@@ -143,6 +160,10 @@ class ScheduledStation final : public sim::MacProtocol {
   double next_beacon_due_global_s_ = 0.0;
   double beacon_power_w_ = 0.0;
   std::map<StationId, std::deque<ClockSample>> beacon_samples_;
+  // Dynamics state: when each station was last heard beaconing (global
+  // seconds), and the reference instant silent-since-forever ages from.
+  std::map<StationId, double> last_heard_global_s_;
+  double eviction_epoch_s_ = 0.0;
 };
 
 }  // namespace drn::core

@@ -1,0 +1,189 @@
+#include "dynamics/dynamics.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "common/expects.hpp"
+
+namespace drn::dynamics {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DynamicsEngine::DynamicsEngine(DynamicsConfig config, sim::Simulator& sim,
+                               geo::Placement initial, std::size_t movable,
+                               MacFactory rejoin, Rng rng)
+    : config_(config),
+      sim_(sim),
+      initial_(std::move(initial)),
+      movable_(movable),
+      rejoin_(std::move(rejoin)),
+      rng_(rng) {
+  DRN_EXPECTS(config_.enabled());
+  DRN_EXPECTS(movable_ > 0 && movable_ <= sim_.station_count());
+  DRN_EXPECTS(initial_.size() >= movable_);
+  DRN_EXPECTS(!config_.churn_enabled() || rejoin_ != nullptr);
+  DRN_EXPECTS(!config_.churn_enabled() || config_.mean_downtime_s > 0.0);
+  DRN_EXPECTS(!config_.mobility_enabled() ||
+              (config_.mobility_step_s > 0.0 &&
+               config_.mobility_region_m > 0.0));
+  DRN_EXPECTS(!config_.drift_enabled() || config_.drift_step_s > 0.0);
+  if (config_.mobility_enabled()) {
+    mobility_ = std::make_unique<RandomWaypoint>(
+        geo::Placement(initial_.begin(),
+                       initial_.begin() +
+                           static_cast<std::ptrdiff_t>(movable_)),
+        config_.mobility_region_m, config_.mobility_speed_mps);
+  }
+  sim_.add_observer(this);
+}
+
+void DynamicsEngine::set_mobility_model(std::unique_ptr<MobilityModel> model) {
+  DRN_EXPECTS(model != nullptr);
+  DRN_EXPECTS(config_.mobility_enabled());  // ticks are keyed off the config
+  DRN_EXPECTS(!initialized_);
+  mobility_ = std::move(model);
+}
+
+void DynamicsEngine::initialize(double now_s) {
+  initialized_ = true;
+  next_leave_s_ = config_.churn_enabled()
+                      ? now_s + rng_.exponential(config_.churn_rate_per_s)
+                      : kNever;
+  next_move_s_ =
+      config_.mobility_enabled() ? now_s + config_.mobility_step_s : kNever;
+  next_drift_s_ =
+      config_.drift_enabled() ? now_s + config_.drift_step_s : kNever;
+  if (config_.drift_enabled()) {
+    drift_slope_ppm_per_s_.resize(movable_);
+    for (double& slope : drift_slope_ppm_per_s_)
+      slope = rng_.uniform(-config_.drift_ppm_per_s, config_.drift_ppm_per_s);
+  }
+}
+
+double DynamicsEngine::next_rejoin_s() const {
+  double t = kNever;
+  for (const auto& [when_s, station] : pending_rejoin_) {
+    (void)station;
+    t = std::min(t, when_s);
+  }
+  return t;
+}
+
+void DynamicsEngine::run(double t_end_s) {
+  if (!initialized_) initialize(sim_.now());
+  while (true) {
+    const double t =
+        std::min(std::min(next_leave_s_, next_move_s_),
+                 std::min(next_drift_s_, next_rejoin_s()));
+    if (!(t <= t_end_s)) break;  // also exits on kNever
+    sim_.run_until(t);
+    apply_due(t);
+  }
+  sim_.run_until(t_end_s);
+}
+
+void DynamicsEngine::apply_due(double t) {
+  // Rejoins first: a station due back at t is up again before a leave drawn
+  // at the same instant picks its victim.
+  for (std::size_t i = 0; i < pending_rejoin_.size();) {
+    if (pending_rejoin_[i].first <= t) {
+      const StationId s = pending_rejoin_[i].second;
+      sim_.activate_station(s, rejoin_(s));
+      pending_recovery_[s] = t;
+      pending_rejoin_.erase(pending_rejoin_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (next_leave_s_ <= t) {
+    leave_one(t);
+    next_leave_s_ = t + rng_.exponential(config_.churn_rate_per_s);
+  }
+  if (next_move_s_ <= t) {
+    move_all();
+    next_move_s_ = t + config_.mobility_step_s;
+  }
+  if (next_drift_s_ <= t) {
+    step_drift();
+    next_drift_s_ = t + config_.drift_step_s;
+  }
+}
+
+void DynamicsEngine::leave_one(double t) {
+  std::vector<StationId> up;
+  up.reserve(movable_);
+  for (StationId s = 0; s < movable_; ++s)
+    if (sim_.station_active(s)) up.push_back(s);
+  if (up.empty()) return;  // everyone is already down; the event is wasted
+  const StationId victim = up[rng_.uniform_index(up.size())];
+  sim_.deactivate_station(victim);
+  pending_recovery_.erase(victim);  // a re-crash voids the pending measurement
+  pending_rejoin_.emplace_back(
+      t + rng_.exponential(1.0 / config_.mean_downtime_s), victim);
+}
+
+void DynamicsEngine::move_all() {
+  // Every movable station advances its trajectory each tick — including ones
+  // currently down (hardware moves whether or not the radio is up). A refused
+  // move (RF state in flight) is superseded by the next tick's position.
+  for (StationId s = 0; s < movable_; ++s) {
+    const geo::Vec2 p = mobility_->step(s, config_.mobility_step_s, rng_);
+    if (sim_.try_move_station(s, p))
+      ++moves_applied_;
+    else
+      ++moves_deferred_;
+  }
+}
+
+void DynamicsEngine::step_drift() {
+  for (StationId s = 0; s < movable_; ++s) {
+    if (!sim_.station_active(s)) continue;
+    sim_.notify_clock_rate(s,
+                           drift_slope_ppm_per_s_[s] * config_.drift_step_s);
+  }
+}
+
+void DynamicsEngine::on_transmit_start(const sim::TxEvent& tx) {
+  if (pending_recovery_.empty()) {
+    live_tx_.clear();
+    return;
+  }
+  // Event time is monotone: transmissions whose planned end precedes this
+  // start are finished (their receptions completed or aborted already).
+  std::erase_if(live_tx_, [&](const auto& kv) {
+    return kv.second.second < tx.start_s;
+  });
+  // Only unicast data hops count as re-convergence — a beacon broadcast
+  // proves re-discovery, not that the schedule carries traffic again.
+  if (tx.to == kNoStation || tx.to == kBroadcast) return;
+  live_tx_.emplace(tx.tx_id, std::pair{tx.from, tx.end_s});
+}
+
+void DynamicsEngine::on_reception_complete(const sim::RxEvent& rx) {
+  if (pending_recovery_.empty() || !rx.delivered) return;
+  const auto it = live_tx_.find(rx.tx_id);
+  if (it == live_tx_.end()) return;
+  record_recovery(it->second.first, it->second.second);
+  record_recovery(rx.rx, it->second.second);
+}
+
+void DynamicsEngine::on_transmit_aborted(const sim::TxEvent& tx,
+                                         double time_s) {
+  (void)time_s;
+  live_tx_.erase(tx.tx_id);
+}
+
+void DynamicsEngine::record_recovery(StationId s, double t) {
+  const auto it = pending_recovery_.find(s);
+  if (it == pending_recovery_.end()) return;
+  const double sample = t - it->second;
+  recovery_s_.push_back(sample);
+  sim_.metrics().record_recovery(sample);
+  pending_recovery_.erase(it);
+}
+
+}  // namespace drn::dynamics

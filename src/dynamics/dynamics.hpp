@@ -1,0 +1,173 @@
+// The network dynamics & fault-injection engine.
+//
+// The paper's analysis assumes a quasi-static network: stations hold still,
+// clocks drift smoothly, nobody leaves. This subsystem drives a simulation
+// through the faults real deployments see, so the scheme's self-organisation
+// claims (Sections 3.5, 6.2, 7: neighbour discovery, clock refit, schedule
+// maintenance) can be measured rather than assumed:
+//
+//   * churn    — stations crash (Poisson process), stay down for an
+//                exponential holding time, then rejoin with a fresh MAC
+//                built by the caller's factory; the simulator tears down
+//                their RF state (aborting in-flight transmissions) and the
+//                surviving stations must evict the ghost and re-adopt the
+//                returnee via maintenance beacons;
+//   * mobility — a MobilityModel (random waypoint / scripted) is polled on a
+//                fixed tick and positions applied through
+//                Simulator::try_move_station, re-deriving the propagation
+//                gains under the schedule's feet;
+//   * drift    — per-station oscillator-rate ramps (ppm/s slopes applied in
+//                steps), stressing the clock-model refit machinery;
+//   * jammers  — duty-cycled noise stations (jammer.hpp) raising the
+//                interference floor.
+//
+// Everything is deterministic: one Rng handed in at construction drives the
+// whole timeline, and the engine advances the simulator itself (run()
+// interleaves Simulator::run_until with event application), so a given
+// (config, seed) pair replays bit-identically regardless of host threading.
+//
+// Recovery measurement: after a station rejoins, the engine (as a passive
+// SimObserver) watches for the first delivered unicast hop the returnee
+// sends or receives; the time from rejoin to that hop is the station's
+// re-convergence time, recorded in Metrics::recovery_s().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dynamics/jammer.hpp"
+#include "dynamics/mobility.hpp"
+#include "geo/placement.hpp"
+#include "sim/observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::dynamics {
+
+/// Builds the replacement MAC for a station rejoining after a crash. The
+/// caller decides what a reboot means (the paper's scheme: same schedule and
+/// clock config, empty or snapshot neighbour table).
+using MacFactory =
+    std::function<std::unique_ptr<sim::MacProtocol>(StationId)>;
+
+struct DynamicsConfig {
+  /// Station crash rate for the whole network, crashes per second of
+  /// simulated time. 0 = no churn.
+  double churn_rate_per_s = 0.0;
+  /// Mean exponential downtime before a crashed station rejoins.
+  double mean_downtime_s = 5.0;
+
+  /// Random-waypoint speed for movable stations. 0 = no mobility.
+  double mobility_speed_mps = 0.0;
+  /// How often positions are advanced and pushed into the engine.
+  double mobility_step_s = 0.5;
+  /// Radius of the deployment disc the default waypoint model roams
+  /// (required > 0 when mobility is enabled).
+  double mobility_region_m = 0.0;
+
+  /// Half-width of the per-station oscillator slope distribution: each
+  /// movable station gets a slope uniform in [-drift_ppm_per_s,
+  /// +drift_ppm_per_s], applied as rate steps every drift_step_s. 0 = off.
+  double drift_ppm_per_s = 0.0;
+  double drift_step_s = 1.0;
+
+  /// Jammer stations (appended after the real network by the caller).
+  JammerSpec jammer;
+
+  [[nodiscard]] bool churn_enabled() const { return churn_rate_per_s > 0.0; }
+  [[nodiscard]] bool mobility_enabled() const {
+    return mobility_speed_mps > 0.0;
+  }
+  [[nodiscard]] bool drift_enabled() const { return drift_ppm_per_s > 0.0; }
+  [[nodiscard]] bool enabled() const {
+    return churn_enabled() || mobility_enabled() || drift_enabled() ||
+           jammer.count > 0;
+  }
+};
+
+/// Drives one simulation through the configured fault timeline. Construct
+/// it, then call run() instead of Simulator::run_until.
+class DynamicsEngine final : public sim::SimObserver {
+ public:
+  /// `movable` is the number of leading station ids subject to churn,
+  /// mobility and drift (jammers and other appended infrastructure beyond it
+  /// are left alone); `initial` must cover at least the movable stations
+  /// (index = id). `rejoin` is required when churn is enabled. `rng` is this
+  /// engine's private stream (split it off the trial master). The engine
+  /// registers itself as an observer on `sim`; it must outlive the run.
+  DynamicsEngine(DynamicsConfig config, sim::Simulator& sim,
+                 geo::Placement initial, std::size_t movable,
+                 MacFactory rejoin, Rng rng);
+
+  /// Replaces the default RandomWaypoint model (call before run()).
+  void set_mobility_model(std::unique_ptr<MobilityModel> model);
+
+  /// Advances the simulation to `t_end_s`, applying the fault timeline along
+  /// the way. May be called repeatedly with increasing horizons.
+  void run(double t_end_s);
+
+  // -- outcome introspection ------------------------------------------------
+  /// Re-convergence samples recorded so far, seconds (also folded into the
+  /// simulator's Metrics::recovery_s()).
+  [[nodiscard]] const std::vector<double>& recovery_samples() const {
+    return recovery_s_;
+  }
+  /// Mobility position updates applied / refused-and-superseded.
+  [[nodiscard]] std::uint64_t moves_applied() const { return moves_applied_; }
+  [[nodiscard]] std::uint64_t moves_deferred() const {
+    return moves_deferred_;
+  }
+  /// Stations currently down (rejoin still pending).
+  [[nodiscard]] std::size_t stations_down() const {
+    return pending_rejoin_.size();
+  }
+
+  // -- SimObserver (recovery measurement) -----------------------------------
+  void on_transmit_start(const sim::TxEvent& tx) override;
+  void on_reception_complete(const sim::RxEvent& rx) override;
+  void on_transmit_aborted(const sim::TxEvent& tx, double time_s) override;
+
+ private:
+  void initialize(double now_s);
+  /// Applies every timeline actor due at `t` (rejoin before leave, so a
+  /// station can bounce at one instant without double-counting).
+  void apply_due(double t);
+  void leave_one(double t);
+  void move_all();
+  void step_drift();
+  void record_recovery(StationId s, double t);
+  [[nodiscard]] double next_rejoin_s() const;
+
+  DynamicsConfig config_;
+  sim::Simulator& sim_;
+  geo::Placement initial_;
+  std::size_t movable_;
+  MacFactory rejoin_;
+  Rng rng_;
+
+  std::unique_ptr<MobilityModel> mobility_;
+  std::vector<double> drift_slope_ppm_per_s_;
+
+  bool initialized_ = false;
+  double next_leave_s_ = 0.0;
+  double next_move_s_ = 0.0;
+  double next_drift_s_ = 0.0;
+  /// (rejoin time, station), unordered; scanned each loop step.
+  std::vector<std::pair<double, StationId>> pending_rejoin_;
+
+  // Recovery measurement state (only populated while a rejoin is pending).
+  std::map<StationId, double> pending_recovery_;  // station -> rejoin time
+  std::map<std::uint64_t, std::pair<StationId, double>>
+      live_tx_;  // tx_id -> (sender, planned end)
+  std::vector<double> recovery_s_;
+
+  std::uint64_t moves_applied_ = 0;
+  std::uint64_t moves_deferred_ = 0;
+};
+
+}  // namespace drn::dynamics

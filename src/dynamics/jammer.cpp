@@ -1,0 +1,51 @@
+#include "dynamics/jammer.hpp"
+
+#include <utility>
+
+#include "common/expects.hpp"
+#include "sim/simulator.hpp"
+
+namespace drn::dynamics {
+
+JammerMac::JammerMac(double period_s, double duty, double power_w)
+    : period_s_(period_s), duty_(duty), power_w_(power_w) {
+  DRN_EXPECTS(period_s_ > 0.0);
+  DRN_EXPECTS(duty_ > 0.0 && duty_ <= 1.0);
+  DRN_EXPECTS(power_w_ > 0.0);
+}
+
+void JammerMac::on_start(sim::MacContext& ctx) {
+  // Random phase so co-located jammers do not fire in lockstep.
+  ctx.set_timer(ctx.now() + ctx.rng().uniform(0.0, period_s_), 0);
+}
+
+void JammerMac::on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                           StationId next_hop) {
+  (void)next_hop;
+  ctx.drop(pkt);  // jammers carry no traffic
+}
+
+void JammerMac::on_timer(sim::MacContext& ctx, std::uint64_t cookie) {
+  (void)cookie;
+  ctx.transmit_noise(power_w_, ctx.now(), duty_ * period_s_);
+  ctx.set_timer(ctx.now() + period_s_, 0);
+}
+
+geo::Placement with_jammers(const geo::Placement& base, std::size_t count,
+                            double region_m, Rng& rng) {
+  geo::Placement extended = base;
+  for (geo::Vec2 p : geo::uniform_disc(count, region_m, rng))
+    extended.push_back(p);
+  return extended;
+}
+
+void install_jammers(sim::Simulator& sim, std::size_t stations,
+                     const JammerSpec& spec) {
+  DRN_EXPECTS(sim.station_count() == stations + spec.count);
+  for (std::size_t j = 0; j < spec.count; ++j)
+    sim.set_mac(static_cast<StationId>(stations + j),
+                std::make_unique<JammerMac>(spec.period_s, spec.duty,
+                                            spec.power_w));
+}
+
+}  // namespace drn::dynamics

@@ -1,0 +1,66 @@
+// Duty-cycled jammer stations.
+//
+// A jammer is an extra station whose MAC never carries traffic: it radiates
+// periodic pure-noise bursts (MacContext::transmit_noise) that raise the
+// interference floor of every reception in range — the adversarial /
+// non-network interferer the paper's Section 5 taxonomy classifies as Type 1
+// loss at third parties. Jammers are appended AFTER the real stations
+// (ids [stations, stations + count)), are excluded from routing, churn,
+// mobility and drift, and show up in the metrics only through the noise
+// bursts they emit and the losses they cause.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "geo/placement.hpp"
+#include "sim/mac.hpp"
+
+namespace drn::sim {
+class Simulator;
+}  // namespace drn::sim
+
+namespace drn::dynamics {
+
+struct JammerSpec {
+  /// Number of jammer stations appended after the real network. 0 = none.
+  std::size_t count = 0;
+  /// Burst cadence: one noise burst per period.
+  double period_s = 0.5;
+  /// Fraction of each period spent radiating, in (0, 1].
+  double duty = 0.2;
+  /// Radiated noise power per burst, watts.
+  double power_w = 1e-3;
+};
+
+/// The jammer's MAC: waits a random phase within one period (decorrelating
+/// multiple jammers), then emits a `duty * period` noise burst every period,
+/// forever. Drops anything enqueued at it.
+class JammerMac final : public sim::MacProtocol {
+ public:
+  JammerMac(double period_s, double duty, double power_w);
+
+  void on_start(sim::MacContext& ctx) override;
+  void on_enqueue(sim::MacContext& ctx, const sim::Packet& pkt,
+                  StationId next_hop) override;
+  void on_timer(sim::MacContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  double period_s_;
+  double duty_;
+  double power_w_;
+};
+
+/// Returns `base` with `count` jammer positions appended, drawn uniformly in
+/// the disc of `region_m` from `rng`.
+[[nodiscard]] geo::Placement with_jammers(const geo::Placement& base,
+                                          std::size_t count, double region_m,
+                                          Rng& rng);
+
+/// Installs a JammerMac on stations [stations, stations + spec.count) of
+/// `sim` (which must have been built over stations + spec.count stations).
+void install_jammers(sim::Simulator& sim, std::size_t stations,
+                     const JammerSpec& spec);
+
+}  // namespace drn::dynamics

@@ -1,0 +1,99 @@
+#include "dynamics/mobility.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expects.hpp"
+
+namespace drn::dynamics {
+
+namespace {
+
+// Uniform point in the disc of `radius` about the origin (area-uniform:
+// r = radius * sqrt(u)).
+geo::Vec2 uniform_in_disc(double radius, Rng& rng) {
+  const double r = radius * std::sqrt(rng.uniform(0.0, 1.0));
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace
+
+RandomWaypoint::RandomWaypoint(geo::Placement start, double region_m,
+                               double speed_mps)
+    : positions_(std::move(start)),
+      targets_(positions_.size()),
+      has_target_(positions_.size(), 0),
+      region_m_(region_m),
+      speed_mps_(speed_mps) {
+  DRN_EXPECTS(region_m_ > 0.0);
+  DRN_EXPECTS(speed_mps_ > 0.0);
+}
+
+geo::Vec2 RandomWaypoint::step(StationId s, double dt_s, Rng& rng) {
+  DRN_EXPECTS(s < positions_.size());
+  DRN_EXPECTS(dt_s > 0.0);
+  double budget_m = speed_mps_ * dt_s;
+  geo::Vec2 p = positions_[s];
+  // Walk toward the target, drawing new targets as they are reached. The
+  // loop runs at most a handful of times per tick (each iteration covers a
+  // full leg of the walk).
+  while (budget_m > 0.0) {
+    if (has_target_[s] == 0) {
+      targets_[s] = uniform_in_disc(region_m_, rng);
+      has_target_[s] = 1;
+    }
+    const geo::Vec2 leg = targets_[s] - p;
+    const double leg_m = geo::norm(leg);
+    if (leg_m <= budget_m) {
+      p = targets_[s];
+      has_target_[s] = 0;
+      budget_m -= leg_m;
+      // A target drawn exactly on the current position would spin the loop
+      // without consuming budget; treat arrival as consuming at least an
+      // infinitesimal step by redrawing next iteration (the draw itself
+      // advances the RNG, and a zero-length leg twice in a row has
+      // probability zero under the continuous draw).
+      if (leg_m <= 0.0) break;
+    } else {
+      p += leg * (budget_m / leg_m);
+      budget_m = 0.0;
+    }
+  }
+  positions_[s] = p;
+  return p;
+}
+
+ScriptedPath::ScriptedPath(geo::Placement start)
+    : start_(std::move(start)), elapsed_s_(start_.size(), 0.0) {}
+
+void ScriptedPath::add_keyframe(StationId s, double t_s, geo::Vec2 position) {
+  DRN_EXPECTS(s < start_.size());
+  DRN_EXPECTS(t_s > 0.0);
+  auto& path = paths_[s];
+  DRN_EXPECTS(path.empty() || path.back().t_s < t_s);
+  path.push_back({t_s, position});
+}
+
+geo::Vec2 ScriptedPath::step(StationId s, double dt_s, Rng& rng) {
+  (void)rng;  // deterministic model
+  DRN_EXPECTS(s < start_.size());
+  DRN_EXPECTS(dt_s > 0.0);
+  elapsed_s_[s] += dt_s;
+  const double t = elapsed_s_[s];
+  const auto it = paths_.find(s);
+  if (it == paths_.end()) return start_[s];
+  geo::Vec2 prev_pos = start_[s];
+  double prev_t = 0.0;
+  for (const Keyframe& k : it->second) {
+    if (t < k.t_s) {
+      const double alpha = (t - prev_t) / (k.t_s - prev_t);
+      return prev_pos + (k.position - prev_pos) * alpha;
+    }
+    prev_pos = k.position;
+    prev_t = k.t_s;
+  }
+  return prev_pos;  // past the last keyframe: hold
+}
+
+}  // namespace drn::dynamics

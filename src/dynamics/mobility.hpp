@@ -1,0 +1,85 @@
+// Mobility models for the dynamics engine (src/dynamics/dynamics.hpp).
+//
+// A model owns the *intended* trajectory of every movable station and is
+// polled once per mobility tick: step() advances station `s` by `dt_s` and
+// returns where it should now be. The engine then applies the position via
+// Simulator::try_move_station, which can refuse while the station's RF state
+// is in flight — the model keeps advancing regardless, so a refused update is
+// simply superseded by the next tick's position (a dropped position report,
+// not a stalled trajectory).
+//
+// The paper assumes quasi-static geometry ("propagation observed over
+// seconds", Section 3.5); these models exist to test how the scheme degrades
+// when that assumption is bent — gains drift under the schedule's feet and
+// the beacon/refit machinery must track them.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "geo/placement.hpp"
+#include "geo/vec2.hpp"
+
+namespace drn::dynamics {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advances station `s` by `dt_s` seconds of its trajectory and returns
+  /// its new intended position. Draws (if any) come from `rng` in a
+  /// deterministic order: the engine calls step() for s = 0..movable-1 at
+  /// every tick, in that order.
+  [[nodiscard]] virtual geo::Vec2 step(StationId s, double dt_s,
+                                       Rng& rng) = 0;
+};
+
+/// Random waypoint over the disc of radius `region_m` centred at the origin
+/// (the Section 4 deployment region): each station walks toward a uniformly
+/// drawn target at `speed_mps`; on arrival it draws the next target. No
+/// pause time — the worst case for gain tracking.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  /// `start` holds the initial positions of the movable stations (index =
+  /// station id); only the first `start.size()` ids may be stepped.
+  RandomWaypoint(geo::Placement start, double region_m, double speed_mps);
+
+  [[nodiscard]] geo::Vec2 step(StationId s, double dt_s, Rng& rng) override;
+
+ private:
+  geo::Placement positions_;
+  std::vector<geo::Vec2> targets_;
+  std::vector<char> has_target_;
+  double region_m_;
+  double speed_mps_;
+};
+
+/// Deterministic piecewise-linear paths: per-station keyframes
+/// (time, position) interpolated linearly, holding the last keyframe
+/// afterwards. Stations without keyframes stay at their start position.
+/// Used by tests that need an exactly known gain trajectory.
+class ScriptedPath final : public MobilityModel {
+ public:
+  explicit ScriptedPath(geo::Placement start);
+
+  /// Appends a keyframe for `s`; times must be strictly increasing per
+  /// station. The path starts at the station's initial position at t = 0.
+  void add_keyframe(StationId s, double t_s, geo::Vec2 position);
+
+  [[nodiscard]] geo::Vec2 step(StationId s, double dt_s, Rng& rng) override;
+
+ private:
+  struct Keyframe {
+    double t_s = 0.0;
+    geo::Vec2 position;
+  };
+
+  geo::Placement start_;
+  std::vector<double> elapsed_s_;  // per-station trajectory clock
+  std::map<StationId, std::vector<Keyframe>> paths_;
+};
+
+}  // namespace drn::dynamics

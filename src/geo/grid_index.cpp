@@ -57,6 +57,22 @@ int GridIndex::chebyshev(std::int32_t a, std::int32_t b) const {
   return std::max(dx, dy);
 }
 
+void GridIndex::move_station(StationId s, Vec2 p) {
+  DRN_EXPECTS(s < positions_.size());
+  positions_[s] = p;
+  const std::int32_t to = cell_at(p);
+  const std::int32_t from = cell_of_[s];
+  if (to == from) return;
+  auto& old_bucket = cells_[static_cast<std::size_t>(from)];
+  const auto it = std::find(old_bucket.begin(), old_bucket.end(), s);
+  DRN_EXPECTS(it != old_bucket.end());
+  old_bucket.erase(it);
+  auto& new_bucket = cells_[static_cast<std::size_t>(to)];
+  new_bucket.insert(std::lower_bound(new_bucket.begin(), new_bucket.end(), s),
+                    s);
+  cell_of_[s] = to;
+}
+
 StationId GridIndex::nearest_other(StationId s) const {
   DRN_EXPECTS(s < positions_.size());
   if (positions_.size() < 2) return kNoStation;

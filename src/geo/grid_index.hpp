@@ -3,10 +3,12 @@
 // Section 4 of the paper argues that interference splits into a handful of
 // dominant near-field terms plus an aggregate far-field din; turning that
 // into an O(near) algorithm needs a spatial index that answers "which
-// stations are within r of here" without walking all M stations. Stations
-// never move, so a uniform grid built once is the right structure: cell
-// lookup is O(1), range enumeration is O(cells in range), and everything is
-// deterministic (cells are visited in row-major order).
+// stations are within r of here" without walking all M stations. A uniform
+// grid fits: cell lookup is O(1), range enumeration is O(cells in range),
+// and everything is deterministic (cells are visited in row-major order).
+// Mobility re-bins one station at a time (move_station); the grid's extent
+// stays the bounding box of the original placement, with outside positions
+// clamped into the border cells just like point queries.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +88,12 @@ class GridIndex {
         if (distance_sq(p, positions_[s]) < r2) visit(s);
     });
   }
+
+  /// Re-bins station `s` at position `p` (dynamics mobility): the old cell
+  /// bucket drops `s`, the new one gains it (ids stay ascending). Positions
+  /// outside the original bounding box land in the clamped border cell, the
+  /// same rule cell_at applies to queries.
+  void move_station(StationId s, Vec2 p);
 
   /// Nearest station to `s` other than `s` itself (expanding ring search);
   /// kNoStation when the placement has a single station.

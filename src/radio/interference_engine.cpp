@@ -159,6 +159,33 @@ class DenseEngine final : public InterferenceEngine {
     return power;
   }
 
+  void enable_mobility(geo::Placement placement,
+                       std::shared_ptr<const PropagationModel> model,
+                       double self_gain) override {
+    DRN_EXPECTS(model != nullptr);
+    DRN_EXPECTS(placement.size() == gains_.size());
+    placement_ = std::move(placement);
+    model_ = std::move(model);
+    self_gain_ = self_gain;
+  }
+
+  void station_moved(StationId s, geo::Vec2 position) override {
+    DRN_EXPECTS(s < gains_.size());
+    DRN_EXPECTS(model_ != nullptr);  // enable_mobility() first
+    // RF-idle precondition: no running interference sum may reference the
+    // station's old gains, or the eventual subtraction would not match.
+    for (const auto& [id, tx] : active_) DRN_EXPECTS(tx.from != s);
+    slots_.for_each_live(
+        [&](ReceptionHandle, Slot& slot) { DRN_EXPECTS(slot.rx != s); });
+    placement_[s] = position;
+    for (StationId other = 0; other < gains_.size(); ++other) {
+      if (other == s) continue;
+      gains_.set_gain(s, other,
+                      model_->power_gain(placement_[s], placement_[other]));
+    }
+    gains_.set_gain(s, s, self_gain_);
+  }
+
  private:
   struct Slot {
     std::uint64_t tx_id = 0;
@@ -170,6 +197,9 @@ class DenseEngine final : public InterferenceEngine {
   PropagationMatrix gains_;
   std::map<std::uint64_t, ActiveTx> active_;
   SlotTable<Slot> slots_;
+  geo::Placement placement_;                        // mobility only
+  std::shared_ptr<const PropagationModel> model_;   // mobility only
+  double self_gain_ = 1.0;
 };
 
 // ---------------------------------------------------------------------------
@@ -259,6 +289,33 @@ class CompensatedEngine final : public InterferenceEngine {
     return thermal_w_ + std::max(0.0, sum.value());
   }
 
+  void enable_mobility(geo::Placement placement,
+                       std::shared_ptr<const PropagationModel> model,
+                       double self_gain) override {
+    DRN_EXPECTS(model != nullptr);
+    DRN_EXPECTS(placement.size() == gains_.size());
+    placement_ = std::move(placement);
+    model_ = std::move(model);
+    self_gain_ = self_gain;
+  }
+
+  void station_moved(StationId s, geo::Vec2 position) override {
+    DRN_EXPECTS(s < gains_.size());
+    DRN_EXPECTS(model_ != nullptr);  // enable_mobility() first
+    // RF-idle precondition: no compensated sum may hold a contribution that
+    // was added through the station's old gains.
+    for (const auto& [id, tx] : active_) DRN_EXPECTS(tx.from != s);
+    slots_.for_each_live(
+        [&](ReceptionHandle, Slot& slot) { DRN_EXPECTS(slot.rx != s); });
+    placement_[s] = position;
+    for (StationId other = 0; other < gains_.size(); ++other) {
+      if (other == s) continue;
+      gains_.set_gain(s, other,
+                      model_->power_gain(placement_[s], placement_[other]));
+    }
+    gains_.set_gain(s, s, self_gain_);
+  }
+
  private:
   struct Slot {
     std::uint64_t tx_id = 0;
@@ -287,6 +344,9 @@ class CompensatedEngine final : public InterferenceEngine {
   PropagationMatrix gains_;
   std::map<std::uint64_t, ActiveTx> active_;
   SlotTable<Slot> slots_;
+  geo::Placement placement_;                        // mobility only
+  std::shared_ptr<const PropagationModel> model_;   // mobility only
+  double self_gain_ = 1.0;
 };
 
 // ---------------------------------------------------------------------------
@@ -519,6 +579,28 @@ class NearFarEngine final : public InterferenceEngine {
     return thermal_w_ + std::max(0.0, sum.value());
   }
 
+  void enable_mobility(geo::Placement placement,
+                       std::shared_ptr<const PropagationModel> model,
+                       double self_gain) override {
+    // Nothing to set up: this engine already owns its placement and model
+    // and evaluates every gain lazily from them.
+    DRN_EXPECTS(placement.size() == placement_.size());
+    (void)model;
+    (void)self_gain;
+  }
+
+  void station_moved(StationId s, geo::Vec2 position) override {
+    DRN_EXPECTS(s < placement_.size());
+    // RF-idle precondition: the station contributes to no active near sum,
+    // no cell load, and no far-field din, so only its future pairings see
+    // the new position.
+    for (const auto& [id, tx] : active_) DRN_EXPECTS(tx.from != s);
+    slots_.for_each_live(
+        [&](ReceptionHandle, Slot& slot) { DRN_EXPECTS(slot.rx != s); });
+    placement_[s] = position;
+    grid_.move_station(s, position);
+  }
+
  private:
   struct Tx {
     StationId from = kNoStation;
@@ -607,6 +689,21 @@ class NearFarEngine final : public InterferenceEngine {
 };
 
 }  // namespace
+
+void InterferenceEngine::station_moved(StationId s, geo::Vec2 position) {
+  (void)s;
+  (void)position;
+  DRN_EXPECTS(false);  // this engine does not support mobility
+}
+
+void InterferenceEngine::enable_mobility(
+    geo::Placement placement, std::shared_ptr<const PropagationModel> model,
+    double self_gain) {
+  (void)placement;
+  (void)model;
+  (void)self_gain;
+  DRN_EXPECTS(false);  // this engine does not support mobility
+}
 
 std::optional<InterferenceEngineKind> parse_engine(std::string_view text) {
   if (text == "dense") return InterferenceEngineKind::kDense;

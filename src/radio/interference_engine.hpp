@@ -42,6 +42,7 @@
 #include "common/expects.hpp"
 #include "common/types.hpp"
 #include "geo/placement.hpp"
+#include "geo/vec2.hpp"
 #include "radio/propagation.hpp"
 #include "radio/propagation_matrix.hpp"
 
@@ -148,6 +149,25 @@ class InterferenceEngine {
   /// Total power a station hears right now: thermal plus every active
   /// transmission including the station's own (carrier sense).
   [[nodiscard]] virtual double power_at(StationId s) const = 0;
+
+  /// Station `s` relocated to `position` (dynamics mobility). Precondition,
+  /// enforced by the simulator: the station is RF-idle — it is not
+  /// transmitting and has no open reception — so no in-flight interference
+  /// sum ever mixes gains sampled at two positions. The dense/compensated
+  /// engines recompute the station's matrix row and column and additionally
+  /// require enable_mobility() to have been called first (they otherwise
+  /// have no propagation model to recompute gains from); the nearfar engine
+  /// re-bins the station in its spatial grid and needs no setup. The base
+  /// default rejects the call.
+  virtual void station_moved(StationId s, geo::Vec2 position);
+
+  /// Hands a matrix-backed engine the placement + propagation model backing
+  /// its gain matrix so station_moved() can recompute rows. `self_gain` is
+  /// the matrix-diagonal value to restore for the moved station. The nearfar
+  /// engine keeps its own placement/model; for it this is a no-op.
+  virtual void enable_mobility(geo::Placement placement,
+                               std::shared_ptr<const PropagationModel> model,
+                               double self_gain);
 
  protected:
   double thermal_w_ = 1e-15;

@@ -1,9 +1,12 @@
 #include "runner/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "audit/invariant_auditor.hpp"
+#include "common/expects.hpp"
 #include "baselines/aloha.hpp"
 #include "baselines/csma.hpp"
 #include "baselines/maca.hpp"
@@ -82,17 +85,20 @@ TrialResult summarize(const sim::Metrics& m, double total_duration_s) {
                            static_cast<double>(m.hop_successes())
                      : 0.0;
   r.mean_duty = m.mean_duty_cycle(total_duration_s);
+  r.aborted_losses = m.losses(sim::LossType::kAborted);
+  r.station_leaves = m.station_leaves();
+  r.station_joins = m.station_joins();
+  r.churn_drops = m.churn_drops();
+  r.noise_bursts = m.noise_bursts();
+  r.recoveries = m.recovery_s().count();
+  r.mean_recovery_s = m.recovery_s().count() > 0 ? m.recovery_s().mean() : 0.0;
   return r;
 }
 
-void install_macs(sim::Simulator& sim, Scenario& scenario,
-                  const ScenarioSpec& spec) {
-  const auto stations = scenario.gains.size();
+std::unique_ptr<sim::MacProtocol> make_baseline_mac(const ScenarioSpec& spec) {
   switch (spec.mac) {
     case MacKind::kScheme:
-      for (StationId s = 0; s < stations; ++s)
-        sim.set_mac(s, std::move(scenario.net.macs[s]));
-      return;
+      break;  // scheme MACs come from the network builder, not here
     case MacKind::kAloha:
     case MacKind::kSlottedAloha:
     case MacKind::kCsma: {
@@ -100,18 +106,13 @@ void install_macs(sim::Simulator& sim, Scenario& scenario,
       cc.power_w = spec.baseline_power_w;
       cc.max_retries = spec.baseline_max_retries;
       cc.backoff_mean_s = spec.baseline_backoff_mean_s;
-      for (StationId s = 0; s < stations; ++s) {
-        if (spec.mac == MacKind::kAloha) {
-          sim.set_mac(s, std::make_unique<baselines::PureAloha>(cc));
-        } else if (spec.mac == MacKind::kSlottedAloha) {
-          sim.set_mac(s, std::make_unique<baselines::SlottedAloha>(
-                             cc, spec.net.slot_s / 4.0));
-        } else {
-          sim.set_mac(s, std::make_unique<baselines::CsmaMac>(
-                             cc, spec.csma_sense_threshold_w));
-        }
-      }
-      return;
+      if (spec.mac == MacKind::kAloha)
+        return std::make_unique<baselines::PureAloha>(cc);
+      if (spec.mac == MacKind::kSlottedAloha)
+        return std::make_unique<baselines::SlottedAloha>(
+            cc, spec.net.slot_s / 4.0);
+      return std::make_unique<baselines::CsmaMac>(
+          cc, spec.csma_sense_threshold_w);
     }
     case MacKind::kMaca: {
       baselines::MacaConfig mc;
@@ -119,20 +120,43 @@ void install_macs(sim::Simulator& sim, Scenario& scenario,
       mc.max_retries = spec.baseline_max_retries;
       mc.backoff_mean_s = spec.baseline_backoff_mean_s;
       mc.data_rate_bps = spec.data_rate_bps;
-      for (StationId s = 0; s < stations; ++s)
-        sim.set_mac(s, std::make_unique<baselines::MacaMac>(mc));
-      return;
+      return std::make_unique<baselines::MacaMac>(mc);
     }
   }
+  DRN_EXPECTS(false);  // make_baseline_mac(kScheme)
+  return nullptr;
+}
+
+void install_macs(sim::Simulator& sim, Scenario& scenario,
+                  const ScenarioSpec& spec) {
+  const auto stations = scenario.gains.size();
+  if (spec.mac == MacKind::kScheme) {
+    for (StationId s = 0; s < stations; ++s)
+      sim.set_mac(s, std::move(scenario.net.macs[s]));
+    return;
+  }
+  for (StationId s = 0; s < stations; ++s)
+    sim.set_mac(s, make_baseline_mac(spec));
 }
 
 TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
   auto scenario =
       make_scenario(spec.stations, spec.region_m, seed, spec.net);
+  const dynamics::DynamicsConfig& dyn = spec.dynamics;
+  // Jammer stations are appended after the real network: they get gains and
+  // despreading channels like everyone else, but no traffic, no routes, and
+  // the dynamics engine leaves them alone.
+  geo::Placement placement = scenario.placement;
+  if (dyn.jammer.count > 0) {
+    Rng jammer_rng = Rng(seed).split(4);
+    placement = dynamics::with_jammers(placement, dyn.jammer.count,
+                                       spec.region_m, jammer_rng);
+  }
   sim::SimulatorConfig sim_cfg{spec.criterion()};
   sim_cfg.seed = seed;
   sim_cfg.engine = spec.engine;
   std::optional<sim::Simulator> sim_box;
+  const auto model = std::make_shared<radio::FreeSpacePropagation>();
   if (spec.engine == radio::InterferenceEngineKind::kNearFar) {
     // Lazy near/far evaluation over the same free-space physics the dense
     // scenario matrix was built from.
@@ -140,21 +164,47 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
     nf.cutoff_m =
         spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m;
     nf.cell_m = spec.engine_cell_m;
-    sim_box.emplace(
-        radio::make_nearfar_engine(
-            scenario.placement,
-            std::make_shared<radio::FreeSpacePropagation>(), nf),
-        sim_cfg);
+    sim_box.emplace(radio::make_nearfar_engine(placement, model, nf), sim_cfg);
+  } else if (dyn.jammer.count > 0) {
+    sim_box.emplace(radio::make_dense_gains(placement, *model), sim_cfg);
   } else {
     sim_box.emplace(scenario.gains, sim_cfg);
   }
   sim::Simulator& sim = *sim_box;
+  if (dyn.mobility_enabled() &&
+      spec.engine != radio::InterferenceEngineKind::kNearFar)
+    sim.enable_mobility(placement, model);
   std::unique_ptr<audit::InvariantAuditor> auditor;
   if (spec.audit) {
     auditor = std::make_unique<audit::InvariantAuditor>(sim);
     sim.add_observer(auditor.get());
   }
+  // Churn rejoin factory, built from a pre-run snapshot: a scheme station
+  // warm-reboots with its flash-stored config and neighbour table (clock
+  // models go stale while it is down; beacons re-fit them), a baseline
+  // station reboots stateless.
+  dynamics::MacFactory rejoin;
+  if (dyn.churn_enabled()) {
+    if (spec.mac == MacKind::kScheme) {
+      std::vector<core::ScheduledStationConfig> cfgs;
+      std::vector<core::NeighborTable> tables;
+      cfgs.reserve(scenario.net.macs.size());
+      tables.reserve(scenario.net.macs.size());
+      for (const auto& mac : scenario.net.macs) {
+        cfgs.push_back(mac->config());
+        tables.push_back(mac->neighbors());
+      }
+      rejoin = [cfgs = std::move(cfgs),
+                tables = std::move(tables)](StationId s) {
+        return std::make_unique<core::ScheduledStation>(cfgs[s], tables[s]);
+      };
+    } else {
+      rejoin = [spec](StationId) { return make_baseline_mac(spec); };
+    }
+  }
   install_macs(sim, scenario, spec);
+  if (dyn.jammer.count > 0)
+    dynamics::install_jammers(sim, spec.stations, dyn.jammer);
   sim.set_router(scenario.tables.router());
   Rng traffic_rng = Rng(seed).split(2);
   for (const auto& inj : sim::poisson_traffic(
@@ -162,8 +212,24 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
            sim::uniform_pairs(scenario.gains.size()), traffic_rng))
     sim.inject(inj.time_s, inj.packet);
   const double total = spec.duration_s + spec.drain_s;
-  sim.run_until(total);
+  std::optional<dynamics::DynamicsEngine> driver;
+  if (dyn.enabled()) {
+    dynamics::DynamicsConfig dc = dyn;
+    if (dc.mobility_enabled() && dc.mobility_region_m <= 0.0)
+      dc.mobility_region_m = spec.region_m;
+    driver.emplace(dc, sim, placement, spec.stations, std::move(rejoin),
+                   Rng(seed).split(3));
+    driver->run(total);
+  } else {
+    sim.run_until(total);
+  }
   TrialResult result = summarize(sim.metrics(), total);
+  if (driver) {
+    std::vector<double> samples = driver->recovery_samples();
+    std::sort(samples.begin(), samples.end());
+    result.median_recovery_s =
+        samples.empty() ? 0.0 : samples[samples.size() / 2];
+  }
   if (auditor) {
     auditor->finalize(total);
     auditor->cross_check(sim.metrics());

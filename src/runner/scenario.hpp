@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
 #include "core/network_builder.hpp"
+#include "dynamics/dynamics.hpp"
 #include "geo/placement.hpp"
 #include "radio/interference_engine.hpp"
 #include "radio/propagation_matrix.hpp"
@@ -91,6 +93,15 @@ struct ScenarioSpec {
   /// near-exact) and grid cell side (<= 0 = cutoff / 4).
   double engine_cutoff_m = 0.0;
   double engine_cell_m = 0.0;
+  /// Network dynamics & fault injection (src/dynamics/). All off by default:
+  /// a spec with dynamics disabled takes exactly the static trial code path,
+  /// draw for draw. When churn or drift is on and the MAC is the scheme, set
+  /// net.beacon_interval_s (+ neighbor_timeout_s / readopt_neighbors) so the
+  /// stations can actually re-converge; jammer stations are appended after
+  /// the real network and excluded from traffic, routing and churn. When
+  /// mobility is on and mobility_region_m is 0, run_trial fills it from
+  /// region_m.
+  dynamics::DynamicsConfig dynamics;
 
   [[nodiscard]] radio::ReceptionCriterion criterion() const {
     return radio::ReceptionCriterion(bandwidth_hz, data_rate_bps, margin_db);
@@ -116,6 +127,17 @@ struct TrialResult {
   /// Invariant-audit verdict; both stay 0 unless ScenarioSpec::audit is set.
   std::uint64_t audit_checks = 0;
   std::uint64_t audit_violations = 0;
+  /// Dynamics outcome; all zero unless ScenarioSpec::dynamics is enabled.
+  std::uint64_t aborted_losses = 0;
+  std::uint64_t station_leaves = 0;
+  std::uint64_t station_joins = 0;
+  std::uint64_t churn_drops = 0;
+  std::uint64_t noise_bursts = 0;
+  /// Re-convergence after rejoins (seconds to the first delivered unicast
+  /// hop involving the returnee); 0 when none was measured.
+  std::uint64_t recoveries = 0;
+  double mean_recovery_s = 0.0;
+  double median_recovery_s = 0.0;
 };
 
 /// Extracts a TrialResult from a finished simulator's metrics.
@@ -126,6 +148,12 @@ struct TrialResult {
 /// Consumes scenario.net.macs for MacKind::kScheme.
 void install_macs(sim::Simulator& sim, Scenario& scenario,
                   const ScenarioSpec& spec);
+
+/// A fresh instance of the spec's baseline MAC (spec.mac != kScheme) — what
+/// install_macs gives every station, and what a churned baseline station
+/// reboots with.
+[[nodiscard]] std::unique_ptr<sim::MacProtocol> make_baseline_mac(
+    const ScenarioSpec& spec);
 
 /// Builds the scenario for (spec, seed), runs it, and summarises. The whole
 /// trial is deterministic in its two arguments.

@@ -91,6 +91,8 @@ std::vector<PointSummary> summarize(const SweepSpec& spec,
     p.offered.add(static_cast<double>(r.offered));
     p.collision_losses.add(static_cast<double>(
         r.type1_losses + r.type2_losses + r.type3_losses));
+    if (r.recoveries > 0) p.median_recovery_s.add(r.median_recovery_s);
+    p.aborted_losses.add(static_cast<double>(r.aborted_losses));
   }
   DRN_EXPECTS(points.size() * spec.seeds == result.trials.size());
   return points;
@@ -120,7 +122,7 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
                         const SweepResult& result) {
   json::Writer w(os);
   w.begin_object();
-  w.key("schema").value("drn-sweep-v2");
+  w.key("schema").value("drn-sweep-v3");
 
   w.key("spec").begin_object();
   w.key("master_seed").value(spec.master_seed);
@@ -144,6 +146,23 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
   w.key("rates_pps").begin_array();
   for (double r : spec.rates_pps) w.value(r);
   w.end_array();
+  const dynamics::DynamicsConfig& dc = spec.base.dynamics;
+  w.key("dynamics").begin_object();
+  w.key("enabled").value(dc.enabled());
+  w.key("churn_rate_per_s").value(dc.churn_rate_per_s);
+  w.key("mean_downtime_s").value(dc.mean_downtime_s);
+  w.key("mobility_model")
+      .value(dc.mobility_enabled() ? "random_waypoint" : "none");
+  w.key("mobility_speed_mps").value(dc.mobility_speed_mps);
+  w.key("mobility_step_s").value(dc.mobility_step_s);
+  w.key("mobility_region_m").value(dc.mobility_region_m);
+  w.key("drift_ppm_per_s").value(dc.drift_ppm_per_s);
+  w.key("drift_step_s").value(dc.drift_step_s);
+  w.key("jammers").value(dc.jammer.count);
+  w.key("jammer_period_s").value(dc.jammer.period_s);
+  w.key("jammer_duty").value(dc.jammer.duty);
+  w.key("jammer_power_w").value(dc.jammer.power_w);
+  w.end_object();
   w.end_object();
 
   w.key("trials").begin_array();
@@ -172,6 +191,16 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
       w.key("audit_checks").value(r.audit_checks);
       w.key("audit_violations").value(r.audit_violations);
     }
+    if (spec.base.dynamics.enabled()) {
+      w.key("aborted_losses").value(r.aborted_losses);
+      w.key("station_leaves").value(r.station_leaves);
+      w.key("station_joins").value(r.station_joins);
+      w.key("churn_drops").value(r.churn_drops);
+      w.key("noise_bursts").value(r.noise_bursts);
+      w.key("recoveries").value(r.recoveries);
+      w.key("mean_recovery_s").value(r.mean_recovery_s);
+      w.key("median_recovery_s").value(r.median_recovery_s);
+    }
     w.end_object();
   }
   w.end_array();
@@ -187,6 +216,10 @@ void write_results_json(std::ostream& os, const SweepSpec& spec,
     write_stat(w, "mean_duty", p.mean_duty);
     write_stat(w, "offered", p.offered);
     write_stat(w, "collision_losses", p.collision_losses);
+    if (spec.base.dynamics.enabled()) {
+      write_stat(w, "median_recovery_s", p.median_recovery_s);
+      write_stat(w, "aborted_losses", p.aborted_losses);
+    }
     w.end_object();
   }
   w.end_array();

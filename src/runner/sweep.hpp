@@ -88,6 +88,9 @@ struct PointSummary {
   SummaryStats mean_duty;
   SummaryStats offered;
   SummaryStats collision_losses;  // type1 + type2 + type3 per trial
+  /// Dynamics aggregates (empty stats when the sweep has no dynamics).
+  SummaryStats median_recovery_s;  // over trials that measured a recovery
+  SummaryStats aborted_losses;
 };
 
 struct SweepResult {
@@ -114,9 +117,10 @@ struct SweepResult {
 [[nodiscard]] std::vector<PointSummary> summarize(const SweepSpec& spec,
                                                   const SweepResult& result);
 
-/// Writes the deterministic results document (schema "drn-sweep-v2"):
-/// spec, per-trial results, per-point summaries. Byte-identical for any
-/// thread count.
+/// Writes the deterministic results document (schema "drn-sweep-v3"):
+/// spec (including the dynamics block), per-trial results (dynamics
+/// counters included only when dynamics is enabled), per-point summaries.
+/// Byte-identical for any thread count.
 void write_results_json(std::ostream& os, const SweepSpec& spec,
                         const SweepResult& result);
 

@@ -32,6 +32,10 @@ struct Event {
   std::uint64_t tx_id = 0;        // kTransmitStart / kTransmitEnd
   StationId station = kNoStation; // kTimer
   std::uint64_t cookie = 0;       // kTimer
+  /// Station MAC generation that armed this timer; a timer whose station has
+  /// been torn down (and possibly replaced) since is stale and is dropped
+  /// instead of delivered to the new MAC.
+  std::uint32_t generation = 0;   // kTimer
   Packet packet;                  // kInject
 };
 
@@ -56,11 +60,12 @@ class EventQueue {
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      // Exact comparison is deliberate: only bit-identical times may fall
-      // through to the kind/sequence tie-break that encodes the
-      // end-before-start simultaneity rule.
-      if (a.event.time_s != b.event.time_s)  // drn-lint: allow(float-eq)
-        return a.event.time_s > b.event.time_s;
+      // Two ordering comparisons: only bit-identical times reach the
+      // kind/sequence tie-break that encodes the end-before-start
+      // simultaneity rule, and the order is total (time, kind, sequence)
+      // without ever testing floating-point equality.
+      if (a.event.time_s > b.event.time_s) return true;
+      if (b.event.time_s > a.event.time_s) return false;
       if (a.event.kind != b.event.kind) return a.event.kind > b.event.kind;
       return a.seq > b.seq;
     }

@@ -9,6 +9,7 @@
 // comparison runs under the identical physical model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -45,6 +46,16 @@ class MacContext {
                 double start_s) {
     transmit(pkt, to, power_w, start_s, 0.0);
   }
+
+  /// Schedules a pure noise emission: `power_w` watts on the air from
+  /// `start_s` (>= now) for `duration_s` seconds, addressed to nobody. It
+  /// raises the interference of every reception it reaches (classified as
+  /// Type 1 for third parties, Type 3 at the emitter itself) but opens no
+  /// reception and carries no packet. This is the jammer substrate
+  /// (src/dynamics/jammer.hpp); it serializes with the station's ordinary
+  /// transmissions.
+  virtual void transmit_noise(double power_w, double start_s,
+                              double duration_s) = 0;
 
   /// Arms a timer; on_timer(cookie) fires at global time `at_s` (>= now).
   virtual void set_timer(double at_s, std::uint64_t cookie) = 0;
@@ -112,6 +123,21 @@ class MacProtocol {
     (void)pkt;
     (void)from;
     (void)signal_w;
+  }
+
+  /// Packets currently queued at this MAC awaiting transmission. The
+  /// simulator consults it when tearing a station down (dynamics churn) to
+  /// account for the queue that dies with the MAC; protocols without a queue
+  /// may leave the default.
+  [[nodiscard]] virtual std::size_t queued_packets() const { return 0; }
+
+  /// This station's oscillator rate just changed by `delta_ppm` parts per
+  /// million relative to its CURRENT rate (a dynamics clock-drift ramp).
+  /// Clock-aware protocols update their local clock, keeping local time
+  /// continuous at the instant of the change; others ignore it.
+  virtual void on_clock_rate_changed(MacContext& ctx, double delta_ppm) {
+    (void)ctx;
+    (void)delta_ppm;
   }
 };
 

@@ -34,8 +34,15 @@ std::uint64_t Metrics::losses(LossType type) const {
   return losses_[static_cast<std::size_t>(type)];
 }
 
+void Metrics::trim_airtime(StationId station, double seconds) {
+  DRN_EXPECTS(station < airtime_s_.size());
+  DRN_EXPECTS(seconds >= 0.0);
+  DRN_EXPECTS(airtime_s_[station] >= seconds);
+  airtime_s_[station] -= seconds;
+}
+
 std::uint64_t Metrics::total_hop_losses() const {
-  return losses_[1] + losses_[2] + losses_[3];
+  return losses_[1] + losses_[2] + losses_[3] + losses_[4];
 }
 
 double Metrics::delivery_ratio() const {

@@ -6,6 +6,9 @@
 //   Type 2 — a second transmission addressed to the same receiver did so, or
 //            all despreading channels were busy when the packet arrived;
 //   Type 3 — the receiver's own transmitter was active during the packet.
+//   Aborted — the transmitter or receiver was torn down mid-air by a
+//            dynamics event (station crash/leave); not a paper loss class,
+//            only reachable when churn is enabled.
 // "MAC drop" counts packets a MAC abandoned (queue overflow / retries).
 #pragma once
 
@@ -23,6 +26,7 @@ enum class LossType : std::uint8_t {
   kType1 = 1,
   kType2 = 2,
   kType3 = 3,
+  kAborted = 4,
 };
 
 /// Counters and distributions collected over one simulation run.
@@ -40,6 +44,19 @@ class Metrics {
   void record_airtime(StationId station, double seconds);
   void record_broadcast() { ++broadcasts_sent_; }
   void record_broadcast_reception() { ++broadcast_receptions_; }
+  /// Subtracts airtime recorded up front for a transmission that was aborted
+  /// before its planned end (the unaired remainder).
+  void trim_airtime(StationId station, double seconds);
+
+  // -- dynamics (src/dynamics/; all zero when no dynamics run) -------------
+  void record_station_down() { ++station_leaves_; }
+  void record_station_up() { ++station_joins_; }
+  /// Queued packets lost when a station was torn down.
+  void record_churn_drops(std::uint64_t count) { churn_drops_ += count; }
+  /// One deliberate noise burst (jammer) started radiating.
+  void record_noise_burst() { ++noise_bursts_; }
+  /// Seconds from a station's rejoin to its first successful hop.
+  void record_recovery(double seconds) { recovery_s_.add(seconds); }
 
   // -- results -------------------------------------------------------------
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
@@ -55,6 +72,13 @@ class Metrics {
   [[nodiscard]] std::uint64_t broadcast_receptions() const {
     return broadcast_receptions_;
   }
+  [[nodiscard]] std::uint64_t station_leaves() const { return station_leaves_; }
+  [[nodiscard]] std::uint64_t station_joins() const { return station_joins_; }
+  [[nodiscard]] std::uint64_t churn_drops() const { return churn_drops_; }
+  [[nodiscard]] std::uint64_t noise_bursts() const { return noise_bursts_; }
+
+  /// Re-convergence times recorded after rejoins, seconds.
+  [[nodiscard]] const RunningStats& recovery_s() const { return recovery_s_; }
 
   /// Fraction of end-to-end packets delivered, of those offered.
   [[nodiscard]] double delivery_ratio() const;
@@ -88,10 +112,15 @@ class Metrics {
   std::uint64_t delivered_ = 0;
   std::uint64_t broadcasts_sent_ = 0;
   std::uint64_t broadcast_receptions_ = 0;
-  std::array<std::uint64_t, 4> losses_{};  // indexed by LossType
+  std::uint64_t station_leaves_ = 0;
+  std::uint64_t station_joins_ = 0;
+  std::uint64_t churn_drops_ = 0;
+  std::uint64_t noise_bursts_ = 0;
+  std::array<std::uint64_t, 5> losses_{};  // indexed by LossType
   RunningStats delay_;
   RunningStats hops_;
   RunningStats sinr_margin_db_;
+  RunningStats recovery_s_;
   std::vector<double> airtime_s_;
 };
 

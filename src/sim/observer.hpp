@@ -44,6 +44,15 @@ class SimObserver {
   virtual ~SimObserver() = default;
   virtual void on_transmit_start(const TxEvent& tx) { (void)tx; }
   virtual void on_reception_complete(const RxEvent& rx) { (void)rx; }
+  /// A transmission already on the air was cut short at `time_s` (its sender
+  /// was torn down by a dynamics event). The RxEvents for its receptions
+  /// follow immediately, carrying LossType::kAborted; `tx` repeats the
+  /// original on_transmit_start facts (so end_s is the PLANNED end — the
+  /// actual end is time_s).
+  virtual void on_transmit_aborted(const TxEvent& tx, double time_s) {
+    (void)tx;
+    (void)time_s;
+  }
 };
 
 }  // namespace drn::sim

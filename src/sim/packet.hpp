@@ -33,6 +33,12 @@ struct Packet {
   /// transmission time. Discovery beacons carry it so receivers can collect
   /// clock samples (Section 7's rendezvous) over the air.
   double sender_local_s = 0.0;
+  /// Optional payload field: the power this packet was radiated at, watts.
+  /// Beacons carry it so a receiver can observe the path gain as
+  /// signal_w / tx_power_w ("stations may observe the actual propagation",
+  /// Section 3.5) — the basis for re-adopting a rejoined neighbour. 0 =
+  /// not stamped.
+  double tx_power_w = 0.0;
   /// Network-allocation vector for control frames (RTS/CTS): how long
   /// overhearing stations should defer, seconds.
   double nav_s = 0.0;

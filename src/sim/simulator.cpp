@@ -46,7 +46,10 @@ Simulator::Simulator(std::unique_ptr<radio::InterferenceEngine> engine,
       router_(direct_router),
       transmitting_count_(engine_->station_count(), 0),
       reception_count_(engine_->station_count(), 0),
-      tx_busy_until_s_(engine_->station_count(), 0.0) {
+      tx_busy_until_s_(engine_->station_count(), 0.0),
+      active_station_(engine_->station_count(), 1),
+      mac_generation_(engine_->station_count(), 0),
+      open_rx_count_(engine_->station_count(), 0) {
   DRN_EXPECTS(config_.despreading_channels > 0);
   DRN_EXPECTS(config_.multiuser_subtract_k >= 0);
   if (config_.thermal_noise_w < 0.0) {
@@ -105,7 +108,8 @@ void Simulator::run_until(double t_end_s) {
   DRN_EXPECTS(t_end_s >= now_s_);
   if (!started_) {
     for (StationId s = 0; s < station_count(); ++s) {
-      DRN_EXPECTS(macs_[s] != nullptr);  // every station needs a MAC
+      if (active_station_[s] == 0) continue;
+      DRN_EXPECTS(macs_[s] != nullptr);  // every active station needs a MAC
       with_station(s, [this](MacProtocol& mac) { mac.on_start(*this); });
     }
     started_ = true;
@@ -118,9 +122,15 @@ void Simulator::run_until(double t_end_s) {
         handle_transmit_end(e.tx_id);
         break;
       case EventKind::kTimer:
-        with_station(e.station, [this, &e](MacProtocol& mac) {
-          mac.on_timer(*this, e.cookie);
-        });
+        // A timer armed by a MAC that has since been torn down is stale:
+        // the generation stamp no longer matches (and the station may be
+        // down entirely). Deliver only fresh timers.
+        if (active_station_[e.station] != 0 &&
+            e.generation == mac_generation_[e.station]) {
+          with_station(e.station, [this, &e](MacProtocol& mac) {
+            mac.on_timer(*this, e.cookie);
+          });
+        }
         break;
       case EventKind::kInject:
         handle_inject(e.packet);
@@ -198,7 +208,48 @@ void Simulator::set_timer(double at_s, std::uint64_t cookie) {
   e.kind = EventKind::kTimer;
   e.station = self();
   e.cookie = cookie;
+  e.generation = mac_generation_[e.station];
   queue_.push(e);
+}
+
+void Simulator::transmit_noise(double power_w, double start_s,
+                               double duration_s) {
+  const StationId from = self();
+  DRN_EXPECTS(power_w > 0.0);
+  DRN_EXPECTS(duration_s > 0.0);
+  DRN_EXPECTS(start_s >= now_s_);
+  // Noise uses the one transmitter too; same serialization (and the same
+  // sub-nanosecond clamp) as data transmissions.
+  if (start_s < tx_busy_until_s_[from] &&
+      tx_busy_until_s_[from] - start_s < 1e-9) {
+    start_s = tx_busy_until_s_[from];
+  }
+  DRN_EXPECTS(start_s >= tx_busy_until_s_[from]);
+
+  ActiveTx tx;
+  tx.from = from;
+  tx.to = kNoStation;  // addressed to nobody: pure interference
+  tx.power_w = power_w;
+  tx.rate_bps = 0.0;
+  tx.start_s = start_s;
+  tx.end_s = start_s + duration_s;
+  tx.required_snr = 0.0;
+  tx_busy_until_s_[from] = tx.end_s;
+
+  const std::uint64_t id = next_tx_id_++;
+  scheduled_.emplace(id, tx);
+
+  Event start;
+  start.time_s = start_s;
+  start.kind = EventKind::kTransmitStart;
+  start.tx_id = id;
+  queue_.push(start);
+
+  Event end;
+  end.time_s = tx.end_s;
+  end.kind = EventKind::kTransmitEnd;
+  end.tx_id = id;
+  queue_.push(end);
 }
 
 bool Simulator::transmitting() const { return station_transmitting(self()); }
@@ -267,7 +318,12 @@ void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
   }
   r.handle = engine_->open_reception(tx_id, rx, on_contribution);
 
-  if (station_transmitting(rx)) {
+  if (active_station_[rx] == 0) {
+    // The receiver is down (churn): the record still exists — conservation
+    // and the engine's interference accounting need it — but nothing can be
+    // decoded at a dead station, and no despreading channel is consumed.
+    r.failure = LossType::kAborted;
+  } else if (station_transmitting(rx)) {
     r.failure = LossType::kType3;
   } else if (reception_count_[rx] >= config_.despreading_channels) {
     r.failure = LossType::kType2;  // all despreading channels busy
@@ -295,18 +351,30 @@ void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
   // and the back-pointer registered here stays valid until close.
   DRN_EXPECTS(records.size() < records.capacity());
   records.push_back(std::move(r));
+  ++open_rx_count_[rx];
   const radio::ReceptionHandle h = records.back().handle;
   if (by_handle_.size() <= h) by_handle_.resize(h + 1, nullptr);
   by_handle_[h] = &records.back();
 }
 
+bool Simulator::consume_cancelled(std::uint64_t tx_id) {
+  const auto it = cancelled_.find(tx_id);
+  if (it == cancelled_.end()) return false;
+  if (--it->second == 0) cancelled_.erase(it);
+  return true;
+}
+
 void Simulator::handle_transmit_start(std::uint64_t tx_id) {
+  if (consume_cancelled(tx_id)) return;
   auto node = scheduled_.extract(tx_id);
   DRN_EXPECTS(!node.empty());
   const ActiveTx& tx = active_.emplace(tx_id, node.mapped()).first->second;
+  const bool noise = tx.to == kNoStation;
 
   metrics_.record_airtime(tx.from, tx.end_s - tx.start_s);
-  if (tx.to == kBroadcast) {
+  if (noise) {
+    metrics_.record_noise_burst();
+  } else if (tx.to == kBroadcast) {
     metrics_.record_broadcast();
   } else {
     metrics_.record_hop_attempt();
@@ -342,6 +410,10 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
         note_interference_change(r, tx);
       });
 
+  // A noise burst carries nothing: it interferes (above) but opens no
+  // reception.
+  if (noise) return;
+
   // Open the reception record(s).
   auto& records = receptions_[tx_id];
   if (tx.to == kBroadcast) {
@@ -357,6 +429,7 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
 }
 
 void Simulator::handle_transmit_end(std::uint64_t tx_id) {
+  if (consume_cancelled(tx_id)) return;
   auto node = active_.extract(tx_id);
   DRN_EXPECTS(!node.empty());
   const ActiveTx tx = node.mapped();
@@ -375,6 +448,14 @@ void Simulator::handle_transmit_end(std::uint64_t tx_id) {
   }
   engine_->transmit_ended(tx_id, on_affected);
 
+  if (tx.to == kNoStation) {
+    // Noise burst: nothing was receivable; just tell the emitter.
+    with_station(tx.from, [this, &tx](MacProtocol& mac) {
+      mac.on_transmit_end(*this, tx.packet, tx.to, false);
+    });
+    return;
+  }
+
   auto rnode = receptions_.extract(tx_id);
   DRN_EXPECTS(!rnode.empty());
   bool any_delivered = false;
@@ -382,6 +463,7 @@ void Simulator::handle_transmit_end(std::uint64_t tx_id) {
     engine_->close_reception(r.handle);
     by_handle_[r.handle] = nullptr;
     if (r.occupies_channel) --reception_count_[r.rx];
+    --open_rx_count_[r.rx];
     const bool delivered = r.failure == LossType::kNone;
     any_delivered |= delivered;
 
@@ -432,6 +514,10 @@ void Simulator::deliver(const Packet& packet, StationId at) {
 }
 
 void Simulator::enqueue_at(StationId station, const Packet& packet) {
+  if (active_station_[station] == 0) {
+    metrics_.record_churn_drops(1);  // the station is down (churn)
+    return;
+  }
   const StationId next = router_(station, packet.destination);
   if (next == kNoStation || next == station) {
     metrics_.record_mac_drop();  // no route
@@ -440,6 +526,148 @@ void Simulator::enqueue_at(StationId station, const Packet& packet) {
   DRN_EXPECTS(next < station_count());
   with_station(station, [this, &packet, next](MacProtocol& mac) {
     mac.on_enqueue(*this, packet, next);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Network dynamics (src/dynamics/ drives these; quiescent otherwise)
+
+void Simulator::abort_transmission(std::uint64_t tx_id) {
+  auto node = active_.extract(tx_id);
+  DRN_EXPECTS(!node.empty());
+  const ActiveTx tx = node.mapped();
+  --transmitting_count_[tx.from];
+  // Airtime was booked for the full planned duration at start; give back the
+  // part that never aired.
+  metrics_.trim_airtime(tx.from, tx.end_s - now_s_);
+  cancelled_[tx_id] = 1;  // swallow the pending end event
+
+  // Observers first (the auditor truncates its record of this transmission
+  // to now before the aborted RxEvents below arrive).
+  if (!observers_.empty()) {
+    TxEvent ev;
+    ev.tx_id = tx_id;
+    ev.from = tx.from;
+    ev.to = tx.to;
+    ev.power_w = tx.power_w;
+    ev.start_s = tx.start_s;
+    ev.end_s = tx.end_s;
+    ev.rate_bps = tx.rate_bps;
+    ev.packet = tx.packet.id;
+    for (SimObserver* o : observers_) o->on_transmit_aborted(ev, now_s_);
+  }
+
+  // The signal leaves the air early; interference drops exactly as at a
+  // normal end, through the same engine path (no ad-hoc subtraction).
+  radio::InterferenceEngine::AffectedVisitor on_affected;
+  if (config_.multiuser_subtract_k > 0) {
+    on_affected = [this, tx_id](radio::ReceptionHandle h, double /*watts*/) {
+      reception_at(h).contributions.erase(tx_id);
+    };
+  }
+  engine_->transmit_ended(tx_id, on_affected);
+
+  if (tx.to == kNoStation) return;  // noise: no reception records
+
+  auto rnode = receptions_.extract(tx_id);
+  DRN_EXPECTS(!rnode.empty());
+  for (Reception& r : rnode.mapped()) {
+    engine_->close_reception(r.handle);
+    by_handle_[r.handle] = nullptr;
+    if (r.occupies_channel) --reception_count_[r.rx];
+    --open_rx_count_[r.rx];
+    // A truncated packet is undecodable regardless of its SINR so far.
+    if (r.failure == LossType::kNone) r.failure = LossType::kAborted;
+
+    if (!observers_.empty()) {
+      RxEvent ev;
+      ev.tx_id = tx_id;
+      ev.rx = r.rx;
+      ev.delivered = false;
+      ev.loss = r.failure;
+      ev.min_sinr = r.min_sinr;
+      ev.required_snr = r.required_snr;
+      ev.signal_w = r.signal_w;
+      for (SimObserver* o : observers_) o->on_reception_complete(ev);
+    }
+
+    if (tx.to != kBroadcast) metrics_.record_hop_loss(r.failure);
+  }
+  // No on_transmit_end: the sender's MAC is being torn down right now.
+}
+
+std::size_t Simulator::deactivate_station(StationId station) {
+  DRN_EXPECTS(station < station_count());
+  DRN_EXPECTS(active_station_[station] != 0);
+  DRN_EXPECTS(macs_[station] != nullptr);
+
+  // Scheduled-but-not-started transmissions from the station never happen.
+  for (auto it = scheduled_.begin(); it != scheduled_.end();) {
+    if (it->second.from == station) {
+      cancelled_[it->first] = 2;  // swallow both pending queue events
+      it = scheduled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Transmissions already on the air are cut short.
+  std::vector<std::uint64_t> airborne;
+  for (const auto& [id, tx] : active_)
+    if (tx.from == station) airborne.push_back(id);
+  for (const std::uint64_t id : airborne) abort_transmission(id);
+
+  // Receptions in progress at the station die with it. The records stay
+  // open (the engine keeps accounting the interference they see, and
+  // conservation still expects their outcomes at the transmissions' ends)
+  // but can no longer deliver — even if the station rejoins first.
+  for (auto& [id, records] : receptions_) {
+    (void)id;
+    for (Reception& r : records) {
+      if (r.rx == station && r.failure == LossType::kNone)
+        r.failure = LossType::kAborted;
+    }
+  }
+
+  // The queue dies with the MAC.
+  const std::size_t dropped = macs_[station]->queued_packets();
+  metrics_.record_churn_drops(dropped);
+  macs_[station].reset();
+  active_station_[station] = 0;
+  ++mac_generation_[station];  // pending timers of the old MAC are now stale
+  tx_busy_until_s_[station] = now_s_;
+  metrics_.record_station_down();
+  return dropped;
+}
+
+void Simulator::activate_station(StationId station,
+                                 std::unique_ptr<MacProtocol> mac) {
+  DRN_EXPECTS(station < station_count());
+  DRN_EXPECTS(active_station_[station] == 0);
+  DRN_EXPECTS(mac != nullptr);
+  macs_[station] = std::move(mac);
+  active_station_[station] = 1;
+  metrics_.record_station_up();
+  if (started_)
+    with_station(station, [this](MacProtocol& m) { m.on_start(*this); });
+}
+
+bool Simulator::try_move_station(StationId station, geo::Vec2 position) {
+  DRN_EXPECTS(station < station_count());
+  // RF-idle rule: while the station radiates, or any reception record at it
+  // is open, in-flight engine state references its current gains; moving
+  // underneath that state would corrupt the incremental interference sums.
+  if (transmitting_count_[station] > 0 || open_rx_count_[station] > 0)
+    return false;
+  engine_->station_moved(station, position);
+  return true;
+}
+
+void Simulator::notify_clock_rate(StationId station, double delta_ppm) {
+  DRN_EXPECTS(station < station_count());
+  DRN_EXPECTS(active_station_[station] != 0);
+  with_station(station, [this, delta_ppm](MacProtocol& mac) {
+    mac.on_clock_rate_changed(*this, delta_ppm);
   });
 }
 

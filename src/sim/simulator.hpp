@@ -27,12 +27,16 @@
 //     paper's footnote 9 direction);
 //   * multiuser detection (SimulatorConfig::multiuser_subtract_k): receivers
 //     subtract up to k strongest interfering contributions before the SINR
-//     test (the paper's footnote 2 / Verdu reference).
+//     test (the paper's footnote 2 / Verdu reference);
+//   * network dynamics (src/dynamics/): stations can be torn down and
+//     rebuilt mid-run (activate/deactivate, aborting in-flight RF state),
+//     moved when RF-idle (try_move_station), handed clock-rate changes, and
+//     made to radiate pure noise (transmit_noise — the jammer substrate);
+//     with no dynamics driver these paths are never taken.
 //
 // The network layer is built in: on a successful unicast hop the simulator
-// either counts an end-to-end delivery or consults the installed router for
-// the next hop and re-enqueues the packet at the receiving station's MAC —
-// hop-by-hop forwarding exactly as Section 6.2 describes.
+// counts an end-to-end delivery or consults the installed router and
+// re-enqueues the packet at the receiver's MAC (Section 6.2 forwarding).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +47,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "geo/vec2.hpp"
 #include "radio/interference_engine.hpp"
 #include "radio/propagation_matrix.hpp"
 #include "radio/reception.hpp"
@@ -131,12 +136,55 @@ class Simulator final : public MacContext {
     return active_.size();
   }
 
+  // -- network dynamics (driven by src/dynamics/) --------------------------
+
+  /// Whether `station` is up (participating in the network). All stations
+  /// start active; only deactivate_station changes this.
+  [[nodiscard]] bool station_active(StationId station) const {
+    DRN_EXPECTS(station < active_station_.size());
+    return active_station_[station] != 0;
+  }
+
+  /// Tears `station` down mid-run (crash/leave): cancels its scheduled
+  /// transmissions, aborts any transmission it has on the air (receivers see
+  /// LossType::kAborted), marks receptions in progress at it as aborted,
+  /// destroys its MAC (the queue dies with it) and invalidates its pending
+  /// timers. Returns the number of queued packets lost.
+  std::size_t deactivate_station(StationId station);
+
+  /// Brings a deactivated `station` back up with a fresh MAC. If the
+  /// simulation has started, the MAC's on_start runs immediately.
+  void activate_station(StationId station, std::unique_ptr<MacProtocol> mac);
+
+  /// Relocates `station` to `position` (mobility). Refused (returns false)
+  /// while the station is radiating or any reception record at it is open:
+  /// in-flight interference accounting references its current gains, and
+  /// moving underneath it would corrupt the engine's incremental sums. The
+  /// mobility model simply retries at its next tick.
+  bool try_move_station(StationId station, geo::Vec2 position);
+
+  /// Delivers a clock-rate change of `delta_ppm` (relative to the current
+  /// rate) to `station`'s MAC — the dynamics drift-ramp entry point.
+  void notify_clock_rate(StationId station, double delta_ppm);
+
+  /// Hands the interference engine the geometry it needs to recompute gains
+  /// when stations move (matrix engines; the near/far engine carries its
+  /// own). Forwarded to InterferenceEngine::enable_mobility.
+  void enable_mobility(geo::Placement placement,
+                       std::shared_ptr<const radio::PropagationModel> model,
+                       double self_gain = 1.0) {
+    engine_->enable_mobility(std::move(placement), std::move(model),
+                             self_gain);
+  }
+
   // -- MacContext (the simulator services the MAC whose hook is running) ---
   [[nodiscard]] double now() const override { return now_s_; }
   [[nodiscard]] StationId self() const override;
   using MacContext::transmit;
   void transmit(const Packet& pkt, StationId to, double power_w,
                 double start_s, double rate_bps) override;
+  void transmit_noise(double power_w, double start_s,
+                      double duration_s) override;
   void set_timer(double at_s, std::uint64_t cookie) override;
   [[nodiscard]] bool transmitting() const override;
   [[nodiscard]] double received_power_w() const override;
@@ -148,7 +196,8 @@ class Simulator final : public MacContext {
   struct ActiveTx {
     Packet packet;
     StationId from = kNoStation;
-    StationId to = kNoStation;  // station id or kBroadcast
+    StationId to = kNoStation;  // station id, kBroadcast, or kNoStation
+                                // (= a pure noise burst: no receptions)
     double power_w = 0.0;
     double start_s = 0.0;
     double end_s = 0.0;
@@ -174,6 +223,16 @@ class Simulator final : public MacContext {
   void handle_transmit_start(std::uint64_t tx_id);
   void handle_transmit_end(std::uint64_t tx_id);
   void handle_inject(const Packet& packet);
+
+  /// Cuts short a transmission already on the air (its sender is being torn
+  /// down): removes it from the engine now, closes its receptions with
+  /// kAborted outcomes, and arranges for its pending end event to be
+  /// swallowed. Does NOT call the sender's on_transmit_end.
+  void abort_transmission(std::uint64_t tx_id);
+
+  /// Consumes one pending event of a cancelled transmission. Returns true
+  /// if the event belonged to a cancelled tx and must be ignored.
+  bool consume_cancelled(std::uint64_t tx_id);
   void deliver(const Packet& packet, StationId at);
   void enqueue_at(StationId station, const Packet& packet);
 
@@ -236,6 +295,19 @@ class Simulator final : public MacContext {
   std::vector<int> transmitting_count_;   // per station
   std::vector<int> reception_count_;      // per station (despreading channels)
   std::vector<double> tx_busy_until_s_;   // per station: serialization check
+
+  // -- dynamics state (quiescent unless src/dynamics/ drives the run) ------
+  std::vector<char> active_station_;      // per station: 1 = up
+  // Bumped on every teardown so timers armed by a dead MAC are dropped
+  // instead of delivered to its replacement.
+  std::vector<std::uint32_t> mac_generation_;
+  // Open reception records at each station (all outcomes, not just pending):
+  // while > 0 the engine holds per-reception state referencing the station's
+  // gains, so the station must not move.
+  std::vector<int> open_rx_count_;
+  // Cancelled/aborted transmissions -> number of their queue events still
+  // pending; handlers swallow those instead of looking the tx up.
+  std::map<std::uint64_t, int> cancelled_;
 
   // Context binding for the MAC hook currently executing.
   StationId current_station_ = kNoStation;

@@ -151,5 +151,111 @@ TEST(MutationTest, CorruptedSinrBookkeepingTripsConsistency) {
       << auditor.report();
 }
 
+// -- dynamics mutations: the abort path must be auditable too ---------------
+
+/// Relays all events, letting a test bend the abort notification on the way
+/// to the auditor (the fault a buggy churn teardown would produce).
+class AbortMutatingObserver final : public sim::SimObserver {
+ public:
+  using AbortMutation = std::function<std::optional<double>(
+      const sim::TxEvent& tx, double time_s)>;
+
+  AbortMutatingObserver(InvariantAuditor& auditor, AbortMutation mutate)
+      : auditor_(&auditor), mutate_(std::move(mutate)) {}
+
+  void on_transmit_start(const sim::TxEvent& tx) override {
+    auditor_->on_transmit_start(tx);
+  }
+  void on_reception_complete(const sim::RxEvent& rx) override {
+    auditor_->on_reception_complete(rx);
+  }
+  void on_transmit_aborted(const sim::TxEvent& tx, double time_s) override {
+    if (auto mutated = mutate_(tx, time_s))
+      auditor_->on_transmit_aborted(tx, *mutated);
+  }
+
+ private:
+  InvariantAuditor* auditor_;
+  AbortMutation mutate_;
+};
+
+/// Station 0's packet to 1 is cut short by churn teardown mid-airtime, and a
+/// third station transmits between the abort instant and the transmission's
+/// PLANNED end — the event that exposes an auditor fed a doctored abort
+/// timeline.
+struct ChurnAbortRun {
+  sim::Simulator sim;
+
+  ChurnAbortRun() : sim(gains(), config()) {}
+
+  static radio::PropagationMatrix gains() {
+    radio::PropagationMatrix m(3);
+    m.set_gain(0, 1, 1.0);
+    m.set_gain(2, 1, 1.0e-3);
+    m.set_gain(0, 2, 1.0e-9);
+    return m;
+  }
+  static sim::SimulatorConfig config() {
+    sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+    cfg.thermal_noise_w = kThermalW;
+    return cfg;
+  }
+
+  void run() {
+    sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                       {0.000, 1, 1.0, 1.0e4}}));  // 10 ms airtime
+    sim.set_mac(1, std::make_unique<IdleMac>());
+    sim.set_mac(2, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                       {0.007, 1, 1.0, 1.0e4}}));  // after the 5 ms abort
+    sim.run_until(0.005);
+    sim.deactivate_station(0);  // mid-transmission crash
+    sim.run_until(1.0);
+    ASSERT_EQ(sim.metrics().losses(sim::LossType::kAborted), 1u);
+  }
+};
+
+TEST(MutationTest, ControlChurnAbortKeepsAuditorGreen) {
+  ChurnAbortRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  fixture.sim.add_observer(&auditor);
+  fixture.run();
+  auditor.finalize(fixture.sim.now());
+  auditor.cross_check(fixture.sim.metrics());
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST(MutationTest, AbortReportedOutsideAirtimeTripsWellformedness) {
+  ChurnAbortRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  // The fault: teardown claims the abort happened after the transmission
+  // would have ended anyway — an abort that cannot have removed any power.
+  AbortMutatingObserver relay(
+      auditor, [](const sim::TxEvent& tx, double) {
+        return std::optional<double>(tx.end_s + 1.0);
+      });
+  fixture.sim.add_observer(&relay);
+  fixture.run();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GT(auditor.counts_by_invariant().count("abort-wellformed"), 0u)
+      << auditor.report();
+}
+
+TEST(MutationTest, SwallowedAbortTripsMonotonicity) {
+  ChurnAbortRun fixture;
+  InvariantAuditor auditor(fixture.sim);
+  // The fault: the abort notification vanishes. The auditor's record keeps
+  // the planned end (10 ms), so the kAborted outcome — which really surfaces
+  // at the 5 ms abort — pushes its event clock to 10 ms, and station 2's
+  // genuine 7 ms transmission lands "in the past".
+  AbortMutatingObserver relay(auditor, [](const sim::TxEvent&, double) {
+    return std::optional<double>();
+  });
+  fixture.sim.add_observer(&relay);
+  fixture.run();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_GT(auditor.counts_by_invariant().count("event-monotonicity"), 0u)
+      << auditor.report();
+}
+
 }  // namespace
 }  // namespace drn::audit

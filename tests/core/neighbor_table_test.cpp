@@ -46,6 +46,26 @@ TEST(NeighborTable, RejectsDuplicatesAndInvalid) {
   EXPECT_THROW(t.add(make(2, 0.0)), ContractViolation);
 }
 
+TEST(NeighborTable, EraseRemovesOnlyTheNamedNeighbor) {
+  NeighborTable t;
+  t.add(make(1, 0.1));
+  t.add(make(2, 0.2));
+  t.add(make(3, 0.3));
+  EXPECT_TRUE(t.erase(2));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find(2), nullptr);
+  ASSERT_NE(t.find(1), nullptr);
+  ASSERT_NE(t.find(3), nullptr);
+  // Erasing an unknown id reports false and leaves the table alone.
+  EXPECT_FALSE(t.erase(2));
+  EXPECT_FALSE(t.erase(9));
+  EXPECT_EQ(t.size(), 2u);
+  // An erased id can be re-adopted later (the churn rejoin path).
+  t.add(make(2, 0.25));
+  ASSERT_NE(t.find(2), nullptr);
+  EXPECT_DOUBLE_EQ(t.find(2)->gain, 0.25);
+}
+
 TEST(Significance, OneDbRuleFromSection73) {
   // "In order for the addition of a weak signal to increase the overall
   // level of interference by more than 1 dB its power level must be at

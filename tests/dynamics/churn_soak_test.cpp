@@ -1,0 +1,41 @@
+// Long-running churn soak — registered under the `soak` ctest configuration
+// (ctest -C soak) and deliberately excluded from the tier-1 suite: it runs a
+// fully audited, minutes-long simulation with every fault class enabled at
+// once and asserts the physics invariants never crack.
+#include <gtest/gtest.h>
+
+#include "runner/scenario.hpp"
+
+namespace drn::runner {
+namespace {
+
+TEST(ChurnSoak, AuditedEverythingOnRunStaysInvariantClean) {
+  ScenarioSpec spec;
+  spec.stations = 120;
+  spec.region_m = 1800.0;
+  spec.rate_pps = 150.0;
+  spec.duration_s = 60.0;
+  spec.drain_s = 30.0;
+  spec.audit = true;
+  spec.net.beacon_interval_s = 0.5;
+  spec.net.neighbor_timeout_s = 6.0;
+  spec.net.readopt_neighbors = true;
+  spec.dynamics.churn_rate_per_s = 1.0;
+  spec.dynamics.mean_downtime_s = 3.0;
+  spec.dynamics.mobility_speed_mps = 1.0;
+  spec.dynamics.mobility_step_s = 0.5;
+  spec.dynamics.drift_ppm_per_s = 2.0;
+  spec.dynamics.jammer.count = 2;
+
+  const TrialResult r = run_trial(spec, 4242);
+  EXPECT_GT(r.audit_checks, 100000u);
+  EXPECT_EQ(r.audit_violations, 0u);
+  EXPECT_GT(r.station_leaves, 20u);
+  EXPECT_GT(r.station_joins, 10u);
+  EXPECT_GT(r.noise_bursts, 100u);
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_GT(r.recoveries, 0u);
+}
+
+}  // namespace
+}  // namespace drn::runner

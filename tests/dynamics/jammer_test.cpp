@@ -1,0 +1,102 @@
+#include "dynamics/jammer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "geo/placement.hpp"
+#include "radio/interference_engine.hpp"
+#include "radio/propagation.hpp"
+#include "radio/reception.hpp"
+#include "sim/simulator.hpp"
+#include "helpers/test_macs.hpp"
+
+namespace drn::dynamics {
+namespace {
+
+sim::SimulatorConfig tiny_config() {
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0)};
+  cfg.thermal_noise_w = 1.0e-15;
+  return cfg;
+}
+
+TEST(Jammer, WithJammersAppendsInsideRegion) {
+  geo::Placement base;
+  base.push_back({1.0, 1.0});
+  base.push_back({2.0, 2.0});
+  Rng rng(9);
+  const auto extended = with_jammers(base, 3, 500.0, rng);
+  ASSERT_EQ(extended.size(), 5u);
+  EXPECT_EQ(extended[0], base[0]);
+  EXPECT_EQ(extended[1], base[1]);
+  for (std::size_t j = 2; j < 5; ++j)
+    EXPECT_LE(geo::norm(extended[j]), 500.0);
+}
+
+TEST(Jammer, EmitsOneBurstPerPeriodAfterRandomPhase) {
+  geo::Placement placement;
+  placement.push_back({0.0, 0.0});
+  placement.push_back({100.0, 0.0});
+  placement.push_back({50.0, 50.0});
+  const radio::FreeSpacePropagation model;
+  sim::Simulator sim(radio::make_dense_gains(placement, model), tiny_config());
+  sim.set_mac(0, std::make_unique<testing::IdleMac>());
+  sim.set_mac(1, std::make_unique<testing::IdleMac>());
+  JammerSpec spec;
+  spec.count = 1;
+  spec.period_s = 0.5;
+  spec.duty = 0.2;
+  spec.power_w = 1.0e-3;
+  install_jammers(sim, 2, spec);
+  sim.run_until(5.25);
+  // Phase is uniform in [0, period): at least 9 full periods fit, 11 at most.
+  EXPECT_GE(sim.metrics().noise_bursts(), 9u);
+  EXPECT_LE(sim.metrics().noise_bursts(), 11u);
+  // Noise bursts carry no packet: nothing was offered or lost end-to-end.
+  EXPECT_EQ(sim.metrics().offered(), 0u);
+}
+
+TEST(Jammer, BurstRaisesInterferenceAtReceivers) {
+  // Station 0 transmits to station 1 with a jammer parked right next to the
+  // receiver: the burst must show up in the receiver's heard power.
+  geo::Placement placement;
+  placement.push_back({0.0, 0.0});
+  placement.push_back({200.0, 0.0});
+  placement.push_back({210.0, 0.0});
+  const radio::FreeSpacePropagation model;
+  sim::Simulator sim(radio::make_dense_gains(placement, model), tiny_config());
+  sim.set_mac(0, std::make_unique<testing::IdleMac>());
+  sim.set_mac(1, std::make_unique<testing::IdleMac>());
+  JammerSpec spec;
+  spec.count = 1;
+  spec.period_s = 0.25;
+  spec.duty = 0.9;  // almost always on: power_at sampling can't miss it
+  spec.power_w = 1.0e-2;
+  install_jammers(sim, 2, spec);
+  sim.run_until(10.0);
+  EXPECT_GT(sim.metrics().noise_bursts(), 30u);
+}
+
+TEST(Jammer, DropsAnythingEnqueuedAtIt) {
+  geo::Placement placement;
+  placement.push_back({0.0, 0.0});
+  placement.push_back({100.0, 0.0});
+  const radio::FreeSpacePropagation model;
+  sim::Simulator sim(radio::make_dense_gains(placement, model), tiny_config());
+  sim.set_mac(0, std::make_unique<testing::IdleMac>());
+  JammerSpec spec;
+  spec.count = 1;
+  install_jammers(sim, 1, spec);
+  sim::Packet pkt;
+  pkt.source = 1;
+  pkt.destination = 0;
+  pkt.size_bits = 1000.0;
+  sim.inject(0.1, pkt);
+  sim.run_until(2.0);
+  EXPECT_EQ(sim.metrics().delivered(), 0u);
+  EXPECT_EQ(sim.metrics().mac_drops(), 1u);
+}
+
+}  // namespace
+}  // namespace drn::dynamics

@@ -1,0 +1,106 @@
+#include "dynamics/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "geo/placement.hpp"
+#include "geo/vec2.hpp"
+
+namespace drn::dynamics {
+namespace {
+
+geo::Placement square_start() {
+  geo::Placement p;
+  p.push_back({10.0, 0.0});
+  p.push_back({0.0, 10.0});
+  p.push_back({-10.0, 0.0});
+  p.push_back({0.0, -10.0});
+  return p;
+}
+
+TEST(RandomWaypoint, StepObeysSpeedAndStaysInRegion) {
+  const double region_m = 100.0;
+  const double speed = 5.0;
+  RandomWaypoint model(square_start(), region_m, speed);
+  Rng rng(7);
+  geo::Placement prev = square_start();
+  for (int tick = 0; tick < 200; ++tick) {
+    for (StationId s = 0; s < 4; ++s) {
+      const double dt = 0.3;
+      const geo::Vec2 next = model.step(s, dt, rng);
+      // Never faster than speed * dt (waypoint switches mid-step included).
+      EXPECT_LE(geo::distance(prev[s], next), speed * dt + 1e-9);
+      // Targets are drawn inside the disc, so the walk stays inside it.
+      EXPECT_LE(geo::norm(next), region_m + 1e-9);
+      prev[s] = next;
+    }
+  }
+}
+
+TEST(RandomWaypoint, DeterministicInItsRngStream) {
+  RandomWaypoint a(square_start(), 50.0, 2.0);
+  RandomWaypoint b(square_start(), 50.0, 2.0);
+  Rng ra(42), rb(42);
+  for (int tick = 0; tick < 50; ++tick)
+    for (StationId s = 0; s < 4; ++s)
+      EXPECT_EQ(a.step(s, 0.5, ra), b.step(s, 0.5, rb));
+}
+
+TEST(RandomWaypoint, ActuallyMoves) {
+  RandomWaypoint model(square_start(), 100.0, 3.0);
+  Rng rng(1);
+  geo::Vec2 pos = square_start()[0];
+  double travelled = 0.0;
+  for (int tick = 0; tick < 100; ++tick) {
+    const geo::Vec2 next = model.step(0, 0.5, rng);
+    travelled += geo::distance(pos, next);
+    pos = next;
+  }
+  EXPECT_GT(travelled, 100.0);  // 50 s at 3 m/s, minus waypoint slack
+}
+
+TEST(ScriptedPath, InterpolatesLinearlyAndHoldsLast) {
+  geo::Placement start;
+  start.push_back({0.0, 0.0});
+  ScriptedPath path(std::move(start));
+  path.add_keyframe(0, 2.0, {10.0, 0.0});
+  path.add_keyframe(0, 4.0, {10.0, 6.0});
+  Rng rng(1);
+
+  geo::Vec2 p = path.step(0, 1.0, rng);  // t = 1: halfway to (10, 0)
+  EXPECT_NEAR(p.x, 5.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  p = path.step(0, 1.0, rng);  // t = 2: first keyframe exactly
+  EXPECT_NEAR(p.x, 10.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  p = path.step(0, 1.0, rng);  // t = 3: halfway up the second leg
+  EXPECT_NEAR(p.x, 10.0, 1e-12);
+  EXPECT_NEAR(p.y, 3.0, 1e-12);
+  p = path.step(0, 10.0, rng);  // t = 13: past the last keyframe — hold
+  EXPECT_NEAR(p.x, 10.0, 1e-12);
+  EXPECT_NEAR(p.y, 6.0, 1e-12);
+}
+
+TEST(ScriptedPath, StationsWithoutKeyframesHoldStart) {
+  geo::Placement start;
+  start.push_back({1.0, 2.0});
+  start.push_back({3.0, 4.0});
+  ScriptedPath path(std::move(start));
+  path.add_keyframe(1, 1.0, {0.0, 0.0});
+  Rng rng(1);
+  // Station 0 has no script: it never moves, no matter how far time runs.
+  for (int tick = 0; tick < 5; ++tick) {
+    const geo::Vec2 p = path.step(0, 2.0, rng);
+    EXPECT_EQ(p, (geo::Vec2{1.0, 2.0}));
+  }
+  // Per-station clocks are independent: station 1's first step still covers
+  // its whole leg even though station 0 was stepped five times first.
+  const geo::Vec2 q = path.step(1, 0.5, rng);
+  EXPECT_NEAR(q.x, 1.5, 1e-12);
+  EXPECT_NEAR(q.y, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace drn::dynamics

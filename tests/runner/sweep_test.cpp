@@ -123,9 +123,15 @@ TEST(Sweep, ResultsJsonShapeAndTimingSeparation) {
   std::ostringstream os;
   write_results_json(os, spec, result);
   const std::string doc = os.str();
-  EXPECT_NE(doc.find("\"schema\": \"drn-sweep-v2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"drn-sweep-v3\""), std::string::npos);
   EXPECT_NE(doc.find("\"trials\""), std::string::npos);
   EXPECT_NE(doc.find("\"summaries\""), std::string::npos);
+  // The dynamics config block is always present; the per-trial dynamics
+  // counters only appear when dynamics is actually enabled.
+  EXPECT_NE(doc.find("\"dynamics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"enabled\": false"), std::string::npos);
+  EXPECT_EQ(doc.find("\"station_leaves\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"median_recovery_s\""), std::string::npos);
   // Timing must NOT leak into the deterministic document.
   EXPECT_EQ(doc.find("wall_s"), std::string::npos);
   EXPECT_EQ(doc.find("trials_per_s"), std::string::npos);
@@ -176,6 +182,63 @@ TEST(Sweep, PairedSeedsShareSeedAcrossPoints) {
       }
     }
   }
+}
+
+TEST(Sweep, DynamicsConfigRoundTripsIntoJson) {
+  auto spec = tiny_spec();
+  spec.stations = {6};
+  spec.macs = {MacKind::kAloha};
+  spec.seeds = 1;
+  spec.base.dynamics.churn_rate_per_s = 0.25;
+  spec.base.dynamics.mean_downtime_s = 1.5;
+  spec.base.dynamics.mobility_speed_mps = 2.0;
+  spec.base.dynamics.jammer.count = 1;
+  spec.base.dynamics.jammer.duty = 0.1;
+  const auto result = run_sweep(spec, 1);
+
+  std::ostringstream os;
+  write_results_json(os, spec, result);
+  const std::string doc = os.str();
+  // The spec's dynamics block round-trips with its configured values...
+  EXPECT_NE(doc.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(doc.find("\"churn_rate_per_s\": 0.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"mean_downtime_s\": 1.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"mobility_model\": \"random_waypoint\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"jammers\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"jammer_duty\": 0.1"), std::string::npos);
+  // ...and the per-trial dynamics counters + per-point recovery stats appear.
+  EXPECT_NE(doc.find("\"station_leaves\""), std::string::npos);
+  EXPECT_NE(doc.find("\"noise_bursts\""), std::string::npos);
+  EXPECT_NE(doc.find("\"median_recovery_s\""), std::string::npos);
+  EXPECT_NE(doc.find("\"aborted_losses\""), std::string::npos);
+}
+
+TEST(Sweep, DynamicsTrialDeterministicAndParallelSafe) {
+  // A dynamics-laden trial is still a pure function of (spec, seed), and a
+  // sweep of such trials is still byte-identical across job counts.
+  auto spec = tiny_spec();
+  spec.stations = {6};
+  spec.base.dynamics.churn_rate_per_s = 1.0;
+  spec.base.dynamics.mean_downtime_s = 0.5;
+  spec.base.dynamics.mobility_speed_mps = 1.0;
+  spec.base.dynamics.mobility_step_s = 0.2;
+  spec.base.dynamics.jammer.count = 1;
+  spec.base.net.beacon_interval_s = 0.2;
+  spec.base.net.neighbor_timeout_s = 2.4;
+  spec.base.net.readopt_neighbors = true;
+
+  const auto serial = run_sweep(spec, 1);
+  const auto parallel = run_sweep(spec, 8);
+  std::ostringstream a, b;
+  write_results_json(a, spec, serial);
+  write_results_json(b, spec, parallel);
+  EXPECT_EQ(a.str(), b.str());
+
+  // Churn actually happened somewhere in the sweep.
+  std::uint64_t leaves = 0;
+  for (const auto& r : serial.results) leaves += r.station_leaves;
+  EXPECT_GT(leaves, 0u);
 }
 
 TEST(Sweep, MacNamesRoundTrip) {

@@ -4,8 +4,9 @@
 #   1. lint          tools/drn_lint.py (determinism + hygiene rules)
 #   2. format        clang-format --dry-run over src/bench/tools/tests
 #   3. build + test  default config
-#   4. bench smoke   interference-engine ablation in --smoke mode; the JSON
-#                    it emits is schema-checked when python3 is present
+#   4. bench smoke   interference-engine and dynamics ablations in --smoke
+#                    mode; the JSON they emit is schema-checked when python3
+#                    is present
 #   5. clang-tidy    over src/ and tools/ (needs stage 3's compile commands)
 #   6. build + test  once per sanitizer config (default: tsan, then
 #                    asan+ubsan)
@@ -76,6 +77,30 @@ print(f"bench smoke OK: {len(runs)} runs, engines {sorted(engines)}")
 PY
 else
   echo "bench schema check SKIPPED: no python3 on this host"
+fi
+
+dyn_json="build-ci/BENCH_dynamics.json"
+./build-ci/bench/bench_abl_dynamics --smoke --out "${dyn_json}"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${dyn_json}" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "drn-bench-dynamics-v1", doc.get("schema")
+assert doc["smoke"] is True
+assert len(doc["churn_rates_per_s"]) >= 3, doc["churn_rates_per_s"]
+macs = set(doc["macs"])
+assert "scheme" in macs and len(macs) >= 3, macs
+points = doc["points"]
+assert len(points) == len(doc["churn_rates_per_s"]) * len(doc["macs"]), points
+for p in points:
+    assert p["trials"] == doc["seeds"], p
+    assert 0.0 <= p["delivery_ratio_mean"] <= 1.0, p
+    assert p["station_joins"] <= p["station_leaves"], p
+assert any(p["recoveries"] > 0 for p in points), "no recovery ever measured"
+print(f"dynamics bench smoke OK: {len(points)} points, macs {sorted(macs)}")
+PY
+else
+  echo "dynamics bench schema check SKIPPED: no python3 on this host"
 fi
 
 echo "==== stage: clang-tidy ===="

@@ -23,6 +23,12 @@ depends on, none of which clang-tidy checks:
                   radio/interference_engine.*: the O(M^2) matrix only enters
                   library code via the guarded make_dense_gains route (or the
                   near/far engine, which never builds it).
+  position-state  no positions_ member access in library code under src/
+                  outside dynamics/mobility.*, geo/grid_index.* and
+                  radio/interference_engine.*: station position state has
+                  exactly those owners; every move must flow through
+                  Simulator::try_move_station so gains, spatial index and
+                  in-flight receptions are updated together.
 
 Suppress a finding by appending `// drn-lint: allow(<rule>)` to the line,
 which is a grep-able record that a human judged the exception sound.
@@ -64,6 +70,10 @@ FLOAT_EQ = re.compile(
 DENSE_MATRIX = re.compile(r"\bfrom_placement\s*\(")
 # The only library files allowed to touch the O(M^2) dense-matrix build.
 DENSE_MATRIX_EXEMPT = ("propagation_matrix", "interference_engine")
+
+POSITION_STATE = re.compile(r"\bpositions_\b")
+# The only library files allowed to hold or touch station position state.
+POSITION_STATE_EXEMPT = ("mobility", "grid_index", "interference_engine")
 
 ALLOW = re.compile(r"//\s*drn-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 COMMENT = re.compile(r"//.*$")
@@ -146,6 +156,19 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path) -> list[str]:
                 "from_placement builds the O(M^2) matrix; library code "
                 "must go through radio::make_dense_gains (guarded) or the "
                 "near/far engine",
+            )
+        if (
+            in_library
+            and path.stem not in POSITION_STATE_EXEMPT
+            and POSITION_STATE.search(code)
+            and not allowed(raw, "position-state")
+        ):
+            report(
+                lineno,
+                "position-state",
+                "positions_ state belongs to the mobility model / grid "
+                "index / near-far engine; move stations through "
+                "Simulator::try_move_station instead",
             )
     return findings
 

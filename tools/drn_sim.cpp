@@ -5,15 +5,18 @@
 //   $ drn_sim --stations 50 --region 1200 --mac scheme --rate 300
 //   $ drn_sim --mac aloha --seed 9 --csv-trace /tmp/trace.csv
 //   $ drn_sim --help
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
 #include "audit/invariant_auditor.hpp"
@@ -23,6 +26,7 @@
 #include "baselines/maca.hpp"
 #include "baselines/slotted_aloha.hpp"
 #include "core/network_builder.hpp"
+#include "dynamics/dynamics.hpp"
 #include "geo/placement.hpp"
 #include "radio/interference_engine.hpp"
 #include "radio/propagation.hpp"
@@ -62,6 +66,20 @@ struct Options {
   bool json = false;
   bool audit = false;
   bool help = false;
+  // Network dynamics (src/dynamics/); all off by default.
+  double churn_rate_per_s = 0.0;
+  double churn_downtime_s = 5.0;
+  double mobility_mps = 0.0;
+  double mobility_step_s = 0.5;
+  double drift_ppm_per_s = 0.0;
+  double drift_step_s = 1.0;
+  std::size_t jammers = 0;
+  double jammer_period_s = 0.5;
+  double jammer_duty = 0.2;
+  double jammer_power_w = 1.0e-3;
+  /// Maintenance beacon interval for the scheme under churn/drift; 0 = auto
+  /// (0.5 s when churn or drift is on, otherwise no beacons).
+  double beacon_s = 0.0;
 };
 
 void print_help() {
@@ -104,6 +122,20 @@ interference engine
   --cutoff METERS       nearfar only: exact-summation radius (default 0 =
                         2x the free-space reach of the power budget)
   --cell METERS         nearfar only: grid cell side (default 0 = cutoff/4)
+
+network dynamics (all off by default; see DESIGN.md "Network dynamics")
+  --churn RATE          station crash rate, crashes/s  (default 0 = off)
+  --churn-downtime S    mean downtime before rejoin    (default 5)
+  --mobility MPS        random-waypoint speed          (default 0 = off)
+  --mobility-step S     position update interval       (default 0.5)
+  --drift PPMPS         clock slope half-width, ppm/s  (default 0 = off)
+  --drift-step S        rate-step interval             (default 1)
+  --jammers N           duty-cycled noise stations     (default 0)
+  --jammer-period S     jammer burst period            (default 0.5)
+  --jammer-duty F       fraction of period radiating   (default 0.2)
+  --jammer-power W      jammer burst power             (default 1e-3)
+  --beacon S            scheme maintenance-beacon interval; 0 = auto
+                        (0.5 s when churn or drift is on)
 
 output
   --csv-trace PATH      dump the physical-layer trace as CSV
@@ -189,6 +221,20 @@ bool parse(int argc, char** argv, Options& opt) {
     kv.erase(it);
   }
   integer("trace-cap", opt.trace_cap);
+  const bool jammer_knobs = kv.count("jammer-period") > 0 ||
+                            kv.count("jammer-duty") > 0 ||
+                            kv.count("jammer-power") > 0;
+  num("churn", opt.churn_rate_per_s);
+  num("churn-downtime", opt.churn_downtime_s);
+  num("mobility", opt.mobility_mps);
+  num("mobility-step", opt.mobility_step_s);
+  num("drift", opt.drift_ppm_per_s);
+  num("drift-step", opt.drift_step_s);
+  integer("jammers", opt.jammers);
+  num("jammer-period", opt.jammer_period_s);
+  num("jammer-duty", opt.jammer_duty);
+  num("jammer-power", opt.jammer_power_w);
+  num("beacon", opt.beacon_s);
   if (!flag("json", opt.json)) return false;
   if (!flag("audit", opt.audit)) return false;
   if (!kv.empty()) {
@@ -207,6 +253,39 @@ bool parse(int argc, char** argv, Options& opt) {
   if ((opt.cutoff_m > 0.0 || opt.cell_m > 0.0) && opt.engine != "nearfar") {
     std::cerr << "--cutoff/--cell tune the near/far engine; "
                  "combine them with --engine nearfar\n";
+    return false;
+  }
+  if (opt.churn_rate_per_s < 0.0 || opt.mobility_mps < 0.0 ||
+      opt.drift_ppm_per_s < 0.0) {
+    std::cerr << "--churn/--mobility/--drift rates must be >= 0\n";
+    return false;
+  }
+  if (opt.churn_rate_per_s > 0.0 && opt.churn_downtime_s <= 0.0) {
+    std::cerr << "--churn-downtime must be > 0 when --churn is on\n";
+    return false;
+  }
+  if (opt.mobility_mps > 0.0 && opt.mobility_step_s <= 0.0) {
+    std::cerr << "--mobility-step must be > 0 when --mobility is on\n";
+    return false;
+  }
+  if (opt.drift_ppm_per_s > 0.0 && opt.drift_step_s <= 0.0) {
+    std::cerr << "--drift-step must be > 0 when --drift is on\n";
+    return false;
+  }
+  if (opt.jammers > 0 &&
+      (opt.jammer_period_s <= 0.0 || opt.jammer_duty <= 0.0 ||
+       opt.jammer_duty > 1.0 || opt.jammer_power_w <= 0.0)) {
+    std::cerr << "--jammer-period/--jammer-power must be > 0 and "
+                 "--jammer-duty in (0, 1]\n";
+    return false;
+  }
+  if (opt.jammers == 0 && jammer_knobs) {
+    std::cerr << "--jammer-* tune the jammers; combine them with "
+                 "--jammers N\n";
+    return false;
+  }
+  if (opt.beacon_s < 0.0) {
+    std::cerr << "--beacon must be >= 0\n";
     return false;
   }
   return true;
@@ -237,6 +316,17 @@ int run(const Options& opt) {
   net_cfg.receive_fraction = opt.receive_fraction;
   net_cfg.target_received_w = opt.target_received_w;
   net_cfg.max_power_w = opt.max_power_w;
+  // Under churn or drift the scheme needs maintenance beacons to evict
+  // ghosts, re-adopt returnees and re-fit drifting clocks.
+  const bool needs_beacons =
+      opt.churn_rate_per_s > 0.0 || opt.drift_ppm_per_s > 0.0;
+  if (opt.mac == "scheme" && (needs_beacons || opt.beacon_s > 0.0)) {
+    net_cfg.beacon_interval_s = opt.beacon_s > 0.0 ? opt.beacon_s : 0.5;
+    if (opt.churn_rate_per_s > 0.0) {
+      net_cfg.neighbor_timeout_s = 12.0 * net_cfg.beacon_interval_s;
+      net_cfg.readopt_neighbors = true;
+    }
+  }
   Rng build_rng = rng.split(1);
   auto net = core::build_scheduled_network(gains, criterion, net_cfg, build_rng);
 
@@ -244,6 +334,14 @@ int run(const Options& opt) {
   const auto graph = routing::Graph::min_energy(gains, min_gain);
   const auto tables = routing::RoutingTables::build(graph);
 
+  // Jammers are extra stations appended after the real network; routing and
+  // traffic never touch them.
+  geo::Placement all_placement = placement;
+  if (opt.jammers > 0) {
+    Rng jammer_rng = Rng(opt.seed).split(4);
+    all_placement = dynamics::with_jammers(all_placement, opt.jammers,
+                                           opt.region_m, jammer_rng);
+  }
   sim::SimulatorConfig sim_cfg{criterion};
   sim_cfg.seed = opt.seed;
   const auto engine_kind = *radio::parse_engine(opt.engine);
@@ -253,12 +351,22 @@ int run(const Options& opt) {
     nf.cutoff_m =
         opt.cutoff_m > 0.0 ? opt.cutoff_m : 2.0 / std::sqrt(min_gain);
     nf.cell_m = opt.cell_m;
-    sim_box.emplace(radio::make_nearfar_engine(placement, model, nf), sim_cfg);
+    sim_box.emplace(radio::make_nearfar_engine(all_placement, model, nf),
+                    sim_cfg);
   } else {
     sim_cfg.engine = engine_kind;
-    sim_box.emplace(gains, sim_cfg);
+    if (opt.jammers > 0) {
+      sim_box.emplace(
+          radio::PropagationMatrix::from_placement(all_placement, *model),
+          sim_cfg);
+    } else {
+      sim_box.emplace(gains, sim_cfg);
+    }
   }
   sim::Simulator& sim = *sim_box;
+  if (opt.mobility_mps > 0.0 &&
+      engine_kind != radio::InterferenceEngineKind::kNearFar)
+    sim.enable_mobility(all_placement, model);
   sim::TraceRecorder trace(opt.trace_cap);
   if (!opt.csv_trace.empty()) sim.add_observer(&trace);
   std::unique_ptr<audit::InvariantAuditor> auditor;
@@ -267,34 +375,63 @@ int run(const Options& opt) {
     sim.add_observer(auditor.get());
   }
 
-  if (opt.mac == "scheme") {
-    for (StationId s = 0; s < gains.size(); ++s)
-      sim.set_mac(s, std::move(net.macs[s]));
-  } else if (opt.mac == "aloha" || opt.mac == "slotted" || opt.mac == "csma") {
+  // One fresh-MAC builder shared by initial install and churn rejoin
+  // (baselines reboot stateless; the scheme warm-reboots from a snapshot).
+  std::function<std::unique_ptr<sim::MacProtocol>(StationId)> fresh_mac;
+  if (opt.mac == "aloha" || opt.mac == "slotted" || opt.mac == "csma") {
     baselines::ContentionConfig cc;
     cc.power_w = opt.max_power_w;
     cc.max_retries = 6;
     cc.backoff_mean_s = opt.slot_s;
-    for (StationId s = 0; s < gains.size(); ++s) {
-      if (opt.mac == "aloha") {
-        sim.set_mac(s, std::make_unique<baselines::PureAloha>(cc));
-      } else if (opt.mac == "slotted") {
-        sim.set_mac(s, std::make_unique<baselines::SlottedAloha>(
-                           cc, opt.slot_s / 4.0));
-      } else {
-        sim.set_mac(s, std::make_unique<baselines::CsmaMac>(
-                           cc, 2.5 * opt.target_received_w));
-      }
-    }
+    fresh_mac = [cc, &opt](StationId) -> std::unique_ptr<sim::MacProtocol> {
+      if (opt.mac == "aloha")
+        return std::make_unique<baselines::PureAloha>(cc);
+      if (opt.mac == "slotted")
+        return std::make_unique<baselines::SlottedAloha>(cc,
+                                                         opt.slot_s / 4.0);
+      return std::make_unique<baselines::CsmaMac>(
+          cc, 2.5 * opt.target_received_w);
+    };
   } else if (opt.mac == "maca") {
     baselines::MacaConfig mc;
     mc.power_w = opt.max_power_w;
     mc.data_rate_bps = opt.data_rate_bps;
-    for (StationId s = 0; s < gains.size(); ++s)
-      sim.set_mac(s, std::make_unique<baselines::MacaMac>(mc));
-  } else {
+    fresh_mac = [mc](StationId) -> std::unique_ptr<sim::MacProtocol> {
+      return std::make_unique<baselines::MacaMac>(mc);
+    };
+  } else if (opt.mac != "scheme") {
     std::cerr << "unknown --mac " << opt.mac << " (try --help)\n";
     return 2;
+  }
+  dynamics::MacFactory rejoin;
+  if (opt.churn_rate_per_s > 0.0) {
+    if (opt.mac == "scheme") {
+      std::vector<core::ScheduledStationConfig> cfgs;
+      std::vector<core::NeighborTable> tabs;
+      cfgs.reserve(net.macs.size());
+      tabs.reserve(net.macs.size());
+      for (const auto& mac : net.macs) {
+        cfgs.push_back(mac->config());
+        tabs.push_back(mac->neighbors());
+      }
+      rejoin = [cfgs = std::move(cfgs), tabs = std::move(tabs)](StationId s) {
+        return std::make_unique<core::ScheduledStation>(cfgs[s], tabs[s]);
+      };
+    } else {
+      rejoin = fresh_mac;
+    }
+  }
+  if (opt.mac == "scheme") {
+    for (StationId s = 0; s < gains.size(); ++s)
+      sim.set_mac(s, std::move(net.macs[s]));
+  } else {
+    for (StationId s = 0; s < gains.size(); ++s)
+      sim.set_mac(s, fresh_mac(s));
+  }
+  if (opt.jammers > 0) {
+    dynamics::JammerSpec js{opt.jammers, opt.jammer_period_s, opt.jammer_duty,
+                            opt.jammer_power_w};
+    dynamics::install_jammers(sim, opt.stations, js);
   }
   sim.set_router(tables.router());
 
@@ -303,19 +440,43 @@ int run(const Options& opt) {
            opt.rate_pps, opt.duration_s, net.packet_bits,
            sim::uniform_pairs(gains.size()), traffic_rng))
     sim.inject(inj.time_s, inj.packet);
-  sim.run_until(opt.duration_s + opt.drain_s);
+  const double total_s = opt.duration_s + opt.drain_s;
+  dynamics::DynamicsConfig dc;
+  dc.churn_rate_per_s = opt.churn_rate_per_s;
+  dc.mean_downtime_s = opt.churn_downtime_s;
+  dc.mobility_speed_mps = opt.mobility_mps;
+  dc.mobility_step_s = opt.mobility_step_s;
+  dc.mobility_region_m = opt.region_m;
+  dc.drift_ppm_per_s = opt.drift_ppm_per_s;
+  dc.drift_step_s = opt.drift_step_s;
+  dc.jammer = {opt.jammers, opt.jammer_period_s, opt.jammer_duty,
+               opt.jammer_power_w};
+  std::optional<dynamics::DynamicsEngine> driver;
+  if (dc.enabled()) {
+    driver.emplace(dc, sim, all_placement, opt.stations, std::move(rejoin),
+                   Rng(opt.seed).split(3));
+    driver->run(total_s);
+  } else {
+    sim.run_until(total_s);
+  }
 
   const auto& m = sim.metrics();
   if (auditor) {
-    auditor->finalize(opt.duration_s + opt.drain_s);
+    auditor->finalize(total_s);
     auditor->cross_check(m);
   }
   const bool audit_failed = auditor && !auditor->ok();
+  double median_recovery_s = 0.0;
+  if (driver && !driver->recovery_samples().empty()) {
+    std::vector<double> samples = driver->recovery_samples();
+    std::sort(samples.begin(), samples.end());
+    median_recovery_s = samples[samples.size() / 2];
+  }
   if (opt.json) {
-    // One machine-readable line on stdout (schema drn-sim-v1), nothing else.
+    // One machine-readable line on stdout (schema drn-sim-v2), nothing else.
     runner::json::Writer w(std::cout, 0);
     w.begin_object();
-    w.key("schema").value("drn-sim-v1");
+    w.key("schema").value("drn-sim-v2");
     w.key("stations").value(opt.stations);
     w.key("region_m").value(opt.region_m);
     w.key("mac").value(opt.mac);
@@ -334,7 +495,16 @@ int run(const Options& opt) {
     w.key("mac_drops").value(m.mac_drops());
     w.key("mean_delay_s").value(m.delivered() > 0 ? m.delay().mean() : 0.0);
     w.key("mean_hops").value(m.delivered() > 0 ? m.hops().mean() : 0.0);
-    w.key("mean_duty").value(m.mean_duty_cycle(opt.duration_s + opt.drain_s));
+    w.key("mean_duty").value(m.mean_duty_cycle(total_s));
+    if (driver) {
+      w.key("aborted_losses").value(m.losses(sim::LossType::kAborted));
+      w.key("station_leaves").value(m.station_leaves());
+      w.key("station_joins").value(m.station_joins());
+      w.key("churn_drops").value(m.churn_drops());
+      w.key("noise_bursts").value(m.noise_bursts());
+      w.key("recoveries").value(m.recovery_s().count());
+      w.key("median_recovery_s").value(median_recovery_s);
+    }
     if (auditor) {
       w.key("audit_checks").value(auditor->checks_run());
       w.key("audit_violations").value(auditor->violation_count());
@@ -373,8 +543,22 @@ int run(const Options& opt) {
     t.add_row({"mean hops", analysis::Table::num(m.hops().mean(), 2)});
   }
   t.add_row({"mean transmit duty",
-             analysis::Table::num(
-                 m.mean_duty_cycle(opt.duration_s + opt.drain_s), 4)});
+             analysis::Table::num(m.mean_duty_cycle(total_s), 4)});
+  if (driver) {
+    t.add_row({"aborted (churn) losses",
+               analysis::Table::num(m.losses(sim::LossType::kAborted))});
+    t.add_row({"station leaves / joins",
+               analysis::Table::num(m.station_leaves()) + " / " +
+                   analysis::Table::num(m.station_joins())});
+    t.add_row({"churn queue drops", analysis::Table::num(m.churn_drops())});
+    t.add_row({"jammer noise bursts", analysis::Table::num(m.noise_bursts())});
+    if (m.recovery_s().count() > 0) {
+      t.add_row({"recoveries measured",
+                 analysis::Table::num(m.recovery_s().count())});
+      t.add_row({"median recovery (s)",
+                 analysis::Table::num(median_recovery_s, 3)});
+    }
+  }
   if (auditor) {
     t.add_row({"audit checks", analysis::Table::num(auditor->checks_run())});
     t.add_row({"audit violations",

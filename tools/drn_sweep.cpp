@@ -12,6 +12,7 @@
 // byte-identical for any --jobs value (trial RNG is derived from the trial
 // index, never from scheduling). Timing (wall seconds, trials/sec) is
 // emitted as a separate JSON line on stderr so results files can be diffed.
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +35,9 @@ struct Options {
   std::string json_path;  // empty = stdout
   bool progress = true;
   bool help = false;
+  /// Scheme maintenance-beacon interval; 0 = auto (0.5 s when churn or
+  /// drift is on).
+  double beacon_s = 0.0;
 };
 
 void print_help() {
@@ -71,6 +75,20 @@ interference engine
                         twice the trial's region radius, i.e. near-exact)
   --cell METERS         nearfar only: grid cell side (default 0 = cutoff/4)
 
+network dynamics (applied to every trial; all off by default)
+  --churn RATE          station crash rate, crashes/s  (default 0 = off)
+  --churn-downtime S    mean downtime before rejoin    (default 5)
+  --mobility MPS        random-waypoint speed          (default 0 = off)
+  --mobility-step S     position update interval       (default 0.5)
+  --drift PPMPS         clock slope half-width, ppm/s  (default 0 = off)
+  --drift-step S        rate-step interval             (default 1)
+  --jammers N           duty-cycled noise stations     (default 0)
+  --jammer-period S     jammer burst period            (default 0.5)
+  --jammer-duty F       fraction of period radiating   (default 0.2)
+  --jammer-power W      jammer burst power             (default 1e-3)
+  --beacon S            scheme maintenance-beacon interval; 0 = auto
+                        (0.5 s when churn or drift is on)
+
 execution
   --jobs N              worker threads (0 = all hardware threads; default 1)
   --progress 0|1        progress ticks on stderr    (default 1)
@@ -79,7 +97,7 @@ execution
                         per-trial verdict lands in the results JSON and any
                         violation fails the sweep with exit 4 (default 0)
 
-The results JSON (schema drn-sweep-v2) is byte-identical for any --jobs
+The results JSON (schema drn-sweep-v3) is byte-identical for any --jobs
 value. Timing {"jobs","trials","wall_s","trials_per_s"} prints to stderr.
 )";
 }
@@ -243,6 +261,59 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.spec.base.engine_cell_m = std::stod(it->second);
       kv.erase(it);
     }
+    const bool jammer_knobs = kv.count("jammer-period") > 0 ||
+                              kv.count("jammer-duty") > 0 ||
+                              kv.count("jammer-power") > 0;
+    auto num = [&](const char* name, double& out) {
+      if (auto it = kv.find(name); it != kv.end()) {
+        out = std::stod(it->second);
+        kv.erase(it);
+      }
+    };
+    auto& dyn = opt.spec.base.dynamics;
+    num("churn", dyn.churn_rate_per_s);
+    num("churn-downtime", dyn.mean_downtime_s);
+    num("mobility", dyn.mobility_speed_mps);
+    num("mobility-step", dyn.mobility_step_s);
+    num("drift", dyn.drift_ppm_per_s);
+    num("drift-step", dyn.drift_step_s);
+    if (auto it = kv.find("jammers"); it != kv.end()) {
+      dyn.jammer.count = std::stoull(it->second);
+      kv.erase(it);
+    }
+    num("jammer-period", dyn.jammer.period_s);
+    num("jammer-duty", dyn.jammer.duty);
+    num("jammer-power", dyn.jammer.power_w);
+    num("beacon", opt.beacon_s);
+    if (dyn.churn_rate_per_s < 0.0 || dyn.mobility_speed_mps < 0.0 ||
+        dyn.drift_ppm_per_s < 0.0) {
+      std::cerr << "--churn/--mobility/--drift rates must be >= 0\n";
+      return false;
+    }
+    if (dyn.churn_enabled() && dyn.mean_downtime_s <= 0.0) {
+      std::cerr << "--churn-downtime must be > 0 when --churn is on\n";
+      return false;
+    }
+    if (dyn.mobility_enabled() && dyn.mobility_step_s <= 0.0) {
+      std::cerr << "--mobility-step must be > 0 when --mobility is on\n";
+      return false;
+    }
+    if (dyn.drift_enabled() && dyn.drift_step_s <= 0.0) {
+      std::cerr << "--drift-step must be > 0 when --drift is on\n";
+      return false;
+    }
+    if (dyn.jammer.count == 0 && jammer_knobs) {
+      std::cerr << "--jammer-* tune the jammers; combine them with "
+                   "--jammers N\n";
+      return false;
+    }
+    if (dyn.jammer.count > 0 &&
+        (dyn.jammer.period_s <= 0.0 || dyn.jammer.duty <= 0.0 ||
+         dyn.jammer.duty > 1.0 || dyn.jammer.power_w <= 0.0)) {
+      std::cerr << "--jammer-period/--jammer-power must be > 0 and "
+                   "--jammer-duty in (0, 1]\n";
+      return false;
+    }
     if (auto it = kv.find("audit"); it != kv.end()) {
       if (it->second != "0" && it->second != "1") {
         std::cerr << "bad --audit value: " << it->second
@@ -274,6 +345,21 @@ bool parse(int argc, char** argv, Options& opt) {
   if (!kv.empty()) {
     std::cerr << "unknown option: --" << kv.begin()->first << " (try --help)\n";
     return false;
+  }
+  // Under churn or drift the scheme needs maintenance beacons to evict
+  // ghosts, re-adopt returnees and re-fit drifting clocks.
+  const auto& dyn = opt.spec.base.dynamics;
+  const bool scheme_in_sweep =
+      std::find(opt.spec.macs.begin(), opt.spec.macs.end(),
+                runner::MacKind::kScheme) != opt.spec.macs.end();
+  if (scheme_in_sweep &&
+      (dyn.churn_enabled() || dyn.drift_enabled() || opt.beacon_s > 0.0)) {
+    auto& net = opt.spec.base.net;
+    net.beacon_interval_s = opt.beacon_s > 0.0 ? opt.beacon_s : 0.5;
+    if (dyn.churn_enabled()) {
+      net.neighbor_timeout_s = 12.0 * net.beacon_interval_s;
+      net.readopt_neighbors = true;
+    }
   }
   return true;
 }
