@@ -83,7 +83,7 @@ RunResult churn(radio::InterferenceEngineKind kind,
   std::unique_ptr<radio::InterferenceEngine> engine;
   if (kind == radio::InterferenceEngineKind::kNearFar) {
     radio::NearFarConfig nf;
-    nf.cutoff_m = 400.0;  // grows no neighbours at fixed density
+    nf.cutoff = radio::Meters{400.0};  // grows no neighbours at fixed density
     engine = radio::make_nearfar_engine(
         placement, std::make_shared<radio::FreeSpacePropagation>(), nf);
   } else {
@@ -93,7 +93,7 @@ RunResult churn(radio::InterferenceEngineKind kind,
                  ? radio::make_dense_engine(std::move(gains))
                  : radio::make_compensated_engine(std::move(gains));
   }
-  engine->set_thermal_noise(1.0e-15);
+  engine->set_thermal_noise(radio::Watts{1.0e-15});
   const auto nn = nearest_neighbors(placement, region_m / 16.0);
   const auto t_setup = std::chrono::steady_clock::now();
   r.setup_s = std::chrono::duration<double>(t_setup - t0).count();
@@ -102,7 +102,7 @@ RunResult churn(radio::InterferenceEngineKind kind,
   // --- churn: sliding window of concurrent transmissions ---
   constexpr std::size_t kWindow = 64;
   const auto noop_sender = [](radio::ReceptionHandle) {};
-  const auto noop_affected = [](radio::ReceptionHandle, double) {};
+  const auto noop_affected = [](radio::ReceptionHandle, radio::Watts) {};
   struct Flight {
     std::uint64_t tx_id;
     radio::ReceptionHandle handle;
@@ -118,9 +118,9 @@ RunResult churn(radio::InterferenceEngineKind kind,
     // Deliver ~1 nW at the nearest neighbour (the paper's power control).
     const double power = 1.0e-9 / engine->gain(rx, from);
     const std::uint64_t tx = next_tx++;
-    engine->transmit_started(tx, from, power, noop_sender, noop_affected);
+    engine->transmit_started(tx, from, radio::Watts{power}, noop_sender, noop_affected);
     const auto handle = engine->open_reception(tx, rx, nullptr);
-    sink += engine->interference_w(handle);
+    sink += engine->interference(handle).value();
     on_air.push_back({tx, handle});
     events += 2;  // start + open
     if (on_air.size() > kWindow) {

@@ -33,7 +33,7 @@ Outcome run_aloha(int k, std::uint64_t seed) {
   // failures a canceller can actually rescue. (Under the 23 dB spread
   // design, ALOHA's losses are almost purely Type 3 — the receiver's own
   // transmitter — which no cancellation fixes.)
-  sim::SimulatorConfig sc{drn::radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  sim::SimulatorConfig sc{drn::radio::ReceptionCriterion(drn::radio::Hertz{1.0e6}, drn::radio::BitsPerSecond{1.0e6}, drn::radio::Decibels{0.0})};
   sc.multiuser_subtract_k = k;
   sim::Simulator sim(scenario.gains, sc);
   drn::baselines::ContentionConfig cc;

@@ -56,7 +56,7 @@ double run(bool adaptive, const drn::radio::PropagationMatrix& gains,
   drn::Rng rng(99);
   std::vector<core::StationClock> clocks;
   for (int s = 0; s < 2 * kLinks; ++s)
-    clocks.push_back(core::StationClock::random(rng, 1.0e5, 10.0));
+    clocks.push_back(core::StationClock::random(rng, core::Seconds{1.0e5}, 10.0));
 
   std::vector<double> rates(static_cast<std::size_t>(kLinks));
   for (int i = 0; i < kLinks; ++i) {
@@ -71,7 +71,7 @@ double run(bool adaptive, const drn::radio::PropagationMatrix& gains,
     if (per_link != nullptr) {
       per_link->add_row(
           {std::to_string(50 * (i + 1)) + " m",
-           Table::num(10.0 * std::log10(snr), 1),
+           Table::num(drn::radio::to_db(snr), 1),
            Table::num(rates[static_cast<std::size_t>(i)] / 1.0e6, 2)});
     }
 

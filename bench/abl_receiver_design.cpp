@@ -24,10 +24,10 @@ void despreading_channels() {
   for (int channels : {1, 2, 4, 8}) {
     drn::radio::PropagationMatrix gains(7);
     for (StationId leaf = 1; leaf < 7; ++leaf) {
-      gains.set_gain(0, leaf, 1.0e-4);
+      gains.set_gain(0, leaf, drn::radio::LinearGain{1.0e-4});
       for (StationId other = static_cast<StationId>(leaf + 1); other < 7;
            ++other)
-        gains.set_gain(leaf, other, 2.5e-5);
+        gains.set_gain(leaf, other, drn::radio::LinearGain{2.5e-5});
     }
     auto cfg = drn::bench::multihop_config();
     cfg.max_power_w = 1.0;

@@ -61,15 +61,15 @@ PhaseStudy study(bool periodic, double receive_fraction, int trials,
       const core::Schedule s(77, 1.0, receive_fraction);
       const core::ClockModel other(phase, 1.0);
       std::vector<core::WindowConstraint> cs = {
-          {&s, core::ClockModel(), false, 0.0},
-          {&s, other, true, 0.0},
+          {&s, core::ClockModel(), false, drn::units::Seconds{0.0}},
+          {&s, other, true, drn::units::Seconds{0.0}},
       };
       core::AccessRequest req;
-      req.earliest_local_s = 0.0;
-      req.duration_s = 0.25;
-      req.horizon_s = 500.0;
+      req.earliest_local = drn::units::Seconds{0.0};
+      req.duration = drn::units::Seconds{0.25};
+      req.horizon = drn::units::Seconds{500.0};
       if (const auto start = find_transmission_start(req, cs))
-        found = *start;
+        found = start->value();
     }
     if (found >= 0.0) {
       ++hits;
@@ -108,13 +108,13 @@ int main() {
   {
     const core::Schedule s(77, 1.0, 0.3);
     std::vector<core::WindowConstraint> cs = {
-        {&s, core::ClockModel(), false, 0.0},
-        {&s, core::ClockModel(), true, 0.0},  // same clock, same schedule
+        {&s, core::ClockModel(), false, drn::units::Seconds{0.0}},
+        {&s, core::ClockModel(), true, drn::units::Seconds{0.0}},  // same clock, same schedule
     };
     core::AccessRequest req;
-    req.earliest_local_s = 0.0;
-    req.duration_s = 0.25;
-    req.horizon_s = 5000.0;
+    req.earliest_local = drn::units::Seconds{0.0};
+    req.duration = drn::units::Seconds{0.25};
+    req.horizon = drn::units::Seconds{5000.0};
     const bool any = find_transmission_start(req, cs).has_value();
     t.add_row({"pseudo-random, IDENTICAL clocks", any ? "works" : "0 (starved)",
                "-"});

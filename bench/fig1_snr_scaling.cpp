@@ -30,7 +30,8 @@ void analytic_curves() {
     const auto m = static_cast<std::size_t>(std::pow(10.0, exp10));
     std::vector<std::string> row{Table::num(std::uint64_t(exp10))};
     for (double eta : etas)
-      row.push_back(Table::num(drn::radio::nearest_neighbor_snr_db(m, eta), 2));
+      row.push_back(
+          Table::num(drn::radio::nearest_neighbor_snr_db(m, eta).value(), 2));
     t.add_row(row);
   }
   t.print(std::cout);
@@ -46,8 +47,10 @@ void analytic_curves() {
     s.glyph = glyphs[i];
     for (int exp10 = 2; exp10 <= 12; ++exp10) {
       s.x.push_back(exp10);
-      s.y.push_back(drn::radio::nearest_neighbor_snr_db(
-          static_cast<std::size_t>(std::pow(10.0, exp10)), etas[i]));
+      s.y.push_back(
+          drn::radio::nearest_neighbor_snr_db(
+              static_cast<std::size_t>(std::pow(10.0, exp10)), etas[i])
+              .value());
     }
     plot.add(std::move(s));
   }
@@ -55,7 +58,9 @@ void analytic_curves() {
 
   std::cout << "\nPaper check: the curves decline only logarithmically; at "
                "eta=1 the SNR is "
-            << Table::num(drn::radio::nearest_neighbor_snr_db(100000000, 1.0), 1)
+            << Table::num(
+                   drn::radio::nearest_neighbor_snr_db(100000000, 1.0).value(),
+                   1)
             << " dB even at 10^8 stations.\n\n";
 }
 
@@ -80,15 +85,16 @@ void monte_carlo_validation() {
       drn::runner::parallel_for(pool, trials, [&](std::size_t i) {
         drn::Rng rng = drn::Rng(kMasterSeed).split(base_tag | i);
         const auto s =
-            drn::radio::sample_nearest_neighbor_snr(m, 100.0, eta, rng);
-        if (s.snr > 0.0 && std::isfinite(s.snr))
-          samples[i] = drn::radio::to_db(s.snr);
+            drn::radio::sample_nearest_neighbor_snr(m, drn::radio::Meters{100.0},
+                                                    eta, rng);
+        if (s.snr.value() > 0.0 && std::isfinite(s.snr.value()))
+          samples[i] = drn::radio::to_db(s.snr.value());
       });
       drn::runner::SummaryStats db;
       for (double snr_db : samples)
         if (std::isfinite(snr_db)) db.add(snr_db);
       t.add_row({Table::num(std::uint64_t(m)), Table::num(eta, 2),
-                 Table::num(drn::radio::nearest_neighbor_snr_db(m, eta), 2),
+                 Table::num(drn::radio::nearest_neighbor_snr_db(m, eta).value(), 2),
                  Table::num(db.mean(), 2),
                  "+-" + Table::num(db.ci95_half_width(), 2),
                  Table::num(std::uint64_t(trials))});
@@ -105,21 +111,30 @@ void dual_slope_note() {
                "entirely:\n\n";
   Table t({"model", "total interference (rel.)", "outer bound"});
   const double sigma = 0.01;
-  const double r0 = drn::radio::characteristic_length(sigma);
+  const double r0 = drn::radio::characteristic_length(sigma).value();
   t.add_row({"free space, disc R = 100 R0",
-             Table::num(drn::radio::annulus_interference(sigma, 1.0, r0,
-                                                         100.0 * r0),
-                        2),
+             Table::num(
+                 drn::radio::annulus_interference(
+                     sigma, 1.0, drn::radio::Meters{r0},
+                     drn::radio::Meters{100.0 * r0})
+                     .value(),
+                 2),
              "radio horizon (paper)"});
   t.add_row({"free space, disc R = 10000 R0",
-             Table::num(drn::radio::annulus_interference(sigma, 1.0, r0,
-                                                         10000.0 * r0),
-                        2),
+             Table::num(
+                 drn::radio::annulus_interference(
+                     sigma, 1.0, drn::radio::Meters{r0},
+                     drn::radio::Meters{10000.0 * r0})
+                     .value(),
+                 2),
              "still growing (ln R)"});
   t.add_row({"dual-slope (bp = 10 R0, alpha 4)",
-             Table::num(drn::radio::dual_slope_total_interference(
-                            sigma, 1.0, r0, 10.0 * r0, 4.0),
-                        2),
+             Table::num(
+                 drn::radio::dual_slope_total_interference(
+                     sigma, 1.0, drn::radio::Meters{r0},
+                     drn::radio::Meters{10.0 * r0}, 4.0)
+                     .value(),
+                 2),
              "INFINITY - converges"});
   t.print(std::cout);
   std::cout << "\n'The slightest bit of atmospheric attenuation ... would "

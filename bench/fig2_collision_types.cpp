@@ -100,18 +100,20 @@ int main() {
   std::cout << "Figure 2 / Section 5 — collision taxonomy and the mechanism "
                "that eliminates each type\n\n";
   // Narrowband (all-or-nothing-like): required SINR 0 dB.
-  const radio::ReceptionCriterion narrow(1.0e6, 1.0e6, 0.0);
+  const radio::ReceptionCriterion narrow(
+      radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
   // Spread spectrum: 23 dB processing gain, required SINR ~ -19.6 dB.
-  const radio::ReceptionCriterion spread(200.0e6, 1.0e6, 5.0);
+  const radio::ReceptionCriterion spread(
+      radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 
   Table t({"case", "mechanism", "narrowband outcome", "with mechanism"});
 
   {
     // Type 1: third-party interferer near the receiver.
     radio::PropagationMatrix m(4);
-    m.set_gain(1, 0, 1.0);   // 0 -> 1 desired
-    m.set_gain(1, 2, 2.0);   // 2 louder than the sender at receiver 1
-    m.set_gain(3, 2, 1.0);   // 2 -> 3 its own traffic
+    m.set_gain(1, 0, radio::LinearGain{1.0});   // 0 -> 1 desired
+    m.set_gain(1, 2, radio::LinearGain{2.0});   // 2 louder than the sender at receiver 1
+    m.set_gain(3, 2, radio::LinearGain{1.0});   // 2 -> 3 its own traffic
     std::vector<std::vector<Script::Tx>> scripts(4);
     scripts[0] = {{0.000, 1, 1.0, 1.0e4}};
     scripts[2] = {{0.003, 3, 1.0, 1.0e4}};
@@ -124,9 +126,9 @@ int main() {
   {
     // Type 2: two senders address one receiver simultaneously.
     radio::PropagationMatrix m(3);
-    m.set_gain(2, 0, 1.0);
-    m.set_gain(2, 1, 1.0);
-    m.set_gain(0, 1, 1e-9);
+    m.set_gain(2, 0, radio::LinearGain{1.0});
+    m.set_gain(2, 1, radio::LinearGain{1.0});
+    m.set_gain(0, 1, radio::LinearGain{1e-9});
     std::vector<std::vector<Script::Tx>> scripts(3);
     scripts[0] = {{0.000, 2, 1.0, 1.0e4}};
     scripts[1] = {{0.001, 2, 1.0, 1.0e4}};
@@ -141,9 +143,9 @@ int main() {
     // Type 3: the receiver's own transmitter. No amount of processing gain
     // fixes this one — only scheduling does.
     radio::PropagationMatrix m(3);
-    m.set_gain(1, 0, 1.0);
-    m.set_gain(2, 1, 1.0);
-    m.set_gain(2, 0, 1e-9);
+    m.set_gain(1, 0, radio::LinearGain{1.0});
+    m.set_gain(2, 1, radio::LinearGain{1.0});
+    m.set_gain(2, 0, radio::LinearGain{1e-9});
     std::vector<std::vector<Script::Tx>> scripts(3);
     scripts[0] = {{0.000, 1, 1.0, 1.0e4}};  // 0 -> 1, 0-10 ms
     scripts[1] = {{0.004, 2, 1.0, 1.0e4}};  // 1 keys up mid-reception
@@ -162,9 +164,9 @@ int main() {
     cfg.max_power_w = 1.0;
     cfg.exact_clock_models = true;
     radio::PropagationMatrix m(3);
-    m.set_gain(1, 0, 1.0e-4);
-    m.set_gain(2, 1, 1.0e-4);
-    m.set_gain(2, 0, 2.5e-5);
+    m.set_gain(1, 0, radio::LinearGain{1.0e-4});
+    m.set_gain(2, 1, radio::LinearGain{1.0e-4});
+    m.set_gain(2, 0, radio::LinearGain{2.5e-5});
     drn::Rng rng(7);
     auto net = core::build_scheduled_network(m, spread, cfg, rng);
     sim::SimulatorConfig sc{spread};

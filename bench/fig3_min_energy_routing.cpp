@@ -81,7 +81,9 @@ void neighbor_counts() {
       const auto gains =
           radio::PropagationMatrix::from_placement(placement, model);
       const double r0 =
-          radio::characteristic_length(radio::disc_density(n, region));
+          radio::characteristic_length(
+              radio::disc_density(n, radio::Meters{region}))
+              .value();
       const auto graph =
           routing::Graph::min_energy(gains, 1.0 / (4.0 * r0 * r0));
       const auto degrees = graph.degrees();

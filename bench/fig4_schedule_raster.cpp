@@ -17,6 +17,7 @@ namespace {
 using drn::analysis::Table;
 using drn::core::Schedule;
 using drn::core::StationClock;
+using drn::units::Seconds;
 
 constexpr double kSlot = 0.01;     // 10 ms slots
 constexpr double kSpan = 0.5;      // the figure's 0.5 s window
@@ -37,7 +38,7 @@ int main() {
   std::vector<StationClock> clocks;
   clocks.reserve(kStations);
   for (int s = 0; s < kStations; ++s)
-    clocks.push_back(StationClock::random(rng, 1000.0, 20.0));
+    clocks.push_back(StationClock::random(rng, Seconds{1000.0}, 20.0));
 
   const double column_s = 0.005;
   const int columns = static_cast<int>(kSpan / column_s);
@@ -46,7 +47,7 @@ int main() {
     for (int c = 0; c < columns; ++c) {
       const double global = (c + 0.5) * column_s;
       const bool receive =
-          schedule.is_receive_slot(schedule.slot_index(clocks[s].local(global)));
+          schedule.is_receive_slot(schedule.slot_index(clocks[s].local(Seconds{global}).value()));
       std::putchar(receive ? '.' : '#');
     }
     std::putchar('\n');
@@ -58,15 +59,15 @@ int main() {
   const double instant = 0.25;
   std::cout << "\nAt t = " << instant << " s: station 0 is "
             << (schedule.is_receive_slot(
-                    schedule.slot_index(clocks[0].local(instant)))
+                    schedule.slot_index(clocks[0].local(Seconds{instant}).value()))
                     ? "listening (cannot transmit at all)"
                     : "in a transmit window")
             << "; reachable stations right now:";
   for (int s = 1; s < kStations; ++s) {
     const bool s0_tx = !schedule.is_receive_slot(
-        schedule.slot_index(clocks[0].local(instant)));
+        schedule.slot_index(clocks[0].local(Seconds{instant}).value()));
     const bool s_rx = schedule.is_receive_slot(
-        schedule.slot_index(clocks[s].local(instant)));
+        schedule.slot_index(clocks[s].local(Seconds{instant}).value()));
     if (s0_tx && s_rx) std::cout << ' ' << s;
   }
   std::cout << "\n\nPairwise overlap statistics over 100000 slots (fraction "
@@ -78,9 +79,9 @@ int main() {
     for (int i = 0; i < samples; ++i) {
       const double g = i * kSlot / 7.3;  // stride unaligned with slots
       const bool tx = !schedule.is_receive_slot(
-          schedule.slot_index(clocks[0].local(g)));
+          schedule.slot_index(clocks[0].local(Seconds{g}).value()));
       const bool rx = schedule.is_receive_slot(
-          schedule.slot_index(clocks[s].local(g)));
+          schedule.slot_index(clocks[s].local(Seconds{g}).value()));
       if (tx && rx) ++usable;
     }
     t.add_row({"0 -> " + std::to_string(s),

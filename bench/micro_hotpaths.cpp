@@ -30,18 +30,18 @@ void BM_WindowSearch(benchmark::State& state) {
   const core::Schedule s(2, 0.01, 0.3);
   const core::ClockModel other(123.456, 1.0000123);
   std::vector<core::WindowConstraint> cs = {
-      {&s, core::ClockModel(), false, 0.0},
-      {&s, other, true, 0.0002},
+      {&s, core::ClockModel(), false, core::Seconds{0.0}},
+      {&s, other, true, core::Seconds{0.0002}},
   };
   double earliest = 0.0;
   for (auto _ : state) {
     core::AccessRequest req;
-    req.earliest_local_s = earliest;
-    req.duration_s = 0.0025;
-    req.horizon_s = 1000.0;
+    req.earliest_local = core::Seconds{earliest};
+    req.duration = core::Seconds{0.0025};
+    req.horizon = core::Seconds{1000.0};
     const auto start = find_transmission_start(req, cs);
     benchmark::DoNotOptimize(start);
-    earliest = *start + 0.0025;
+    earliest = start->value() + 0.0025;
   }
 }
 BENCHMARK(BM_WindowSearch);

@@ -36,13 +36,13 @@ int main() {
       {1000000000, 0.25, 1.0e10, "10 GHz"},
   };
   for (const auto& c : cases) {
-    const auto p = metro_projection(c.m, c.eta, c.bw);
+    const auto p = metro_projection(c.m, c.eta, drn::units::Hertz{c.bw});
     t.add_row({Table::num(std::uint64_t(c.m)), Table::num(c.eta, 2),
                c.bw_label,
-               Table::num(10.0 * std::log10(p.snr), 1),
-               Table::num(p.required_gain_db, 1),
-               Table::num(p.raw_rate_bps / 1.0e6, 1),
-               Table::num(p.per_neighbor_rate_bps / 1.0e6, 2)});
+               Table::num(p.snr.to_db().value(), 1),
+               Table::num(p.required_gain.value(), 1),
+               Table::num(p.raw_rate.value() / 1.0e6, 1),
+               Table::num(p.per_neighbor_rate.value() / 1.0e6, 2)});
   }
   t.print(std::cout);
   std::cout

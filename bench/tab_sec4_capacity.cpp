@@ -17,12 +17,12 @@ int main() {
     Table t({"SNR (linear)", "SNR (dB)", "C/W (b/s/Hz)", "b/s per kHz",
              "paper says"});
     t.add_row({"0.01", Table::num(to_db(0.01), 1),
-               Table::num(capacity_per_hz(0.01), 5),
-               Table::num(capacity_per_hz(0.01) * 1000.0, 1),
+               Table::num(capacity_per_hz(LinearGain{0.01}), 5),
+               Table::num(capacity_per_hz(LinearGain{0.01}) * 1000.0, 1),
                "~14 b/s/kHz (eta=1)"});
     t.add_row({"0.04", Table::num(to_db(0.04), 1),
-               Table::num(capacity_per_hz(0.04), 5),
-               Table::num(capacity_per_hz(0.04) * 1000.0, 1),
+               Table::num(capacity_per_hz(LinearGain{0.04}), 5),
+               Table::num(capacity_per_hz(LinearGain{0.04}) * 1000.0, 1),
                "~56 b/s/kHz (eta=0.25)"});
     t.print(std::cout);
   }
@@ -34,8 +34,8 @@ int main() {
     // transmitting — but you transmit half as often: net throughput flat.
     Table t({"eta", "SNR @ M=1e6", "C/W while tx", "throughput = eta*C/W"});
     for (double eta : {1.0, 0.5, 0.25, 0.125, 0.0625}) {
-      const double snr = nearest_neighbor_snr(1000000, eta);
-      const double cw = capacity_per_hz(snr);
+      const double snr = nearest_neighbor_snr(1000000, eta).value();
+      const double cw = capacity_per_hz(LinearGain{snr});
       t.add_row({Table::num(eta, 4), Table::num(snr, 4), Table::num(cw, 4),
                  Table::num(eta * cw, 5)});
     }
@@ -48,9 +48,10 @@ int main() {
                "worth talking to):\n\n";
   {
     Table t({"distance (xR0)", "SNR dB @ M=1e6, eta=0.25", "relative"});
-    const double base = nearest_neighbor_snr(1000000, 0.25);
+    const double base = nearest_neighbor_snr(1000000, 0.25).value();
     for (double mult : {1.0, 2.0, 4.0, 8.0}) {
-      const double snr = snr_at_distance_multiple(1000000, 0.25, mult);
+      const double snr =
+          snr_at_distance_multiple(1000000, 0.25, mult).value();
       t.add_row({Table::num(mult, 0), Table::num(to_db(snr), 2),
                  Table::num(to_db(snr / base), 1) + " dB"});
     }

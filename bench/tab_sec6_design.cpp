@@ -20,9 +20,10 @@ int main() {
     for (double eta : {0.25, 0.5, 1.0}) {
       const auto b = drn::analysis::processing_gain_budget(m, eta);
       t.add_row({Table::num(std::uint64_t(m)), Table::num(eta, 2),
-                 Table::num(b.snr_db, 1), Table::num(b.detection_margin_db, 0),
-                 Table::num(b.range_margin_db, 0),
-                 Table::num(b.required_gain_db, 1)});
+                 Table::num(b.snr.value(), 1),
+                 Table::num(b.detection_margin.value(), 0),
+                 Table::num(b.range_margin.value(), 0),
+                 Table::num(b.required_gain.value(), 1)});
     }
   }
   t.print(std::cout);
@@ -34,8 +35,8 @@ int main() {
   Table n({"reach", "expected neighbours", "note"});
   const std::size_t m = 1000;
   const double region = 1000.0;
-  const double sigma = drn::radio::disc_density(m, region);
-  const double r0 = drn::radio::characteristic_length(sigma);
+  const double sigma = drn::radio::disc_density(m, drn::radio::Meters{region});
+  const double r0 = drn::radio::characteristic_length(sigma).value();
   n.add_row({"R0", Table::num(drn::geo::expected_neighbors(m, region, r0), 2),
              "too few for connectivity"});
   n.add_row({"2 R0",

@@ -30,7 +30,7 @@ void analytic_table() {
   for (double p : {0.1, 0.2, 0.3, 0.4, 0.5}) {
     t.add_row({Table::num(p, 2),
                Table::num(drn::analysis::access_probability(p), 3),
-               Table::num(drn::analysis::expected_wait_slots(p), 2),
+               Table::num(drn::analysis::expected_wait(p).value(), 2),
                Table::num(drn::analysis::packing_efficiency(0.25), 3),
                Table::num(drn::analysis::usable_time_fraction(p, 0.25), 4)});
   }
@@ -52,17 +52,17 @@ void measured_wait_distribution() {
     for (int i = 0; i < trials; ++i) {
       const core::ClockModel other(rng.uniform(1.0, 1.0e4), 1.0);
       std::vector<core::WindowConstraint> cs = {
-          {&s, core::ClockModel(), false, 0.0},
-          {&s, other, true, 0.0},
+          {&s, core::ClockModel(), false, drn::units::Seconds{0.0}},
+          {&s, other, true, drn::units::Seconds{0.0}},
       };
       core::AccessRequest req;
-      req.earliest_local_s = rng.uniform(0.0, 1.0e4);
-      req.duration_s = 0.25;
-      req.horizon_s = 50000.0;
-      wait += *find_transmission_start(req, cs) - req.earliest_local_s;
+      req.earliest_local = drn::units::Seconds{rng.uniform(0.0, 1.0e4)};
+      req.duration = drn::units::Seconds{0.25};
+      req.horizon = drn::units::Seconds{50000.0};
+      wait += (*find_transmission_start(req, cs) - req.earliest_local).value();
     }
     t.add_row({Table::num(p, 2), Table::num(wait / trials, 2),
-               Table::num(drn::analysis::expected_wait_slots(p), 2)});
+               Table::num(drn::analysis::expected_wait(p).value(), 2)});
   }
   t.print(std::cout);
   std::cout << "\n";
@@ -79,15 +79,15 @@ void wait_distribution() {
   for (int i = 0; i < 4000; ++i) {
     const core::ClockModel other(rng.uniform(1.0, 1.0e4), 1.0);
     std::vector<core::WindowConstraint> cs = {
-        {&s, core::ClockModel(), false, 0.0},
-        {&s, other, true, 0.0},
+        {&s, core::ClockModel(), false, drn::units::Seconds{0.0}},
+        {&s, other, true, drn::units::Seconds{0.0}},
     };
     core::AccessRequest req;
-    req.earliest_local_s = rng.uniform(0.0, 1.0e4);
-    req.duration_s = 0.25;
-    req.horizon_s = 50000.0;
-    waits.push_back(*find_transmission_start(req, cs) -
-                    req.earliest_local_s);
+    req.earliest_local = drn::units::Seconds{rng.uniform(0.0, 1.0e4)};
+    req.duration = drn::units::Seconds{0.25};
+    req.horizon = drn::units::Seconds{50000.0};
+    waits.push_back(
+        (*find_transmission_start(req, cs) - req.earliest_local).value());
   }
   const std::size_t bins = 12;
   const auto measured = drn::analysis::binned_wait_fractions(waits, bins);
@@ -145,7 +145,7 @@ void saturation_duty_cycle() {
   drn::radio::PropagationMatrix gains(kStations);
   for (StationId a = 0; a < kStations; ++a)
     for (StationId b = static_cast<StationId>(a + 1); b < kStations; ++b)
-      gains.set_gain(a, b, 1.0e-4);
+      gains.set_gain(a, b, drn::radio::LinearGain{1.0e-4});
   auto cfg = drn::bench::multihop_config();
   cfg.max_power_w = 1.0;
   cfg.exact_clock_models = true;

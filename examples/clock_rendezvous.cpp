@@ -18,12 +18,12 @@ int main() {
 
   // Two stations: clocks set independently at random, rates off-nominal by
   // +13 ppm and -22 ppm of quartz drift.
-  const core::StationClock alice(73123.521, 1.0 + 13e-6);
-  const core::StationClock bob(4211.007, 1.0 - 22e-6);
+  const core::StationClock alice(core::Seconds{73123.521}, 1.0 + 13e-6);
+  const core::StationClock bob(core::Seconds{4211.007}, 1.0 - 22e-6);
 
-  std::cout << "alice: offset " << alice.offset_s() << " s, rate "
+  std::cout << "alice: offset " << alice.offset().value() << " s, rate "
             << alice.rate() << "\n"
-            << "bob:   offset " << bob.offset_s() << " s, rate " << bob.rate()
+            << "bob:   offset " << bob.offset().value() << " s, rate " << bob.rate()
             << "\n\n";
 
   // Rendezvous: four exchanges over two minutes, each reading the peer's
@@ -46,8 +46,8 @@ int main() {
                      "guard budget (us)", "within guard?"});
   const double guard_s = 200.0e-6;  // 2% of a 10 ms slot
   for (double horizon : {1.0, 10.0, 60.0, 300.0, 1800.0}) {
-    const double predicted = model.map(alice.local(horizon));
-    const double truth = bob.local(horizon);
+    const double predicted = model.map(alice.local(core::Seconds{horizon}).value());
+    const double truth = bob.local(core::Seconds{horizon}).value();
     const double err = std::abs(predicted - truth);
     t.add_row({analysis::Table::num(horizon, 0),
                analysis::Table::num(err * 1e6, 2),
@@ -61,12 +61,12 @@ int main() {
   std::cout << "\nbob's next receive windows, as alice predicts them (and "
                "the truth):\n";
   int shown = 0;
-  for (std::int64_t slot = schedule.slot_index(model.map(alice.local(0.0)));
+  for (std::int64_t slot = schedule.slot_index(model.map(alice.local(core::Seconds{0.0}).value()));
        shown < 5; ++slot) {
     if (!schedule.is_receive_slot(slot)) continue;
     const double bob_local = schedule.slot_begin(slot);
-    const double alice_thinks_global = alice.global(model.inverse(bob_local));
-    const double truly_global = bob.global(bob_local);
+    const double alice_thinks_global = alice.global(core::Seconds{model.inverse(bob_local)}).value();
+    const double truly_global = bob.global(core::Seconds{bob_local}).value();
     std::cout << "  slot " << slot << ": predicted t="
               << alice_thinks_global << " s, true t=" << truly_global
               << " s (error "

@@ -36,11 +36,11 @@ Row run(std::size_t stations, std::uint64_t seed) {
   const radio::FreeSpacePropagation propagation;
   const auto gains =
       radio::PropagationMatrix::from_placement(placement, propagation);
-  const radio::ReceptionCriterion criterion(200.0e6, 1.0e6, 5.0);
+  const radio::ReceptionCriterion criterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 
   // Reach scales with density: 2.5x the characteristic length.
   const double r0 = radio::characteristic_length(
-      radio::disc_density(stations, region));
+      radio::disc_density(stations, radio::Meters{region})).value();
   const double reach = 2.5 * r0;
 
   core::ScheduledNetworkConfig net_cfg;
@@ -70,7 +70,7 @@ Row run(std::size_t stations, std::uint64_t seed) {
   r.delivery = sim.metrics().delivery_ratio();
   r.collisions = sim.metrics().total_hop_losses();
   r.hops = sim.metrics().delivered() > 0 ? sim.metrics().hops().mean() : 0.0;
-  r.snr_db_model = radio::nearest_neighbor_snr_db(stations, 0.3 * 0.7);
+  r.snr_db_model = radio::nearest_neighbor_snr_db(stations, 0.3 * 0.7).value();
   return r;
 }
 
@@ -97,11 +97,11 @@ int main() {
   analysis::Table p({"stations", "proc gain dB", "raw Mb/s @2.5GHz",
                      "per-neighbour Mb/s"});
   for (std::size_t n : {std::size_t{1000000}, std::size_t{100000000}}) {
-    const auto proj = analysis::metro_projection(n, 0.25, 2.5e9);
+    const auto proj = analysis::metro_projection(n, 0.25, radio::Hertz{2.5e9});
     p.add_row({analysis::Table::num(std::uint64_t(n)),
-               analysis::Table::num(proj.required_gain_db, 1),
-               analysis::Table::num(proj.raw_rate_bps / 1e6, 1),
-               analysis::Table::num(proj.per_neighbor_rate_bps / 1e6, 2)});
+               analysis::Table::num(proj.required_gain.value(), 1),
+               analysis::Table::num(proj.raw_rate.value() / 1e6, 1),
+               analysis::Table::num(proj.per_neighbor_rate.value() / 1e6, 2)});
   }
   p.print(std::cout);
   return 0;

@@ -85,11 +85,11 @@ int main() {
   // Obstructed propagation: free space degraded by 6 dB log-normal
   // shadowing (walls, trees), deterministic per building pair.
   auto free_space = std::make_shared<radio::FreeSpacePropagation>();
-  const radio::LogNormalShadowing propagation(free_space, 6.0, 0xbeef);
+  const radio::LogNormalShadowing propagation(free_space, radio::Decibels{6.0}, 0xbeef);
   const auto gains =
       radio::PropagationMatrix::from_placement(placement, propagation);
 
-  const radio::ReceptionCriterion criterion(200.0e6, 1.0e6, 5.0);
+  const radio::ReceptionCriterion criterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
   const auto graph = routing::Graph::min_energy(gains, 1.0e-6);
   std::cout << "neighbourhood mesh: " << gains.size() << " buildings, "
             << graph.edge_count() << " usable links, "

@@ -27,7 +27,7 @@ int main() {
 
   // 3. The radio design point: 1 Mb/s over 200 MHz of spread bandwidth
   //    (23 dB processing gain) with a 5 dB margin over the Shannon bound.
-  const radio::ReceptionCriterion criterion(200.0e6, 1.0e6, 5.0);
+  const radio::ReceptionCriterion criterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 
   // 4. Build the self-organising network: random clocks, rendezvous-fitted
   //    clock models, pseudo-random schedules (p = 0.3), power control

@@ -27,7 +27,7 @@ int main() {
   const radio::FreeSpacePropagation propagation;
   const auto gains =
       radio::PropagationMatrix::from_placement(placement, propagation);
-  const radio::ReceptionCriterion criterion(200.0e6, 1.0e6, 5.0);
+  const radio::ReceptionCriterion criterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 
   // Phase 1: discovery. Beacons at known power, stamped with local clocks;
   // every gain and clock model below comes off the air, with 0.5 dB of

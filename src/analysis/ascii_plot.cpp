@@ -43,12 +43,12 @@ void AsciiPlot::print(std::ostream& os) const {
   if (y_max == y_min) y_max = y_min + 1.0;
 
   std::vector<std::string> grid(height_, std::string(width_, ' '));
-  auto col_of = [&](double x) {
+  const auto col_of = [&](double x) {
     const double t = (x - x_min) / (x_max - x_min);
     return std::min(width_ - 1,
                     static_cast<std::size_t>(t * static_cast<double>(width_ - 1) + 0.5));
   };
-  auto row_of = [&](double y) {
+  const auto row_of = [&](double y) {
     const double t = (y - y_min) / (y_max - y_min);
     const auto from_bottom =
         std::min(height_ - 1,
@@ -59,7 +59,7 @@ void AsciiPlot::print(std::ostream& os) const {
     for (std::size_t i = 0; i < s.x.size(); ++i)
       grid[row_of(s.y[i])][col_of(s.x[i])] = s.glyph;
 
-  auto tick = [](double v) {
+  const auto tick = [](double v) {
     std::ostringstream ss;
     ss << std::setw(8) << std::setprecision(3) << v;
     return ss.str();

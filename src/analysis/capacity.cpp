@@ -9,33 +9,34 @@
 namespace drn::analysis {
 
 ProcessingGainBudget processing_gain_budget(std::size_t stations, double eta,
-                                            double detection_margin_db,
-                                            double range_margin_db) {
-  DRN_EXPECTS(detection_margin_db >= 0.0);
-  DRN_EXPECTS(range_margin_db >= 0.0);
+                                            units::Decibels detection_margin,
+                                            units::Decibels range_margin) {
+  DRN_EXPECTS(detection_margin.value() >= 0.0);
+  DRN_EXPECTS(range_margin.value() >= 0.0);
   ProcessingGainBudget b;
-  b.snr_db = radio::nearest_neighbor_snr_db(stations, eta);
-  b.detection_margin_db = detection_margin_db;
-  b.range_margin_db = range_margin_db;
-  b.required_gain_db = -b.snr_db + detection_margin_db + range_margin_db;
+  b.snr = radio::nearest_neighbor_snr_db(stations, eta);
+  b.detection_margin = detection_margin;
+  b.range_margin = range_margin;
+  b.required_gain = -b.snr + detection_margin + range_margin;
   return b;
 }
 
 MetroProjection metro_projection(std::size_t stations, double eta,
-                                 double bandwidth_hz, double receive_fraction,
+                                 units::Hertz bandwidth,
+                                 double receive_fraction,
                                  double packet_fraction,
-                                 double detection_margin_db,
-                                 double range_margin_db) {
-  DRN_EXPECTS(bandwidth_hz > 0.0);
-  const auto budget = processing_gain_budget(stations, eta, detection_margin_db,
-                                             range_margin_db);
+                                 units::Decibels detection_margin,
+                                 units::Decibels range_margin) {
+  DRN_EXPECTS(bandwidth.value() > 0.0);
+  const auto budget = processing_gain_budget(stations, eta, detection_margin,
+                                             range_margin);
   MetroProjection p;
   p.snr = radio::nearest_neighbor_snr(stations, eta);
-  p.required_gain_db = budget.required_gain_db;
-  p.raw_rate_bps = bandwidth_hz / radio::from_db(budget.required_gain_db);
-  p.shannon_rate_bps = radio::shannon_capacity(bandwidth_hz, p.snr);
-  p.per_neighbor_rate_bps =
-      p.raw_rate_bps * usable_time_fraction(receive_fraction, packet_fraction);
+  p.required_gain = budget.required_gain;
+  p.raw_rate = bandwidth / budget.required_gain.to_linear();
+  p.shannon_rate = radio::shannon_capacity(bandwidth, p.snr);
+  p.per_neighbor_rate =
+      p.raw_rate * usable_time_fraction(receive_fraction, packet_fraction);
   return p;
 }
 

@@ -4,6 +4,8 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
+
 namespace drn::analysis {
 
 /// The Section 6 budget: the SNR of a nearest-neighbour link in an M-station
@@ -12,31 +14,31 @@ namespace drn::analysis {
 /// characteristic length (free space: 6 dB), determine the spread-spectrum
 /// processing gain the radios need. The paper's answer: 20-25 dB.
 struct ProcessingGainBudget {
-  double snr_db = 0.0;            // nearest-neighbour SNR, Eq. 15
-  double detection_margin_db = 0.0;
-  double range_margin_db = 0.0;
-  double required_gain_db = 0.0;  // -snr + margins
+  units::Decibels snr;               // nearest-neighbour SNR, Eq. 15
+  units::Decibels detection_margin;
+  units::Decibels range_margin;
+  units::Decibels required_gain;     // -snr + margins
 };
 
 [[nodiscard]] ProcessingGainBudget processing_gain_budget(
-    std::size_t stations, double eta, double detection_margin_db = 5.0,
-    double range_margin_db = 6.0);
+    std::size_t stations, double eta,
+    units::Decibels detection_margin = units::Decibels{5.0},
+    units::Decibels range_margin = units::Decibels{6.0});
 
 /// The conclusion's what-if calculator: a metro-scale system of `stations`
-/// at duty cycle `eta` over spread bandwidth `bandwidth_hz`.
+/// at duty cycle `eta` over spread bandwidth `bandwidth`.
 struct MetroProjection {
-  double snr = 0.0;                  // nearest-neighbour SNR (linear)
-  double required_gain_db = 0.0;     // processing gain to budget
-  double raw_rate_bps = 0.0;         // W / processing gain
-  double shannon_rate_bps = 0.0;     // W log2(1+snr): the information bound
-  double per_neighbor_rate_bps = 0.0;  // raw * usable_time_fraction
+  units::LinearGain snr;                  // nearest-neighbour SNR
+  units::Decibels required_gain;          // processing gain to budget
+  units::BitsPerSecond raw_rate;          // W / processing gain
+  units::BitsPerSecond shannon_rate;      // W log2(1+snr): information bound
+  units::BitsPerSecond per_neighbor_rate; // raw * usable_time_fraction
 };
 
-[[nodiscard]] MetroProjection metro_projection(std::size_t stations, double eta,
-                                               double bandwidth_hz,
-                                               double receive_fraction = 0.3,
-                                               double packet_fraction = 0.25,
-                                               double detection_margin_db = 5.0,
-                                               double range_margin_db = 6.0);
+[[nodiscard]] MetroProjection metro_projection(
+    std::size_t stations, double eta, units::Hertz bandwidth,
+    double receive_fraction = 0.3, double packet_fraction = 0.25,
+    units::Decibels detection_margin = units::Decibels{5.0},
+    units::Decibels range_margin = units::Decibels{6.0});
 
 }  // namespace drn::analysis

@@ -11,10 +11,10 @@ double access_probability(double receive_fraction) {
   return receive_fraction * (1.0 - receive_fraction);
 }
 
-double expected_wait_slots(double receive_fraction) {
+units::Slots expected_wait(double receive_fraction) {
   const double q = access_probability(receive_fraction);
   DRN_EXPECTS(q > 0.0);
-  return 1.0 / q;
+  return units::Slots{1.0 / q};
 }
 
 double wait_pmf(double receive_fraction, unsigned k) {

@@ -9,6 +9,8 @@
 // (T3) are checked against.
 #pragma once
 
+#include "common/units.hpp"
+
 namespace drn::analysis {
 
 /// q = p(1-p): probability a given sender slot can carry a packet to a given
@@ -16,7 +18,7 @@ namespace drn::analysis {
 [[nodiscard]] double access_probability(double receive_fraction);
 
 /// Mean slots until an opportunity: 1 / (p(1-p)). 4.76 at p = 0.3.
-[[nodiscard]] double expected_wait_slots(double receive_fraction);
+[[nodiscard]] units::Slots expected_wait(double receive_fraction);
 
 /// P(wait == k slots) for the geometric access process, k >= 0.
 [[nodiscard]] double wait_pmf(double receive_fraction, unsigned k);

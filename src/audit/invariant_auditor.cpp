@@ -40,7 +40,7 @@ InvariantAuditor::InvariantAuditor(AuditConfig config)
       occupancy_(config.stations) {
   DRN_EXPECTS(config_.stations > 0);
   DRN_EXPECTS(config_.despreading_channels > 0);
-  DRN_EXPECTS(config_.thermal_noise_w > 0.0);
+  DRN_EXPECTS(config_.thermal_noise.value() > 0.0);
 }
 
 namespace {
@@ -49,9 +49,9 @@ AuditConfig config_from(const sim::Simulator& sim) {
   AuditConfig cfg;
   cfg.stations = sim.station_count();
   cfg.despreading_channels = sim.config().despreading_channels;
-  cfg.thermal_noise_w = sim.config().thermal_noise_w;
-  cfg.bandwidth_hz = sim.config().criterion.bandwidth_hz();
-  cfg.margin_db = sim.config().criterion.margin_db();
+  cfg.thermal_noise = units::Watts{sim.config().thermal_noise_w};
+  cfg.bandwidth = sim.config().criterion.bandwidth();
+  cfg.margin = sim.config().criterion.margin();
   return cfg;
 }
 
@@ -176,9 +176,12 @@ void InvariantAuditor::check_sinr(const TxRecord& rec, const sim::RxEvent& rx) {
   // Eq. 5-6: interference only ever adds to thermal noise, so no reported
   // SINR can exceed the zero-interference bound signal/thermal. (Multiuser
   // subtraction clamps its residual at the thermal floor, preserving this.)
-  check(rx.min_sinr <= (rx.signal_w / config_.thermal_noise_w) * slack,
+  const units::LinearGain zero_interference_bound =
+      units::Watts{rx.signal_w} / config_.thermal_noise;
+  check(rx.min_sinr <= zero_interference_bound.value() * slack,
         "sinr-consistency", t,
-        who.str() + " reports an SINR above its zero-interference bound");
+        who.str() + " reports an SINR above its zero-interference bound of " +
+            units::format(zero_interference_bound));
 
   // Eq. 3-4: a delivered packet held SINR at or above the threshold for its
   // whole airtime.
@@ -189,14 +192,16 @@ void InvariantAuditor::check_sinr(const TxRecord& rec, const sim::RxEvent& rx) {
 
   // Eq. 4 at this transmission's rate: the threshold the simulator applied
   // must equal margin * snr_for_rate_fraction(rate / W).
-  if (config_.bandwidth_hz > 0.0 && rec.ev.rate_bps > 0.0) {
-    const double expected =
-        radio::from_db(config_.margin_db) *
-        radio::snr_for_rate_fraction(rec.ev.rate_bps / config_.bandwidth_hz);
-    const bool matches = rx.required_snr <= expected * slack &&
-                         rx.required_snr * slack >= expected;
+  if (config_.bandwidth.value() > 0.0 && rec.ev.rate_bps > 0.0) {
+    const units::LinearGain expected =
+        config_.margin.to_linear() *
+        radio::snr_for_rate_fraction(rec.ev.rate_bps /
+                                     config_.bandwidth.value());
+    const bool matches = rx.required_snr <= expected.value() * slack &&
+                         rx.required_snr * slack >= expected.value();
     check(matches, "required-snr", t,
-          who.str() + " was held to a threshold inconsistent with its rate");
+          who.str() + " was held to a threshold inconsistent with its rate" +
+              " (Eq. 4 expects " + units::format(expected) + ")");
   }
 }
 

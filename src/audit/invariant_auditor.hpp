@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/units.hpp"
 #include "sim/metrics.hpp"
 #include "sim/observer.hpp"
 
@@ -40,14 +41,14 @@ struct AuditConfig {
   std::size_t stations = 0;
   /// Parallel despreading channels per receiver (Type 2 cap).
   int despreading_channels = 8;
-  /// Thermal noise floor, watts. Upper-bounds any reported SINR via
-  /// signal_w / thermal_noise_w (interference only adds noise; multiuser
+  /// Thermal noise floor. Upper-bounds any reported SINR via
+  /// signal / thermal_noise (interference only adds noise; multiuser
   /// subtraction clamps its residual at the thermal floor).
-  double thermal_noise_w = 0.0;
+  units::Watts thermal_noise;
   /// Radio design point for re-deriving required_snr from a transmission's
-  /// rate (Eq. 4 at margin). bandwidth_hz <= 0 disables that check.
-  double bandwidth_hz = 0.0;
-  double margin_db = 0.0;
+  /// rate (Eq. 4 at margin). bandwidth <= 0 disables that check.
+  units::Hertz bandwidth;
+  units::Decibels margin;
   /// Relative tolerance for floating-point identities. The compensated
   /// interference engine keeps running sums exact, so the SINR identities
   /// hold to rounding error and the default is tight; loosen only for

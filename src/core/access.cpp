@@ -20,15 +20,16 @@ constexpr double kMinStepS = 1e-9;
 /// first offending slot.
 std::optional<double> next_feasible_start(const WindowConstraint& c,
                                           double start_s, double duration_s) {
-  const double lo = c.clock.map(start_s - c.pad_s);
-  const double hi = c.clock.map(start_s + duration_s + c.pad_s);
+  const double pad_s = c.pad.value();
+  const double lo = c.clock.map(start_s - pad_s);
+  const double hi = c.clock.map(start_s + duration_s + pad_s);
   const Schedule& sched = *c.schedule;
   for (std::int64_t slot = sched.slot_index(lo); sched.slot_begin(slot) < hi;
        ++slot) {
     if (sched.is_receive_slot(slot) != c.want_receive) {
       // Push the padded interval past the offending slot (with a nudge so
       // floating-point round-trips cannot re-select the same slot).
-      return c.clock.inverse(sched.slot_end(slot)) + c.pad_s + kMinStepS;
+      return c.clock.inverse(sched.slot_end(slot)) + pad_s + kMinStepS;
     }
   }
   return std::nullopt;
@@ -36,28 +37,29 @@ std::optional<double> next_feasible_start(const WindowConstraint& c,
 
 }  // namespace
 
-std::optional<double> find_transmission_start(
+std::optional<Seconds> find_transmission_start(
     const AccessRequest& request,
     std::span<const WindowConstraint> constraints) {
-  DRN_EXPECTS(request.duration_s > 0.0);
-  DRN_EXPECTS(request.horizon_s > 0.0);
+  DRN_EXPECTS(request.duration.value() > 0.0);
+  DRN_EXPECTS(request.horizon.value() > 0.0);
   for (const auto& c : constraints) {
     DRN_EXPECTS(c.schedule != nullptr);
-    DRN_EXPECTS(c.pad_s >= 0.0);
+    DRN_EXPECTS(c.pad.value() >= 0.0);
   }
 
-  const double deadline = request.earliest_local_s + request.horizon_s;
-  double start = request.earliest_local_s;
+  const double duration_s = request.duration.value();
+  const double deadline = request.earliest_local.value() + request.horizon.value();
+  double start = request.earliest_local.value();
   while (start <= deadline) {
     double pushed = start;
     bool feasible = true;
     for (const auto& c : constraints) {
-      if (const auto next = next_feasible_start(c, start, request.duration_s)) {
+      if (const auto next = next_feasible_start(c, start, duration_s)) {
         feasible = false;
         pushed = std::max(pushed, *next);
       }
     }
-    if (feasible) return start;
+    if (feasible) return Seconds{start};
     // next_feasible_start pushes strictly past a slot boundary; the extra
     // kMinStepS floor guarantees progress even at large clock magnitudes.
     start = std::max(pushed, start + kMinStepS);

@@ -18,10 +18,13 @@
 #include <optional>
 #include <span>
 
+#include "common/units.hpp"
 #include "core/clock_model.hpp"
 #include "core/schedule.hpp"
 
 namespace drn::core {
+
+using units::Seconds;
 
 /// One schedule containment requirement on a candidate interval.
 struct WindowConstraint {
@@ -34,27 +37,27 @@ struct WindowConstraint {
   /// receive slots (the addressee must be listening), false = transmit slots
   /// (the sender may transmit / a respected third party is not listening).
   bool want_receive = false;
-  /// Guard padding, sender-local seconds, applied on both sides BEFORE
+  /// Guard padding, sender-local time, applied on both sides BEFORE
   /// mapping — absorbs clock-model prediction error.
-  double pad_s = 0.0;
+  Seconds pad;
 };
 
 struct AccessRequest {
-  /// Earliest admissible start, sender-local seconds.
-  double earliest_local_s = 0.0;
-  /// Required transmission duration, sender-local seconds.
-  double duration_s = 0.0;
+  /// Earliest admissible start, sender-local time.
+  Seconds earliest_local;
+  /// Required transmission duration, sender-local time.
+  Seconds duration;
   /// Give up after scanning this much sender-local time past the earliest
   /// start (a safety net; random schedules yield an overlap within a few
   /// slots with overwhelming probability).
-  double horizon_s = 0.0;
+  Seconds horizon;
 };
 
 /// Earliest start >= earliest_local_s such that, for every constraint, the
 /// padded interval [start - pad, start + duration + pad] maps into a run of
 /// slots of the wanted kind. Returns nullopt if none exists within the
 /// horizon (e.g. pathological aligned periodic schedules — bench A1).
-[[nodiscard]] std::optional<double> find_transmission_start(
+[[nodiscard]] std::optional<Seconds> find_transmission_start(
     const AccessRequest& request, std::span<const WindowConstraint> constraints);
 
 }  // namespace drn::core

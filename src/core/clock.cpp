@@ -4,16 +4,16 @@
 
 namespace drn::core {
 
-StationClock::StationClock(double offset_s, double rate)
-    : offset_s_(offset_s), rate_(rate) {
+StationClock::StationClock(Seconds offset, double rate)
+    : offset_(offset), rate_(rate) {
   DRN_EXPECTS(rate > 0.0);
 }
 
-StationClock StationClock::random(Rng& rng, double max_offset_s,
+StationClock StationClock::random(Rng& rng, Seconds max_offset,
                                   double max_drift_ppm) {
-  DRN_EXPECTS(max_offset_s > 0.0);
+  DRN_EXPECTS(max_offset.value() > 0.0);
   DRN_EXPECTS(max_drift_ppm >= 0.0);
-  const double offset = rng.uniform(0.0, max_offset_s);
+  const Seconds offset{rng.uniform(0.0, max_offset.value())};
   const double drift = rng.uniform(-max_drift_ppm, max_drift_ppm) * 1e-6;
   return StationClock(offset, 1.0 + drift);
 }

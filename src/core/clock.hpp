@@ -12,36 +12,39 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace drn::core {
 
+using units::Seconds;
+
 class StationClock {
  public:
-  /// @param offset_s reading of this clock at global time zero.
-  /// @param rate     seconds of local time per second of global time (~1).
-  explicit StationClock(double offset_s = 0.0, double rate = 1.0);
+  /// @param offset reading of this clock at global time zero.
+  /// @param rate   seconds of local time per second of global time (~1).
+  explicit StationClock(Seconds offset = Seconds{0.0}, double rate = 1.0);
 
-  /// Local reading at global time `global_s`.
-  [[nodiscard]] double local(double global_s) const {
-    return offset_s_ + rate_ * global_s;
+  /// Local reading at global time `global`.
+  [[nodiscard]] Seconds local(Seconds global) const {
+    return offset_ + rate_ * global;
   }
 
-  /// Global time at which this clock reads `local_s`.
-  [[nodiscard]] double global(double local_s) const {
-    return (local_s - offset_s_) / rate_;
+  /// Global time at which this clock reads `local`.
+  [[nodiscard]] Seconds global(Seconds local) const {
+    return (local - offset_) / rate_;
   }
 
-  [[nodiscard]] double offset_s() const { return offset_s_; }
+  [[nodiscard]] Seconds offset() const { return offset_; }
   [[nodiscard]] double rate() const { return rate_; }
 
-  /// A clock with offset uniform in [0, max_offset_s) and rate uniform in
+  /// A clock with offset uniform in [0, max_offset) and rate uniform in
   /// 1 ± max_drift_ppm*1e-6 — how a deployed station initialises itself
   /// ("set them independently to a random value", Section 7.1).
-  static StationClock random(Rng& rng, double max_offset_s,
+  static StationClock random(Rng& rng, Seconds max_offset,
                              double max_drift_ppm);
 
  private:
-  double offset_s_;
+  Seconds offset_;
   double rate_;
 };
 

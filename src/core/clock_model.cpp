@@ -56,7 +56,7 @@ ClockModel ClockModel::exact(const StationClock& mine,
                              const StationClock& theirs) {
   // theirs(g) with g = (mine_local - mine.offset) / mine.rate:
   const double b = theirs.rate() / mine.rate();
-  const double a = theirs.offset_s() - b * mine.offset_s();
+  const double a = theirs.offset().value() - b * mine.offset().value();
   return ClockModel(a, b, 0.0);
 }
 
@@ -69,8 +69,8 @@ std::vector<ClockSample> rendezvous(const StationClock& mine,
   out.reserve(global_times_s.size());
   for (double g : global_times_s) {
     ClockSample s;
-    s.mine_s = mine.local(g);
-    s.theirs_s = theirs.local(g);
+    s.mine_s = mine.local(Seconds{g}).value();
+    s.theirs_s = theirs.local(Seconds{g}).value();
     if (reading_noise_s > 0.0)
       s.theirs_s += rng.uniform(-reading_noise_s, reading_noise_s);
     out.push_back(s);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expects.hpp"
+#include "radio/units.hpp"
 #include "sim/simulator.hpp"
 
 namespace drn::core {
@@ -41,7 +42,7 @@ void DiscoveryStation::on_timer(sim::MacContext& ctx, std::uint64_t cookie) {
   beacon.source = ctx.self();
   beacon.destination = kBroadcast;
   beacon.size_bits = config_.beacon_bits;
-  beacon.sender_local_s = clock_.local(ctx.now());
+  beacon.sender_local_s = clock_.local(Seconds{ctx.now()}).value();
   ctx.transmit(beacon, kBroadcast, config_.beacon_power_w, ctx.now());
 }
 
@@ -58,7 +59,7 @@ void DiscoveryStation::on_broadcast_received(sim::MacContext& ctx,
   double measured_gain = signal_w / config_.beacon_power_w;
   if (config_.gain_noise_db > 0.0) {
     measured_gain *=
-        std::pow(10.0, config_.gain_noise_db * ctx.rng().normal() / 10.0);
+        radio::from_db(config_.gain_noise_db * ctx.rng().normal());
   }
   obs.gain.add(measured_gain);
 
@@ -66,7 +67,7 @@ void DiscoveryStation::on_broadcast_received(sim::MacContext& ctx,
   // later (by the sender's clock, whose rate is within ppm of ours).
   const double airtime = pkt.size_bits / config_.data_rate_bps;
   ClockSample sample;
-  sample.mine_s = clock_.local(ctx.now());
+  sample.mine_s = clock_.local(Seconds{ctx.now()}).value();
   sample.theirs_s = pkt.sender_local_s + airtime;
   obs.clock_samples.push_back(sample);
 }
@@ -104,13 +105,14 @@ ScheduledNetwork discover_and_build(const radio::PropagationMatrix& gains,
       {},
       net_config.packet_fraction * net_config.slot_s,
       0.0,
-      net_config.target_received_w / criterion.required_snr()};
+      (units::Watts{net_config.target_received_w} / criterion.required_snr())
+          .value()};
   net.packet_bits = criterion.data_rate_bps() * net.packet_airtime_s;
 
   net.clocks.reserve(m);
   for (std::size_t i = 0; i < m; ++i)
-    net.clocks.push_back(StationClock::random(rng, net_config.max_clock_offset_s,
-                                              net_config.max_drift_ppm));
+    net.clocks.push_back(StationClock::random(
+        rng, Seconds{net_config.max_clock_offset_s}, net_config.max_drift_ppm));
 
   // Run the discovery phase under the real physics.
   sim::SimulatorConfig sim_cfg{criterion};

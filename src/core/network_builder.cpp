@@ -28,14 +28,16 @@ ScheduledNetwork build_scheduled_network(
       {},
       config.packet_fraction * config.slot_s,
       0.0,
-      config.target_received_w / criterion.required_snr()};
+      (units::Watts{config.target_received_w} / criterion.required_snr())
+          .value()};
   net.packet_bits = criterion.data_rate_bps() * net.packet_airtime_s;
 
   // Clocks: independent random offsets (Section 7.1) and quartz drift.
   net.clocks.reserve(m);
   for (std::size_t i = 0; i < m; ++i)
     net.clocks.push_back(
-        StationClock::random(rng, config.max_clock_offset_s, config.max_drift_ppm));
+        StationClock::random(rng, Seconds{config.max_clock_offset_s},
+                             config.max_drift_ppm));
 
   const PowerControl power(config.target_received_w, config.max_power_w);
 

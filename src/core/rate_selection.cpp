@@ -27,8 +27,9 @@ double required_snr_for_rate(double rate_bps, double bandwidth_hz,
   DRN_EXPECTS(rate_bps > 0.0);
   DRN_EXPECTS(bandwidth_hz > 0.0);
   DRN_EXPECTS(margin_db >= 0.0);
-  return radio::from_db(margin_db) *
-         radio::snr_for_rate_fraction(rate_bps / bandwidth_hz);
+  return (radio::Decibels{margin_db}.to_linear() *
+          radio::snr_for_rate_fraction(rate_bps / bandwidth_hz))
+      .value();
 }
 
 double rate_for_link(double expected_signal_w, double expected_noise_w,
@@ -50,7 +51,8 @@ double rate_for_link(double expected_signal_w, double expected_noise_w,
 double ideal_rate_multiple(double snr, double design_snr) {
   DRN_EXPECTS(snr >= 0.0);
   DRN_EXPECTS(design_snr > 0.0);
-  return radio::capacity_per_hz(snr) / radio::capacity_per_hz(design_snr);
+  return radio::capacity_per_hz(radio::LinearGain{snr}) /
+         radio::capacity_per_hz(radio::LinearGain{design_snr});
 }
 
 }  // namespace drn::core

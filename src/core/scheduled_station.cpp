@@ -83,12 +83,13 @@ std::optional<double> ScheduledStation::find_start(
   constraints.reserve(2 + neighbors_.size());
   // Our own published schedule: we may only radiate in our transmit windows.
   constraints.push_back(WindowConstraint{&config_.schedule, ClockModel(),
-                                         /*want_receive=*/false, 0.0});
+                                         /*want_receive=*/false,
+                                         Seconds{0.0}});
   // The addressee must be committed to listen, with guards against our
   // imperfect model of its clock.
   constraints.push_back(WindowConstraint{&config_.schedule, n->clock,
                                          /*want_receive=*/true,
-                                         config_.guard_s});
+                                         Seconds{config_.guard_s}});
   // Section 7.3: stay out of very-near third parties' receive windows —
   // those to which THIS transmission's power would deliver a significant
   // fraction of their interference budget.
@@ -103,42 +104,48 @@ std::optional<double> ScheduledStation::find_start(
     }
     constraints.push_back(WindowConstraint{&config_.schedule, m.clock,
                                            /*want_receive=*/false,
-                                           config_.guard_s});
+                                           Seconds{config_.guard_s}});
   }
 
   AccessRequest request;
-  request.earliest_local_s = earliest_local_s;
-  request.duration_s = duration_s * config_.clock.rate();
-  request.horizon_s =
-      config_.horizon_slots * config_.schedule.slot_duration_s();
-  return find_transmission_start(request, constraints);
+  request.earliest_local = Seconds{earliest_local_s};
+  request.duration = Seconds{duration_s * config_.clock.rate()};
+  request.horizon =
+      Seconds{config_.horizon_slots * config_.schedule.slot_duration_s()};
+  const auto start = find_transmission_start(request, constraints);
+  if (!start) return std::nullopt;
+  return start->value();
 }
 
 std::optional<double> ScheduledStation::find_beacon_start(
     double earliest_local_s) const {
   std::vector<WindowConstraint> constraints;
   constraints.push_back(WindowConstraint{&config_.schedule, ClockModel(),
-                                         /*want_receive=*/false, 0.0});
+                                         /*want_receive=*/false,
+                                         Seconds{0.0}});
   // A broadcast at worst-case power: keep it out of every respected third
   // party's receive windows (Section 7.3 applies to beacons too).
   for (const auto& m : neighbors_.all()) {
     if (!m.respect_receive_windows) continue;
     constraints.push_back(WindowConstraint{&config_.schedule, m.clock,
                                            /*want_receive=*/false,
-                                           config_.guard_s});
+                                           Seconds{config_.guard_s}});
   }
   AccessRequest request;
-  request.earliest_local_s = earliest_local_s;
-  request.duration_s = beacon_airtime_s() * config_.clock.rate();
-  request.horizon_s =
-      config_.horizon_slots * config_.schedule.slot_duration_s();
-  return find_transmission_start(request, constraints);
+  request.earliest_local = Seconds{earliest_local_s};
+  request.duration = Seconds{beacon_airtime_s() * config_.clock.rate()};
+  request.horizon =
+      Seconds{config_.horizon_slots * config_.schedule.slot_duration_s()};
+  const auto start = find_transmission_start(request, constraints);
+  if (!start) return std::nullopt;
+  return start->value();
 }
 
 void ScheduledStation::replan(sim::MacContext& ctx) {
   const double earliest_global =
       std::max(ctx.now(), busy_until_global_s_) + kTimeEpsilonS;
-  const double earliest_local = config_.clock.local(earliest_global);
+  const double earliest_local =
+      config_.clock.local(Seconds{earliest_global}).value();
 
   std::optional<Plan> best;
   for (const auto& [neighbor, queue] : queues_) {
@@ -166,7 +173,9 @@ void ScheduledStation::replan(sim::MacContext& ctx) {
 
   plan_ = best;
   ++plan_generation_;
-  ctx.set_timer(std::max(ctx.now(), config_.clock.global(best->start_local_s)),
+  ctx.set_timer(std::max(ctx.now(),
+                         config_.clock.global(Seconds{best->start_local_s})
+                             .value()),
                 plan_generation_);
 }
 
@@ -176,7 +185,7 @@ void ScheduledStation::send_beacon(sim::MacContext& ctx) {
   beacon.destination = kBroadcast;
   beacon.size_bits = config_.beacon_bits;
   const double start = std::max(ctx.now(), busy_until_global_s_);
-  beacon.sender_local_s = config_.clock.local(start);
+  beacon.sender_local_s = config_.clock.local(Seconds{start}).value();
   beacon.tx_power_w = beacon_power_w_;  // lets receivers observe the gain
   ctx.transmit(beacon, kBroadcast, beacon_power_w_, start);
   busy_until_global_s_ = start + beacon_airtime_s();
@@ -257,7 +266,7 @@ void ScheduledStation::on_broadcast_received(sim::MacContext& ctx,
 
   auto& samples = beacon_samples_[from];
   ClockSample sample;
-  sample.mine_s = config_.clock.local(ctx.now());
+  sample.mine_s = config_.clock.local(Seconds{ctx.now()}).value();
   sample.theirs_s =
       pkt.sender_local_s + pkt.size_bits / config_.data_rate_bps;
   samples.push_back(sample);
@@ -300,8 +309,8 @@ void ScheduledStation::on_clock_rate_changed(sim::MacContext& ctx,
   // reading is continuous at this instant, so re-anchor the offset at now.
   const double now = ctx.now();
   const double new_rate = config_.clock.rate() * (1.0 + delta_ppm * 1e-6);
-  const double offset = config_.clock.local(now) - new_rate * now;
-  config_.clock = StationClock(offset, new_rate);
+  const double offset = config_.clock.local(Seconds{now}).value() - new_rate * now;
+  config_.clock = StationClock(Seconds{offset}, new_rate);
 }
 
 void ScheduledStation::evict_stale(sim::MacContext& ctx) {

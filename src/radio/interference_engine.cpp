@@ -83,9 +83,10 @@ class DenseEngine final : public InterferenceEngine {
     return gains_.gain(rx, tx);
   }
 
-  void transmit_started(std::uint64_t tx_id, StationId from, double power_w,
+  void transmit_started(std::uint64_t tx_id, StationId from, Watts power,
                         const SenderVisitor& at_sender,
                         const AffectedVisitor& affected) override {
+    const double power_w = power.value();
     active_.emplace(tx_id, ActiveTx{from, power_w});
     slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
       if (s.rx == from) {
@@ -94,7 +95,7 @@ class DenseEngine final : public InterferenceEngine {
       }
       const double watts = gains_.gain(s.rx, from) * power_w;
       s.interference_w += watts;
-      if (affected) affected(h, watts);
+      if (affected) affected(h, Watts{watts});
     });
   }
 
@@ -110,7 +111,7 @@ class DenseEngine final : public InterferenceEngine {
       // was different, so this subtraction leaves a residue, and the clamp
       // only hides the cases that would have gone below thermal.
       s.interference_w = std::max(thermal_w_, s.interference_w - watts);
-      if (affected) affected(h, watts);
+      if (affected) affected(h, Watts{watts});
     });
   }
 
@@ -127,7 +128,7 @@ class DenseEngine final : public InterferenceEngine {
       if (id == tx_id || other.from == rx) continue;
       const double watts = gains_.gain(rx, other.from) * other.power_w;
       s.interference_w += watts;
-      if (contribution) contribution(id, watts);
+      if (contribution) contribution(id, Watts{watts});
     }
     return h;
   }
@@ -137,11 +138,11 @@ class DenseEngine final : public InterferenceEngine {
     return slots_.live_count();
   }
 
-  [[nodiscard]] double interference_w(ReceptionHandle h) const override {
-    return slots_.at(h).interference_w;
+  [[nodiscard]] Watts interference(ReceptionHandle h) const override {
+    return Watts{slots_.at(h).interference_w};
   }
 
-  [[nodiscard]] double recomputed_interference_w(
+  [[nodiscard]] Watts recomputed_interference(
       ReceptionHandle h) const override {
     const Slot& s = slots_.at(h);
     CompensatedSum sum;
@@ -149,24 +150,24 @@ class DenseEngine final : public InterferenceEngine {
       if (id == s.tx_id || other.from == s.rx) continue;
       sum.add(gains_.gain(s.rx, other.from) * other.power_w);
     }
-    return thermal_w_ + std::max(0.0, sum.value());
+    return Watts{thermal_w_ + std::max(0.0, sum.value())};
   }
 
-  [[nodiscard]] double power_at(StationId st) const override {
+  [[nodiscard]] Watts power_at(StationId st) const override {
     double power = thermal_w_;
     for (const auto& [id, tx] : active_)
       power += gains_.gain(st, tx.from) * tx.power_w;
-    return power;
+    return Watts{power};
   }
 
   void enable_mobility(geo::Placement placement,
                        std::shared_ptr<const PropagationModel> model,
-                       double self_gain) override {
+                       LinearGain self_gain) override {
     DRN_EXPECTS(model != nullptr);
     DRN_EXPECTS(placement.size() == gains_.size());
     placement_ = std::move(placement);
     model_ = std::move(model);
-    self_gain_ = self_gain;
+    self_gain_ = self_gain.value();
   }
 
   void station_moved(StationId s, geo::Vec2 position) override {
@@ -183,7 +184,7 @@ class DenseEngine final : public InterferenceEngine {
       gains_.set_gain(s, other,
                       model_->power_gain(placement_[s], placement_[other]));
     }
-    gains_.set_gain(s, s, self_gain_);
+    gains_.set_gain(s, s, LinearGain{self_gain_});
   }
 
  private:
@@ -218,9 +219,10 @@ class CompensatedEngine final : public InterferenceEngine {
     return gains_.gain(rx, tx);
   }
 
-  void transmit_started(std::uint64_t tx_id, StationId from, double power_w,
+  void transmit_started(std::uint64_t tx_id, StationId from, Watts power,
                         const SenderVisitor& at_sender,
                         const AffectedVisitor& affected) override {
+    const double power_w = power.value();
     active_.emplace(tx_id, ActiveTx{from, power_w});
     slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
       if (s.rx == from) {
@@ -230,7 +232,7 @@ class CompensatedEngine final : public InterferenceEngine {
       const double watts = gains_.gain(s.rx, from) * power_w;
       s.sum.add(watts);
       bump(s);
-      if (affected) affected(h, watts);
+      if (affected) affected(h, Watts{watts});
     });
   }
 
@@ -244,7 +246,7 @@ class CompensatedEngine final : public InterferenceEngine {
       const double watts = gains_.gain(s.rx, tx.from) * tx.power_w;
       s.sum.add(-watts);
       bump(s);
-      if (affected) affected(h, watts);
+      if (affected) affected(h, Watts{watts});
     });
   }
 
@@ -260,7 +262,7 @@ class CompensatedEngine final : public InterferenceEngine {
       if (id == tx_id || other.from == rx) continue;
       const double watts = gains_.gain(rx, other.from) * other.power_w;
       s.sum.add(watts);
-      if (contribution) contribution(id, watts);
+      if (contribution) contribution(id, Watts{watts});
     }
     return h;
   }
@@ -270,33 +272,33 @@ class CompensatedEngine final : public InterferenceEngine {
     return slots_.live_count();
   }
 
-  [[nodiscard]] double interference_w(ReceptionHandle h) const override {
+  [[nodiscard]] Watts interference(ReceptionHandle h) const override {
     // max(0, ·): a fully-compensated sum of removals can still leave a
     // residue of a few ulps below zero; physical interference cannot.
-    return thermal_w_ + std::max(0.0, slots_.at(h).sum.value());
+    return Watts{thermal_w_ + std::max(0.0, slots_.at(h).sum.value())};
   }
 
-  [[nodiscard]] double recomputed_interference_w(
+  [[nodiscard]] Watts recomputed_interference(
       ReceptionHandle h) const override {
     const Slot& s = slots_.at(h);
-    return thermal_w_ + std::max(0.0, exact_sum(s).value());
+    return Watts{thermal_w_ + std::max(0.0, exact_sum(s).value())};
   }
 
-  [[nodiscard]] double power_at(StationId st) const override {
+  [[nodiscard]] Watts power_at(StationId st) const override {
     CompensatedSum sum;
     for (const auto& [id, tx] : active_)
       sum.add(gains_.gain(st, tx.from) * tx.power_w);
-    return thermal_w_ + std::max(0.0, sum.value());
+    return Watts{thermal_w_ + std::max(0.0, sum.value())};
   }
 
   void enable_mobility(geo::Placement placement,
                        std::shared_ptr<const PropagationModel> model,
-                       double self_gain) override {
+                       LinearGain self_gain) override {
     DRN_EXPECTS(model != nullptr);
     DRN_EXPECTS(placement.size() == gains_.size());
     placement_ = std::move(placement);
     model_ = std::move(model);
-    self_gain_ = self_gain;
+    self_gain_ = self_gain.value();
   }
 
   void station_moved(StationId s, geo::Vec2 position) override {
@@ -313,7 +315,7 @@ class CompensatedEngine final : public InterferenceEngine {
       gains_.set_gain(s, other,
                       model_->power_gain(placement_[s], placement_[other]));
     }
-    gains_.set_gain(s, s, self_gain_);
+    gains_.set_gain(s, s, LinearGain{self_gain_});
   }
 
  private:
@@ -360,14 +362,15 @@ class NearFarEngine final : public InterferenceEngine {
       : placement_(placement),
         model_(std::move(model)),
         config_(config),
-        grid_(placement,
-              config.cell_m > 0.0 ? config.cell_m : config.cutoff_m / 4.0) {
+        grid_(placement, config.cell.value() > 0.0
+                             ? config.cell.value()
+                             : config.cutoff.value() / 4.0) {
     DRN_EXPECTS(model_ != nullptr);
-    DRN_EXPECTS(config_.cutoff_m > 0.0);
+    DRN_EXPECTS(config_.cutoff.value() > 0.0);
     // Near = every cell whose Chebyshev distance is within the cutoff in
     // cell units; +1 so a pair straddling the cutoff is classified near
     // (erring exact) never far.
-    range_ = static_cast<int>(config_.cutoff_m / grid_.cell_m()) + 1;
+    range_ = static_cast<int>(config_.cutoff.value() / grid_.cell_m()) + 1;
   }
 
   [[nodiscard]] std::size_t station_count() const override {
@@ -378,9 +381,10 @@ class NearFarEngine final : public InterferenceEngine {
     return pair_gain(rx, tx);
   }
 
-  void transmit_started(std::uint64_t tx_id, StationId from, double power_w,
+  void transmit_started(std::uint64_t tx_id, StationId from, Watts power,
                         const SenderVisitor& at_sender,
                         const AffectedVisitor& affected) override {
+    const double power_w = power.value();
     const std::int32_t cell = grid_.cell_of(from);
     active_.emplace(tx_id, Tx{from, power_w, cell});
     tx_ids_by_cell_[cell].push_back(tx_id);
@@ -398,7 +402,7 @@ class NearFarEngine final : public InterferenceEngine {
       for (const ReceptionHandle h : far.handles) {
         const Slot& s = slots_.at(h);
         if (s.rx == from) continue;  // cannot happen (own cell is near)
-        if (affected) affected(h, watts);
+        if (affected) affected(h, Watts{watts});
       }
     }
 
@@ -414,7 +418,7 @@ class NearFarEngine final : public InterferenceEngine {
         const double watts = pair_gain(s.rx, from) * power_w;
         s.near_w.add(watts);
         bump(s);
-        if (affected) affected(h, watts);
+        if (affected) affected(h, Watts{watts});
       }
     });
   }
@@ -448,7 +452,7 @@ class NearFarEngine final : public InterferenceEngine {
       for (const ReceptionHandle h : far.handles) {
         const Slot& s = slots_.at(h);
         if (s.tx_id == tx_id || s.rx == tx.from) continue;
-        if (affected) affected(h, watts);
+        if (affected) affected(h, Watts{watts});
       }
     }
 
@@ -459,7 +463,7 @@ class NearFarEngine final : public InterferenceEngine {
         const double watts = pair_gain(s.rx, tx.from) * tx.power_w;
         s.near_w.add(-watts);
         bump(s);
-        if (affected) affected(h, watts);
+        if (affected) affected(h, Watts{watts});
       }
     });
   }
@@ -487,7 +491,7 @@ class NearFarEngine final : public InterferenceEngine {
         if (other.from == rx) continue;
         const double watts = pair_gain(rx, other.from) * other.power_w;
         s.near_w.add(watts);
-        if (contribution) contribution(id, watts);
+        if (contribution) contribution(id, Watts{watts});
       }
     });
 
@@ -510,7 +514,8 @@ class NearFarEngine final : public InterferenceEngine {
       for (const auto& [id, other] : active_) {
         if (id == tx_id || other.from == rx) continue;
         if (grid_.chebyshev(other.cell, s.rx_cell) <= range_) continue;
-        contribution(id, other.power_w * cell_gain(other.cell, s.rx_cell));
+        contribution(id,
+                     Watts{other.power_w * cell_gain(other.cell, s.rx_cell)});
       }
     }
     return h;
@@ -532,7 +537,7 @@ class NearFarEngine final : public InterferenceEngine {
     return slots_.live_count();
   }
 
-  [[nodiscard]] double interference_w(ReceptionHandle h) const override {
+  [[nodiscard]] Watts interference(ReceptionHandle h) const override {
     const Slot& s = slots_.at(h);
     const auto it = far_.find(s.rx_cell);
     DRN_EXPECTS(it != far_.end());
@@ -542,10 +547,10 @@ class NearFarEngine final : public InterferenceEngine {
       far = std::max(
           0.0, far - s.tx_power_w * cell_gain(s.tx_cell, s.rx_cell));
     }
-    return thermal_w_ + std::max(0.0, s.near_w.value()) + far;
+    return Watts{thermal_w_ + std::max(0.0, s.near_w.value()) + far};
   }
 
-  [[nodiscard]] double recomputed_interference_w(
+  [[nodiscard]] Watts recomputed_interference(
       ReceptionHandle h) const override {
     const Slot& s = slots_.at(h);
     CompensatedSum near;
@@ -558,11 +563,11 @@ class NearFarEngine final : public InterferenceEngine {
         far.add(other.power_w * cell_gain(other.cell, s.rx_cell));
       }
     }
-    return thermal_w_ + std::max(0.0, near.value()) +
-           std::max(0.0, far.value());
+    return Watts{thermal_w_ + std::max(0.0, near.value()) +
+                 std::max(0.0, far.value())};
   }
 
-  [[nodiscard]] double power_at(StationId st) const override {
+  [[nodiscard]] Watts power_at(StationId st) const override {
     const std::int32_t cell = grid_.cell_of(st);
     CompensatedSum sum;
     for_each_occupied(tx_ids_by_cell_, cell,
@@ -576,12 +581,12 @@ class NearFarEngine final : public InterferenceEngine {
       if (grid_.chebyshev(c, cell) <= range_) continue;
       sum.add(std::max(0.0, load.power_w.value()) * cell_gain(c, cell));
     }
-    return thermal_w_ + std::max(0.0, sum.value());
+    return Watts{thermal_w_ + std::max(0.0, sum.value())};
   }
 
   void enable_mobility(geo::Placement placement,
                        std::shared_ptr<const PropagationModel> model,
-                       double self_gain) override {
+                       LinearGain self_gain) override {
     // Nothing to set up: this engine already owns its placement and model
     // and evaluates every gain lazily from them.
     DRN_EXPECTS(placement.size() == placement_.size());
@@ -656,12 +661,13 @@ class NearFarEngine final : public InterferenceEngine {
   }
 
   [[nodiscard]] double pair_gain(StationId rx, StationId tx) const {
-    if (rx == tx) return config_.self_gain;
-    return model_->power_gain(placement_[rx], placement_[tx]);
+    if (rx == tx) return config_.self_gain.value();
+    return model_->power_gain(placement_[rx], placement_[tx]).value();
   }
 
   [[nodiscard]] double cell_gain(std::int32_t a, std::int32_t b) const {
-    return model_->power_gain(grid_.cell_center(a), grid_.cell_center(b));
+    return model_->power_gain(grid_.cell_center(a), grid_.cell_center(b))
+        .value();
   }
 
   void bump(Slot& s) {
@@ -698,7 +704,7 @@ void InterferenceEngine::station_moved(StationId s, geo::Vec2 position) {
 
 void InterferenceEngine::enable_mobility(
     geo::Placement placement, std::shared_ptr<const PropagationModel> model,
-    double self_gain) {
+    LinearGain self_gain) {
   (void)placement;
   (void)model;
   (void)self_gain;
@@ -723,7 +729,7 @@ const char* engine_name(InterferenceEngineKind kind) {
 
 PropagationMatrix make_dense_gains(const geo::Placement& placement,
                                    const PropagationModel& model,
-                                   double self_gain) {
+                                   LinearGain self_gain) {
   DRN_EXPECTS(placement.size() <= kDenseMatrixGuardM);
   // drn-lint: allow(dense-matrix) — the sanctioned guarded route.
   return PropagationMatrix::from_placement(placement, model, self_gain);

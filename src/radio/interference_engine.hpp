@@ -45,6 +45,7 @@
 #include "geo/vec2.hpp"
 #include "radio/propagation.hpp"
 #include "radio/propagation_matrix.hpp"
+#include "radio/units.hpp"
 
 namespace drn::radio {
 
@@ -88,17 +89,17 @@ inline constexpr ReceptionHandle kInvalidReception = ~ReceptionHandle{0};
 class InterferenceEngine {
  public:
   /// Notified for each open reception whose interference a transmission
-  /// start/end changed, with the power delta in watts (always positive; the
-  /// engine has already applied the sign internally).
-  using AffectedVisitor = std::function<void(ReceptionHandle, double)>;
+  /// start/end changed, with the power delta (always positive; the engine
+  /// has already applied the sign internally).
+  using AffectedVisitor = std::function<void(ReceptionHandle, Watts)>;
   /// Notified for each open reception at the station that just keyed up its
   /// own transmitter (the simulator fails these as Type 3; no power is ever
   /// added to them).
   using SenderVisitor = std::function<void(ReceptionHandle)>;
   /// Notified once per already-active interfering transmission when a
-  /// reception opens: (tx_id, watts). Pass nullptr unless per-interferer
+  /// reception opens: (tx_id, power). Pass nullptr unless per-interferer
   /// contributions are needed (multiuser detection).
-  using ContributionVisitor = std::function<void(std::uint64_t, double)>;
+  using ContributionVisitor = std::function<void(std::uint64_t, Watts)>;
 
   virtual ~InterferenceEngine() = default;
 
@@ -109,18 +110,18 @@ class InterferenceEngine {
   /// diagonal). Lazy engines evaluate this on demand.
   [[nodiscard]] virtual double gain(StationId rx, StationId tx) const = 0;
 
-  /// Thermal noise floor folded into every interference_w() result.
-  void set_thermal_noise(double watts) {
-    DRN_EXPECTS(watts > 0.0);
-    thermal_w_ = watts;
+  /// Thermal noise floor folded into every interference() result.
+  void set_thermal_noise(Watts noise) {
+    DRN_EXPECTS(noise.value() > 0.0);
+    thermal_w_ = noise.value();
   }
-  [[nodiscard]] double thermal_noise_w() const { return thermal_w_; }
+  [[nodiscard]] Watts thermal_noise() const { return Watts{thermal_w_}; }
 
   /// A transmission keyed up: raise the interference of every open reception
   /// it reaches. Receptions at the sender itself go to `at_sender` instead
   /// (their interference is never touched, matching the Type 3 rule).
   virtual void transmit_started(std::uint64_t tx_id, StationId from,
-                                double power_w, const SenderVisitor& at_sender,
+                                Watts power, const SenderVisitor& at_sender,
                                 const AffectedVisitor& affected) = 0;
 
   /// The transmission left the air: lower everyone else's interference.
@@ -139,16 +140,16 @@ class InterferenceEngine {
   [[nodiscard]] virtual std::size_t open_receptions() const = 0;
 
   /// Current interference (thermal included) of an open reception.
-  [[nodiscard]] virtual double interference_w(ReceptionHandle h) const = 0;
+  [[nodiscard]] virtual Watts interference(ReceptionHandle h) const = 0;
 
   /// Interference recomputed from scratch off the live transmission set —
   /// the ground truth the incremental value is audited against.
-  [[nodiscard]] virtual double recomputed_interference_w(
+  [[nodiscard]] virtual Watts recomputed_interference(
       ReceptionHandle h) const = 0;
 
   /// Total power a station hears right now: thermal plus every active
   /// transmission including the station's own (carrier sense).
-  [[nodiscard]] virtual double power_at(StationId s) const = 0;
+  [[nodiscard]] virtual Watts power_at(StationId s) const = 0;
 
   /// Station `s` relocated to `position` (dynamics mobility). Precondition,
   /// enforced by the simulator: the station is RF-idle — it is not
@@ -167,7 +168,7 @@ class InterferenceEngine {
   /// engine keeps its own placement/model; for it this is a no-op.
   virtual void enable_mobility(geo::Placement placement,
                                std::shared_ptr<const PropagationModel> model,
-                               double self_gain);
+                               LinearGain self_gain);
 
  protected:
   double thermal_w_ = 1e-15;
@@ -183,7 +184,7 @@ inline constexpr std::size_t kDenseMatrixGuardM = 4096;
 /// instead of exhausting memory.
 [[nodiscard]] PropagationMatrix make_dense_gains(
     const geo::Placement& placement, const PropagationModel& model,
-    double self_gain = 1.0);
+    LinearGain self_gain = LinearGain{1.0});
 
 /// Legacy engine: plain += on start, subtract-and-clamp on end. Drifts.
 [[nodiscard]] std::unique_ptr<InterferenceEngine> make_dense_engine(
@@ -194,13 +195,13 @@ inline constexpr std::size_t kDenseMatrixGuardM = 4096;
     PropagationMatrix gains);
 
 struct NearFarConfig {
-  /// Interferers within this radius are summed exactly per pair (metres).
-  double cutoff_m = 0.0;
-  /// Grid cell side; <= 0 derives cutoff_m / 4 (finer cells tighten the
-  /// far-field bound, cost grows as the square of cutoff_m / cell_m).
-  double cell_m = 0.0;
+  /// Interferers within this radius are summed exactly per pair.
+  Meters cutoff;
+  /// Grid cell side; <= 0 derives cutoff / 4 (finer cells tighten the
+  /// far-field bound, cost grows as the square of cutoff / cell).
+  Meters cell;
   /// Matrix-diagonal equivalent for gain(s, s).
-  double self_gain = 1.0;
+  LinearGain self_gain = LinearGain{1.0};
 };
 
 /// Near/far engine over lazy gains; never materialises an O(M²) matrix.

@@ -5,68 +5,70 @@
 #include <numbers>
 
 #include "common/expects.hpp"
-#include "radio/units.hpp"
 
 namespace drn::radio {
 
-double characteristic_length(double density) {
+Meters characteristic_length(double density) {
   DRN_EXPECTS(density > 0.0);
-  return 1.0 / std::sqrt(std::numbers::pi * density);
+  return Meters{1.0 / std::sqrt(std::numbers::pi * density)};
 }
 
-double disc_density(std::size_t stations, double region_radius) {
+double disc_density(std::size_t stations, Meters region_radius) {
   DRN_EXPECTS(stations > 0);
-  DRN_EXPECTS(region_radius > 0.0);
+  DRN_EXPECTS(region_radius.value() > 0.0);
   return static_cast<double>(stations) /
-         (std::numbers::pi * region_radius * region_radius);
+         (std::numbers::pi * region_radius.value() * region_radius.value());
 }
 
-double annulus_interference(double density, double eta, double r_inner,
-                            double r_outer) {
+LinearGain annulus_interference(double density, double eta, Meters r_inner,
+                                Meters r_outer) {
   DRN_EXPECTS(density > 0.0);
   DRN_EXPECTS(eta >= 0.0 && eta <= 1.0);
-  DRN_EXPECTS(r_inner > 0.0);
+  DRN_EXPECTS(r_inner.value() > 0.0);
   DRN_EXPECTS(r_outer >= r_inner);
-  return 2.0 * std::numbers::pi * eta * density * std::log(r_outer / r_inner);
+  return LinearGain{2.0 * std::numbers::pi * eta * density *
+                    std::log(r_outer / r_inner)};
 }
 
-double dual_slope_total_interference(double density, double eta,
-                                     double r_inner, double breakpoint,
-                                     double far_exponent) {
+LinearGain dual_slope_total_interference(double density, double eta,
+                                         Meters r_inner, Meters breakpoint,
+                                         double far_exponent) {
   DRN_EXPECTS(density > 0.0);
   DRN_EXPECTS(eta >= 0.0 && eta <= 1.0);
-  DRN_EXPECTS(r_inner > 0.0);
+  DRN_EXPECTS(r_inner.value() > 0.0);
   DRN_EXPECTS(breakpoint >= r_inner);
   DRN_EXPECTS(far_exponent > 2.0);
-  return 2.0 * std::numbers::pi * eta * density *
-         (std::log(breakpoint / r_inner) + 1.0 / (far_exponent - 2.0));
+  return LinearGain{2.0 * std::numbers::pi * eta * density *
+                    (std::log(breakpoint / r_inner) +
+                     1.0 / (far_exponent - 2.0))};
 }
 
-double nearest_neighbor_snr(std::size_t stations, double eta) {
+LinearGain nearest_neighbor_snr(std::size_t stations, double eta) {
   DRN_EXPECTS(stations >= 2);
   DRN_EXPECTS(eta > 0.0 && eta <= 1.0);
-  return 1.0 / (eta * std::log(static_cast<double>(stations)));
+  return LinearGain{1.0 / (eta * std::log(static_cast<double>(stations)))};
 }
 
-double nearest_neighbor_snr_db(std::size_t stations, double eta) {
-  return to_db(nearest_neighbor_snr(stations, eta));
+Decibels nearest_neighbor_snr_db(std::size_t stations, double eta) {
+  return nearest_neighbor_snr(stations, eta).to_db();
 }
 
-double snr_at_distance_multiple(std::size_t stations, double eta,
-                                double distance_multiple) {
+LinearGain snr_at_distance_multiple(std::size_t stations, double eta,
+                                    double distance_multiple) {
   DRN_EXPECTS(distance_multiple > 0.0);
   return nearest_neighbor_snr(stations, eta) /
          (distance_multiple * distance_multiple);
 }
 
 SnrSample sample_nearest_neighbor_snr(std::size_t stations,
-                                      double region_radius, double eta,
+                                      Meters region_radius, double eta,
                                       Rng& rng) {
   DRN_EXPECTS(stations >= 3);
-  DRN_EXPECTS(region_radius > 0.0);
+  DRN_EXPECTS(region_radius.value() > 0.0);
   DRN_EXPECTS(eta > 0.0 && eta <= 1.0);
 
-  const geo::Placement placement = geo::uniform_disc(stations, region_radius, rng);
+  const geo::Placement placement =
+      geo::uniform_disc(stations, region_radius.value(), rng);
 
   // Receiver: the station nearest the disc centre (avoids edge effects, where
   // the interference annulus is truncated and Eq. 15 overestimates).
@@ -93,14 +95,17 @@ SnrSample sample_nearest_neighbor_snr(std::size_t stations,
   }
 
   SnrSample s;
-  s.signal = 1.0 / tx_d2;  // 1/r² power gain, unit reference.
+  s.signal = LinearGain{1.0 / tx_d2};  // 1/r² power gain, unit reference.
+  double interference = 0.0;
   for (std::size_t i = 0; i < placement.size(); ++i) {
     if (i == rx || i == tx) continue;
     if (!rng.bernoulli(eta)) continue;
-    s.interference += 1.0 / geo::distance_sq(placement[rx], placement[i]);
+    interference += 1.0 / geo::distance_sq(placement[rx], placement[i]);
   }
-  s.snr = s.interference > 0.0 ? s.signal / s.interference
-                               : std::numeric_limits<double>::infinity();
+  s.interference = LinearGain{interference};
+  s.snr = interference > 0.0
+              ? s.signal / s.interference
+              : LinearGain{std::numeric_limits<double>::infinity()};
   return s;
 }
 

@@ -18,21 +18,26 @@
 // functions reproduce each step plus the divergent infinite-plane integral
 // the derivation starts from, and a Monte-Carlo estimator used to validate
 // the closed form against random placements (bench F1).
+//
+// Powers here are normalised to a unit-power transmitter, so "interference"
+// and "signal" are dimensionless ratios (LinearGain), exactly as in the
+// paper's algebra.
 #pragma once
 
 #include <cstddef>
 
 #include "common/rng.hpp"
 #include "geo/placement.hpp"
+#include "radio/units.hpp"
 
 namespace drn::radio {
 
 /// Characteristic length R0 = 1/sqrt(pi*sigma) for station density `sigma`
 /// (stations per square metre).
-[[nodiscard]] double characteristic_length(double density);
+[[nodiscard]] Meters characteristic_length(double density);
 
 /// Density sigma = M / (pi R²) of M stations filling a disc of radius R.
-[[nodiscard]] double disc_density(std::size_t stations, double region_radius);
+[[nodiscard]] double disc_density(std::size_t stations, Meters region_radius);
 
 /// The interference integral of Eq. 7/11: total received power at a receiver
 /// from transmitters of unit power, density `sigma`, duty cycle `eta`, filling
@@ -42,8 +47,8 @@ namespace drn::radio {
 ///
 /// Diverges logarithmically as r_outer -> infinity — the paper's Olbers'-
 /// paradox observation; callers demonstrate divergence by growing r_outer.
-[[nodiscard]] double annulus_interference(double density, double eta,
-                                          double r_inner, double r_outer);
+[[nodiscard]] LinearGain annulus_interference(double density, double eta,
+                                              Meters r_inner, Meters r_outer);
 
 /// The same interference integral under DUAL-SLOPE propagation (1/r^2 out to
 /// `breakpoint`, 1/r^far_exponent beyond): integrated from r_inner to
@@ -55,37 +60,39 @@ namespace drn::radio {
 /// Olbers-paradox divergence without invoking the radio horizon ("the
 /// slightest bit of atmospheric attenuation ... would make the integral
 /// converge"). Requires r_inner <= breakpoint.
-[[nodiscard]] double dual_slope_total_interference(double density, double eta,
-                                                   double r_inner,
-                                                   double breakpoint,
-                                                   double far_exponent = 4.0);
+[[nodiscard]] LinearGain dual_slope_total_interference(
+    double density, double eta, Meters r_inner, Meters breakpoint,
+    double far_exponent = 4.0);
 
 /// Eq. 15: expected SNR of a nearest-neighbour (distance R0) transmission in
 /// a system of M stations at duty cycle eta. SNR = 1 / (eta * ln M).
-[[nodiscard]] double nearest_neighbor_snr(std::size_t stations, double eta);
+[[nodiscard]] LinearGain nearest_neighbor_snr(std::size_t stations,
+                                              double eta);
 
 /// Same in dB — the y-axis of Figure 1.
-[[nodiscard]] double nearest_neighbor_snr_db(std::size_t stations, double eta);
+[[nodiscard]] Decibels nearest_neighbor_snr_db(std::size_t stations,
+                                               double eta);
 
 /// SNR of a link to a station `distance_multiple` times farther than R0:
 /// free-space loss costs a factor of distance_multiple² (6 dB per doubling,
 /// Section 4's closing argument that only nearby neighbours are reachable).
-[[nodiscard]] double snr_at_distance_multiple(std::size_t stations, double eta,
-                                              double distance_multiple);
+[[nodiscard]] LinearGain snr_at_distance_multiple(std::size_t stations,
+                                                  double eta,
+                                                  double distance_multiple);
 
 /// One Monte-Carlo estimate of the nearest-neighbour SNR: places `stations`
 /// uniformly in a disc, picks the station closest to the centre as receiver
 /// and its nearest neighbour as the (unit-power) sender, activates every
 /// other station independently with probability `eta`, and returns
 /// signal / interference under 1/r² loss. Averaged over trials this validates
-/// Eq. 15 within its approximations.
+/// Eq. 15 within its approximations. All three fields are unit-power ratios.
 struct SnrSample {
-  double snr = 0.0;
-  double signal = 0.0;
-  double interference = 0.0;
+  LinearGain snr;
+  LinearGain signal;
+  LinearGain interference;
 };
 [[nodiscard]] SnrSample sample_nearest_neighbor_snr(std::size_t stations,
-                                                    double region_radius,
+                                                    Meters region_radius,
                                                     double eta, Rng& rng);
 
 }  // namespace drn::radio

@@ -9,65 +9,67 @@
 
 namespace drn::radio {
 
-PowerLawPropagation::PowerLawPropagation(double exponent, double reference_gain,
-                                         double reference_distance,
-                                         double min_distance)
+PowerLawPropagation::PowerLawPropagation(double exponent,
+                                         LinearGain reference_gain,
+                                         Meters reference_distance,
+                                         Meters min_distance)
     : exponent_(exponent),
       reference_gain_(reference_gain),
       reference_distance_(reference_distance),
       min_distance_(min_distance) {
   DRN_EXPECTS(exponent > 0.0);
-  DRN_EXPECTS(reference_gain > 0.0);
-  DRN_EXPECTS(reference_distance > 0.0);
-  DRN_EXPECTS(min_distance > 0.0);
+  DRN_EXPECTS(reference_gain.value() > 0.0);
+  DRN_EXPECTS(reference_distance.value() > 0.0);
+  DRN_EXPECTS(min_distance.value() > 0.0);
 }
 
-double PowerLawPropagation::gain_at(double r) const {
-  DRN_EXPECTS(r >= 0.0);
-  const double clamped = std::max(r, min_distance_);
-  return reference_gain_ * std::pow(reference_distance_ / clamped, exponent_);
+LinearGain PowerLawPropagation::gain_at(Meters r) const {
+  DRN_EXPECTS(r.value() >= 0.0);
+  const Meters clamped = std::max(r, min_distance_);
+  return reference_gain_ *
+         std::pow(reference_distance_ / clamped, exponent_);
 }
 
-double PowerLawPropagation::power_gain(geo::Vec2 a, geo::Vec2 b) const {
-  return gain_at(geo::distance(a, b));
+LinearGain PowerLawPropagation::power_gain(geo::Vec2 a, geo::Vec2 b) const {
+  return gain_at(Meters{geo::distance(a, b)});
 }
 
 MultipathPenalty::MultipathPenalty(std::shared_ptr<const PropagationModel> base,
-                                   double penalty_db)
+                                   Decibels penalty)
     : base_(std::move(base)),
-      penalty_db_(penalty_db),
-      factor_(std::pow(10.0, -penalty_db / 10.0)) {
+      penalty_(penalty),
+      factor_((-penalty).to_linear()) {
   DRN_EXPECTS(base_ != nullptr);
-  DRN_EXPECTS(penalty_db >= 0.0);
+  DRN_EXPECTS(penalty.value() >= 0.0);
 }
 
-double MultipathPenalty::power_gain(geo::Vec2 a, geo::Vec2 b) const {
+LinearGain MultipathPenalty::power_gain(geo::Vec2 a, geo::Vec2 b) const {
   return base_->power_gain(a, b) * factor_;
 }
 
-DualSlopePropagation::DualSlopePropagation(double breakpoint_m,
+DualSlopePropagation::DualSlopePropagation(Meters breakpoint,
                                            double far_exponent,
-                                           double reference_gain,
-                                           double reference_distance,
-                                           double min_distance)
+                                           LinearGain reference_gain,
+                                           Meters reference_distance,
+                                           Meters min_distance)
     : near_(2.0, reference_gain, reference_distance, min_distance),
-      breakpoint_m_(breakpoint_m),
+      breakpoint_(breakpoint),
       far_exponent_(far_exponent) {
-  DRN_EXPECTS(breakpoint_m > 0.0);
+  DRN_EXPECTS(breakpoint.value() > 0.0);
   DRN_EXPECTS(far_exponent > 2.0);
-  DRN_EXPECTS(breakpoint_m >= min_distance);
+  DRN_EXPECTS(breakpoint >= min_distance);
 }
 
-double DualSlopePropagation::gain_at(double r) const {
-  DRN_EXPECTS(r >= 0.0);
-  if (r <= breakpoint_m_) return near_.gain_at(r);
+LinearGain DualSlopePropagation::gain_at(Meters r) const {
+  DRN_EXPECTS(r.value() >= 0.0);
+  if (r <= breakpoint_) return near_.gain_at(r);
   // Continuous at the breakpoint: gain(bp) * (bp/r)^alpha2.
-  return near_.gain_at(breakpoint_m_) *
-         std::pow(breakpoint_m_ / r, far_exponent_);
+  return near_.gain_at(breakpoint_) *
+         std::pow(breakpoint_ / r, far_exponent_);
 }
 
-double DualSlopePropagation::power_gain(geo::Vec2 a, geo::Vec2 b) const {
-  return gain_at(geo::distance(a, b));
+LinearGain DualSlopePropagation::power_gain(geo::Vec2 a, geo::Vec2 b) const {
+  return gain_at(Meters{geo::distance(a, b)});
 }
 
 namespace {
@@ -76,7 +78,7 @@ namespace {
 /// deterministically under `seed`. Coordinates are hashed bit-exactly; the
 /// pair is ordered canonically so the result is symmetric.
 double pair_normal(std::uint64_t seed, geo::Vec2 a, geo::Vec2 b) {
-  auto key = [](geo::Vec2 p) {
+  const auto key = [](geo::Vec2 p) {
     return hash_u64(std::bit_cast<std::uint64_t>(p.x),
                     std::bit_cast<std::uint64_t>(p.y));
   };
@@ -90,17 +92,17 @@ double pair_normal(std::uint64_t seed, geo::Vec2 a, geo::Vec2 b) {
 }  // namespace
 
 LogNormalShadowing::LogNormalShadowing(
-    std::shared_ptr<const PropagationModel> base, double sigma_db,
+    std::shared_ptr<const PropagationModel> base, Decibels sigma,
     std::uint64_t seed)
-    : base_(std::move(base)), sigma_db_(sigma_db), seed_(seed) {
+    : base_(std::move(base)), sigma_(sigma), seed_(seed) {
   DRN_EXPECTS(base_ != nullptr);
-  DRN_EXPECTS(sigma_db >= 0.0);
+  DRN_EXPECTS(sigma.value() >= 0.0);
 }
 
-double LogNormalShadowing::power_gain(geo::Vec2 a, geo::Vec2 b) const {
+LinearGain LogNormalShadowing::power_gain(geo::Vec2 a, geo::Vec2 b) const {
   const double z = std::min(pair_normal(seed_, a, b), 3.0);
-  const double shadow_db = sigma_db_ * z;
-  return base_->power_gain(a, b) * std::pow(10.0, shadow_db / 10.0);
+  const Decibels shadow = sigma_ * z;
+  return base_->power_gain(a, b) * shadow.to_linear();
 }
 
 }  // namespace drn::radio

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "geo/vec2.hpp"
+#include "radio/units.hpp"
 
 namespace drn::radio {
 
@@ -26,8 +27,9 @@ class PropagationModel {
  public:
   virtual ~PropagationModel() = default;
 
-  /// Power gain between points a and b (dimensionless, > 0).
-  [[nodiscard]] virtual double power_gain(geo::Vec2 a, geo::Vec2 b) const = 0;
+  /// Power gain h² between points a and b (> 0).
+  [[nodiscard]] virtual LinearGain power_gain(geo::Vec2 a,
+                                              geo::Vec2 b) const = 0;
 };
 
 /// Inverse power law: gain = reference_gain * (reference_distance / r)^alpha,
@@ -35,37 +37,37 @@ class PropagationModel {
 /// min_distance (the far-field model is meaningless at r -> 0).
 class PowerLawPropagation : public PropagationModel {
  public:
-  /// @param exponent         path-loss exponent alpha (2 = free space).
-  /// @param reference_gain   gain at reference_distance (the paper's kappa,
-  ///                         set by antennas and wavelength).
-  /// @param reference_distance  distance at which reference_gain applies, m.
-  /// @param min_distance     near-field clamp distance, m.
+  /// @param exponent           path-loss exponent alpha (2 = free space).
+  /// @param reference_gain     gain at reference_distance (the paper's kappa,
+  ///                           set by antennas and wavelength).
+  /// @param reference_distance distance at which reference_gain applies.
+  /// @param min_distance       near-field clamp distance.
   explicit PowerLawPropagation(double exponent = 2.0,
-                               double reference_gain = 1.0,
-                               double reference_distance = 1.0,
-                               double min_distance = 0.1);
+                               LinearGain reference_gain = LinearGain{1.0},
+                               Meters reference_distance = Meters{1.0},
+                               Meters min_distance = Meters{0.1});
 
-  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+  [[nodiscard]] LinearGain power_gain(geo::Vec2 a, geo::Vec2 b) const override;
 
   /// Gain at scalar distance r (same clamping). Exposed for the analytic
   /// noise-growth code and tests.
-  [[nodiscard]] double gain_at(double r) const;
+  [[nodiscard]] LinearGain gain_at(Meters r) const;
 
   [[nodiscard]] double exponent() const { return exponent_; }
 
  private:
   double exponent_;
-  double reference_gain_;
-  double reference_distance_;
-  double min_distance_;
+  LinearGain reference_gain_;
+  Meters reference_distance_;
+  Meters min_distance_;
 };
 
 /// The paper's model: free space, power falls as 1/r².
 class FreeSpacePropagation : public PowerLawPropagation {
  public:
-  explicit FreeSpacePropagation(double reference_gain = 1.0,
-                                double reference_distance = 1.0,
-                                double min_distance = 0.1)
+  explicit FreeSpacePropagation(LinearGain reference_gain = LinearGain{1.0},
+                                Meters reference_distance = Meters{1.0},
+                                Meters min_distance = Meters{0.1})
       : PowerLawPropagation(2.0, reference_gain, reference_distance,
                             min_distance) {}
 };
@@ -77,16 +79,16 @@ class FreeSpacePropagation : public PowerLawPropagation {
 class MultipathPenalty : public PropagationModel {
  public:
   MultipathPenalty(std::shared_ptr<const PropagationModel> base,
-                   double penalty_db);
+                   Decibels penalty);
 
-  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+  [[nodiscard]] LinearGain power_gain(geo::Vec2 a, geo::Vec2 b) const override;
 
-  [[nodiscard]] double penalty_db() const { return penalty_db_; }
+  [[nodiscard]] Decibels penalty() const { return penalty_; }
 
  private:
   std::shared_ptr<const PropagationModel> base_;
-  double penalty_db_;
-  double factor_;
+  Decibels penalty_;
+  LinearGain factor_;
 };
 
 /// Dual-slope (two-ray) model: free-space 1/r^2 out to a breakpoint
@@ -98,23 +100,23 @@ class MultipathPenalty : public PropagationModel {
 /// radio-horizon cutoff assumption — see the noise-growth tests).
 class DualSlopePropagation : public PropagationModel {
  public:
-  /// @param breakpoint_m distance where the slope steepens.
+  /// @param breakpoint   distance where the slope steepens.
   /// @param far_exponent alpha2 (> 2; classically 4).
-  DualSlopePropagation(double breakpoint_m, double far_exponent = 4.0,
-                       double reference_gain = 1.0,
-                       double reference_distance = 1.0,
-                       double min_distance = 0.1);
+  DualSlopePropagation(Meters breakpoint, double far_exponent = 4.0,
+                       LinearGain reference_gain = LinearGain{1.0},
+                       Meters reference_distance = Meters{1.0},
+                       Meters min_distance = Meters{0.1});
 
-  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+  [[nodiscard]] LinearGain power_gain(geo::Vec2 a, geo::Vec2 b) const override;
 
   /// Gain at scalar distance r.
-  [[nodiscard]] double gain_at(double r) const;
+  [[nodiscard]] LinearGain gain_at(Meters r) const;
 
-  [[nodiscard]] double breakpoint_m() const { return breakpoint_m_; }
+  [[nodiscard]] Meters breakpoint() const { return breakpoint_; }
 
  private:
   PowerLawPropagation near_;
-  double breakpoint_m_;
+  Meters breakpoint_;
   double far_exponent_;
 };
 
@@ -127,13 +129,13 @@ class DualSlopePropagation : public PropagationModel {
 class LogNormalShadowing : public PropagationModel {
  public:
   LogNormalShadowing(std::shared_ptr<const PropagationModel> base,
-                     double sigma_db, std::uint64_t seed);
+                     Decibels sigma, std::uint64_t seed);
 
-  [[nodiscard]] double power_gain(geo::Vec2 a, geo::Vec2 b) const override;
+  [[nodiscard]] LinearGain power_gain(geo::Vec2 a, geo::Vec2 b) const override;
 
  private:
   std::shared_ptr<const PropagationModel> base_;
-  double sigma_db_;
+  Decibels sigma_;
   std::uint64_t seed_;
 };
 

@@ -6,20 +6,21 @@
 
 namespace drn::radio {
 
-PropagationMatrix::PropagationMatrix(std::size_t size, double self_gain)
+PropagationMatrix::PropagationMatrix(std::size_t size, LinearGain self_gain)
     : size_(size), gains_(size * size, 0.0) {
   DRN_EXPECTS(size > 0);
-  DRN_EXPECTS(self_gain > 0.0);
-  for (std::size_t i = 0; i < size_; ++i) gains_[i * size_ + i] = self_gain;
+  DRN_EXPECTS(self_gain.value() > 0.0);
+  for (std::size_t i = 0; i < size_; ++i)
+    gains_[i * size_ + i] = self_gain.value();
 }
 
 PropagationMatrix PropagationMatrix::from_placement(
     const geo::Placement& placement, const PropagationModel& model,
-    double self_gain) {
+    LinearGain self_gain) {
   PropagationMatrix m(placement.size(), self_gain);
   for (std::size_t i = 0; i < placement.size(); ++i) {
     for (std::size_t j = i + 1; j < placement.size(); ++j) {
-      const double g = model.power_gain(placement[i], placement[j]);
+      const double g = model.power_gain(placement[i], placement[j]).value();
       m.gains_[i * m.size_ + j] = g;
       m.gains_[j * m.size_ + i] = g;
     }
@@ -32,10 +33,10 @@ std::size_t PropagationMatrix::index(StationId rx, StationId tx) const {
   return static_cast<std::size_t>(rx) * size_ + tx;
 }
 
-void PropagationMatrix::set_gain(StationId a, StationId b, double gain) {
-  DRN_EXPECTS(gain > 0.0);
-  gains_[index(a, b)] = gain;
-  gains_[index(b, a)] = gain;
+void PropagationMatrix::set_gain(StationId a, StationId b, LinearGain gain) {
+  DRN_EXPECTS(gain.value() > 0.0);
+  gains_[index(a, b)] = gain.value();
+  gains_[index(b, a)] = gain.value();
 }
 
 bool PropagationMatrix::is_symmetric() const {
@@ -45,12 +46,12 @@ bool PropagationMatrix::is_symmetric() const {
   return true;
 }
 
-double PropagationMatrix::strongest_neighbor_gain(StationId rx) const {
+LinearGain PropagationMatrix::strongest_neighbor_gain(StationId rx) const {
   DRN_EXPECTS(rx < size_);
   double best = 0.0;
   for (std::size_t tx = 0; tx < size_; ++tx)
     if (tx != rx) best = std::max(best, gains_[rx * size_ + tx]);
-  return best;
+  return LinearGain{best};
 }
 
 }  // namespace drn::radio

@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "geo/placement.hpp"
 #include "radio/propagation.hpp"
+#include "radio/units.hpp"
 
 namespace drn::radio {
 
@@ -25,30 +26,33 @@ class PropagationMatrix {
   /// The diagonal (a station's coupling to its own transmitter) is set to
   /// `self_gain`; the paper treats self-interference as unconditionally fatal
   /// (Type 3), so any value >= the strongest neighbour gain is faithful.
-  static PropagationMatrix from_placement(const geo::Placement& placement,
-                                          const PropagationModel& model,
-                                          double self_gain = 1.0);
+  static PropagationMatrix from_placement(
+      const geo::Placement& placement, const PropagationModel& model,
+      LinearGain self_gain = LinearGain{1.0});
 
   /// An M x M matrix with all off-diagonal gains zero (for incremental test
   /// construction via set_gain).
-  explicit PropagationMatrix(std::size_t size, double self_gain = 1.0);
+  explicit PropagationMatrix(std::size_t size,
+                             LinearGain self_gain = LinearGain{1.0});
 
   /// Number of stations M.
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  /// Power gain from transmitter `tx` to receiver `rx`.
+  /// Power gain from transmitter `tx` to receiver `rx`, as a raw double.
+  /// This is the per-event hot path; the raw read is the sanctioned boundary
+  /// where gains leave the typed layer (see DESIGN.md "Unit safety").
   [[nodiscard]] double gain(StationId rx, StationId tx) const {
     return gains_[index(rx, tx)];
   }
 
   /// Sets the gain in BOTH directions (the physical channel is reciprocal).
-  void set_gain(StationId a, StationId b, double gain);
+  void set_gain(StationId a, StationId b, LinearGain gain);
 
   /// True iff every entry equals its transpose entry.
   [[nodiscard]] bool is_symmetric() const;
 
   /// The largest off-diagonal gain seen by `rx` (its strongest neighbour).
-  [[nodiscard]] double strongest_neighbor_gain(StationId rx) const;
+  [[nodiscard]] LinearGain strongest_neighbor_gain(StationId rx) const;
 
  private:
   [[nodiscard]] std::size_t index(StationId rx, StationId tx) const;

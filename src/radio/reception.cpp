@@ -3,49 +3,48 @@
 #include <cmath>
 
 #include "common/expects.hpp"
-#include "radio/units.hpp"
 
 namespace drn::radio {
 
-double shannon_capacity(double bandwidth_hz, double snr) {
-  DRN_EXPECTS(bandwidth_hz > 0.0);
-  DRN_EXPECTS(snr >= 0.0);
-  return bandwidth_hz * std::log2(1.0 + snr);
+BitsPerSecond shannon_capacity(Hertz bandwidth, LinearGain snr) {
+  DRN_EXPECTS(bandwidth.value() > 0.0);
+  DRN_EXPECTS(snr.value() >= 0.0);
+  return BitsPerSecond{bandwidth.value() * std::log2(1.0 + snr.value())};
 }
 
-double capacity_per_hz(double snr) {
-  DRN_EXPECTS(snr >= 0.0);
-  return std::log2(1.0 + snr);
+double capacity_per_hz(LinearGain snr) {
+  DRN_EXPECTS(snr.value() >= 0.0);
+  return std::log2(1.0 + snr.value());
 }
 
-double snr_for_rate_fraction(double rate_fraction) {
+LinearGain snr_for_rate_fraction(double rate_fraction) {
   DRN_EXPECTS(rate_fraction > 0.0);
-  return std::exp2(rate_fraction) - 1.0;
+  return LinearGain{std::exp2(rate_fraction) - 1.0};
 }
 
-ReceptionCriterion::ReceptionCriterion(double bandwidth_hz, double data_rate_bps,
-                                       double margin_db)
-    : bandwidth_hz_(bandwidth_hz),
-      data_rate_bps_(data_rate_bps),
-      margin_db_(margin_db),
-      required_snr_(from_db(margin_db) *
-                    snr_for_rate_fraction(data_rate_bps / bandwidth_hz)) {
-  DRN_EXPECTS(bandwidth_hz > 0.0);
-  DRN_EXPECTS(data_rate_bps > 0.0);
-  DRN_EXPECTS(margin_db >= 0.0);
+ReceptionCriterion::ReceptionCriterion(Hertz bandwidth, BitsPerSecond data_rate,
+                                       Decibels margin)
+    : bandwidth_(bandwidth),
+      data_rate_(data_rate),
+      margin_(margin),
+      required_snr_(margin.to_linear() *
+                    snr_for_rate_fraction(data_rate / bandwidth)) {
+  DRN_EXPECTS(bandwidth.value() > 0.0);
+  DRN_EXPECTS(data_rate.value() > 0.0);
+  DRN_EXPECTS(margin.value() >= 0.0);
 }
 
-double ReceptionCriterion::required_snr_db() const {
-  return to_db(required_snr_);
+Decibels ReceptionCriterion::required_snr_db() const {
+  return required_snr_.to_db();
 }
 
-double ReceptionCriterion::processing_gain_db() const {
-  return to_db(processing_gain());
+Decibels ReceptionCriterion::processing_gain_db() const {
+  return processing_gain().to_db();
 }
 
-double ReceptionCriterion::packet_duration_s(double bits) const {
-  DRN_EXPECTS(bits > 0.0);
-  return bits / data_rate_bps_;
+Seconds ReceptionCriterion::packet_duration(Bits bits) const {
+  DRN_EXPECTS(bits.value() > 0.0);
+  return bits / data_rate_;
 }
 
 }  // namespace drn::radio

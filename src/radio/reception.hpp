@@ -13,63 +13,71 @@
 // right amount for a scalable network.
 #pragma once
 
+#include "radio/units.hpp"
+
 namespace drn::radio {
 
-/// Shannon capacity C = W log2(1 + snr) in bits/second.
-[[nodiscard]] double shannon_capacity(double bandwidth_hz, double snr);
+/// Shannon capacity C = W log2(1 + snr).
+[[nodiscard]] BitsPerSecond shannon_capacity(Hertz bandwidth, LinearGain snr);
 
-/// Capacity per hertz, log2(1 + snr). The paper quotes this per kilohertz:
-/// snr = 0.01 -> ~14 b/s/kHz, snr = 0.04 -> ~56 b/s/kHz (Section 4).
-[[nodiscard]] double capacity_per_hz(double snr);
+/// Capacity per hertz, log2(1 + snr), in bits/s/Hz. The paper quotes this per
+/// kilohertz: snr = 0.01 -> ~14 b/s/kHz, snr = 0.04 -> ~56 b/s/kHz (Sec. 4).
+[[nodiscard]] double capacity_per_hz(LinearGain snr);
 
 /// The SNR needed to carry `rate_fraction` = C/W by the Shannon bound, i.e.
 /// 2^(C/W) - 1. Inverse of capacity_per_hz.
-[[nodiscard]] double snr_for_rate_fraction(double rate_fraction);
+[[nodiscard]] LinearGain snr_for_rate_fraction(double rate_fraction);
 
 /// The fixed-rate reception criterion of Eq. 4. Immutable value type; one
 /// instance describes the whole (homogeneous) network, since the paper fixes
 /// a single design rate for all stations.
 class ReceptionCriterion {
  public:
-  /// @param bandwidth_hz  spread (chip) bandwidth W.
-  /// @param data_rate_bps design data rate C (must leave C < W achievable).
-  /// @param margin_db     detection margin beta above the Shannon bound
-  ///                      (paper: 5 dB).
-  ReceptionCriterion(double bandwidth_hz, double data_rate_bps,
-                     double margin_db = 5.0);
+  /// @param bandwidth spread (chip) bandwidth W.
+  /// @param data_rate design data rate C (must leave C < W achievable).
+  /// @param margin    detection margin beta above the Shannon bound
+  ///                  (paper: 5 dB).
+  ReceptionCriterion(Hertz bandwidth, BitsPerSecond data_rate,
+                     Decibels margin = Decibels{5.0});
 
   /// Minimum SINR at which a packet is received, beta * (2^(C/W) - 1).
-  [[nodiscard]] double required_snr() const { return required_snr_; }
+  [[nodiscard]] LinearGain required_snr() const { return required_snr_; }
 
   /// Same, in dB.
-  [[nodiscard]] double required_snr_db() const;
+  [[nodiscard]] Decibels required_snr_db() const;
 
   /// Spread-spectrum processing gain W/C (linear).
-  [[nodiscard]] double processing_gain() const {
-    return bandwidth_hz_ / data_rate_bps_;
+  [[nodiscard]] LinearGain processing_gain() const {
+    return bandwidth_ / data_rate_;
   }
 
   /// Processing gain in dB (Section 6: the design lands in 20-25 dB).
-  [[nodiscard]] double processing_gain_db() const;
+  [[nodiscard]] Decibels processing_gain_db() const;
 
-  /// True iff a signal power `signal_w` against total noise-plus-interference
-  /// `noise_w` meets the criterion.
-  [[nodiscard]] bool receivable(double signal_w, double noise_w) const {
-    return signal_w >= required_snr_ * noise_w;
+  /// True iff a signal against total noise-plus-interference `noise` meets
+  /// the criterion.
+  [[nodiscard]] bool receivable(Watts signal, Watts noise) const {
+    return signal >= required_snr_ * noise;
   }
 
-  [[nodiscard]] double bandwidth_hz() const { return bandwidth_hz_; }
-  [[nodiscard]] double data_rate_bps() const { return data_rate_bps_; }
-  [[nodiscard]] double margin_db() const { return margin_db_; }
+  [[nodiscard]] Hertz bandwidth() const { return bandwidth_; }
+  [[nodiscard]] BitsPerSecond data_rate() const { return data_rate_; }
+  [[nodiscard]] Decibels margin() const { return margin_; }
 
-  /// Airtime of a packet of `bits` at the design rate, seconds.
-  [[nodiscard]] double packet_duration_s(double bits) const;
+  // Raw-double reads for the CLI/telemetry boundary (sim events and JSON
+  // carry plain doubles by design).
+  [[nodiscard]] double bandwidth_hz() const { return bandwidth_.value(); }
+  [[nodiscard]] double data_rate_bps() const { return data_rate_.value(); }
+  [[nodiscard]] double margin_db() const { return margin_.value(); }
+
+  /// Airtime of a packet of `bits` at the design rate.
+  [[nodiscard]] Seconds packet_duration(Bits bits) const;
 
  private:
-  double bandwidth_hz_;
-  double data_rate_bps_;
-  double margin_db_;
-  double required_snr_;
+  Hertz bandwidth_;
+  BitsPerSecond data_rate_;
+  Decibels margin_;
+  LinearGain required_snr_;
 };
 
 }  // namespace drn::radio

@@ -1,26 +1,27 @@
 #include "radio/units.hpp"
 
-#include <cmath>
-
 #include "common/expects.hpp"
 
 namespace drn::radio {
 
-double to_db(double linear) {
-  DRN_EXPECTS(linear > 0.0);
-  return 10.0 * std::log10(linear);
+double to_db(double linear) { return LinearGain{linear}.to_db().value(); }
+
+double from_db(double db) { return Decibels{db}.to_linear().value(); }
+
+double watts_to_dbm(double watts) { return Watts{watts}.to_dbm().value(); }
+
+double dbm_to_watts(double dbm) {
+  return DecibelMilliwatts{dbm}.to_watts().value();
 }
 
-double from_db(double db) { return std::pow(10.0, db / 10.0); }
-
-double watts_to_dbm(double watts) { return to_db(watts) + 30.0; }
-
-double dbm_to_watts(double dbm) { return from_db(dbm - 30.0); }
+Watts thermal_noise(Hertz bandwidth, double temperature_k) {
+  DRN_EXPECTS(bandwidth.value() > 0.0);
+  DRN_EXPECTS(temperature_k > 0.0);
+  return Watts{kBoltzmann * temperature_k * bandwidth.value()};
+}
 
 double thermal_noise_watts(double bandwidth_hz, double temperature_k) {
-  DRN_EXPECTS(bandwidth_hz > 0.0);
-  DRN_EXPECTS(temperature_k > 0.0);
-  return kBoltzmann * temperature_k * bandwidth_hz;
+  return thermal_noise(Hertz{bandwidth_hz}, temperature_k).value();
 }
 
 }  // namespace drn::radio

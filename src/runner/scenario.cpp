@@ -37,7 +37,9 @@ std::string_view mac_name(MacKind mac) {
 }
 
 radio::ReceptionCriterion scheme_criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6},
+                                   radio::BitsPerSecond{1.0e6},
+                                   radio::Decibels{5.0});
 }
 
 core::ScheduledNetworkConfig multihop_config() {
@@ -161,9 +163,9 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
     // Lazy near/far evaluation over the same free-space physics the dense
     // scenario matrix was built from.
     radio::NearFarConfig nf;
-    nf.cutoff_m =
-        spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m;
-    nf.cell_m = spec.engine_cell_m;
+    nf.cutoff = radio::Meters{
+        spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m};
+    nf.cell = radio::Meters{spec.engine_cell_m};
     sim_box.emplace(radio::make_nearfar_engine(placement, model, nf), sim_cfg);
   } else if (dyn.jammer.count > 0) {
     sim_box.emplace(radio::make_dense_gains(placement, *model), sim_cfg);

@@ -104,7 +104,9 @@ struct ScenarioSpec {
   dynamics::DynamicsConfig dynamics;
 
   [[nodiscard]] radio::ReceptionCriterion criterion() const {
-    return radio::ReceptionCriterion(bandwidth_hz, data_rate_bps, margin_db);
+    return radio::ReceptionCriterion(radio::Hertz{bandwidth_hz},
+                                     radio::BitsPerSecond{data_rate_bps},
+                                     radio::Decibels{margin_db});
   }
 };
 

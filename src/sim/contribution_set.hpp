@@ -16,15 +16,16 @@
 #include <set>
 
 #include "common/expects.hpp"
+#include "radio/units.hpp"
 
 namespace drn::sim {
 
 class ContributionSet {
  public:
-  void add(std::uint64_t tx_id, double watts) {
-    const bool inserted = by_id_.emplace(tx_id, watts).second;
+  void add(std::uint64_t tx_id, radio::Watts power) {
+    const bool inserted = by_id_.emplace(tx_id, power.value()).second;
     DRN_EXPECTS(inserted);
-    watts_.insert(watts);
+    watts_.insert(power.value());
   }
 
   /// Removes tx_id's contribution if present (a transmission that never
@@ -42,14 +43,14 @@ class ContributionSet {
   [[nodiscard]] std::size_t size() const { return by_id_.size(); }
 
   /// Sum of the k strongest contributions (all of them if k >= size).
-  [[nodiscard]] double sum_top(std::size_t k) const {
+  [[nodiscard]] radio::Watts sum_top(std::size_t k) const {
     double sum = 0.0;
     std::size_t n = 0;
     for (const double w : watts_) {
       if (n++ == k) break;
       sum += w;
     }
-    return sum;
+    return radio::Watts{sum};
   }
 
   void clear() {

@@ -54,9 +54,9 @@ Simulator::Simulator(std::unique_ptr<radio::InterferenceEngine> engine,
   DRN_EXPECTS(config_.multiuser_subtract_k >= 0);
   if (config_.thermal_noise_w < 0.0) {
     config_.thermal_noise_w =
-        radio::thermal_noise_watts(config_.criterion.bandwidth_hz());
+        radio::thermal_noise(config_.criterion.bandwidth()).value();
   }
-  engine_->set_thermal_noise(config_.thermal_noise_w);
+  engine_->set_thermal_noise(radio::Watts{config_.thermal_noise_w});
   Rng master(config_.seed);
   rngs_.reserve(engine_->station_count());
   for (std::size_t i = 0; i < engine_->station_count(); ++i)
@@ -180,9 +180,10 @@ void Simulator::transmit(const Packet& pkt, StationId to, double power_w,
   tx.start_s = start_s;
   tx.end_s = start_s + pkt.size_bits / tx.rate_bps;
   tx.required_snr =
-      radio::from_db(config_.criterion.margin_db()) *
-      radio::snr_for_rate_fraction(tx.rate_bps /
-                                   config_.criterion.bandwidth_hz());
+      (config_.criterion.margin().to_linear() *
+       radio::snr_for_rate_fraction(tx.rate_bps /
+                                    config_.criterion.bandwidth_hz()))
+          .value();
   tx_busy_until_s_[from] = tx.end_s;
 
   const std::uint64_t id = next_tx_id_++;
@@ -255,7 +256,7 @@ void Simulator::transmit_noise(double power_w, double start_s,
 bool Simulator::transmitting() const { return station_transmitting(self()); }
 
 double Simulator::received_power_w() const {
-  return engine_->power_at(self());
+  return engine_->power_at(self()).value();
 }
 
 double Simulator::gain_to(StationId other) const {
@@ -284,13 +285,15 @@ void Simulator::fail_reception(Reception& r, const ActiveTx& cause) {
 }
 
 double Simulator::effective_sinr(const Reception& r) const {
-  const double interference = engine_->interference_w(r.handle);
+  const double interference = engine_->interference(r.handle).value();
   if (config_.multiuser_subtract_k == 0 || r.contributions.empty())
     return r.signal_w / interference;
   // Subtract the k strongest interfering contributions (idealised multiuser
   // detection: the receiver reconstructs and cancels them).
-  const double cancelled = r.contributions.sum_top(
-      static_cast<std::size_t>(config_.multiuser_subtract_k));
+  const double cancelled =
+      r.contributions
+          .sum_top(static_cast<std::size_t>(config_.multiuser_subtract_k))
+          .value();
   const double residual =
       std::max(config_.thermal_noise_w, interference - cancelled);
   return r.signal_w / residual;
@@ -312,7 +315,7 @@ void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
   r.required_snr = tx.required_snr;
   radio::InterferenceEngine::ContributionVisitor on_contribution;
   if (config_.multiuser_subtract_k > 0) {
-    on_contribution = [&r](std::uint64_t id, double watts) {
+    on_contribution = [&r](std::uint64_t id, radio::Watts watts) {
       r.contributions.add(id, watts);
     };
   }
@@ -400,11 +403,11 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
   // reaches and kills any reception in progress at the (now radiating)
   // sender itself; the engine walks them and notifies us per reception.
   engine_->transmit_started(
-      tx_id, tx.from, tx.power_w,
+      tx_id, tx.from, radio::Watts{tx.power_w},
       [this, &tx](radio::ReceptionHandle h) {
         fail_reception(reception_at(h), tx);  // Type 3: own transmitter up
       },
-      [this, &tx, tx_id, track](radio::ReceptionHandle h, double watts) {
+      [this, &tx, tx_id, track](radio::ReceptionHandle h, radio::Watts watts) {
         Reception& r = reception_at(h);
         if (track) r.contributions.add(tx_id, watts);
         note_interference_change(r, tx);
@@ -442,7 +445,8 @@ void Simulator::handle_transmit_end(std::uint64_t tx_id) {
   // the notification is only needed to retire tracked contributions.
   radio::InterferenceEngine::AffectedVisitor on_affected;
   if (config_.multiuser_subtract_k > 0) {
-    on_affected = [this, tx_id](radio::ReceptionHandle h, double /*watts*/) {
+    on_affected = [this, tx_id](radio::ReceptionHandle h,
+                                radio::Watts /*watts*/) {
       reception_at(h).contributions.erase(tx_id);
     };
   }
@@ -561,7 +565,8 @@ void Simulator::abort_transmission(std::uint64_t tx_id) {
   // normal end, through the same engine path (no ad-hoc subtraction).
   radio::InterferenceEngine::AffectedVisitor on_affected;
   if (config_.multiuser_subtract_k > 0) {
-    on_affected = [this, tx_id](radio::ReceptionHandle h, double /*watts*/) {
+    on_affected = [this, tx_id](radio::ReceptionHandle h,
+                                radio::Watts /*watts*/) {
       reception_at(h).contributions.erase(tx_id);
     };
   }

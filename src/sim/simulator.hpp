@@ -172,7 +172,7 @@ class Simulator final : public MacContext {
   /// own). Forwarded to InterferenceEngine::enable_mobility.
   void enable_mobility(geo::Placement placement,
                        std::shared_ptr<const radio::PropagationModel> model,
-                       double self_gain = 1.0) {
+                       radio::LinearGain self_gain = radio::LinearGain{1.0}) {
     engine_->enable_mobility(std::move(placement), std::move(model),
                              self_gain);
   }
@@ -209,7 +209,7 @@ class Simulator final : public MacContext {
     StationId rx = kNoStation;
     double signal_w = 0.0;
     /// Engine-side interference state for this reception (the engine's
-    /// interference_w(handle) is thermal + all other active transmissions).
+    /// interference(handle) is thermal + all other active transmissions).
     radio::ReceptionHandle handle = radio::kInvalidReception;
     double min_sinr = 0.0;  // worst (effective) SINR seen so far
     double required_snr = 0.0;

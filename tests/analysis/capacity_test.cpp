@@ -19,24 +19,27 @@ TEST(ProcessingGain, PaperBudgetLandsIn20To25Db) {
       const auto b = processing_gain_budget(m, eta);
       // The paper rounds its window to "20 to 25 dB"; the exact budget for
       // these corners spans ~19.4-25.4 dB.
-      EXPECT_GE(b.required_gain_db, 19.0) << m << " " << eta;
-      EXPECT_LE(b.required_gain_db, 26.5) << m << " " << eta;
+      EXPECT_GE(b.required_gain.value(), 19.0) << m << " " << eta;
+      EXPECT_LE(b.required_gain.value(), 26.5) << m << " " << eta;
     }
   }
 }
 
 TEST(ProcessingGain, BudgetDecomposition) {
-  const auto b = processing_gain_budget(1000000, 1.0, 5.0, 6.0);
-  EXPECT_NEAR(b.snr_db, radio::nearest_neighbor_snr_db(1000000, 1.0), 1e-12);
-  EXPECT_DOUBLE_EQ(b.detection_margin_db, 5.0);
-  EXPECT_DOUBLE_EQ(b.range_margin_db, 6.0);
-  EXPECT_NEAR(b.required_gain_db, -b.snr_db + 11.0, 1e-12);
+  const auto b = processing_gain_budget(1000000, 1.0, units::Decibels{5.0},
+                                        units::Decibels{6.0});
+  EXPECT_NEAR(b.snr.value(),
+              radio::nearest_neighbor_snr_db(1000000, 1.0).value(), 1e-12);
+  EXPECT_DOUBLE_EQ(b.detection_margin.value(), 5.0);
+  EXPECT_DOUBLE_EQ(b.range_margin.value(), 6.0);
+  EXPECT_NEAR(b.required_gain.value(), -b.snr.value() + 11.0, 1e-12);
 }
 
 TEST(ProcessingGain, LowerDutyCycleNeedsLessGain) {
   const auto full = processing_gain_budget(1000000, 1.0);
   const auto quarter = processing_gain_budget(1000000, 0.25);
-  EXPECT_NEAR(full.required_gain_db - quarter.required_gain_db, 6.02, 0.01);
+  EXPECT_NEAR(full.required_gain.value() - quarter.required_gain.value(), 6.02,
+              0.01);
 }
 
 TEST(MetroProjection, HundredsOfMegabitsAtMetroScale) {
@@ -46,40 +49,43 @@ TEST(MetroProjection, HundredsOfMegabitsAtMetroScale) {
   // of spectrum and optimistic ("future") signal processing. With 10 GHz of
   // spread bandwidth (a modest fraction of a tens-of-GHz band) and the
   // eta=0.25 budget, the raw rate clears 100 Mb/s; 2.5 GHz lands at tens.
-  const auto p = metro_projection(2000000, 0.25, 1.0e10);
-  EXPECT_GT(p.raw_rate_bps, 1.0e8);
-  EXPECT_LT(p.raw_rate_bps, 1.0e9);
-  EXPECT_GT(p.per_neighbor_rate_bps, 1.0e7);
-  const auto q = metro_projection(2000000, 0.25, 2.5e9);
-  EXPECT_GT(q.raw_rate_bps, 1.0e7);
+  const auto p = metro_projection(2000000, 0.25, units::Hertz{1.0e10});
+  EXPECT_GT(p.raw_rate.value(), 1.0e8);
+  EXPECT_LT(p.raw_rate.value(), 1.0e9);
+  EXPECT_GT(p.per_neighbor_rate.value(), 1.0e7);
+  const auto q = metro_projection(2000000, 0.25, units::Hertz{2.5e9});
+  EXPECT_GT(q.raw_rate.value(), 1.0e7);
 }
 
 TEST(MetroProjection, RawRateIsBandwidthOverGain) {
-  const auto p = metro_projection(1000000, 1.0, 1.0e9);
+  const auto p = metro_projection(1000000, 1.0, units::Hertz{1.0e9});
   const auto b = processing_gain_budget(1000000, 1.0);
-  EXPECT_NEAR(p.raw_rate_bps,
-              1.0e9 / std::pow(10.0, b.required_gain_db / 10.0), 1.0);
-  EXPECT_DOUBLE_EQ(p.required_gain_db, b.required_gain_db);
+  EXPECT_NEAR(p.raw_rate.value(),
+              1.0e9 / std::pow(10.0, b.required_gain.value() / 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.required_gain.value(), b.required_gain.value());
 }
 
 TEST(MetroProjection, ShannonBoundDominatesDesignRate) {
   // The budgeted design rate must sit below the information-theoretic bound
   // (that is what the 5 dB margin buys).
   for (std::size_t m : {std::size_t{100000}, std::size_t{100000000}}) {
-    const auto p = metro_projection(m, 0.5, 1.0e9);
-    EXPECT_LT(p.raw_rate_bps, p.shannon_rate_bps);
+    const auto p = metro_projection(m, 0.5, units::Hertz{1.0e9});
+    EXPECT_LT(p.raw_rate.value(), p.shannon_rate.value());
   }
 }
 
 TEST(MetroProjection, SnrMatchesNoiseModel) {
-  const auto p = metro_projection(12345678, 0.4, 1.0e9);
-  EXPECT_DOUBLE_EQ(p.snr, radio::nearest_neighbor_snr(12345678, 0.4));
+  const auto p = metro_projection(12345678, 0.4, units::Hertz{1.0e9});
+  EXPECT_DOUBLE_EQ(p.snr.value(),
+                   radio::nearest_neighbor_snr(12345678, 0.4).value());
 }
 
 TEST(MetroProjection, Contracts) {
-  EXPECT_THROW((void)metro_projection(100, 0.5, 0.0), ContractViolation);
-  EXPECT_THROW((void)processing_gain_budget(100, 0.5, -1.0),
+  EXPECT_THROW((void)metro_projection(100, 0.5, units::Hertz{0.0}),
                ContractViolation);
+  EXPECT_THROW(
+      (void)processing_gain_budget(100, 0.5, units::Decibels{-1.0}),
+      ContractViolation);
 }
 
 }  // namespace

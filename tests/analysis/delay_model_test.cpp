@@ -66,7 +66,7 @@ TEST(DelayModel, SampledGeometricMatchesModel) {
   const auto measured = binned_wait_fractions(waits, 30);
   const auto model = geometric_wait_pmf(p, 30);
   EXPECT_LT(total_variation(measured, model), 0.02);
-  EXPECT_NEAR(binned_mean(measured) + 0.5, expected_wait_slots(p), 0.2);
+  EXPECT_NEAR(binned_mean(measured) + 0.5, expected_wait(p).value(), 0.2);
 }
 
 TEST(DelayModel, Contracts) {

@@ -17,8 +17,8 @@ TEST(ScheduleMath, AccessProbability) {
 TEST(ScheduleMath, PaperExpectedWait) {
   // Section 7.2: "the expected number of slots until the packet can be sent
   // is 1/(p(1-p)), which for p = 0.3 is 4.76 slot times."
-  EXPECT_NEAR(expected_wait_slots(0.3), 4.7619, 1e-3);
-  EXPECT_DOUBLE_EQ(expected_wait_slots(0.5), 4.0);
+  EXPECT_NEAR(expected_wait(0.3).value(), 4.7619, 1e-3);
+  EXPECT_DOUBLE_EQ(expected_wait(0.5).value(), 4.0);
 }
 
 TEST(ScheduleMath, WaitPmfIsGeometricAndNormalised) {
@@ -33,7 +33,7 @@ TEST(ScheduleMath, WaitPmfIsGeometricAndNormalised) {
   EXPECT_NEAR(total, 1.0, 1e-9);
   // Mean of the geometric (counting from 0) is (1-q)/q; the paper's "slots
   // until sendable" counts the success slot too: 1/q.
-  EXPECT_NEAR(expectation + 1.0, expected_wait_slots(p), 1e-6);
+  EXPECT_NEAR(expectation + 1.0, expected_wait(p).value(), 1e-6);
 }
 
 TEST(ScheduleMath, PairwiseOptimumIsHalf) {
@@ -80,8 +80,8 @@ TEST(ScheduleMath, PaperUsableFractionFifteenPercent) {
 TEST(ScheduleMath, Contracts) {
   EXPECT_THROW((void)access_probability(-0.1), ContractViolation);
   EXPECT_THROW((void)access_probability(1.1), ContractViolation);
-  EXPECT_THROW((void)expected_wait_slots(0.0), ContractViolation);
-  EXPECT_THROW((void)expected_wait_slots(1.0), ContractViolation);
+  EXPECT_THROW((void)expected_wait(0.0), ContractViolation);
+  EXPECT_THROW((void)expected_wait(1.0), ContractViolation);
   EXPECT_THROW((void)wait_pmf(0.0, 1), ContractViolation);
   EXPECT_THROW((void)packing_efficiency(0.0), ContractViolation);
   EXPECT_THROW((void)packing_efficiency(1.5), ContractViolation);

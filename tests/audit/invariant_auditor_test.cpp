@@ -23,7 +23,7 @@ AuditConfig config(std::size_t stations = 4, int channels = 2) {
   AuditConfig cfg;
   cfg.stations = stations;
   cfg.despreading_channels = channels;
-  cfg.thermal_noise_w = 1.0e-12;
+  cfg.thermal_noise = units::Watts{1.0e-12};
   return cfg;
 }
 
@@ -61,10 +61,10 @@ bool tripped(const InvariantAuditor& a, const std::string& invariant) {
 
 TEST(InvariantAuditor, CleanSimulatorRunPasses) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(1, 2, 1.0);
-  m.set_gain(0, 2, 1e-9);
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   cfg.thermal_noise_w = 1e-15;
   sim::Simulator sim(m, cfg);
   InvariantAuditor auditor(sim);
@@ -84,10 +84,10 @@ TEST(InvariantAuditor, CleanSimulatorRunPasses) {
 
 TEST(InvariantAuditor, CleanBroadcastRunPasses) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(0, 2, 1.0);
-  m.set_gain(1, 2, 1.0);
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   cfg.thermal_noise_w = 1e-15;
   sim::Simulator sim(m, cfg);
   InvariantAuditor auditor(sim);
@@ -212,8 +212,8 @@ TEST(InvariantAuditor, TripsOnSinrAboveZeroInterferenceBound) {
 
 TEST(InvariantAuditor, TripsOnThresholdInconsistentWithRate) {
   AuditConfig cfg = config();
-  cfg.bandwidth_hz = 1.0e6;
-  cfg.margin_db = 0.0;
+  cfg.bandwidth = units::Hertz{1.0e6};
+  cfg.margin = units::Decibels{0.0};
   InvariantAuditor a(cfg);
   a.on_transmit_start(tx_event(1, 0, 1, 0.0, 1.0));  // rate 1e4 over 1e6
   sim::RxEvent rx = rx_event(1, 1, true);

@@ -59,13 +59,13 @@ struct BrokenMacRun {
 
   static radio::PropagationMatrix gains() {
     radio::PropagationMatrix m(3);
-    m.set_gain(0, 1, 1.0);
-    m.set_gain(1, 2, 1.0);
-    m.set_gain(0, 2, 1.0e-9);
+    m.set_gain(0, 1, radio::LinearGain{1.0});
+    m.set_gain(1, 2, radio::LinearGain{1.0});
+    m.set_gain(0, 2, radio::LinearGain{1.0e-9});
     return m;
   }
   static sim::SimulatorConfig config() {
-    sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+    sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
     cfg.thermal_noise_w = kThermalW;
     return cfg;
   }
@@ -190,13 +190,13 @@ struct ChurnAbortRun {
 
   static radio::PropagationMatrix gains() {
     radio::PropagationMatrix m(3);
-    m.set_gain(0, 1, 1.0);
-    m.set_gain(2, 1, 1.0e-3);
-    m.set_gain(0, 2, 1.0e-9);
+    m.set_gain(0, 1, radio::LinearGain{1.0});
+    m.set_gain(2, 1, radio::LinearGain{1.0e-3});
+    m.set_gain(0, 2, radio::LinearGain{1.0e-9});
     return m;
   }
   static sim::SimulatorConfig config() {
-    sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+    sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
     cfg.thermal_noise_w = kThermalW;
     return cfg;
   }

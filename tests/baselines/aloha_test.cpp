@@ -12,7 +12,7 @@ namespace drn::baselines {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
 }
 
 sim::SimulatorConfig config() {
@@ -23,7 +23,7 @@ sim::SimulatorConfig config() {
 
 TEST(PureAloha, TransmitsImmediatelyWhenIdle) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim.set_mac(0, std::make_unique<PureAloha>(ContentionConfig{}));
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
@@ -46,7 +46,7 @@ TEST(PureAloha, CollapsesUnderSymmetricCrossTraffic) {
   // serial bound while the scheduled scheme (same load, different MAC)
   // delivers everything; see integration/baseline_comparison_test.cpp.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.max_retries = 2;

@@ -13,7 +13,7 @@ namespace drn::baselines {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);  // required SINR 0 dB
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});  // required SINR 0 dB
 }
 
 sim::SimulatorConfig config() {
@@ -47,7 +47,7 @@ TEST(ContentionMac, ConfigContracts) {
 
 TEST(ContentionMac, QueueOverflowDrops) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.max_queue = 3;
@@ -65,9 +65,9 @@ TEST(ContentionMac, RetryThenSucceed) {
   // Station 2 jams the first attempt; backoff retries eventually get
   // through after the jammer stops.
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(1, 2, 10.0);
-  m.set_gain(2, 0, 1.0);  // jammer's own packet must land somewhere
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{10.0});
+  m.set_gain(2, 0, radio::LinearGain{1.0});  // jammer's own packet must land somewhere
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.backoff_mean_s = 0.02;
@@ -87,7 +87,7 @@ TEST(ContentionMac, RetriesExhaustedDropsPacket) {
   // Receiver permanently deaf (no gain): every attempt is a Type 1 loss;
   // after max_retries the MAC gives up.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0e-12);
+  m.set_gain(0, 1, radio::LinearGain{1.0e-12});
   auto cfg_sim = config();
   cfg_sim.thermal_noise_w = 1.0;  // SINR hopeless
   sim::Simulator sim(m, cfg_sim);
@@ -105,7 +105,7 @@ TEST(ContentionMac, RetriesExhaustedDropsPacket) {
 
 TEST(ContentionMac, ProcessesQueueInOrder) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim.set_mac(0, std::make_unique<PureAloha>(ContentionConfig{}));
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());

@@ -12,7 +12,7 @@ namespace drn::baselines {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
 }
 
 sim::SimulatorConfig config() {
@@ -31,7 +31,7 @@ sim::Packet packet(StationId src, StationId dst, double bits = 1.0e4) {
 
 TEST(Csma, TransmitsOnIdleChannel) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim.set_mac(0, std::make_unique<CsmaMac>(ContentionConfig{}, 1.0e-6));
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
@@ -45,9 +45,9 @@ TEST(Csma, DefersWhileChannelBusyThenSends) {
   // A loud scripted station occupies the channel 0-50 ms; CSMA hears it
   // (gain 1 to the sender) and defers, transmitting only after it ends.
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 2, 1.0);   // sensing path: 0 hears 2
-  m.set_gain(0, 1, 1.0);   // data path
-  m.set_gain(1, 2, 1e-9);  // receiver barely hears the blocker
+  m.set_gain(0, 2, radio::LinearGain{1.0});   // sensing path: 0 hears 2
+  m.set_gain(0, 1, radio::LinearGain{1.0});   // data path
+  m.set_gain(1, 2, radio::LinearGain{1e-9});  // receiver barely hears the blocker
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.backoff_mean_s = 0.004;
@@ -70,9 +70,9 @@ TEST(Csma, HiddenTerminalStillCollides) {
   // other but both reach receiver 1 -> simultaneous transmissions collide
   // despite CSMA.
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 2, 1.0e-12);  // hidden from each other
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1.0e-12});  // hidden from each other
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.max_retries = 0;
@@ -91,9 +91,9 @@ TEST(Csma, DinOfDistantStationsBlocksLowThreshold) {
   // the channel "busy" forever if the sense threshold is set below it, so
   // the MAC starves even though its link would work fine.
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(0, 2, 0.01);  // distant chatterer heard at -20 dB
-  m.set_gain(1, 2, 1e-9);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{0.01});  // distant chatterer heard at -20 dB
+  m.set_gain(1, 2, radio::LinearGain{1e-9});
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.max_retries = 0;

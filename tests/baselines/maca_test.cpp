@@ -13,7 +13,7 @@ namespace drn::baselines {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
 }
 
 sim::SimulatorConfig config() {
@@ -32,7 +32,7 @@ sim::Packet packet(StationId src, StationId dst, double bits = 1.0e4) {
 
 TEST(Maca, CleanHandshakeDeliversData) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim::TraceRecorder trace;
   sim.set_observer(&trace);
@@ -58,9 +58,9 @@ TEST(Maca, HiddenTerminalsAreSilencedByCts) {
   // reach 1. Station 2 overhears 1's CTS to 0 and defers its own RTS until
   // the data frame is done — so the DATA frames do not collide.
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 2, 1e-9);  // hidden pair
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});  // hidden pair
   sim::Simulator sim(m, config());
   for (StationId s = 0; s < 3; ++s)
     sim.set_mac(s, std::make_unique<MacaMac>(MacaConfig{}));
@@ -75,9 +75,9 @@ TEST(Maca, RtsCollisionRecoversThroughBackoff) {
   // Simultaneous RTSs to the same station collide (cheaply — they are
   // short); binary exponential backoff desynchronises the retries.
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 2, 1e-9);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
   sim::Simulator sim(m, config());
   for (StationId s = 0; s < 3; ++s)
     sim.set_mac(s, std::make_unique<MacaMac>(MacaConfig{}));
@@ -90,7 +90,7 @@ TEST(Maca, RtsCollisionRecoversThroughBackoff) {
 TEST(Maca, NoCtsExhaustsRetriesAndDrops) {
   // The addressee cannot hear us at all: every RTS times out.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0e-9);
+  m.set_gain(0, 1, radio::LinearGain{1.0e-9});
   auto cfg = config();
   cfg.thermal_noise_w = 1.0;  // RTS undecodable at the peer
   sim::Simulator sim(m, cfg);
@@ -109,7 +109,7 @@ TEST(Maca, ControlOverheadIsCharged) {
   // Airtime includes RTS+CTS: for a 10 ms data frame with 160-bit control
   // frames, station 0 radiates 10.16 ms and station 1 radiates 0.16 ms.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim.set_mac(0, std::make_unique<MacaMac>(MacaConfig{}));
   sim.set_mac(1, std::make_unique<MacaMac>(MacaConfig{}));
@@ -121,7 +121,7 @@ TEST(Maca, ControlOverheadIsCharged) {
 
 TEST(Maca, QueueOverflowDrops) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   MacaConfig mc;
   mc.max_queue = 2;

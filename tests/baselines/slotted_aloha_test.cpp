@@ -12,7 +12,7 @@ namespace drn::baselines {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
 }
 
 sim::SimulatorConfig config() {
@@ -31,7 +31,7 @@ sim::Packet packet(StationId src, StationId dst) {
 
 TEST(SlottedAloha, DefersToNextSlotBoundary) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim.set_mac(0, std::make_unique<SlottedAloha>(ContentionConfig{}, 0.01));
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
@@ -44,7 +44,7 @@ TEST(SlottedAloha, DefersToNextSlotBoundary) {
 
 TEST(SlottedAloha, ArrivalOnBoundaryGoesImmediately) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, config());
   sim.set_mac(0, std::make_unique<SlottedAloha>(ContentionConfig{}, 0.01));
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
@@ -59,9 +59,9 @@ TEST(SlottedAloha, SynchronisedCollisionsAreTotal) {
   // transmit at the next boundary and collide completely (Type 2 at the
   // shared receiver).
   radio::PropagationMatrix m(3);
-  m.set_gain(2, 0, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 1, 1e-9);
+  m.set_gain(2, 0, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 1, radio::LinearGain{1e-9});
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.max_retries = 0;  // count only the first, synchronised attempt
@@ -77,9 +77,9 @@ TEST(SlottedAloha, SynchronisedCollisionsAreTotal) {
 
 TEST(SlottedAloha, RandomisedRetriesResolveTheCollision) {
   radio::PropagationMatrix m(3);
-  m.set_gain(2, 0, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 1, 1e-9);
+  m.set_gain(2, 0, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 1, radio::LinearGain{1e-9});
   sim::Simulator sim(m, config());
   ContentionConfig cfg;
   cfg.backoff_mean_s = 0.02;

@@ -64,13 +64,13 @@ TEST(Contracts, PropagationMatrixRejectsBadConstructionAndIndices) {
   EXPECT_THROW(radio::PropagationMatrix m(0), ContractViolation);
   radio::PropagationMatrix m(3);
   EXPECT_THROW((void)m.gain(0, 3), ContractViolation);
-  EXPECT_THROW(m.set_gain(0, 1, 0.0), ContractViolation);
+  EXPECT_THROW(m.set_gain(0, 1, radio::LinearGain{0.0}), ContractViolation);
 }
 
 TEST(Contracts, ReceptionCriterionRejectsNonPositiveDesignPoint) {
-  EXPECT_THROW(radio::ReceptionCriterion(0.0, 1.0e6, 0.0), ContractViolation);
-  EXPECT_THROW(radio::ReceptionCriterion(1.0e6, 0.0, 0.0), ContractViolation);
-  EXPECT_THROW(radio::ReceptionCriterion(1.0e6, 1.0e6, -1.0),
+  EXPECT_THROW(radio::ReceptionCriterion(radio::Hertz{0.0}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0}), ContractViolation);
+  EXPECT_THROW(radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{0.0}, radio::Decibels{0.0}), ContractViolation);
+  EXPECT_THROW(radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{-1.0}),
                ContractViolation);
 }
 
@@ -89,8 +89,8 @@ TEST(Contracts, MetricsRejectsBadRecordsAndQueries) {
 
 TEST(Contracts, SimulatorRejectsMisuseWithLocation) {
   radio::PropagationMatrix gains(2);
-  gains.set_gain(0, 1, 1.0);
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  gains.set_gain(0, 1, radio::LinearGain{1.0});
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   sim::Simulator sim(gains, cfg);
   EXPECT_THROW(sim.set_mac(2, std::make_unique<drn::testing::IdleMac>()),
                ContractViolation);
@@ -113,8 +113,8 @@ TEST(Contracts, SimulatorRejectsMisuseWithLocation) {
 
 TEST(Contracts, SimulatorRejectsRunningBackwards) {
   radio::PropagationMatrix gains(2);
-  gains.set_gain(0, 1, 1.0);
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  gains.set_gain(0, 1, radio::LinearGain{1.0});
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   sim::Simulator sim(gains, cfg);
   sim.set_mac(0, std::make_unique<drn::testing::IdleMac>());
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
@@ -125,12 +125,12 @@ TEST(Contracts, SimulatorRejectsRunningBackwards) {
 TEST(Contracts, AuditorRejectsUnusableConfiguration) {
   audit::AuditConfig cfg;
   cfg.stations = 0;  // nothing to audit
-  cfg.thermal_noise_w = 1e-12;
+  cfg.thermal_noise = units::Watts{1e-12};
   EXPECT_THROW(audit::InvariantAuditor a(cfg), ContractViolation);
   cfg.stations = 4;
-  cfg.thermal_noise_w = 0.0;  // SINR bound would divide by zero
+  cfg.thermal_noise = units::Watts{0.0};  // SINR bound would divide by zero
   EXPECT_THROW(audit::InvariantAuditor a(cfg), ContractViolation);
-  cfg.thermal_noise_w = 1e-12;
+  cfg.thermal_noise = units::Watts{1e-12};
   cfg.despreading_channels = 0;
   EXPECT_THROW(audit::InvariantAuditor a(cfg), ContractViolation);
 }

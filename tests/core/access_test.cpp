@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "common/expects.hpp"
@@ -16,16 +17,25 @@ constexpr double kSlot = 1.0;
 AccessRequest request(double earliest, double duration,
                       double horizon = 10000.0) {
   AccessRequest r;
-  r.earliest_local_s = earliest;
-  r.duration_s = duration;
-  r.horizon_s = horizon;
+  r.earliest_local = Seconds{earliest};
+  r.duration = Seconds{duration};
+  r.horizon = Seconds{horizon};
   return r;
+}
+
+/// find_transmission_start with the Seconds result unwrapped, so the
+/// schedule arithmetic below stays in plain doubles.
+std::optional<double> find_start(const AccessRequest& r,
+                                 const std::vector<WindowConstraint>& cs) {
+  const auto start = find_transmission_start(r, cs);
+  if (!start) return std::nullopt;
+  return start->value();
 }
 
 TEST(Access, SingleTransmitConstraintFindsOwnWindow) {
   const Schedule s(21, kSlot, 0.3);
-  std::vector<WindowConstraint> cs = {{&s, ClockModel(), false, 0.0}};
-  const auto start = find_transmission_start(request(0.0, 0.25), cs);
+  std::vector<WindowConstraint> cs = {{&s, ClockModel(), false, Seconds{0.0}}};
+  const auto start = find_start(request(0.0, 0.25), cs);
   ASSERT_TRUE(start.has_value());
   // The returned interval is entirely inside transmit slots.
   EXPECT_TRUE(s.interval_is(*start, *start + 0.25, false));
@@ -38,8 +48,8 @@ TEST(Access, SingleTransmitConstraintFindsOwnWindow) {
 
 TEST(Access, ReceiveConstraintWantsReceiveSlots) {
   const Schedule s(22, kSlot, 0.3);
-  std::vector<WindowConstraint> cs = {{&s, ClockModel(), true, 0.0}};
-  const auto start = find_transmission_start(request(0.0, 0.25), cs);
+  std::vector<WindowConstraint> cs = {{&s, ClockModel(), true, Seconds{0.0}}};
+  const auto start = find_start(request(0.0, 0.25), cs);
   ASSERT_TRUE(start.has_value());
   EXPECT_TRUE(s.interval_is(*start, *start + 0.25, true));
 }
@@ -47,14 +57,14 @@ TEST(Access, ReceiveConstraintWantsReceiveSlots) {
 TEST(Access, PairOverlapSatisfiesBothSchedules) {
   // The core of Section 7: sender transmit window ∩ receiver receive window.
   const Schedule s(23, kSlot, 0.3);
-  const StationClock mine(0.0);
-  const StationClock theirs(0.437 * kSlot);  // unaligned
+  const StationClock mine(Seconds{0.0});
+  const StationClock theirs(Seconds{0.437 * kSlot});  // unaligned
   const ClockModel model = ClockModel::exact(mine, theirs);
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},  // my transmit window
-      {&s, model, true, 0.0},          // their receive window
+      {&s, ClockModel(), false, Seconds{0.0}},  // my transmit window
+      {&s, model, true, Seconds{0.0}},          // their receive window
   };
-  const auto start = find_transmission_start(request(0.0, 0.25), cs);
+  const auto start = find_start(request(0.0, 0.25), cs);
   ASSERT_TRUE(start.has_value());
   EXPECT_TRUE(s.interval_is(*start, *start + 0.25, false));
   EXPECT_TRUE(s.interval_is(model.map(*start), model.map(*start + 0.25), true));
@@ -64,8 +74,8 @@ TEST(Access, GuardPadsTheReceiverInterval) {
   const Schedule s(24, kSlot, 0.3);
   const ClockModel identity;
   const double pad = 0.1;
-  std::vector<WindowConstraint> cs = {{&s, identity, true, pad}};
-  const auto start = find_transmission_start(request(0.0, 0.25), cs);
+  std::vector<WindowConstraint> cs = {{&s, identity, true, Seconds{pad}}};
+  const auto start = find_start(request(0.0, 0.25), cs);
   ASSERT_TRUE(start.has_value());
   // The PADDED interval sits inside receive slots.
   EXPECT_TRUE(s.interval_is(*start - pad, *start + 0.25 + pad, true));
@@ -74,8 +84,8 @@ TEST(Access, GuardPadsTheReceiverInterval) {
 
 TEST(Access, RespectsEarliestBound) {
   const Schedule s(25, kSlot, 0.3);
-  std::vector<WindowConstraint> cs = {{&s, ClockModel(), false, 0.0}};
-  const auto start = find_transmission_start(request(123.456, 0.25), cs);
+  std::vector<WindowConstraint> cs = {{&s, ClockModel(), false, Seconds{0.0}}};
+  const auto start = find_start(request(123.456, 0.25), cs);
   ASSERT_TRUE(start.has_value());
   EXPECT_GE(*start, 123.456);
 }
@@ -85,11 +95,11 @@ TEST(Access, ImpossibleConstraintsReturnNullopt) {
   // receiving never succeeds.
   const Schedule s(26, kSlot, 0.3);
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},
-      {&s, ClockModel(), true, 0.0},
+      {&s, ClockModel(), false, Seconds{0.0}},
+      {&s, ClockModel(), true, Seconds{0.0}},
   };
   EXPECT_FALSE(
-      find_transmission_start(request(0.0, 0.25, /*horizon=*/200.0), cs)
+      find_start(request(0.0, 0.25, /*horizon=*/200.0), cs)
           .has_value());
 }
 
@@ -100,11 +110,11 @@ TEST(Access, AlignedIdenticalSchedulesStarve) {
   const Schedule s(27, kSlot, 0.3);
   const ClockModel identical;  // same clock
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},
-      {&s, identical, true, 0.0},
+      {&s, ClockModel(), false, Seconds{0.0}},
+      {&s, identical, true, Seconds{0.0}},
   };
   EXPECT_FALSE(
-      find_transmission_start(request(0.0, 0.25, /*horizon=*/500.0), cs)
+      find_start(request(0.0, 0.25, /*horizon=*/500.0), cs)
           .has_value());
 }
 
@@ -113,10 +123,10 @@ TEST(Access, UnalignedClockResolvesStarvation) {
   const Schedule s(27, kSlot, 0.3);
   const ClockModel offset(kSlot / 3.0, 1.0);
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},
-      {&s, offset, true, 0.0},
+      {&s, ClockModel(), false, Seconds{0.0}},
+      {&s, offset, true, Seconds{0.0}},
   };
-  EXPECT_TRUE(find_transmission_start(request(0.0, 0.25), cs).has_value());
+  EXPECT_TRUE(find_start(request(0.0, 0.25), cs).has_value());
 }
 
 TEST(Access, SubSlotOffsetsKeepSchedulesCorrelated) {
@@ -129,12 +139,12 @@ TEST(Access, SubSlotOffsetsKeepSchedulesCorrelated) {
   // transmitting) is contradictory at every instant.
   const Schedule s(28, kSlot, 0.3);
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},
-      {&s, ClockModel(0.391, 1.0), true, 0.0},
-      {&s, ClockModel(0.717, 1.0), false, 0.0},
+      {&s, ClockModel(), false, Seconds{0.0}},
+      {&s, ClockModel(0.391, 1.0), true, Seconds{0.0}},
+      {&s, ClockModel(0.717, 1.0), false, Seconds{0.0}},
   };
   EXPECT_FALSE(
-      find_transmission_start(request(0.0, 0.25, /*horizon=*/500.0), cs)
+      find_start(request(0.0, 0.25, /*horizon=*/500.0), cs)
           .has_value());
 }
 
@@ -146,11 +156,11 @@ TEST(Access, ThirdPartyAvoidanceConstraint) {
   const ClockModel receiver(7.391, 1.0);
   const ClockModel third(13.717, 1.0);
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},
-      {&s, receiver, true, 0.0},
-      {&s, third, false, 0.0},
+      {&s, ClockModel(), false, Seconds{0.0}},
+      {&s, receiver, true, Seconds{0.0}},
+      {&s, third, false, Seconds{0.0}},
   };
-  const auto start = find_transmission_start(request(0.0, 0.25), cs);
+  const auto start = find_start(request(0.0, 0.25), cs);
   ASSERT_TRUE(start.has_value());
   EXPECT_TRUE(s.interval_is(*start, *start + 0.25, false));
   EXPECT_TRUE(
@@ -161,17 +171,19 @@ TEST(Access, ThirdPartyAvoidanceConstraint) {
 TEST(Access, DriftingClockHandled) {
   // Receiver clock runs 100 ppm fast; the affine model tracks it exactly.
   const Schedule s(29, kSlot, 0.3);
-  const StationClock mine(0.0, 1.0);
-  const StationClock theirs(0.6, 1.0001);
+  const StationClock mine(Seconds{0.0}, 1.0);
+  const StationClock theirs(Seconds{0.6}, 1.0001);
   const ClockModel model = ClockModel::exact(mine, theirs);
   std::vector<WindowConstraint> cs = {
-      {&s, ClockModel(), false, 0.0},
-      {&s, model, true, 0.0},
+      {&s, ClockModel(), false, Seconds{0.0}},
+      {&s, model, true, Seconds{0.0}},
   };
-  const auto start = find_transmission_start(request(10000.0, 0.25), cs);
+  const auto start = find_start(request(10000.0, 0.25), cs);
   ASSERT_TRUE(start.has_value());
-  EXPECT_TRUE(s.interval_is(theirs.local(mine.global(*start)),
-                            theirs.local(mine.global(*start + 0.25)), true));
+  EXPECT_TRUE(
+      s.interval_is(theirs.local(mine.global(Seconds{*start})).value(),
+                    theirs.local(mine.global(Seconds{*start + 0.25})).value(),
+                    true));
 }
 
 TEST(Access, ManyRandomPairsAlwaysFindWindows) {
@@ -185,11 +197,11 @@ TEST(Access, ManyRandomPairsAlwaysFindWindows) {
   for (int i = 0; i < trials; ++i) {
     const ClockModel other(rng.uniform(1.0, 1000.0), 1.0);
     std::vector<WindowConstraint> cs = {
-        {&s, ClockModel(), false, 0.0},
-        {&s, other, true, 0.0},
+        {&s, ClockModel(), false, Seconds{0.0}},
+        {&s, other, true, Seconds{0.0}},
     };
     const double earliest = rng.uniform(0.0, 1000.0);
-    const auto start = find_transmission_start(request(earliest, 0.25), cs);
+    const auto start = find_start(request(earliest, 0.25), cs);
     ASSERT_TRUE(start.has_value());
     total_wait += *start - earliest;
   }
@@ -203,18 +215,18 @@ TEST(Access, ManyRandomPairsAlwaysFindWindows) {
 
 TEST(Access, Contracts) {
   const Schedule s(1, kSlot, 0.3);
-  std::vector<WindowConstraint> cs = {{&s, ClockModel(), false, 0.0}};
+  std::vector<WindowConstraint> cs = {{&s, ClockModel(), false, Seconds{0.0}}};
   EXPECT_THROW(
-      (void)find_transmission_start(request(0.0, 0.0), cs),
+      (void)find_start(request(0.0, 0.0), cs),
       ContractViolation);
   AccessRequest r = request(0.0, 0.1);
-  r.horizon_s = 0.0;
-  EXPECT_THROW((void)find_transmission_start(r, cs), ContractViolation);
-  std::vector<WindowConstraint> bad = {{nullptr, ClockModel(), false, 0.0}};
-  EXPECT_THROW((void)find_transmission_start(request(0.0, 0.1), bad),
+  r.horizon = Seconds{0.0};
+  EXPECT_THROW((void)find_start(r, cs), ContractViolation);
+  std::vector<WindowConstraint> bad = {{nullptr, ClockModel(), false, Seconds{0.0}}};
+  EXPECT_THROW((void)find_start(request(0.0, 0.1), bad),
                ContractViolation);
-  std::vector<WindowConstraint> bad_pad = {{&s, ClockModel(), false, -0.1}};
-  EXPECT_THROW((void)find_transmission_start(request(0.0, 0.1), bad_pad),
+  std::vector<WindowConstraint> bad_pad = {{&s, ClockModel(), false, Seconds{-0.1}}};
+  EXPECT_THROW((void)find_start(request(0.0, 0.1), bad_pad),
                ContractViolation);
 }
 

@@ -24,11 +24,12 @@ TEST(ClockModel, MapInverseRoundTrip) {
 }
 
 TEST(ClockModel, ExactMatchesTrueClocks) {
-  const StationClock mine(10.0, 1.0 + 5e-6);
-  const StationClock theirs(-3.0, 1.0 - 8e-6);
+  const StationClock mine(Seconds{10.0}, 1.0 + 5e-6);
+  const StationClock theirs(Seconds{-3.0}, 1.0 - 8e-6);
   const ClockModel m = ClockModel::exact(mine, theirs);
   for (double g : {0.0, 100.0, 5000.0}) {
-    EXPECT_NEAR(m.map(mine.local(g)), theirs.local(g), 1e-9);
+    EXPECT_NEAR(m.map(mine.local(Seconds{g}).value()),
+                theirs.local(Seconds{g}).value(), 1e-9);
   }
   EXPECT_DOUBLE_EQ(m.max_residual_s(), 0.0);
 }
@@ -53,8 +54,8 @@ TEST(ClockModel, TwoSamplesRecoverExactAffine) {
 TEST(ClockModel, NoisyFitResidualBoundsPredictionError) {
   // Fit over noisy rendezvous; the reported residual must bound the in-
   // sample error, and prediction error shortly after stays comparable.
-  const StationClock mine(50.0, 1.0 + 12e-6);
-  const StationClock theirs(-20.0, 1.0 - 7e-6);
+  const StationClock mine(Seconds{50.0}, 1.0 + 12e-6);
+  const StationClock theirs(Seconds{-20.0}, 1.0 - 7e-6);
   Rng rng(9);
   std::vector<double> times;
   for (int i = 0; i < 8; ++i) times.push_back(-120.0 + 15.0 * i);
@@ -65,19 +66,20 @@ TEST(ClockModel, NoisyFitResidualBoundsPredictionError) {
               m.max_residual_s() + 1e-15);
   // Predict 60 s of global time ahead of the last rendezvous.
   const double g = 60.0;
-  const double err = std::abs(m.map(mine.local(g)) - theirs.local(g));
+  const double err = std::abs(m.map(mine.local(Seconds{g}).value()) - theirs.local(Seconds{g}).value());
   EXPECT_LT(err, 50.0e-6);  // comfortably under a 1% guard of a 10 ms slot
 }
 
 TEST(ClockModel, RendezvousNoiseFreeSamplesAreExact) {
-  const StationClock mine(1.0, 1.0);
-  const StationClock theirs(2.0, 1.0);
+  const StationClock mine(Seconds{1.0}, 1.0);
+  const StationClock theirs(Seconds{2.0}, 1.0);
   Rng rng(1);
   const std::vector<double> times = {0.0, 10.0, 20.0};
   const auto samples = rendezvous(mine, theirs, times, 0.0, rng);
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    EXPECT_DOUBLE_EQ(samples[i].mine_s, mine.local(times[i]));
-    EXPECT_DOUBLE_EQ(samples[i].theirs_s, theirs.local(times[i]));
+    EXPECT_DOUBLE_EQ(samples[i].mine_s, mine.local(Seconds{times[i]}).value());
+    EXPECT_DOUBLE_EQ(samples[i].theirs_s,
+                     theirs.local(Seconds{times[i]}).value());
   }
 }
 

@@ -11,29 +11,29 @@ namespace {
 
 TEST(StationClock, IdentityByDefault) {
   const StationClock c;
-  EXPECT_DOUBLE_EQ(c.local(5.0), 5.0);
-  EXPECT_DOUBLE_EQ(c.global(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.local(Seconds{5.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(c.global(Seconds{5.0}).value(), 5.0);
 }
 
 TEST(StationClock, OffsetAndRate) {
-  const StationClock c(100.0, 1.5);
-  EXPECT_DOUBLE_EQ(c.local(0.0), 100.0);
-  EXPECT_DOUBLE_EQ(c.local(10.0), 115.0);
-  EXPECT_DOUBLE_EQ(c.global(115.0), 10.0);
+  const StationClock c(Seconds{100.0}, 1.5);
+  EXPECT_DOUBLE_EQ(c.local(Seconds{0.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(c.local(Seconds{10.0}).value(), 115.0);
+  EXPECT_DOUBLE_EQ(c.global(Seconds{115.0}).value(), 10.0);
 }
 
 TEST(StationClock, RoundTrip) {
-  const StationClock c(12345.678, 1.0 + 17e-6);
+  const StationClock c(Seconds{12345.678}, 1.0 + 17e-6);
   for (double g : {-100.0, 0.0, 3.25, 9999.0})
-    EXPECT_NEAR(c.global(c.local(g)), g, 1e-9);
+    EXPECT_NEAR(c.global(c.local(Seconds{g})).value(), g, 1e-9);
 }
 
 TEST(StationClock, RandomWithinBounds) {
   Rng rng(5);
   for (int i = 0; i < 200; ++i) {
-    const StationClock c = StationClock::random(rng, 1000.0, 50.0);
-    EXPECT_GE(c.offset_s(), 0.0);
-    EXPECT_LT(c.offset_s(), 1000.0);
+    const StationClock c = StationClock::random(rng, Seconds{1000.0}, 50.0);
+    EXPECT_GE(c.offset().value(), 0.0);
+    EXPECT_LT(c.offset().value(), 1000.0);
     EXPECT_LE(std::abs(c.rate() - 1.0), 50e-6);
   }
 }
@@ -42,23 +42,25 @@ TEST(StationClock, RandomClocksDiffer) {
   // Section 7.1: independent random initialisation makes collisions of
   // clock values vanishingly unlikely.
   Rng rng(6);
-  const StationClock a = StationClock::random(rng, 1.0e6, 20.0);
-  const StationClock b = StationClock::random(rng, 1.0e6, 20.0);
-  EXPECT_NE(a.offset_s(), b.offset_s());
+  const StationClock a = StationClock::random(rng, Seconds{1.0e6}, 20.0);
+  const StationClock b = StationClock::random(rng, Seconds{1.0e6}, 20.0);
+  EXPECT_NE(a.offset().value(), b.offset().value());
 }
 
 TEST(StationClock, ZeroDriftAllowed) {
   Rng rng(7);
-  const StationClock c = StationClock::random(rng, 10.0, 0.0);
+  const StationClock c = StationClock::random(rng, Seconds{10.0}, 0.0);
   EXPECT_DOUBLE_EQ(c.rate(), 1.0);
 }
 
 TEST(StationClock, Contracts) {
-  EXPECT_THROW(StationClock(0.0, 0.0), ContractViolation);
-  EXPECT_THROW(StationClock(0.0, -1.0), ContractViolation);
+  EXPECT_THROW(StationClock(Seconds{0.0}, 0.0), ContractViolation);
+  EXPECT_THROW(StationClock(Seconds{0.0}, -1.0), ContractViolation);
   Rng rng(1);
-  EXPECT_THROW(StationClock::random(rng, 0.0, 1.0), ContractViolation);
-  EXPECT_THROW(StationClock::random(rng, 1.0, -1.0), ContractViolation);
+  EXPECT_THROW(StationClock::random(rng, Seconds{0.0}, 1.0),
+               ContractViolation);
+  EXPECT_THROW(StationClock::random(rng, Seconds{1.0}, -1.0),
+               ContractViolation);
 }
 
 }  // namespace

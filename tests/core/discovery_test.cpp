@@ -16,7 +16,7 @@ namespace drn::core {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 DiscoveryConfig discovery_config() {
@@ -30,12 +30,12 @@ DiscoveryConfig discovery_config() {
 
 TEST(Discovery, TwoStationsLearnEachOther) {
   radio::PropagationMatrix gains(2);
-  gains.set_gain(0, 1, 2.5e-5);  // 200 m in free space
+  gains.set_gain(0, 1, radio::LinearGain{2.5e-5});  // 200 m in free space
 
   sim::SimulatorConfig sc{criterion()};
   sim::Simulator sim(gains, sc);
-  const StationClock c0(100.0, 1.0 + 10e-6);
-  const StationClock c1(5000.0, 1.0 - 10e-6);
+  const StationClock c0(Seconds{100.0}, 1.0 + 10e-6);
+  const StationClock c1(Seconds{5000.0}, 1.0 - 10e-6);
   auto m0 = std::make_unique<DiscoveryStation>(discovery_config(), c0);
   auto m1 = std::make_unique<DiscoveryStation>(discovery_config(), c1);
   auto* p0 = m0.get();
@@ -57,14 +57,15 @@ TEST(Discovery, TwoStationsLearnEachOther) {
   ASSERT_NE(table.find(1), nullptr);
   const ClockModel& model = table.find(1)->clock;
   const double g = 30.0;  // 25 s after the last beacon
-  EXPECT_NEAR(model.map(c0.local(g)), c1.local(g), 5.0e-5);
+  EXPECT_NEAR(model.map(c0.local(Seconds{g}).value()),
+              c1.local(Seconds{g}).value(), 5.0e-5);
 }
 
 TEST(Discovery, GainThresholdPrunesWeakNeighbors) {
   radio::PropagationMatrix gains(3);
-  gains.set_gain(0, 1, 1.0e-5);
-  gains.set_gain(0, 2, 1.0e-9);
-  gains.set_gain(1, 2, 1.0e-9);
+  gains.set_gain(0, 1, radio::LinearGain{1.0e-5});
+  gains.set_gain(0, 2, radio::LinearGain{1.0e-9});
+  gains.set_gain(1, 2, radio::LinearGain{1.0e-9});
 
   sim::SimulatorConfig sc{criterion()};
   sim::Simulator sim(gains, sc);
@@ -72,7 +73,7 @@ TEST(Discovery, GainThresholdPrunesWeakNeighbors) {
   Rng rng(3);
   for (StationId s = 0; s < 3; ++s) {
     auto mac = std::make_unique<DiscoveryStation>(
-        discovery_config(), StationClock::random(rng, 1000.0, 10.0));
+        discovery_config(), StationClock::random(rng, Seconds{1000.0}, 10.0));
     st.push_back(mac.get());
     sim.set_mac(s, std::move(mac));
   }
@@ -86,17 +87,17 @@ TEST(Discovery, GainThresholdPrunesWeakNeighbors) {
 
 TEST(Discovery, MeasurementNoiseAveragesOut) {
   radio::PropagationMatrix gains(2);
-  gains.set_gain(0, 1, 1.0e-5);
+  gains.set_gain(0, 1, radio::LinearGain{1.0e-5});
   sim::SimulatorConfig sc{criterion()};
   sim::Simulator sim(gains, sc);
   auto cfg = discovery_config();
   cfg.gain_noise_db = 1.0;
   cfg.beacon_count = 40;
   cfg.duration_s = 30.0;
-  auto m0 = std::make_unique<DiscoveryStation>(cfg, StationClock(1.0));
+  auto m0 = std::make_unique<DiscoveryStation>(cfg, StationClock(Seconds{1.0}));
   auto* p0 = m0.get();
   sim.set_mac(0, std::move(m0));
-  sim.set_mac(1, std::make_unique<DiscoveryStation>(cfg, StationClock(777.0)));
+  sim.set_mac(1, std::make_unique<DiscoveryStation>(cfg, StationClock(Seconds{777.0})));
   sim.run_until(31.0);
   const auto& obs = p0->observations().at(1);
   EXPECT_GE(obs.gain.count(), 30u);
@@ -185,7 +186,7 @@ TEST(Discovery, DenseNetworkSurvivesBeaconContention) {
   Rng clock_rng(42);
   for (StationId s = 0; s < 30; ++s) {
     auto mac = std::make_unique<DiscoveryStation>(
-        cfg, StationClock::random(clock_rng, 1000.0, 10.0));
+        cfg, StationClock::random(clock_rng, Seconds{1000.0}, 10.0));
     st.push_back(mac.get());
     sim.set_mac(s, std::move(mac));
   }

@@ -16,7 +16,7 @@ namespace drn::core {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 constexpr double kSlot = 0.01;
@@ -35,12 +35,12 @@ struct Pair {
 /// rendezvous fit) while the true clocks drift apart at 200 ppm relative.
 std::unique_ptr<Pair> make_pair(double beacon_interval_s) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0e-4);
+  m.set_gain(0, 1, radio::LinearGain{1.0e-4});
   sim::SimulatorConfig sc{criterion()};
   auto pair = std::make_unique<Pair>();
   pair->sim = std::make_unique<sim::Simulator>(m, sc);
-  pair->c0 = StationClock(10.0, 1.0 + kDrift);
-  pair->c1 = StationClock(500.0, 1.0 - kDrift);
+  pair->c0 = StationClock(Seconds{10.0}, 1.0 + kDrift);
+  pair->c1 = StationClock(Seconds{500.0}, 1.0 - kDrift);
 
   const Schedule schedule(2021, kSlot, 0.3);
   auto make_station = [&](StationId self, const StationClock& mine,
@@ -49,7 +49,7 @@ std::unique_ptr<Pair> make_pair(double beacon_interval_s) {
     Neighbor n;
     n.id = self == 0 ? 1 : 0;
     n.gain = 1.0e-4;
-    n.clock = ClockModel(theirs.local(0.0) - mine.local(0.0), 1.0);
+    n.clock = ClockModel((theirs.local(Seconds{0.0}) - mine.local(Seconds{0.0})).value(), 1.0);
     NeighborTable table;
     table.add(n);
     ScheduledStationConfig cfg{schedule,
@@ -130,8 +130,9 @@ TEST(Maintenance, BeaconRespectsOwnScheduleWindows) {
       if (tx.to != kBroadcast) return;
       ++beacons_;
       const auto& clock = clocks_[tx.from];
-      if (!schedule_->interval_is(clock.local(tx.start_s),
-                                  clock.local(tx.end_s), false))
+      if (!schedule_->interval_is(clock.local(Seconds{tx.start_s}).value(),
+                                  clock.local(Seconds{tx.end_s}).value(),
+                                  false))
         ++violations_;
     }
     std::size_t beacons_ = 0;

@@ -12,7 +12,7 @@ namespace drn::core {
 namespace {
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 TEST(NetworkBuilder, BasicShape) {

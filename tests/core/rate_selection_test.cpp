@@ -21,9 +21,10 @@ TEST(RateLadder, GeometricConstruction) {
 
 TEST(RateSelection, ThresholdMatchesReceptionCriterion) {
   // required_snr_for_rate must agree with ReceptionCriterion's Eq. 4.
-  const radio::ReceptionCriterion crit(200.0e6, 1.0e6, 5.0);
-  EXPECT_NEAR(required_snr_for_rate(1.0e6, 200.0e6, 5.0), crit.required_snr(),
-              1e-15);
+  const radio::ReceptionCriterion crit(
+      radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
+  EXPECT_NEAR(required_snr_for_rate(1.0e6, 200.0e6, 5.0),
+              crit.required_snr().value(), 1e-15);
 }
 
 TEST(RateSelection, ThresholdGrowsWithRate) {

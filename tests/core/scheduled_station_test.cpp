@@ -14,7 +14,7 @@ namespace {
 // A criterion with heavy processing gain so the schedule, not SINR, decides
 // outcomes in these unit tests (required SINR ~ -17.6 dB).
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 constexpr double kSlot = 0.01;
@@ -56,12 +56,12 @@ sim::Packet packet(StationId src, StationId dst) {
 
 TEST(ScheduledStation, DeliversSinglePacketCollisionFree) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1001, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(123.4567);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{123.4567});
   NeighborTable t0;
   t0.add(neighbor_of(1, 1.0, c0, c1));
   NeighborTable t1;
@@ -81,12 +81,12 @@ TEST(ScheduledStation, DeliversSinglePacketCollisionFree) {
 
 TEST(ScheduledStation, StreamsManyPacketsWithoutLoss) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1002, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(77.777);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{77.777});
   NeighborTable t0;
   t0.add(neighbor_of(1, 1.0, c0, c1));
   NeighborTable t1;
@@ -107,12 +107,12 @@ TEST(ScheduledStation, BidirectionalTrafficNeverSelfCollides) {
   // The whole point of the scheme: even with both stations loaded, no packet
   // is ever lost to the receiver's own transmitter (Type 3).
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1003, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(5.4321);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{5.4321});
   NeighborTable t0;
   t0.add(neighbor_of(1, 1.0, c0, c1));
   NeighborTable t1;
@@ -138,15 +138,15 @@ TEST(ScheduledStation, NoHeadOfLineBlocking) {
   // stop the packet for 2 (Section 7.2: "a station need not block the head
   // of the line").
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(0, 2, 1.0);
-  m.set_gain(1, 2, 1e-9);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1e-9});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1004, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(0.0);  // identical phase: starved pair
-  const StationClock c2(3.14159);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{0.0});  // identical phase: starved pair
+  const StationClock c2(Seconds{3.14159});
   NeighborTable t0;
   t0.add(neighbor_of(1, 1.0, c0, c1));
   t0.add(neighbor_of(2, 1.0, c0, c2));
@@ -173,13 +173,13 @@ TEST(ScheduledStation, FittedClockModelsWithGuardStillCollisionFree) {
   // Realistic mode: neighbours know each other's clocks only through noisy
   // rendezvous fits; the guard absorbs the prediction error.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1005, kSlot, 0.3);
   Rng rng(321);
-  const StationClock c0 = StationClock::random(rng, 100.0, 20.0);
-  const StationClock c1 = StationClock::random(rng, 100.0, 20.0);
+  const StationClock c0 = StationClock::random(rng, Seconds{100.0}, 20.0);
+  const StationClock c1 = StationClock::random(rng, Seconds{100.0}, 20.0);
   std::vector<double> times = {-120.0, -80.0, -40.0, -1.0};
   auto fit_model = [&](const StationClock& mine, const StationClock& theirs) {
     return ClockModel::fit(rendezvous(mine, theirs, times, 2.0e-6, rng));
@@ -214,12 +214,12 @@ TEST(ScheduledStation, FittedClockModelsWithGuardStillCollisionFree) {
 
 TEST(ScheduledStation, QueueOverflowDrops) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1006, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(42.42);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{42.42});
   NeighborTable t0;
   t0.add(neighbor_of(1, 1.0, c0, c1));
   auto cfg = station_config(schedule, c0);
@@ -239,15 +239,15 @@ TEST(ScheduledStation, QueueOverflowDrops) {
 
 TEST(ScheduledStation, UnknownNextHopIsDropped) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(0, 2, 1.0);
-  m.set_gain(1, 2, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1007, kSlot, 0.3);
-  const StationClock c0(0.0);
+  const StationClock c0(Seconds{0.0});
   NeighborTable t0;  // knows only station 1
-  t0.add(neighbor_of(1, 1.0, c0, StationClock(9.9)));
+  t0.add(neighbor_of(1, 1.0, c0, StationClock(Seconds{9.9})));
   sim.set_mac(0, std::make_unique<ScheduledStation>(
                      station_config(schedule, c0), std::move(t0)));
   sim.set_mac(1, std::make_unique<drn::testing::IdleMac>());
@@ -264,12 +264,12 @@ TEST(ScheduledStation, PerLinkRateShortensAirtime) {
   // gets 4x-shorter transmissions for the same packet, and the schedule
   // machinery still works (variable durations in the window search).
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
 
   const Schedule schedule(1010, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(888.888);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{888.888});
   Neighbor n = neighbor_of(1, 1.0, c0, c1);
   n.rate_bps = 4.0e6;
   NeighborTable t0;
@@ -295,11 +295,11 @@ TEST(ScheduledStation, OversizedPacketStillSchedulsAcrossSlotRuns) {
   // here and receive slots there; rare but legal. With p = 0.3, double
   // receive slots occur every ~11 slots, so it goes through eventually.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   sim::Simulator sim(m, sim_config());
   const Schedule schedule(1011, kSlot, 0.3);
-  const StationClock c0(0.0);
-  const StationClock c1(17.3);
+  const StationClock c0(Seconds{0.0});
+  const StationClock c1(Seconds{17.3});
   NeighborTable t0;
   t0.add(neighbor_of(1, 1.0, c0, c1));
   auto cfg = station_config(schedule, c0, /*guard=*/0.0001);

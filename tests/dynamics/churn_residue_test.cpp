@@ -31,7 +31,7 @@ geo::Placement line3() {
 }
 
 sim::SimulatorConfig line_config(radio::InterferenceEngineKind kind) {
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0)};
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0})};
   cfg.thermal_noise_w = 1.0e-15;
   cfg.engine = kind;
   return cfg;
@@ -41,7 +41,7 @@ std::unique_ptr<sim::Simulator> make_sim(radio::InterferenceEngineKind kind) {
   const auto placement = line3();
   if (kind == radio::InterferenceEngineKind::kNearFar) {
     radio::NearFarConfig nf;
-    nf.cutoff_m = 2000.0;  // everything is near-field: exact sums
+    nf.cutoff = radio::Meters{2000.0};  // everything is near-field: exact sums
     return std::make_unique<sim::Simulator>(
         radio::make_nearfar_engine(
             placement, std::make_shared<radio::FreeSpacePropagation>(), nf),
@@ -104,27 +104,28 @@ TEST(ChurnResidue, CompensatedDriftExactlyZeroAfter1e4JoinLeaveCycles) {
   const radio::FreeSpacePropagation model;
   auto engine =
       radio::make_compensated_engine(radio::make_dense_gains(placement, model));
-  engine->set_thermal_noise(1.0e-15);
+  engine->set_thermal_noise(radio::Watts{1.0e-15});
   const auto noop_sender = [](radio::ReceptionHandle) {};
-  const auto noop_affected = [](radio::ReceptionHandle, double) {};
+  const auto noop_affected = [](radio::ReceptionHandle, radio::Watts) {};
 
-  engine->transmit_started(1, 2, 1.0e-2, noop_sender, noop_affected);
+  engine->transmit_started(1, 2, radio::Watts{1.0e-2}, noop_sender, noop_affected);
   const auto h = engine->open_reception(1, 1, nullptr);
 
   std::uint64_t next_tx = 2;
   for (int cycle = 0; cycle < 10000; ++cycle) {
     const std::uint64_t a = next_tx++;
     const std::uint64_t b = next_tx++;
-    engine->transmit_started(a, 0, 1.0e-3, noop_sender, noop_affected);
-    engine->transmit_started(b, 0, 3.7e-7, noop_sender, noop_affected);
+    engine->transmit_started(a, 0, radio::Watts{1.0e-3}, noop_sender, noop_affected);
+    engine->transmit_started(b, 0, radio::Watts{3.7e-7}, noop_sender, noop_affected);
     engine->transmit_ended(a, noop_affected);
     engine->transmit_ended(b, noop_affected);
   }
 
   // Exact equality is the point of the compensated engine: after any number
   // of add/remove rounds the incremental sum IS the recomputed sum.
-  EXPECT_EQ(engine->interference_w(h), engine->recomputed_interference_w(h));
-  EXPECT_EQ(engine->interference_w(h), engine->thermal_noise_w());
+  EXPECT_EQ(engine->interference(h).value(),
+            engine->recomputed_interference(h).value());
+  EXPECT_EQ(engine->interference(h).value(), engine->thermal_noise().value());
   engine->close_reception(h);
   engine->transmit_ended(1, noop_affected);
 }
@@ -134,23 +135,23 @@ TEST(ChurnResidue, CompensatedDriftExactlyZeroAfter1e4JoinLeaveCycles) {
 TEST(ChurnResidue, NearFarNoResidueAfterJoinLeaveCycles) {
   const auto placement = line3();
   radio::NearFarConfig nf;
-  nf.cutoff_m = 2000.0;
+  nf.cutoff = radio::Meters{2000.0};
   auto engine = radio::make_nearfar_engine(
       placement, std::make_shared<radio::FreeSpacePropagation>(), nf);
-  engine->set_thermal_noise(1.0e-15);
+  engine->set_thermal_noise(radio::Watts{1.0e-15});
   const auto noop_sender = [](radio::ReceptionHandle) {};
-  const auto noop_affected = [](radio::ReceptionHandle, double) {};
+  const auto noop_affected = [](radio::ReceptionHandle, radio::Watts) {};
 
-  engine->transmit_started(1, 2, 1.0e-2, noop_sender, noop_affected);
+  engine->transmit_started(1, 2, radio::Watts{1.0e-2}, noop_sender, noop_affected);
   const auto h = engine->open_reception(1, 1, nullptr);
   std::uint64_t next_tx = 2;
   for (int cycle = 0; cycle < 10000; ++cycle) {
     const std::uint64_t a = next_tx++;
-    engine->transmit_started(a, 0, 1.0e-3, noop_sender, noop_affected);
+    engine->transmit_started(a, 0, radio::Watts{1.0e-3}, noop_sender, noop_affected);
     engine->transmit_ended(a, noop_affected);
   }
-  EXPECT_NEAR(engine->interference_w(h), engine->recomputed_interference_w(h),
-              1.0e-24);
+  EXPECT_NEAR(engine->interference(h).value(),
+              engine->recomputed_interference(h).value(), 1.0e-24);
   engine->close_reception(h);
   engine->transmit_ended(1, noop_affected);
 }

@@ -23,7 +23,7 @@ namespace drn::dynamics {
 namespace {
 
 sim::SimulatorConfig tiny_config(std::uint64_t seed = 1) {
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0)};
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0})};
   cfg.thermal_noise_w = 1.0e-15;
   cfg.seed = seed;
   return cfg;

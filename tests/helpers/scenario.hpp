@@ -23,7 +23,7 @@ namespace drn::testing {
 /// The paper-flavoured criterion used across integration tests: 1 Mb/s over
 /// 200 MHz (23 dB processing gain) with the 5 dB detection margin.
 inline radio::ReceptionCriterion scheme_criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 /// Rides an InvariantAuditor along on `sim` for the scope's lifetime and

@@ -25,9 +25,9 @@ audit::AuditConfig recording_config(const sim::Simulator& sim) {
   audit::AuditConfig cfg;
   cfg.stations = sim.station_count();
   cfg.despreading_channels = sim.config().despreading_channels;
-  cfg.thermal_noise_w = sim.config().thermal_noise_w;
-  cfg.bandwidth_hz = sim.config().criterion.bandwidth_hz();
-  cfg.margin_db = sim.config().criterion.margin_db();
+  cfg.thermal_noise = drn::units::Watts{sim.config().thermal_noise_w};
+  cfg.bandwidth = sim.config().criterion.bandwidth();
+  cfg.margin = sim.config().criterion.margin();
   cfg.record_receptions = true;
   return cfg;
 }
@@ -49,9 +49,9 @@ AuditedRun run_audited(const runner::ScenarioSpec& spec, std::uint64_t seed) {
   std::optional<sim::Simulator> sim_box;
   if (spec.engine == radio::InterferenceEngineKind::kNearFar) {
     radio::NearFarConfig nf;
-    nf.cutoff_m =
-        spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m;
-    nf.cell_m = spec.engine_cell_m;
+    nf.cutoff = radio::Meters{
+        spec.engine_cutoff_m > 0.0 ? spec.engine_cutoff_m : 2.0 * spec.region_m};
+    nf.cell = radio::Meters{spec.engine_cell_m};
     sim_box.emplace(
         radio::make_nearfar_engine(scenario.placement,
                                    std::make_shared<radio::FreeSpacePropagation>(),
@@ -85,8 +85,9 @@ AuditedRun run_audited(const runner::ScenarioSpec& spec, std::uint64_t seed) {
 /// far pairs are at least cutoff_m apart, so a 1/d^2 gain is off by at most
 /// this factor (see DESIGN.md "Interference engines").
 double far_field_bound(const radio::NearFarConfig& nf) {
-  const double cell = nf.cell_m > 0.0 ? nf.cell_m : nf.cutoff_m / 4.0;
-  return std::pow(1.0 + std::sqrt(2.0) * cell / nf.cutoff_m, 2.0) - 1.0;
+  const double cutoff = nf.cutoff.value();
+  const double cell = nf.cell.value() > 0.0 ? nf.cell.value() : cutoff / 4.0;
+  return std::pow(1.0 + std::sqrt(2.0) * cell / cutoff, 2.0) - 1.0;
 }
 
 void expect_headline_metrics_close(const runner::TrialResult& approx,
@@ -126,7 +127,7 @@ TEST(EngineCrossCheck, SchemeOnTabSec8Seed) {
   EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
 
   radio::NearFarConfig nf;
-  nf.cutoff_m = spec.engine_cutoff_m;
+  nf.cutoff = radio::Meters{spec.engine_cutoff_m};
   approx.auditor->cross_check_engine(*exact.auditor, far_field_bound(nf));
   EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
   EXPECT_GT(exact.auditor->recorded_receptions().size(), 100u);
@@ -160,7 +161,7 @@ TEST(EngineCrossCheck, AlohaLossMixOnTabSec8Seed) {
   EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
 
   radio::NearFarConfig nf;
-  nf.cutoff_m = spec.engine_cutoff_m;
+  nf.cutoff = radio::Meters{spec.engine_cutoff_m};
   approx.auditor->cross_check_engine(*exact.auditor, far_field_bound(nf));
   EXPECT_TRUE(approx.auditor->ok()) << approx.auditor->report();
   expect_headline_metrics_close(approx.result, exact.result);

@@ -36,20 +36,22 @@ TEST_P(AccessFuzz, FoundStartsSatisfyEveryConstraint) {
       const double rate = 1.0 + rng.uniform(-50.0, 50.0) * 1e-6;
       cs.push_back(core::WindowConstraint{
           &schedule, core::ClockModel(offset, rate), rng.bernoulli(0.5),
-          rng.uniform(0.0, 0.05)});
+          units::Seconds{rng.uniform(0.0, 0.05)}});
     }
     core::AccessRequest req;
-    req.earliest_local_s = rng.uniform(0.0, 1.0e4);
-    req.duration_s = rng.uniform(0.05, 0.6);
-    req.horizon_s = 3000.0;
-    const auto start = find_transmission_start(req, cs);
-    if (!start) continue;  // contradictory soup: fine, just no window
-    EXPECT_GE(*start, req.earliest_local_s);
+    req.earliest_local = units::Seconds{rng.uniform(0.0, 1.0e4)};
+    req.duration = units::Seconds{rng.uniform(0.05, 0.6)};
+    req.horizon = units::Seconds{3000.0};
+    const auto found = find_transmission_start(req, cs);
+    if (!found) continue;  // contradictory soup: fine, just no window
+    const double start = found->value();
+    EXPECT_GE(start, req.earliest_local.value());
     for (const auto& c : cs) {
-      const double lo = c.clock.map(*start - c.pad_s);
-      const double hi = c.clock.map(*start + req.duration_s + c.pad_s);
+      const double lo = c.clock.map(start - c.pad.value());
+      const double hi =
+          c.clock.map(start + req.duration.value() + c.pad.value());
       EXPECT_TRUE(schedule.interval_is(lo, hi, c.want_receive))
-          << "trial " << trial << " start " << *start;
+          << "trial " << trial << " start " << start;
     }
   }
 }
@@ -69,10 +71,10 @@ TEST_P(SinrFuzz, TraceMinSinrMatchesBruteForce) {
   radio::PropagationMatrix gains(n);
   for (StationId a = 0; a < n; ++a)
     for (StationId b = static_cast<StationId>(a + 1); b < n; ++b)
-      gains.set_gain(a, b, rng.uniform(1e-6, 1.0));
+      gains.set_gain(a, b, radio::LinearGain{rng.uniform(1e-6, 1.0)});
 
   const double thermal = 1e-3;
-  sim::SimulatorConfig cfg{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  sim::SimulatorConfig cfg{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   cfg.thermal_noise_w = thermal;
   cfg.despreading_channels = 16;
   sim::Simulator sim(gains, cfg);

@@ -194,7 +194,7 @@ TEST(Multihop, SchemeWorksUnderDualSlopePropagation) {
   // law that generated them — so collision-freedom must be preserved.
   Rng rng(29);
   const auto placement = geo::uniform_disc(25, 800.0, rng);
-  const radio::DualSlopePropagation model(/*breakpoint_m=*/100.0, 4.0);
+  const radio::DualSlopePropagation model(radio::Meters{100.0}, 4.0);
   auto gains = radio::PropagationMatrix::from_placement(placement, model);
 
   core::ScheduledNetworkConfig cfg;

@@ -17,8 +17,9 @@ double monte_carlo_snr_db(std::size_t stations, double eta,
   Rng rng(seed);
   RunningStats snr_db;
   for (int t = 0; t < trials; ++t) {
-    const auto s = sample_nearest_neighbor_snr(stations, 100.0, eta, rng);
-    if (std::isfinite(s.snr) && s.snr > 0.0) snr_db.add(to_db(s.snr));
+    const auto s = sample_nearest_neighbor_snr(stations, Meters{100.0}, eta, rng);
+    if (std::isfinite(s.snr.value()) && s.snr.value() > 0.0)
+      snr_db.add(to_db(s.snr.value()));
   }
   return snr_db.mean();
 }
@@ -31,7 +32,7 @@ TEST(NoiseValidation, SnrFallsWithScaleAsPredicted) {
   for (std::size_t m : {std::size_t{200}, std::size_t{2000},
                         std::size_t{20000}}) {
     const double measured = monte_carlo_snr_db(m, eta, 42, 40);
-    const double predicted = nearest_neighbor_snr_db(m, eta);
+    const double predicted = nearest_neighbor_snr_db(m, eta).value();
     EXPECT_LT(measured, previous) << m;
     EXPECT_NEAR(measured, predicted, 4.0) << m;
     previous = measured;
@@ -54,9 +55,12 @@ TEST(NoiseValidation, SnrIndependentOfScaleLength) {
   RunningStats small_db;
   RunningStats large_db;
   for (int t = 0; t < 40; ++t) {
-    small_db.add(to_db(sample_nearest_neighbor_snr(m, 10.0, 0.5, rng_small).snr));
+    small_db.add(
+        to_db(sample_nearest_neighbor_snr(m, Meters{10.0}, 0.5, rng_small)
+                  .snr.value()));
     large_db.add(
-        to_db(sample_nearest_neighbor_snr(m, 10000.0, 0.5, rng_large).snr));
+        to_db(sample_nearest_neighbor_snr(m, Meters{10000.0}, 0.5, rng_large)
+                  .snr.value()));
   }
   EXPECT_NEAR(small_db.mean(), large_db.mean(), 2.0);
 }
@@ -70,9 +74,9 @@ TEST(NoiseValidation, InterferenceDominatedByAggregateNotNearest) {
   Rng rng(11);
   RunningStats ratio;
   for (int t = 0; t < 30; ++t) {
-    const auto s = sample_nearest_neighbor_snr(m, 100.0, 1.0, rng);
+    const auto s = sample_nearest_neighbor_snr(m, Meters{100.0}, 1.0, rng);
     // Analytic N/S: eta ln M. Measured: interference/signal.
-    ratio.add((s.interference / s.signal) /
+    ratio.add((s.interference.value() / s.signal.value()) /
               (1.0 * std::log(static_cast<double>(m))));
   }
   // Mean ratio near 1 (within a factor ~2): the integral model captures the

@@ -35,16 +35,16 @@ TEST_P(ScheduleProperties, TwoStationsOverlapAtRateP1MinusP) {
   // probability of Section 7.2.
   const auto [seed, p] = GetParam();
   const core::Schedule s(seed, 1.0, p);
-  const core::StationClock a(0.0);
-  const core::StationClock b(12345.678);
+  const core::StationClock a(units::Seconds{0.0});
+  const core::StationClock b(units::Seconds{12345.678});
   int usable = 0;
   const int slots = 40000;
   for (int k = 0; k < slots; ++k) {
-    const double t = a.global(s.slot_begin(k));  // my slot k start, global
+    const double t = a.global(units::Seconds{s.slot_begin(k)}).value();  // my slot k start, global
     const bool i_may_transmit = !s.is_receive_slot(k);
     // Sample B's schedule at the midpoint of my slot.
     const bool b_listens =
-        s.is_receive_slot(s.slot_index(b.local(t + 0.5)));
+        s.is_receive_slot(s.slot_index(b.local(units::Seconds{t + 0.5}).value()));
     if (i_may_transmit && b_listens) ++usable;
   }
   EXPECT_NEAR(static_cast<double>(usable) / slots,
@@ -70,19 +70,19 @@ TEST_P(AccessWait, MeanWaitTracksOneOverPq) {
   for (int i = 0; i < trials; ++i) {
     const core::ClockModel other(rng.uniform(1.0, 5000.0), 1.0);
     std::vector<core::WindowConstraint> cs = {
-        {&s, core::ClockModel(), false, 0.0},
-        {&s, other, true, 0.0},
+        {&s, core::ClockModel(), false, units::Seconds{0.0}},
+        {&s, other, true, units::Seconds{0.0}},
     };
     core::AccessRequest req;
-    req.earliest_local_s = rng.uniform(0.0, 5000.0);
-    req.duration_s = 0.25;
-    req.horizon_s = 20000.0;
+    req.earliest_local = units::Seconds{rng.uniform(0.0, 5000.0)};
+    req.duration = units::Seconds{0.25};
+    req.horizon = units::Seconds{20000.0};
     const auto start = find_transmission_start(req, cs);
     ASSERT_TRUE(start.has_value());
-    total_wait_slots += *start - req.earliest_local_s;
+    total_wait_slots += (*start - req.earliest_local).value();
   }
   const double measured = total_wait_slots / trials;
-  const double model = analysis::expected_wait_slots(p);
+  const double model = analysis::expected_wait(p).value();
   // The slot-phase details shift the constant, but the 1/(p(1-p)) scaling
   // must show through: within a factor of ~1.8 of the Bernoulli model.
   EXPECT_GT(measured, model * 0.4) << p;
@@ -99,15 +99,15 @@ INSTANTIATE_TEST_SUITE_P(Fractions, AccessWait,
 TEST(SinrBookkeeping, MarginMatchesBruteForceForStaggeredOverlaps) {
   // Receiver 3 hears sender 0 (signal) plus staggered interferers 1, 2.
   radio::PropagationMatrix m(4);
-  m.set_gain(3, 0, 1.0);
-  m.set_gain(3, 1, 0.05);
-  m.set_gain(3, 2, 0.03);
-  m.set_gain(0, 1, 1e-9);
-  m.set_gain(0, 2, 1e-9);
-  m.set_gain(1, 2, 1.0);
+  m.set_gain(3, 0, radio::LinearGain{1.0});
+  m.set_gain(3, 1, radio::LinearGain{0.05});
+  m.set_gain(3, 2, radio::LinearGain{0.03});
+  m.set_gain(0, 1, radio::LinearGain{1e-9});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
 
   const double thermal = 0.01;
-  sim::SimulatorConfig sc{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  sim::SimulatorConfig sc{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   sc.thermal_noise_w = thermal;
   sim::Simulator sim(m, sc);
   ScopedAudit audited(sim);
@@ -158,8 +158,8 @@ TEST(Conservation, HoldsForContendingBaselinesToo) {
   radio::PropagationMatrix m(5);
   for (StationId a = 0; a < 5; ++a)
     for (StationId b = static_cast<StationId>(a + 1); b < 5; ++b)
-      m.set_gain(a, b, 1.0);
-  sim::SimulatorConfig sc{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+      m.set_gain(a, b, radio::LinearGain{1.0});
+  sim::SimulatorConfig sc{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   sc.thermal_noise_w = 1.0e-15;
   sim::Simulator sim(m, sc);
   ScopedAudit audited(sim);

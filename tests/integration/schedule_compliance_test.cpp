@@ -27,15 +27,17 @@ class WindowAuditor final : public sim::SimObserver {
     // the sender's own schedule (its published commitment to listen must be
     // honoured exactly).
     const auto& sender_clock = (*clocks_)[tx.from];
-    if (!schedule_->interval_is(sender_clock.local(tx.start_s),
-                                sender_clock.local(tx.end_s), false)) {
+    if (!schedule_->interval_is(
+            sender_clock.local(core::Seconds{tx.start_s}).value(),
+            sender_clock.local(core::Seconds{tx.end_s}).value(), false)) {
       ++sender_violations_;
     }
     // Receiver side: the addressee must be committed to listen throughout.
     if (tx.to != kBroadcast) {
       const auto& rx_clock = (*clocks_)[tx.to];
-      if (!schedule_->interval_is(rx_clock.local(tx.start_s),
-                                  rx_clock.local(tx.end_s), true)) {
+      if (!schedule_->interval_is(
+              rx_clock.local(core::Seconds{tx.start_s}).value(),
+              rx_clock.local(core::Seconds{tx.end_s}).value(), true)) {
         ++receiver_violations_;
       }
     }

@@ -94,7 +94,7 @@ std::vector<double> run_script(InterferenceEngine& engine,
   std::vector<std::pair<ReceptionHandle, std::uint64_t>> open;
   std::uint64_t next_tx = 1;
   const auto sender_noop = [](ReceptionHandle) {};
-  const auto affected_noop = [](ReceptionHandle, double) {};
+  const auto affected_noop = [](ReceptionHandle, Watts) {};
   for (int step = 0; step < 400; ++step) {
     const auto choice = rng() % 3;
     if (choice == 0 || on_air.size() < 2) {
@@ -102,7 +102,8 @@ std::vector<double> run_script(InterferenceEngine& engine,
       const auto from = static_cast<StationId>(rng() % stations);
       const double power = 1.0e-4 * (1.0 + 1.0e-3 * static_cast<double>(
                                                rng() % 1000));
-      engine.transmit_started(tx, from, power, sender_noop, affected_noop);
+      engine.transmit_started(tx, from, Watts{power}, sender_noop,
+                              affected_noop);
       on_air.push_back(tx);
       const auto rx = static_cast<StationId>(rng() % stations);
       open.emplace_back(engine.open_reception(tx, rx, nullptr), tx);
@@ -122,9 +123,9 @@ std::vector<double> run_script(InterferenceEngine& engine,
       engine.transmit_ended(tx, affected_noop);
     }
     if (step % 25 == 0)
-      for (const auto& [h, tx] : open) samples.push_back(engine.interference_w(h));
+      for (const auto& [h, tx] : open) samples.push_back(engine.interference(h).value());
   }
-  for (const auto& [h, tx] : open) samples.push_back(engine.interference_w(h));
+  for (const auto& [h, tx] : open) samples.push_back(engine.interference(h).value());
   return samples;
 }
 
@@ -133,8 +134,8 @@ TEST(InterferenceEngine, CompensatedMatchesDenseRecomputation) {
   auto w = make_workload(stations, 41);
   const auto dense = make_dense_engine(w.gains);
   const auto comp = make_compensated_engine(w.gains);
-  dense->set_thermal_noise(1.0e-15);
-  comp->set_thermal_noise(1.0e-15);
+  dense->set_thermal_noise(Watts{1.0e-15});
+  comp->set_thermal_noise(Watts{1.0e-15});
   const auto a = run_script(*dense, stations, 99);
   const auto b = run_script(*comp, stations, 99);
   ASSERT_EQ(a.size(), b.size());
@@ -150,11 +151,11 @@ TEST(InterferenceEngine, NearFarWithFullCutoffMatchesCompensated) {
   auto w = make_workload(stations, 43);
   const auto comp = make_compensated_engine(w.gains);
   NearFarConfig nf;
-  nf.cutoff_m = 4000.0;  // > region diameter: no far field at all
+  nf.cutoff = Meters{4000.0};  // > region diameter: no far field at all
   const auto nearfar = make_nearfar_engine(
       w.placement, std::make_shared<FreeSpacePropagation>(), nf);
-  comp->set_thermal_noise(1.0e-15);
-  nearfar->set_thermal_noise(1.0e-15);
+  comp->set_thermal_noise(Watts{1.0e-15});
+  nearfar->set_thermal_noise(Watts{1.0e-15});
   EXPECT_STREQ(nearfar->name(), "nearfar");
   // Lazy gains must match the dense matrix entries exactly.
   for (StationId rx = 0; rx < stations; rx += 5)
@@ -176,30 +177,30 @@ TEST(InterferenceEngine, NearFarFarFieldStaysWithinCellBound) {
   const std::size_t stations = 48;
   auto w = make_workload(stations, 47);
   NearFarConfig nf;
-  nf.cutoff_m = 600.0;
-  nf.cell_m = 100.0;
+  nf.cutoff = Meters{600.0};
+  nf.cell = Meters{100.0};
   const auto nearfar = make_nearfar_engine(
       w.placement, std::make_shared<FreeSpacePropagation>(), nf);
-  nearfar->set_thermal_noise(1.0e-15);
+  nearfar->set_thermal_noise(Watts{1.0e-15});
   const double per_term =
-      std::pow(1.0 + std::sqrt(2.0) * nf.cell_m / nf.cutoff_m, 2.0) - 1.0;
+      std::pow(1.0 + std::sqrt(2.0) * nf.cell.value() / nf.cutoff.value(), 2.0) - 1.0;
 
   std::uint64_t next_tx = 1;
   const auto noop_s = [](ReceptionHandle) {};
-  const auto noop_a = [](ReceptionHandle, double) {};
+  const auto noop_a = [](ReceptionHandle, Watts) {};
   for (StationId from = 1; from < stations; ++from)
-    nearfar->transmit_started(next_tx++, from, 1.0e-4, noop_s, noop_a);
-  nearfar->transmit_started(next_tx, 0, 1.0e-4, noop_s, noop_a);
+    nearfar->transmit_started(next_tx++, from, Watts{1.0e-4}, noop_s, noop_a);
+  nearfar->transmit_started(next_tx, 0, Watts{1.0e-4}, noop_s, noop_a);
   for (StationId rx = 1; rx < stations; rx += 3) {
     const auto h = nearfar->open_reception(next_tx, rx, nullptr);
-    const double engine_w = nearfar->interference_w(h);
+    const double engine_w = nearfar->interference(h).value();
     // Ground truth: exact lazy-gain sum over every other active transmitter.
-    double exact = nearfar->thermal_noise_w();
+    double exact = nearfar->thermal_noise().value();
     for (StationId from = 1; from < stations; ++from)
       if (from != rx) exact += nearfar->gain(rx, from) * 1.0e-4;
     EXPECT_NEAR(engine_w, exact, per_term * exact) << "rx " << rx;
     // The incremental value and the engine's own recomputation agree.
-    EXPECT_NEAR(nearfar->recomputed_interference_w(h), engine_w,
+    EXPECT_NEAR(nearfar->recomputed_interference(h).value(), engine_w,
                 1.0e-12 * engine_w);
     nearfar->close_reception(h);
   }
@@ -215,23 +216,23 @@ TEST(InterferenceEngine, NearFarFarFieldStaysWithinCellBound) {
 
 /// Churns `total` overlapping transmissions (a sliding window of `overlap`
 /// concurrently on air) past one reception held open for the whole run, and
-/// returns the worst relative error of interference_w vs
-/// recomputed_interference_w observed at any point.
+/// returns the worst relative error of interference() vs
+/// recomputed_interference() observed at any point.
 double churn_and_measure(InterferenceEngine& engine, int total, int overlap) {
   Rng rng(4242);
   const auto noop_s = [](ReceptionHandle) {};
-  const auto noop_a = [](ReceptionHandle, double) {};
+  const auto noop_a = [](ReceptionHandle, Watts) {};
   // tx 1: the persistent weak interferer that keeps the true interference
   // tiny, so absolute drift from the loud churn shows up as relative error.
-  engine.transmit_started(1, 1, 1.0e-10, noop_s, noop_a);
+  engine.transmit_started(1, 1, Watts{1.0e-10}, noop_s, noop_a);
   // tx 2: the transmission being received (its own power never counts).
-  engine.transmit_started(2, 0, 1.0e-4, noop_s, noop_a);
+  engine.transmit_started(2, 0, Watts{1.0e-4}, noop_s, noop_a);
   const auto h = engine.open_reception(2, 2, nullptr);
 
   double worst_rel = 0.0;
   const auto measure = [&] {
-    const double inc = engine.interference_w(h);
-    const double exact = engine.recomputed_interference_w(h);
+    const double inc = engine.interference(h).value();
+    const double exact = engine.recomputed_interference(h).value();
     const double rel = std::abs(inc - exact) / exact;
     if (rel > worst_rel) worst_rel = rel;
   };
@@ -243,7 +244,7 @@ double churn_and_measure(InterferenceEngine& engine, int total, int overlap) {
     const double power =
         1.0 + 1.0e-6 * static_cast<double>(rng() % 999983);
     const std::uint64_t tx = next_tx++;
-    engine.transmit_started(tx, 3, power, noop_s, noop_a);
+    engine.transmit_started(tx, 3, Watts{power}, noop_s, noop_a);
     on_air.push_back(tx);
     if (on_air.size() > static_cast<std::size_t>(overlap)) {
       engine.transmit_ended(on_air.front(), noop_a);
@@ -267,15 +268,15 @@ PropagationMatrix drift_matrix() {
   // gain; station 1's persistent trickle and station 0's signal define the
   // tiny true residual.
   PropagationMatrix m(4);
-  m.set_gain(2, 0, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(2, 3, 1.0);
+  m.set_gain(2, 0, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(2, 3, radio::LinearGain{1.0});
   return m;
 }
 
 TEST(InterferenceDrift, LegacyDenseEngineDriftsBeyondTolerance) {
   const auto dense = make_dense_engine(drift_matrix());
-  dense->set_thermal_noise(1.0e-15);
+  dense->set_thermal_noise(Watts{1.0e-15});
   const double worst = churn_and_measure(*dense, 10000, 16);
   // The teeth of the regression test: the subtract-and-clamp baseline is
   // measurably wrong. (Observed ~3e-3 relative on this workload; anything
@@ -285,7 +286,7 @@ TEST(InterferenceDrift, LegacyDenseEngineDriftsBeyondTolerance) {
 
 TEST(InterferenceDrift, CompensatedEngineStaysExact) {
   const auto comp = make_compensated_engine(drift_matrix());
-  comp->set_thermal_noise(1.0e-15);
+  comp->set_thermal_noise(Watts{1.0e-15});
   const double worst = churn_and_measure(*comp, 10000, 16);
   EXPECT_LE(worst, 1.0e-12);
 }
@@ -299,10 +300,10 @@ TEST(InterferenceDrift, NearFarEngineStaysExactUnderChurn) {
   p.push_back({5.0, 5.0});    // 2: receiver
   p.push_back({0.0, 10.0});   // 3: churn source
   NearFarConfig nf;
-  nf.cutoff_m = 100.0;
+  nf.cutoff = Meters{100.0};
   const auto nearfar = make_nearfar_engine(
       p, std::make_shared<FreeSpacePropagation>(), nf);
-  nearfar->set_thermal_noise(1.0e-15);
+  nearfar->set_thermal_noise(Watts{1.0e-15});
   const double worst = churn_and_measure(*nearfar, 10000, 16);
   EXPECT_LE(worst, 1.0e-12);
 }

@@ -14,12 +14,12 @@ namespace {
 TEST(NoiseGrowth, CharacteristicLengthDefinition) {
   // A disc of radius R0 holds exactly one expected station.
   const double sigma = 0.01;
-  const double r0 = characteristic_length(sigma);
+  const double r0 = characteristic_length(sigma).value();
   EXPECT_NEAR(sigma * std::numbers::pi * r0 * r0, 1.0, 1e-12);
 }
 
 TEST(NoiseGrowth, DiscDensity) {
-  EXPECT_NEAR(disc_density(1000, 100.0),
+  EXPECT_NEAR(disc_density(1000, Meters{100.0}),
               1000.0 / (std::numbers::pi * 1.0e4), 1e-12);
 }
 
@@ -37,14 +37,14 @@ TEST(NoiseGrowth, InterferenceIntegralClosedForm) {
     numeric += eta * sigma * 2.0 * std::numbers::pi * r / (r * r) *
                ((r_out - r_in) / steps);
   }
-  EXPECT_NEAR(annulus_interference(sigma, eta, r_in, r_out), numeric, 1e-3);
+  EXPECT_NEAR(annulus_interference(sigma, eta, Meters{r_in}, Meters{r_out}).value(), numeric, 1e-3);
 }
 
 TEST(NoiseGrowth, IntegralDivergesLogarithmically) {
   // The paper's Olbers'-paradox observation: the infinite-plane integral
   // diverges — doubling the outer radius adds a constant increment forever.
-  const double inc1 = annulus_interference(0.01, 1.0, 1.0, 2.0);
-  const double inc2 = annulus_interference(0.01, 1.0, 1024.0, 2048.0);
+  const double inc1 = annulus_interference(0.01, 1.0, Meters{1.0}, Meters{2.0}).value();
+  const double inc2 = annulus_interference(0.01, 1.0, Meters{1024.0}, Meters{2048.0}).value();
   EXPECT_NEAR(inc1, inc2, 1e-12);
   EXPECT_GT(inc1, 0.0);
 }
@@ -59,9 +59,12 @@ TEST(NoiseGrowth, DualSlopeIntegralConverges) {
   const double r0 = 1.0;
   const double bp = 20.0;
   const double alpha = 4.0;
-  const double closed = dual_slope_total_interference(sigma, eta, r0, bp, alpha);
+  const double closed =
+      dual_slope_total_interference(sigma, eta, Meters{r0}, Meters{bp}, alpha)
+          .value();
   // Numeric: near part (1/r^2) to bp, far part (bp^2/r^4 scaled) to 1e6.
-  double numeric = annulus_interference(sigma, eta, r0, bp);
+  double numeric =
+      annulus_interference(sigma, eta, Meters{r0}, Meters{bp}).value();
   const int steps = 2000000;
   const double r_far = 1.0e4;
   for (int i = 0; i < steps; ++i) {
@@ -73,7 +76,9 @@ TEST(NoiseGrowth, DualSlopeIntegralConverges) {
   EXPECT_NEAR(closed, numeric, closed * 0.01);
   // And doubling the outer radius no longer changes it (convergence).
   EXPECT_NEAR(closed,
-              dual_slope_total_interference(sigma, eta, r0, bp, alpha), 1e-12);
+              dual_slope_total_interference(sigma, eta, Meters{r0}, Meters{bp}, alpha)
+                  .value(),
+              1e-12);
 }
 
 TEST(NoiseGrowth, DualSlopeLessThanFreeSpaceDisc) {
@@ -84,26 +89,30 @@ TEST(NoiseGrowth, DualSlopeLessThanFreeSpaceDisc) {
   const double eta = 1.0;
   const double r0 = 1.0;
   const double bp = 50.0;
-  EXPECT_LT(dual_slope_total_interference(sigma, eta, r0, bp, 4.0),
-            annulus_interference(sigma, eta, r0, 10000.0));
+  EXPECT_LT(
+      dual_slope_total_interference(sigma, eta, Meters{r0}, Meters{bp}, 4.0)
+          .value(),
+      annulus_interference(sigma, eta, Meters{r0}, Meters{10000.0}).value());
 }
 
 TEST(NoiseGrowth, DualSlopeContracts) {
   EXPECT_THROW(
-      (void)dual_slope_total_interference(0.0, 0.5, 1.0, 10.0, 4.0),
+      (void)dual_slope_total_interference(0.0, 0.5, Meters{1.0}, Meters{10.0}, 4.0),
       ContractViolation);
   EXPECT_THROW(
-      (void)dual_slope_total_interference(1.0, 0.5, 10.0, 1.0, 4.0),
+      (void)dual_slope_total_interference(1.0, 0.5, Meters{10.0}, Meters{1.0}, 4.0),
       ContractViolation);
   EXPECT_THROW(
-      (void)dual_slope_total_interference(1.0, 0.5, 1.0, 10.0, 2.0),
+      (void)dual_slope_total_interference(1.0, 0.5, Meters{1.0}, Meters{10.0}, 2.0),
       ContractViolation);
 }
 
 TEST(NoiseGrowth, Equation15) {
   // S/N = 1 / (eta ln M).
-  EXPECT_NEAR(nearest_neighbor_snr(1000000, 1.0), 1.0 / std::log(1e6), 1e-12);
-  EXPECT_NEAR(nearest_neighbor_snr(1000000, 0.25), 4.0 / std::log(1e6), 1e-12);
+  EXPECT_NEAR(nearest_neighbor_snr(1000000, 1.0).value(),
+              1.0 / std::log(1e6), 1e-12);
+  EXPECT_NEAR(nearest_neighbor_snr(1000000, 0.25).value(),
+              4.0 / std::log(1e6), 1e-12);
 }
 
 TEST(NoiseGrowth, DerivationConsistency) {
@@ -112,38 +121,39 @@ TEST(NoiseGrowth, DerivationConsistency) {
   const std::size_t m = 100000;
   const double region = 1000.0;
   const double eta = 0.5;
-  const double sigma = disc_density(m, region);
-  const double r0 = characteristic_length(sigma);
+  const double sigma = disc_density(m, Meters{region});
+  const double r0 = characteristic_length(sigma).value();
   const double signal = 1.0 / (r0 * r0);
-  const double noise = annulus_interference(sigma, eta, r0, region);
-  EXPECT_NEAR(signal / noise, nearest_neighbor_snr(m, eta), 1e-9);
+  const double noise =
+      annulus_interference(sigma, eta, Meters{r0}, Meters{region}).value();
+  EXPECT_NEAR(signal / noise, nearest_neighbor_snr(m, eta).value(), 1e-9);
 }
 
 TEST(NoiseGrowth, SnrDbFigure1Anchors) {
   // Points on Figure 1's curves: at eta = 1 the SNR crosses about -11.4 dB
   // at 10^6 stations and -12.6 dB at 10^8; quartering the duty cycle buys
   // exactly +6 dB everywhere.
-  EXPECT_NEAR(nearest_neighbor_snr_db(1000000, 1.0), -11.4, 0.05);
-  EXPECT_NEAR(nearest_neighbor_snr_db(100000000, 1.0), -12.65, 0.05);
-  EXPECT_NEAR(nearest_neighbor_snr_db(1000000, 0.25) -
-                  nearest_neighbor_snr_db(1000000, 1.0),
+  EXPECT_NEAR(nearest_neighbor_snr_db(1000000, 1.0).value(), -11.4, 0.05);
+  EXPECT_NEAR(nearest_neighbor_snr_db(100000000, 1.0).value(), -12.65, 0.05);
+  EXPECT_NEAR(nearest_neighbor_snr_db(1000000, 0.25).value() -
+                  nearest_neighbor_snr_db(1000000, 1.0).value(),
               6.02, 0.01);
 }
 
 TEST(NoiseGrowth, DeclineIsLogarithmicallySlow) {
   // Squaring the station count only halves the linear SNR.
-  const double s1 = nearest_neighbor_snr(1000, 1.0);
-  const double s2 = nearest_neighbor_snr(1000000, 1.0);
+  const double s1 = nearest_neighbor_snr(1000, 1.0).value();
+  const double s2 = nearest_neighbor_snr(1000000, 1.0).value();
   EXPECT_NEAR(s2, s1 / 2.0, 1e-12);
 }
 
 TEST(NoiseGrowth, DistanceMultiple) {
   // 6 dB per doubling of distance (Section 4).
   const std::size_t m = 1000000;
-  EXPECT_NEAR(snr_at_distance_multiple(m, 1.0, 2.0),
-              nearest_neighbor_snr(m, 1.0) / 4.0, 1e-15);
-  EXPECT_NEAR(snr_at_distance_multiple(m, 1.0, 4.0),
-              nearest_neighbor_snr(m, 1.0) / 16.0, 1e-15);
+  EXPECT_NEAR(snr_at_distance_multiple(m, 1.0, 2.0).value(),
+              nearest_neighbor_snr(m, 1.0).value() / 4.0, 1e-15);
+  EXPECT_NEAR(snr_at_distance_multiple(m, 1.0, 4.0).value(),
+              nearest_neighbor_snr(m, 1.0).value() / 16.0, 1e-15);
 }
 
 TEST(NoiseGrowth, MonteCarloValidatesEquation15) {
@@ -156,28 +166,29 @@ TEST(NoiseGrowth, MonteCarloValidatesEquation15) {
   const double eta = 0.5;
   RunningStats snr_db;
   for (int trial = 0; trial < 60; ++trial) {
-    const auto s = sample_nearest_neighbor_snr(m, 100.0, eta, rng);
-    if (std::isfinite(s.snr) && s.snr > 0.0)
-      snr_db.add(10.0 * std::log10(s.snr));
+    const auto s = sample_nearest_neighbor_snr(m, Meters{100.0}, eta, rng);
+    if (std::isfinite(s.snr.value()) && s.snr.value() > 0.0)
+      snr_db.add(10.0 * std::log10(s.snr.value()));
   }
-  const double predicted_db = nearest_neighbor_snr_db(m, eta);
+  const double predicted_db = nearest_neighbor_snr_db(m, eta).value();
   EXPECT_NEAR(snr_db.mean(), predicted_db, 4.0);  // within 4 dB
 }
 
 TEST(NoiseGrowth, SampleFieldsConsistent) {
   Rng rng(7);
-  const auto s = sample_nearest_neighbor_snr(500, 50.0, 0.3, rng);
-  ASSERT_GT(s.interference, 0.0);
-  EXPECT_NEAR(s.snr, s.signal / s.interference, 1e-12);
-  EXPECT_GT(s.signal, 0.0);
+  const auto s = sample_nearest_neighbor_snr(500, Meters{50.0}, 0.3, rng);
+  ASSERT_GT(s.interference.value(), 0.0);
+  EXPECT_NEAR(s.snr.value(), s.signal.value() / s.interference.value(),
+              1e-12);
+  EXPECT_GT(s.signal.value(), 0.0);
 }
 
 TEST(NoiseGrowth, Contracts) {
   EXPECT_THROW((void)characteristic_length(0.0), ContractViolation);
-  EXPECT_THROW((void)disc_density(0, 1.0), ContractViolation);
-  EXPECT_THROW((void)annulus_interference(1.0, 2.0, 1.0, 2.0),
+  EXPECT_THROW((void)disc_density(0, Meters{1.0}), ContractViolation);
+  EXPECT_THROW((void)annulus_interference(1.0, 2.0, Meters{1.0}, Meters{2.0}),
                ContractViolation);
-  EXPECT_THROW((void)annulus_interference(1.0, 0.5, 2.0, 1.0),
+  EXPECT_THROW((void)annulus_interference(1.0, 0.5, Meters{2.0}, Meters{1.0}),
                ContractViolation);
   EXPECT_THROW((void)nearest_neighbor_snr(1, 1.0), ContractViolation);
   EXPECT_THROW((void)nearest_neighbor_snr(100, 0.0), ContractViolation);

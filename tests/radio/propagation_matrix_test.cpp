@@ -9,7 +9,7 @@ namespace drn::radio {
 namespace {
 
 TEST(PropagationMatrix, EmptyConstructionHasSelfGainDiagonal) {
-  const PropagationMatrix m(3, 2.0);
+  const PropagationMatrix m(3, LinearGain{2.0});
   EXPECT_EQ(m.size(), 3u);
   for (StationId i = 0; i < 3; ++i) {
     EXPECT_DOUBLE_EQ(m.gain(i, i), 2.0);
@@ -44,7 +44,7 @@ TEST(PropagationMatrix, IsSymmetric) {
 
 TEST(PropagationMatrix, SetGainUpdatesBothDirections) {
   PropagationMatrix m(4);
-  m.set_gain(1, 3, 0.5);
+  m.set_gain(1, 3, radio::LinearGain{0.5});
   EXPECT_DOUBLE_EQ(m.gain(1, 3), 0.5);
   EXPECT_DOUBLE_EQ(m.gain(3, 1), 0.5);
   EXPECT_TRUE(m.is_symmetric());
@@ -52,27 +52,27 @@ TEST(PropagationMatrix, SetGainUpdatesBothDirections) {
 
 TEST(PropagationMatrix, StrongestNeighborGain) {
   PropagationMatrix m(3);
-  m.set_gain(0, 1, 0.3);
-  m.set_gain(0, 2, 0.7);
-  m.set_gain(1, 2, 0.1);
-  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(0), 0.7);
-  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(1), 0.3);
-  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(2), 0.7);
+  m.set_gain(0, 1, radio::LinearGain{0.3});
+  m.set_gain(0, 2, radio::LinearGain{0.7});
+  m.set_gain(1, 2, radio::LinearGain{0.1});
+  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(0).value(), 0.7);
+  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(1).value(), 0.3);
+  EXPECT_DOUBLE_EQ(m.strongest_neighbor_gain(2).value(), 0.7);
 }
 
 TEST(PropagationMatrix, Contracts) {
   EXPECT_THROW(PropagationMatrix(0), ContractViolation);
-  EXPECT_THROW(PropagationMatrix(2, 0.0), ContractViolation);
+  EXPECT_THROW(PropagationMatrix(2, LinearGain{0.0}), ContractViolation);
   PropagationMatrix m(2);
   EXPECT_THROW((void)m.gain(0, 2), ContractViolation);
-  EXPECT_THROW(m.set_gain(0, 1, 0.0), ContractViolation);
+  EXPECT_THROW(m.set_gain(0, 1, radio::LinearGain{0.0}), ContractViolation);
 }
 
 TEST(PropagationMatrix, SelfGainConfigurable) {
   const geo::Placement placement = {{0.0, 0.0}, {1.0, 0.0}};
   const FreeSpacePropagation model;
   const auto m =
-      PropagationMatrix::from_placement(placement, model, /*self_gain=*/42.0);
+      PropagationMatrix::from_placement(placement, model, /*self_gain=*/LinearGain{42.0});
   EXPECT_DOUBLE_EQ(m.gain(0, 0), 42.0);
   EXPECT_DOUBLE_EQ(m.gain(1, 1), 42.0);
 }

@@ -11,23 +11,27 @@ namespace drn::radio {
 namespace {
 
 TEST(Shannon, CapacityKnownPoints) {
-  EXPECT_DOUBLE_EQ(shannon_capacity(1.0e6, 1.0), 1.0e6);   // snr 1 -> 1 b/s/Hz
-  EXPECT_DOUBLE_EQ(shannon_capacity(1.0e6, 3.0), 2.0e6);   // snr 3 -> 2 b/s/Hz
-  EXPECT_DOUBLE_EQ(shannon_capacity(2.0e6, 0.0), 0.0);
+  // snr 1 -> 1 b/s/Hz; snr 3 -> 2 b/s/Hz.
+  EXPECT_DOUBLE_EQ(shannon_capacity(Hertz{1.0e6}, LinearGain{1.0}).value(),
+                   1.0e6);
+  EXPECT_DOUBLE_EQ(shannon_capacity(Hertz{1.0e6}, LinearGain{3.0}).value(),
+                   2.0e6);
+  EXPECT_DOUBLE_EQ(shannon_capacity(Hertz{2.0e6}, LinearGain{0.0}).value(),
+                   0.0);
 }
 
 TEST(Shannon, PaperSection4CapacityPerKilohertz) {
   // "even with a signal-to-noise ratio of one part in one hundred ...
   // theoretical capacity of approximately 14 bits per second per kilohertz";
   // at eta = 0.25 (+6 dB): "around 56 bits per second per kilohertz".
-  EXPECT_NEAR(capacity_per_hz(0.01) * 1000.0, 14.4, 0.1);
-  EXPECT_NEAR(capacity_per_hz(0.04) * 1000.0, 56.6, 0.1);
+  EXPECT_NEAR(capacity_per_hz(LinearGain{0.01}) * 1000.0, 14.4, 0.1);
+  EXPECT_NEAR(capacity_per_hz(LinearGain{0.04}) * 1000.0, 56.6, 0.1);
 }
 
 TEST(Shannon, LowSnrLinearisation) {
   // Paper footnote: log2(1+x) ~ x/ln 2 ~ 1.44 x for x << 1.
   for (double x : {1e-3, 1e-4, 1e-5})
-    EXPECT_NEAR(capacity_per_hz(x) / x, 1.4427, 1e-3);
+    EXPECT_NEAR(capacity_per_hz(LinearGain{x}) / x, 1.4427, 1e-3);
 }
 
 TEST(Shannon, RateFractionInverse) {
@@ -38,15 +42,17 @@ TEST(Shannon, RateFractionInverse) {
 TEST(ReceptionCriterion, RequiredSnrIsShannonTimesMargin) {
   // C/W = 0.01 -> Shannon needs 2^0.01 - 1 = 0.006956; with 5 dB margin
   // (3.162x) the threshold is 0.022.
-  const ReceptionCriterion c(100.0e6, 1.0e6, 5.0);
-  EXPECT_NEAR(c.required_snr(), from_db(5.0) * (std::exp2(0.01) - 1.0), 1e-12);
-  EXPECT_NEAR(c.required_snr(), 0.022, 0.0005);
+  const ReceptionCriterion c(Hertz{100.0e6}, BitsPerSecond{1.0e6},
+                             Decibels{5.0});
+  EXPECT_NEAR(c.required_snr().value(),
+              from_db(5.0) * (std::exp2(0.01) - 1.0), 1e-12);
+  EXPECT_NEAR(c.required_snr().value(), 0.022, 0.0005);
 }
 
 TEST(ReceptionCriterion, ProcessingGain) {
-  const ReceptionCriterion c(100.0e6, 1.0e6);
-  EXPECT_DOUBLE_EQ(c.processing_gain(), 100.0);
-  EXPECT_DOUBLE_EQ(c.processing_gain_db(), 20.0);
+  const ReceptionCriterion c(Hertz{100.0e6}, BitsPerSecond{1.0e6});
+  EXPECT_DOUBLE_EQ(c.processing_gain().value(), 100.0);
+  EXPECT_DOUBLE_EQ(c.processing_gain_db().value(), 20.0);
 }
 
 TEST(ReceptionCriterion, PaperProcessingGainWindow) {
@@ -54,36 +60,44 @@ TEST(ReceptionCriterion, PaperProcessingGainWindow) {
   // With 23 dB (200x) and 5 dB margin, the required SNR is about -15.5 dB —
   // comfortably below the -11.4 dB expected at eta=1, M=1e12... check the
   // required SNR lands below the available SNR for eta = 0.25.
-  const ReceptionCriterion c(200.0e6, 1.0e6, 5.0);  // 23 dB gain
-  EXPECT_NEAR(c.processing_gain_db(), 23.0, 0.05);
-  EXPECT_LT(c.required_snr_db(), -15.0);
+  const ReceptionCriterion c(Hertz{200.0e6}, BitsPerSecond{1.0e6},
+                             Decibels{5.0});  // 23 dB gain
+  EXPECT_NEAR(c.processing_gain_db().value(), 23.0, 0.05);
+  EXPECT_LT(c.required_snr_db().value(), -15.0);
 }
 
 TEST(ReceptionCriterion, ReceivableBoundary) {
-  const ReceptionCriterion c(10.0e6, 1.0e6, 0.0);
-  const double snr = c.required_snr();
-  EXPECT_TRUE(c.receivable(snr * 1.0, 1.0));
-  EXPECT_TRUE(c.receivable(snr * 1.001, 1.0));
-  EXPECT_FALSE(c.receivable(snr * 0.999, 1.0));
+  const ReceptionCriterion c(Hertz{10.0e6}, BitsPerSecond{1.0e6},
+                             Decibels{0.0});
+  const double snr = c.required_snr().value();
+  EXPECT_TRUE(c.receivable(Watts{snr * 1.0}, Watts{1.0}));
+  EXPECT_TRUE(c.receivable(Watts{snr * 1.001}, Watts{1.0}));
+  EXPECT_FALSE(c.receivable(Watts{snr * 0.999}, Watts{1.0}));
 }
 
 TEST(ReceptionCriterion, PacketDuration) {
-  const ReceptionCriterion c(10.0e6, 2.0e6);
-  EXPECT_DOUBLE_EQ(c.packet_duration_s(1.0e4), 0.005);
-  EXPECT_THROW((void)c.packet_duration_s(0.0), ContractViolation);
+  const ReceptionCriterion c(Hertz{10.0e6}, BitsPerSecond{2.0e6});
+  EXPECT_DOUBLE_EQ(c.packet_duration(Bits{1.0e4}).value(), 0.005);
+  EXPECT_THROW((void)c.packet_duration(Bits{0.0}), ContractViolation);
 }
 
 TEST(ReceptionCriterion, ZeroMarginEqualsShannon) {
-  const ReceptionCriterion c(1.0e6, 1.0e6, 0.0);
-  EXPECT_DOUBLE_EQ(c.required_snr(), 1.0);  // 2^1 - 1
+  const ReceptionCriterion c(Hertz{1.0e6}, BitsPerSecond{1.0e6},
+                             Decibels{0.0});
+  EXPECT_DOUBLE_EQ(c.required_snr().value(), 1.0);  // 2^1 - 1
 }
 
 TEST(ReceptionCriterion, Contracts) {
-  EXPECT_THROW(ReceptionCriterion(0.0, 1.0), ContractViolation);
-  EXPECT_THROW(ReceptionCriterion(1.0, 0.0), ContractViolation);
-  EXPECT_THROW(ReceptionCriterion(1.0, 1.0, -1.0), ContractViolation);
-  EXPECT_THROW((void)shannon_capacity(0.0, 1.0), ContractViolation);
-  EXPECT_THROW((void)capacity_per_hz(-0.1), ContractViolation);
+  EXPECT_THROW(ReceptionCriterion(Hertz{0.0}, BitsPerSecond{1.0}),
+               ContractViolation);
+  EXPECT_THROW(ReceptionCriterion(Hertz{1.0}, BitsPerSecond{0.0}),
+               ContractViolation);
+  EXPECT_THROW(
+      ReceptionCriterion(Hertz{1.0}, BitsPerSecond{1.0}, Decibels{-1.0}),
+      ContractViolation);
+  EXPECT_THROW((void)shannon_capacity(Hertz{0.0}, LinearGain{1.0}),
+               ContractViolation);
+  EXPECT_THROW((void)capacity_per_hz(LinearGain{-0.1}), ContractViolation);
   EXPECT_THROW((void)snr_for_rate_fraction(0.0), ContractViolation);
 }
 

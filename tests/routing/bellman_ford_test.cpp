@@ -80,8 +80,8 @@ TEST(BellmanFord, NextHopsAreOptimal) {
 
 TEST(BellmanFord, DisconnectedStaysInfinite) {
   radio::PropagationMatrix m(4);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(2, 3, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(2, 3, radio::LinearGain{1.0});
   const Graph g = Graph::min_energy(m, 0.5);
   DistributedBellmanFord bf(g);
   (void)bf.run_synchronous();

@@ -13,9 +13,9 @@ namespace {
 
 radio::PropagationMatrix chain3() {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 0.5);
-  m.set_gain(1, 2, 0.25);
-  m.set_gain(0, 2, 0.01);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
+  m.set_gain(1, 2, radio::LinearGain{0.25});
+  m.set_gain(0, 2, radio::LinearGain{0.01});
   return m;
 }
 
@@ -61,8 +61,8 @@ TEST(Graph, ConnectedDetection) {
   const auto connected = Graph::min_energy(chain3(), 0.001);
   EXPECT_TRUE(connected.connected());
   radio::PropagationMatrix m(4);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(2, 3, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(2, 3, radio::LinearGain{1.0});
   const auto split = Graph::min_energy(m, 0.5);
   EXPECT_FALSE(split.connected());
 }
@@ -92,8 +92,8 @@ TEST(Graph, PaperNeighborCountStaysSmall) {
     const auto placement = geo::uniform_disc(n, region, rng);
     const radio::FreeSpacePropagation model;
     const auto gains = radio::PropagationMatrix::from_placement(placement, model);
-    const double density = radio::disc_density(n, region);
-    const double r0 = radio::characteristic_length(density);
+    const double density = radio::disc_density(n, radio::Meters{region});
+    const double r0 = radio::characteristic_length(density).value();
     const double reach = 2.0 * r0;
     const auto g = Graph::min_energy(gains, 1.0 / (reach * reach));
     double mean_degree = 0.0;

@@ -16,8 +16,8 @@ namespace {
 
 TEST(MinEnergy, PathEnergyCostSumsReciprocalGains) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 0.5);
-  m.set_gain(1, 2, 0.25);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
+  m.set_gain(1, 2, radio::LinearGain{0.25});
   const std::array<StationId, 3> path = {0, 1, 2};
   EXPECT_DOUBLE_EQ(path_energy_cost(m, path), 2.0 + 4.0);
 }
@@ -57,9 +57,9 @@ TEST(MinEnergy, OffCenterRelayReducesEnergyLess) {
 
 TEST(MinEnergy, ObserverOnPathIsSkipped) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 0.5);
-  m.set_gain(1, 2, 0.25);
-  m.set_gain(0, 2, 0.1);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
+  m.set_gain(1, 2, radio::LinearGain{0.25});
+  m.set_gain(0, 2, radio::LinearGain{0.1});
   const std::array<StationId, 3> path = {0, 1, 2};
   // Observer 1 hears hop 0->1 (tx 0) but its own transmission is skipped.
   const double e = interference_energy_at(m, path, 1);
@@ -104,7 +104,7 @@ TEST(MinEnergy, HopCount) {
 
 TEST(MinEnergy, Contracts) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   const std::array<StationId, 1> short_path = {0};
   EXPECT_THROW((void)path_energy_cost(m, short_path), ContractViolation);
   EXPECT_THROW((void)interference_energy_at(m, short_path, 1),

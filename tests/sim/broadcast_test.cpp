@@ -18,7 +18,7 @@ using drn::testing::ScriptMac;
 using drn::testing::ScriptedTx;
 
 radio::ReceptionCriterion spread_criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 SimulatorConfig config_with(radio::ReceptionCriterion crit,
@@ -68,9 +68,9 @@ class BeaconMac final : public MacProtocol {
 
 TEST(Broadcast, EveryStationInRangeReceives) {
   radio::PropagationMatrix m(4);
-  m.set_gain(0, 1, 0.5);
-  m.set_gain(0, 2, 0.25);
-  m.set_gain(0, 3, 1e-9);  // in range too (huge processing gain, no noise)
+  m.set_gain(0, 1, radio::LinearGain{0.5});
+  m.set_gain(0, 2, radio::LinearGain{0.25});
+  m.set_gain(0, 3, radio::LinearGain{1e-9});  // in range too (huge processing gain, no noise)
   Simulator sim(m, config_with(spread_criterion(), 1.0e-18));
   auto* sender = new BeaconMac(true);
   std::vector<BeaconMac*> listeners;
@@ -93,8 +93,8 @@ TEST(Broadcast, EveryStationInRangeReceives) {
 
 TEST(Broadcast, OutOfRangeStationMissesIt) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 0.5);
-  m.set_gain(0, 2, 1e-9);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
   auto cfg = config_with(spread_criterion(), /*thermal=*/1e-6);
   Simulator sim(m, cfg);  // station 2's SNR = 1e-9/1e-6 = -30 dB: undecodable
   sim.set_mac(0, std::make_unique<BeaconMac>(true));
@@ -112,9 +112,9 @@ TEST(Broadcast, OutOfRangeStationMissesIt) {
 
 TEST(Broadcast, TransmittingStationCannotHearIt) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 0.5);
-  m.set_gain(0, 2, 0.5);
-  m.set_gain(1, 2, 1e-9);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
+  m.set_gain(0, 2, radio::LinearGain{0.5});
+  m.set_gain(1, 2, radio::LinearGain{1e-9});
   Simulator sim(m, config_with(spread_criterion()));
   sim.set_mac(0, std::make_unique<BeaconMac>(true));
   auto* idle = new BeaconMac(false);
@@ -129,7 +129,7 @@ TEST(Broadcast, TransmittingStationCannotHearIt) {
 
 TEST(PerTransmissionRate, AirtimeFollowsRate) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 0.5);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
   Simulator sim(m, config_with(spread_criterion()));
   // 1e4 bits at 4 Mb/s (4x design rate): airtime 2.5 ms instead of 10 ms.
   class RateMac final : public MacProtocol {
@@ -157,7 +157,7 @@ TEST(PerTransmissionRate, HigherRateNeedsHigherSinr) {
   // Noise floor set so the design rate (1 Mb/s over 200 MHz) clears the
   // threshold but 64 Mb/s does not.
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0e-3);
+  m.set_gain(0, 1, radio::LinearGain{1.0e-3});
   auto cfg = config_with(spread_criterion(), /*thermal=*/1.0e-2);
   // SINR = 1e-3/1e-2 = 0.1. Design rate needs ~0.011; 64 Mb/s needs
   // 3.16*(2^0.32 - 1) ~ 0.78.
@@ -204,7 +204,7 @@ TEST(Observer, SeesTransmissionsAndReceptions) {
     }
   };
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 0.5);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
   Simulator sim(m, config_with(spread_criterion(), 0.05));
   Recorder rec;
   sim.set_observer(&rec);
@@ -231,10 +231,10 @@ TEST(MultiuserDetection, SubtractionRescuesJammedReception) {
   // interfering signals").
   auto build = [](int k) {
     radio::PropagationMatrix m(4);
-    m.set_gain(1, 0, 1.0);   // desired 0 -> 1
-    m.set_gain(1, 2, 50.0);  // jammer at receiver
-    m.set_gain(2, 3, 1.0);   // jammer's own link 2 -> 3
-    auto cfg = SimulatorConfig{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+    m.set_gain(1, 0, radio::LinearGain{1.0});   // desired 0 -> 1
+    m.set_gain(1, 2, radio::LinearGain{50.0});  // jammer at receiver
+    m.set_gain(2, 3, radio::LinearGain{1.0});   // jammer's own link 2 -> 3
+    auto cfg = SimulatorConfig{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
     cfg.thermal_noise_w = 1.0e-3;
     cfg.multiuser_subtract_k = k;
     return std::pair{m, cfg};
@@ -262,10 +262,10 @@ TEST(MultiuserDetection, SubtractionCapResidualIsThermal) {
   // With k large enough to cancel every interferer, SINR returns to the
   // thermal-limited value, not infinity.
   radio::PropagationMatrix m(3);
-  m.set_gain(1, 0, 1.0);
-  m.set_gain(1, 2, 10.0);
-  m.set_gain(0, 2, 1e-9);
-  auto cfg = SimulatorConfig{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  m.set_gain(1, 0, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{10.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
+  auto cfg = SimulatorConfig{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   cfg.thermal_noise_w = 0.25;
   cfg.multiuser_subtract_k = 4;
   class Recorder final : public SimObserver {
@@ -304,14 +304,14 @@ TEST(MultiuserDetection, BroadcastContributionsTrackedAcrossStartAndEnd) {
   // leaves the air mid-beacon). With k=2 the listeners cancel both jammers
   // and hear the beacon at the thermal-limited SINR throughout.
   radio::PropagationMatrix m(6);
-  for (StationId s = 1; s < 6; ++s) m.set_gain(0, s, 0.5);  // beacon links
-  m.set_gain(3, 1, 50.0);  // jammer 1 blankets both listeners
-  m.set_gain(3, 2, 50.0);
-  m.set_gain(5, 1, 50.0);  // jammer 2 too
-  m.set_gain(5, 2, 50.0);
-  m.set_gain(3, 4, 1.0);   // jammers' own unicast links to station 4
-  m.set_gain(5, 4, 1.0);
-  auto cfg = SimulatorConfig{radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0)};
+  for (StationId s = 1; s < 6; ++s) m.set_gain(0, s, radio::LinearGain{0.5});  // beacon links
+  m.set_gain(3, 1, radio::LinearGain{50.0});  // jammer 1 blankets both listeners
+  m.set_gain(3, 2, radio::LinearGain{50.0});
+  m.set_gain(5, 1, radio::LinearGain{50.0});  // jammer 2 too
+  m.set_gain(5, 2, radio::LinearGain{50.0});
+  m.set_gain(3, 4, radio::LinearGain{1.0});   // jammers' own unicast links to station 4
+  m.set_gain(5, 4, radio::LinearGain{1.0});
+  auto cfg = SimulatorConfig{radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0})};
   cfg.thermal_noise_w = 1.0e-3;
   cfg.multiuser_subtract_k = 2;
   class Recorder final : public SimObserver {
@@ -372,7 +372,7 @@ TEST(MultiuserDetection, BroadcastContributionsTrackedAcrossStartAndEnd) {
 
 TEST(Broadcast, InjectToBroadcastIsRejected) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(spread_criterion()));
   Packet p;
   p.source = 0;

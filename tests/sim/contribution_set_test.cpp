@@ -37,30 +37,30 @@ TEST(ContributionSet, EmptyAndTrivialQueries) {
   ContributionSet set;
   EXPECT_TRUE(set.empty());
   EXPECT_EQ(set.size(), 0u);
-  EXPECT_DOUBLE_EQ(set.sum_top(0), 0.0);
-  EXPECT_DOUBLE_EQ(set.sum_top(5), 0.0);
-  set.add(7, 2.5);
-  EXPECT_DOUBLE_EQ(set.sum_top(0), 0.0);
-  EXPECT_DOUBLE_EQ(set.sum_top(1), 2.5);
-  EXPECT_DOUBLE_EQ(set.sum_top(99), 2.5);
+  EXPECT_DOUBLE_EQ(set.sum_top(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(set.sum_top(5).value(), 0.0);
+  set.add(7, radio::Watts{2.5});
+  EXPECT_DOUBLE_EQ(set.sum_top(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(set.sum_top(1).value(), 2.5);
+  EXPECT_DOUBLE_EQ(set.sum_top(99).value(), 2.5);
 }
 
 TEST(ContributionSet, DuplicateWattsEraseOnlyOneInstance) {
   ContributionSet set;
-  set.add(1, 0.5);
-  set.add(2, 0.5);  // identical contribution from a different transmission
-  set.add(3, 0.25);
+  set.add(1, radio::Watts{0.5});
+  set.add(2, radio::Watts{0.5});  // identical contribution from a different transmission
+  set.add(3, radio::Watts{0.25});
   set.erase(2);
   EXPECT_EQ(set.size(), 2u);
-  EXPECT_DOUBLE_EQ(set.sum_top(2), 0.75);
+  EXPECT_DOUBLE_EQ(set.sum_top(2).value(), 0.75);
   set.erase(42);  // absent id: no-op
   EXPECT_EQ(set.size(), 2u);
 }
 
 TEST(ContributionSet, RejectsDuplicateTransmissionIds) {
   ContributionSet set;
-  set.add(9, 1.0);
-  EXPECT_THROW(set.add(9, 2.0), ContractViolation);
+  set.add(9, radio::Watts{1.0});
+  EXPECT_THROW(set.add(9, radio::Watts{2.0}), ContractViolation);
 }
 
 TEST(ContributionSet, MatchesPartialSortReferenceUnderChurn) {
@@ -75,7 +75,7 @@ TEST(ContributionSet, MatchesPartialSortReferenceUnderChurn) {
     if (reference.empty() || rng() % 2 != 0) {
       const double w = 1.0e-6 * static_cast<double>(rng() % 8 + 1);
       const std::uint64_t id = next_id++;
-      set.add(id, w);
+      set.add(id, radio::Watts{w});
       reference.emplace(id, w);
     } else {
       auto it = reference.begin();
@@ -89,13 +89,13 @@ TEST(ContributionSet, MatchesPartialSortReferenceUnderChurn) {
          {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4},
           n / 2, n, n + 1}) {
       // Bit-identical, not just close: both sum the same descending values.
-      ASSERT_EQ(set.sum_top(k), sum_top_reference(reference, k))
+      ASSERT_EQ(set.sum_top(k).value(), sum_top_reference(reference, k))
           << "step " << step << " k " << k;
     }
   }
   set.clear();
   EXPECT_TRUE(set.empty());
-  EXPECT_DOUBLE_EQ(set.sum_top(3), 0.0);
+  EXPECT_DOUBLE_EQ(set.sum_top(3).value(), 0.0);
 }
 
 }  // namespace

@@ -22,13 +22,13 @@ using drn::testing::ScriptedTx;
 
 // A criterion with required SINR exactly 1.0 (0 dB): C/W = 1, margin 0 dB.
 radio::ReceptionCriterion zero_db_criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
 }
 
 // A spread-spectrum criterion tolerating -17 dB SINR (C/W = 0.005, 20 dB
 // processing gain is implicit in the rate, 5 dB margin).
 radio::ReceptionCriterion spread_criterion() {
-  return radio::ReceptionCriterion(200.0e6, 1.0e6, 5.0);
+  return radio::ReceptionCriterion(radio::Hertz{200.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{5.0});
 }
 
 SimulatorConfig config_with(radio::ReceptionCriterion crit,
@@ -43,7 +43,7 @@ radio::PropagationMatrix matrix3() { return radio::PropagationMatrix(3); }
 
 TEST(Simulator, CleanTransmissionDelivered) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 0.5);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                      {0.0, 1, 1.0, 1.0e4}}));
@@ -59,7 +59,7 @@ TEST(Simulator, CleanTransmissionDelivered) {
 
 TEST(Simulator, TooWeakSignalIsType1Loss) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0e-3);
+  m.set_gain(0, 1, radio::LinearGain{1.0e-3});
   // Thermal floor high enough that SNR = 1e-3/1e-2 < 1.
   auto cfg = config_with(zero_db_criterion(), /*thermal_w=*/1.0e-2);
   Simulator sim(m, cfg);
@@ -74,9 +74,9 @@ TEST(Simulator, TooWeakSignalIsType1Loss) {
 TEST(Simulator, ThirdPartyInterferenceMidPacketIsType1) {
   // Station 2 (sending to 3) blasts receiver 1 halfway through 0->1's packet.
   radio::PropagationMatrix m(4);
-  m.set_gain(0, 1, 1.0);    // desired link
-  m.set_gain(1, 2, 10.0);   // interferer very strong at receiver 1
-  m.set_gain(2, 3, 1.0);    // interferer's own link
+  m.set_gain(0, 1, radio::LinearGain{1.0});    // desired link
+  m.set_gain(1, 2, radio::LinearGain{10.0});   // interferer very strong at receiver 1
+  m.set_gain(2, 3, radio::LinearGain{1.0});    // interferer's own link
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                      {0.0, 1, 1.0, 1.0e4}}));  // 10 ms packet
@@ -93,9 +93,9 @@ TEST(Simulator, SimultaneousSendersHighThresholdBothLostAsType2) {
   // Two equal-power senders to one receiver, required SINR 0 dB: each sees
   // SINR ~ 1 (not > 1), so both fail; classification is Type 2.
   auto m = matrix3();
-  m.set_gain(2, 0, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 1, 1e-9);
+  m.set_gain(2, 0, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 1, radio::LinearGain{1e-9});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                      {0.0, 2, 1.0, 1.0e4}}));
@@ -111,9 +111,9 @@ TEST(Simulator, SpreadSpectrumReceivesConcurrentSenders) {
   // Section 5: with spread spectrum (low required SINR) and parallel
   // despreading channels, simultaneous senders to one station all succeed.
   auto m = matrix3();
-  m.set_gain(2, 0, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 1, 1e-9);
+  m.set_gain(2, 0, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 1, radio::LinearGain{1e-9});
   Simulator sim(m, config_with(spread_criterion()));
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                      {0.0, 2, 1.0, 1.0e4}}));
@@ -127,9 +127,9 @@ TEST(Simulator, SpreadSpectrumReceivesConcurrentSenders) {
 
 TEST(Simulator, DespreadingChannelExhaustionIsType2) {
   auto m = matrix3();
-  m.set_gain(2, 0, 1.0);
-  m.set_gain(2, 1, 1.0);
-  m.set_gain(0, 1, 1e-9);
+  m.set_gain(2, 0, radio::LinearGain{1.0});
+  m.set_gain(2, 1, radio::LinearGain{1.0});
+  m.set_gain(0, 1, radio::LinearGain{1e-9});
   auto cfg = config_with(spread_criterion());
   cfg.despreading_channels = 1;
   Simulator sim(m, cfg);
@@ -145,9 +145,9 @@ TEST(Simulator, DespreadingChannelExhaustionIsType2) {
 
 TEST(Simulator, ReceiverTransmittingMidPacketIsType3) {
   auto m = matrix3();
-  m.set_gain(1, 0, 1.0);
-  m.set_gain(1, 2, 1.0);
-  m.set_gain(0, 2, 1e-9);
+  m.set_gain(1, 0, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
   Simulator sim(m, config_with(spread_criterion()));
   // 0 sends to 1 (10 ms); 1 starts its own transmission to 2 at 5 ms.
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
@@ -162,9 +162,9 @@ TEST(Simulator, ReceiverTransmittingMidPacketIsType3) {
 
 TEST(Simulator, ReceiverAlreadyTransmittingIsType3) {
   auto m = matrix3();
-  m.set_gain(1, 0, 1.0);
-  m.set_gain(1, 2, 1.0);
-  m.set_gain(0, 2, 1e-9);
+  m.set_gain(1, 0, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
   Simulator sim(m, config_with(spread_criterion()));
   // 1 transmits 0-10 ms; 0's packet to 1 arrives at 2 ms.
   sim.set_mac(1, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
@@ -178,7 +178,7 @@ TEST(Simulator, ReceiverAlreadyTransmittingIsType3) {
 
 TEST(Simulator, BackToBackTransmissionsDoNotSelfCollide) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   // Two 10 ms packets, the second starting exactly when the first ends.
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
@@ -191,7 +191,7 @@ TEST(Simulator, BackToBackTransmissionsDoNotSelfCollide) {
 
 TEST(Simulator, OverlappingOwnTransmissionsViolateContract) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                      {0.0, 1, 1.0, 1.0e4}, {0.005, 1, 1.0, 1.0e4}}));
@@ -202,9 +202,9 @@ TEST(Simulator, OverlappingOwnTransmissionsViolateContract) {
 TEST(Simulator, ForwardingFollowsRouter) {
   // Chain 0 -> 1 -> 2 using ALOHA senders (no contention here).
   auto m = matrix3();
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(1, 2, 1.0);
-  m.set_gain(0, 2, 1e-12);  // no direct path
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-12});  // no direct path
   Simulator sim(m, config_with(spread_criterion()));
   baselines::ContentionConfig cc;
   for (StationId s = 0; s < 3; ++s)
@@ -228,7 +228,7 @@ TEST(Simulator, ForwardingFollowsRouter) {
 
 TEST(Simulator, NoRouteDropsPacket) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<IdleMac>());
   sim.set_mac(1, std::make_unique<IdleMac>());
@@ -245,7 +245,7 @@ TEST(Simulator, NoRouteDropsPacket) {
 
 TEST(Simulator, InjectContracts) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   Packet p;
   p.source = 0;
@@ -261,7 +261,7 @@ TEST(Simulator, InjectContracts) {
 
 TEST(Simulator, RunRequiresAllMacs) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<IdleMac>());
   EXPECT_THROW(sim.run_until(1.0), ContractViolation);
@@ -270,7 +270,7 @@ TEST(Simulator, RunRequiresAllMacs) {
 TEST(Simulator, SinrMarginMatchesHandComputation) {
   // Single clean link: margin_db = 10 log10((S/N)/required).
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 0.5);
+  m.set_gain(0, 1, radio::LinearGain{0.5});
   auto cfg = config_with(zero_db_criterion(), /*thermal_w=*/0.05);
   Simulator sim(m, cfg);
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
@@ -285,9 +285,9 @@ TEST(Simulator, SinrMarginMatchesHandComputation) {
 TEST(Simulator, DeterministicAcrossRuns) {
   auto run_once = [] {
     auto m = matrix3();
-    m.set_gain(0, 1, 1.0);
-    m.set_gain(1, 2, 1.0);
-    m.set_gain(0, 2, 0.1);
+    m.set_gain(0, 1, radio::LinearGain{1.0});
+    m.set_gain(1, 2, radio::LinearGain{1.0});
+    m.set_gain(0, 2, radio::LinearGain{0.1});
     Simulator sim(m, config_with(spread_criterion()));
     baselines::ContentionConfig cc;
     for (StationId s = 0; s < 3; ++s)
@@ -309,7 +309,7 @@ TEST(Simulator, RunUntilIsResumable) {
   // identical to one long run (events straddle window boundaries).
   auto run_split = [](bool split) {
     radio::PropagationMatrix m(2);
-    m.set_gain(0, 1, 1.0);
+    m.set_gain(0, 1, radio::LinearGain{1.0});
     Simulator sim(m, config_with(zero_db_criterion()));
     sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                        {0.003, 1, 1.0, 1.0e4},
@@ -330,7 +330,7 @@ TEST(Simulator, RunUntilIsResumable) {
 
 TEST(Simulator, InjectAfterPartialRunWorks) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<baselines::PureAloha>(
                      baselines::ContentionConfig{}));
@@ -362,7 +362,7 @@ TEST(Simulator, InjectedPacketIdsNeverCollideWithGeneratedOnes) {
     }
   };
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   IdRecorder rec;
   sim.set_observer(&rec);
@@ -387,7 +387,7 @@ TEST(Simulator, InjectedPacketIdsNeverCollideWithGeneratedOnes) {
 
 TEST(Simulator, ActiveTransmissionCountTracksAir) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   Simulator sim(m, config_with(zero_db_criterion()));
   sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
                      {0.0, 1, 1.0, 1.0e4}}));

@@ -18,14 +18,14 @@ using drn::testing::ScriptMac;
 using drn::testing::ScriptedTx;
 
 radio::ReceptionCriterion criterion() {
-  return radio::ReceptionCriterion(1.0e6, 1.0e6, 0.0);
+  return radio::ReceptionCriterion(radio::Hertz{1.0e6}, radio::BitsPerSecond{1.0e6}, radio::Decibels{0.0});
 }
 
 TEST(Trace, RecordsTransmissionsAndReceptions) {
   radio::PropagationMatrix m(3);
-  m.set_gain(0, 1, 1.0);
-  m.set_gain(1, 2, 1.0);
-  m.set_gain(0, 2, 1e-9);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  m.set_gain(1, 2, radio::LinearGain{1.0});
+  m.set_gain(0, 2, radio::LinearGain{1e-9});
   SimulatorConfig cfg{criterion()};
   cfg.thermal_noise_w = 1e-15;
   Simulator sim(m, cfg);
@@ -48,7 +48,7 @@ TEST(Trace, RecordsTransmissionsAndReceptions) {
 
 TEST(Trace, CapturesLossOutcome) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0e-6);
+  m.set_gain(0, 1, radio::LinearGain{1.0e-6});
   SimulatorConfig cfg{criterion()};
   cfg.thermal_noise_w = 1.0;  // hopeless SNR
   Simulator sim(m, cfg);
@@ -66,7 +66,7 @@ TEST(Trace, CapturesLossOutcome) {
 
 TEST(Trace, CsvOutput) {
   radio::PropagationMatrix m(2);
-  m.set_gain(0, 1, 1.0);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
   SimulatorConfig cfg{criterion()};
   cfg.thermal_noise_w = 1e-15;
   Simulator sim(m, cfg);

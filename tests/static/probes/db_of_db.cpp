@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: A decibel value is already logarithmic; to_db() exists only on LinearGain.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Decibels{3.0}.to_db(); }

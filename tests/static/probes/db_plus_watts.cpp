@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Adding a logarithmic ratio to a linear power mixes scales (Eq. 5-6 operate in linear space).
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Decibels{3.0} + Watts{1.0}; }

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: dBm is an absolute level, not a ratio: the sum of two absolute levels is meaningless.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return DecibelMilliwatts{0.0} + DecibelMilliwatts{3.0}; }

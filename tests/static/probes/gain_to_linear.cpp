@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: A linear ratio is already linear; to_linear() exists only on Decibels.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return LinearGain{2.0}.to_linear(); }

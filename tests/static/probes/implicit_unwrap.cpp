@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Dimensioned quantities never silently decay to raw doubles; extraction is .value().
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+double probe() { return Watts{1.0}; }

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Raw doubles never silently become dimensioned quantities; construction is explicit.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+Watts probe() { return 1.0; }

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: The layer defines no velocity dimension; Meters / Seconds must not invent one.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Meters{1.0} / Seconds{2.0}; }

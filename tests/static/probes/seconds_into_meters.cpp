@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: A duration is not a distance; no implicit cross-dimension conversion exists.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+double span(Meters m) { return m.value(); }
+double probe() { return span(Seconds{1.0}); }

@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: A slot count only becomes time when multiplied by a slot duration (Section 7).
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Seconds{1.0} + Slots{1.0}; }

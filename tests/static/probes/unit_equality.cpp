@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Exact == on computed physical quantities is banned; compare with <,<=,>,>= or a tolerance on .value().
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+bool probe() { return Seconds{1.0} == Seconds{1.0}; }

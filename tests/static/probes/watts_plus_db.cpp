@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Adding a linear power to a logarithmic ratio mixes scales.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Watts{1.0} + Decibels{3.0}; }

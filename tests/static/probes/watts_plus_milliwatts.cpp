@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: W and mW differ by a scale factor; adding them without to_watts()/to_milliwatts() is a bug.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Watts{1.0} + Milliwatts{1.0}; }

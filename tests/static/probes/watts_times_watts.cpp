@@ -1,0 +1,6 @@
+// MUST NOT COMPILE: Power times power (W^2) is not a quantity the paper uses anywhere.
+#include "common/units.hpp"
+
+using namespace drn::units;
+
+auto probe() { return Watts{1.0} * Watts{2.0}; }

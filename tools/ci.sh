@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # CI driver. Stages:
 #
-#   1. lint          tools/drn_lint.py (determinism + hygiene rules)
-#   2. format        clang-format --dry-run over src/bench/tools/tests
-#   3. build + test  default config
-#   4. bench smoke   interference-engine and dynamics ablations in --smoke
+#   1. lint          tools/drn_lint.py (determinism + hygiene rules, regex
+#                    mode) plus the linter's own unit tests
+#   2. AST lint      tools/drn_lint.py --mode ast, when the libclang python
+#                    bindings import; skipped with a notice otherwise
+#   3. format        clang-format --dry-run over src/bench/tools/tests
+#   4. build + test  default config
+#   5. negative-compile  replay of the tests/static/ probes by name
+#   6. bench smoke   interference-engine and dynamics ablations in --smoke
 #                    mode; the JSON they emit is schema-checked when python3
 #                    is present
-#   5. clang-tidy    over src/ and tools/ (needs stage 3's compile commands)
-#   6. build + test  once per sanitizer config (default: tsan, then
+#   7. clang-tidy    over src/ and tools/ (needs stage 4's compile commands)
+#   8. build + test  once per sanitizer config (default: tsan, then
 #                    asan+ubsan)
 #
-# Stages 1, 3 and 5 fail the build on any finding. Stages 2 and 4 also fail
-# on findings, but are skipped with a notice when the host has no
-# clang-format/clang-tidy (the baked toolchain is gcc-only); the configs are
-# checked in so any host that has the tools enforces them.
+# Stages 1, 4 and 7 fail the build on any finding. The others also fail on
+# findings, but are skipped with a notice when the host lacks the tool
+# (libclang / clang-format / clang-tidy — the baked toolchain is gcc-only);
+# the configs are checked in so any host that has the tools enforces them.
 #
 #   tools/ci.sh                # everything
 #   DRN_CI_SANITIZERS="thread" tools/ci.sh      # trim the matrix
@@ -33,9 +37,17 @@ export TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp ${TSAN_OPTIONS:-}"
 
 echo "==== stage: lint ===="
 if command -v python3 >/dev/null 2>&1; then
-  python3 tools/drn_lint.py
+  python3 tools/drn_lint.py --mode regex
+  python3 tools/drn_lint_test.py
 else
   echo "lint SKIPPED: no python3 on this host"
+fi
+
+echo "==== stage: lint (AST mode) ===="
+if python3 -c "import clang.cindex" >/dev/null 2>&1; then
+  python3 tools/drn_lint.py --mode ast
+else
+  echo "AST lint SKIPPED: libclang python bindings not available"
 fi
 
 echo "==== stage: format check ===="
@@ -56,6 +68,13 @@ run_config() {
 }
 
 run_config build-ci ""
+
+echo "==== stage: negative-compile suite ===="
+# The unit layer's "does not compile" contract (tests/static/): ill-formed
+# probes must be rejected and the well-formed meta-probe accepted. These ran
+# inside the full ctest pass above; replay them by name so a regression is
+# impossible to miss in the log.
+ctest --test-dir build-ci -R '^static_units_' --output-on-failure
 
 echo "==== stage: bench smoke ===="
 bench_json="build-ci/BENCH_interference.json"

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/drn_lint.py itself: each rule must fire on a minimal
+fixture, stay quiet on the sanctioned idiom, and the suppression machinery
+must demand a known rule name. Registered as the drn_lint_selftest ctest."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import drn_lint  # noqa: E402
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.repo = pathlib.Path(self._tmp.name)
+
+    def tearDown(self) -> None:
+        self._tmp.cleanup()
+
+    def lint(self, rel: str, text: str) -> list[str]:
+        path = self.repo / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return drn_lint.lint_file(path, self.repo, ast_rules=set())
+
+    def rules(self, findings: list[str]) -> set[str]:
+        return {f.split("[", 1)[1].split("]", 1)[0] for f in findings}
+
+
+class SuppressionHardening(LintFixture):
+    def test_named_suppression_waives_the_finding(self) -> None:
+        f = self.lint(
+            "src/sim/a.cpp",
+            "int f() { return rand(); }  // drn-lint: allow(rand)\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_bare_allow_is_reported(self) -> None:
+        f = self.lint(
+            "src/sim/a.cpp",
+            "int f() { return rand(); }  // drn-lint: allow\n",
+        )
+        self.assertIn("bad-suppression", self.rules(f))
+        self.assertIn("rand", self.rules(f))  # and does NOT waive the rule
+
+    def test_empty_allow_is_reported(self) -> None:
+        f = self.lint(
+            "src/sim/a.cpp",
+            "int f() { return rand(); }  // drn-lint: allow()\n",
+        )
+        self.assertIn("bad-suppression", self.rules(f))
+        self.assertIn("rand", self.rules(f))
+
+    def test_unknown_rule_name_is_reported(self) -> None:
+        f = self.lint(
+            "src/sim/a.cpp",
+            "int x = 0;  // drn-lint: allow(no-such-rule)\n",
+        )
+        self.assertIn("bad-suppression", self.rules(f))
+        self.assertIn("no-such-rule", " ".join(f))
+
+    def test_wrong_rule_does_not_waive_another(self) -> None:
+        f = self.lint(
+            "src/sim/a.cpp",
+            "int f() { return rand(); }  // drn-lint: allow(float-eq)\n",
+        )
+        self.assertIn("rand", self.rules(f))
+
+
+class RawUnitParam(LintFixture):
+    HEADER = "#pragma once\n"
+
+    def test_fires_on_suffixed_double_param_in_radio_header(self) -> None:
+        f = self.lint(
+            "src/radio/foo.hpp",
+            self.HEADER + "void set_noise(double noise_w);\n",
+        )
+        self.assertIn("raw-unit-param", self.rules(f))
+
+    def test_fires_in_analysis_header(self) -> None:
+        f = self.lint(
+            "src/analysis/foo.hpp",
+            self.HEADER + "double wait(double slot_s, int n);\n",
+        )
+        self.assertIn("raw-unit-param", self.rules(f))
+
+    def test_quiet_on_strong_type_param(self) -> None:
+        f = self.lint(
+            "src/radio/foo.hpp",
+            self.HEADER + "void set_noise(Watts noise);\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_on_suffixed_function_name(self) -> None:
+        # `double margin_db() const` is a sanctioned raw READ, not a param.
+        f = self.lint(
+            "src/radio/foo.hpp",
+            self.HEADER + "[[nodiscard]] double margin_db() const;\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_in_units_boundary_file(self) -> None:
+        f = self.lint(
+            "src/radio/units.hpp",
+            self.HEADER + "double from_db(double db);\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_outside_radio_and_analysis(self) -> None:
+        f = self.lint(
+            "src/sim/foo.hpp",
+            self.HEADER + "void set_noise(double noise_w);\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_in_cpp_files(self) -> None:
+        # Internal engine arithmetic stays raw double by design.
+        f = self.lint(
+            "src/radio/foo.cpp", "static double scale(double gain_db);\n"
+        )
+        self.assertEqual(f, [])
+
+
+class UnorderedIter(LintFixture):
+    def test_fires_on_range_for_over_declared_unordered(self) -> None:
+        f = self.lint(
+            "src/sim/foo.cpp",
+            "std::unordered_map<int, double> acc_;\n"
+            "double total() {\n"
+            "  double t = 0;\n"
+            "  for (const auto& [k, v] : acc_) t += v;\n"
+            "  return t;\n"
+            "}\n",
+        )
+        self.assertIn("unordered-iter", self.rules(f))
+
+    def test_fires_on_inline_unordered_expression(self) -> None:
+        f = self.lint(
+            "src/radio/foo.cpp",
+            "void g(std::unordered_set<int> s) {\n"
+            "  for (int x : unordered_of(s)) use(x);\n"
+            "}\n",
+        )
+        self.assertIn("unordered-iter", self.rules(f))
+
+    def test_quiet_on_vector_iteration(self) -> None:
+        f = self.lint(
+            "src/sim/foo.cpp",
+            "std::vector<double> acc_;\n"
+            "double total() {\n"
+            "  double t = 0;\n"
+            "  for (double v : acc_) t += v;\n"
+            "  return t;\n"
+            "}\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_outside_sim_and_radio(self) -> None:
+        f = self.lint(
+            "src/analysis/foo.cpp",
+            "std::unordered_map<int, int> m_;\n"
+            "void f() { for (const auto& kv : m_) use(kv); }\n",
+        )
+        self.assertEqual(f, [])
+
+
+class ManualDb(LintFixture):
+    def test_fires_on_pow_ten_over_ten(self) -> None:
+        f = self.lint(
+            "src/core/foo.cpp",
+            "double g(double db) { return std::pow(10.0, db / 10.0); }\n",
+        )
+        self.assertIn("manual-db", self.rules(f))
+
+    def test_fires_on_ten_log_ten(self) -> None:
+        f = self.lint(
+            "bench/foo.cpp",
+            "double g(double x) { return 10.0 * std::log10(x); }\n",
+        )
+        self.assertIn("manual-db", self.rules(f))
+
+    def test_quiet_on_decade_pow(self) -> None:
+        # pow(10, n) without /10 is a decade count, not a dB conversion.
+        f = self.lint(
+            "bench/foo.cpp",
+            "double g(int n) { return std::pow(10.0, n); }\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_in_units_files(self) -> None:
+        f = self.lint(
+            "src/common/units.cpp",
+            "double from_db(double db) { return std::pow(10.0, db / 10.0); }\n",
+        )
+        self.assertEqual(f, [])
+
+
+class ExistingRulesStillFire(LintFixture):
+    def test_std_rng(self) -> None:
+        f = self.lint("src/sim/a.cpp", "std::mt19937 gen;\n")
+        self.assertIn("std-rng", self.rules(f))
+
+    def test_float_eq(self) -> None:
+        f = self.lint("src/sim/a.cpp", "if (x == 1.0) {}\n")
+        self.assertIn("float-eq", self.rules(f))
+
+    def test_pragma_once(self) -> None:
+        f = self.lint("src/sim/a.hpp", "int x;\n")
+        self.assertIn("pragma-once", self.rules(f))
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_lint_main_exits_zero_on_the_repo(self) -> None:
+        # End-to-end: the real tree must be clean in regex mode.
+        self.assertEqual(drn_lint.main(["--mode", "regex"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -298,18 +298,18 @@ int run(const Options& opt) {
 
   std::shared_ptr<radio::PropagationModel> model;
   if (opt.dual_slope) {
-    model = std::make_shared<radio::DualSlopePropagation>(opt.breakpoint_m);
+    model = std::make_shared<radio::DualSlopePropagation>(radio::Meters{opt.breakpoint_m});
   } else {
     model = std::make_shared<radio::FreeSpacePropagation>();
   }
   if (opt.shadowing_db > 0.0) {
-    model = std::make_shared<radio::LogNormalShadowing>(model,
-                                                        opt.shadowing_db,
-                                                        opt.seed ^ 0x5AD0ull);
+    model = std::make_shared<radio::LogNormalShadowing>(
+        model, radio::Decibels{opt.shadowing_db}, opt.seed ^ 0x5AD0ull);
   }
   const auto gains = radio::PropagationMatrix::from_placement(placement, *model);
-  const radio::ReceptionCriterion criterion(opt.bandwidth_hz,
-                                            opt.data_rate_bps, opt.margin_db);
+  const radio::ReceptionCriterion criterion(radio::Hertz{opt.bandwidth_hz},
+                                            radio::BitsPerSecond{opt.data_rate_bps},
+                                            radio::Decibels{opt.margin_db});
 
   core::ScheduledNetworkConfig net_cfg;
   net_cfg.slot_s = opt.slot_s;
@@ -348,9 +348,9 @@ int run(const Options& opt) {
   std::optional<sim::Simulator> sim_box;
   if (engine_kind == radio::InterferenceEngineKind::kNearFar) {
     radio::NearFarConfig nf;
-    nf.cutoff_m =
-        opt.cutoff_m > 0.0 ? opt.cutoff_m : 2.0 / std::sqrt(min_gain);
-    nf.cell_m = opt.cell_m;
+    nf.cutoff = radio::Meters{
+        opt.cutoff_m > 0.0 ? opt.cutoff_m : 2.0 / std::sqrt(min_gain)};
+    nf.cell = radio::Meters{opt.cell_m};
     sim_box.emplace(radio::make_nearfar_engine(all_placement, model, nf),
                     sim_cfg);
   } else {
