@@ -50,20 +50,92 @@ void BM_EventQueueChurn(benchmark::State& state) {
   sim::EventQueue q;
   drn::Rng rng(3);
   for (int i = 0; i < 1000; ++i) {
-    sim::Event e;
+    sim::Event e;  // drn-lint: allow(raw-event-copy)
     e.time_s = rng.uniform();
     e.kind = sim::EventKind::kTimer;
     q.push(e);
   }
   double t = 1.0;
   for (auto _ : state) {
-    sim::Event e = q.pop();
+    sim::Event e = q.pop();  // drn-lint: allow(raw-event-copy)
     benchmark::DoNotOptimize(e);
     e.time_s = t += 1e-4;
     q.push(e);
   }
 }
 BENCHMARK(BM_EventQueueChurn);
+
+// -- event-core section: the indexed 4-ary heap's primitive operations ------
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  // Steady-state push+pop at a given standing queue depth: the per-event
+  // cost run_until pays when no cancellation happens.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue q;
+  drn::Rng rng(5);
+  for (std::size_t i = 0; i < depth; ++i) {
+    sim::Event e;  // drn-lint: allow(raw-event-copy)
+    e.time_s = rng.uniform();
+    e.kind = sim::EventKind::kTimer;
+    q.push(e);
+  }
+  double t = 1.0;
+  for (auto _ : state) {
+    sim::Event e = q.pop();  // drn-lint: allow(raw-event-copy)
+    e.time_s = t += 1e-4;
+    benchmark::DoNotOptimize(q.push(e));
+  }
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  // The cancel-heavy pattern the scheme's replan produces: arm a timer,
+  // supersede it, arm another. Every cancelled entry is a tombstone the
+  // compactor must absorb; this measures push+cancel+push+pop amortized
+  // over compaction.
+  sim::EventQueue q;
+  drn::Rng rng(6);
+  for (int i = 0; i < 1024; ++i) {
+    sim::Event e;  // drn-lint: allow(raw-event-copy)
+    e.time_s = 1.0 + rng.uniform();
+    e.kind = sim::EventKind::kTimer;
+    q.push(e);
+  }
+  double t = 2.0;
+  for (auto _ : state) {
+    sim::Event e;  // drn-lint: allow(raw-event-copy)
+    e.kind = sim::EventKind::kTimer;
+    e.time_s = t += 1e-4;
+    const sim::EventHandle doomed = q.push(e);
+    benchmark::DoNotOptimize(q.cancel(doomed));
+    e.time_s += 1e-5;
+    q.push(e);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_EventQueuePopIfBefore(benchmark::State& state) {
+  // run_until's actual primitive: the horizon test and the pop fused into
+  // one heap-top read.
+  sim::EventQueue q;
+  drn::Rng rng(8);
+  for (int i = 0; i < 4096; ++i) {
+    sim::Event e;  // drn-lint: allow(raw-event-copy)
+    e.time_s = rng.uniform();
+    e.kind = sim::EventKind::kTimer;
+    q.push(e);
+  }
+  double t = 1.0;
+  for (auto _ : state) {
+    auto e = q.pop_if_before(1e9);
+    benchmark::DoNotOptimize(e);
+    e->time_s = t += 1e-4;
+    q.push(*e);
+  }
+}
+BENCHMARK(BM_EventQueuePopIfBefore);
 
 void BM_SimulatorEvent(benchmark::State& state) {
   // Cost per simulated hop on a mid-size network under load.

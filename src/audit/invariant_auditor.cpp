@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
@@ -60,6 +61,21 @@ AuditConfig config_from(const sim::Simulator& sim) {
 InvariantAuditor::InvariantAuditor(const sim::Simulator& sim)
     : InvariantAuditor(config_from(sim)) {}
 
+void InvariantAuditor::mix(std::uint64_t word) {
+  // FNV-1a over the word's 8 bytes, little-endian order.
+  for (int i = 0; i < 8; ++i) {
+    event_hash_ ^= (word >> (8 * i)) & 0xffu;
+    event_hash_ *= 1099511628211ull;  // FNV-1a 64-bit prime
+  }
+}
+
+void InvariantAuditor::mix_double(double x) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  mix(bits);
+}
+
 void InvariantAuditor::violate(const std::string& invariant, double time_s,
                                const std::string& detail) {
   ++total_violations_;
@@ -101,6 +117,16 @@ void InvariantAuditor::note_own_transmission(const sim::TxEvent& tx,
 }
 
 void InvariantAuditor::on_transmit_start(const sim::TxEvent& tx) {
+  mix(1);  // event-kind tag
+  mix(tx.tx_id);
+  mix(tx.from);
+  mix(tx.to);
+  mix_double(tx.power_w);
+  mix_double(tx.start_s);
+  mix_double(tx.end_s);
+  mix_double(tx.rate_bps);
+  mix(tx.packet);
+
   std::ostringstream who;
   who << "tx " << tx.tx_id << " from " << tx.from;
 
@@ -267,6 +293,15 @@ void InvariantAuditor::check_despreading_cap(const TxRecord& rec,
 }
 
 void InvariantAuditor::on_reception_complete(const sim::RxEvent& rx) {
+  mix(2);  // event-kind tag
+  mix(rx.tx_id);
+  mix(rx.rx);
+  mix(rx.delivered ? 1 : 0);
+  mix(static_cast<std::uint64_t>(rx.loss));
+  mix_double(rx.min_sinr);
+  mix_double(rx.required_snr);
+  mix_double(rx.signal_w);
+
   auto it = active_.find(rx.tx_id);
   if (it == active_.end()) {
     std::ostringstream what;
@@ -322,6 +357,11 @@ void InvariantAuditor::on_reception_complete(const sim::RxEvent& rx) {
 
 void InvariantAuditor::on_transmit_aborted(const sim::TxEvent& tx,
                                            double time_s) {
+  mix(3);  // event-kind tag
+  mix(tx.tx_id);
+  mix(tx.from);
+  mix_double(time_s);
+
   std::ostringstream who;
   who << "abort of tx " << tx.tx_id << " from " << tx.from;
 

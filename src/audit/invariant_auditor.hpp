@@ -143,6 +143,13 @@ class InvariantAuditor final : public sim::SimObserver {
   /// Human-readable verdict: one line per invariant plus recorded details.
   [[nodiscard]] std::string report() const;
 
+  /// Order-sensitive FNV-1a digest of every observed event (tx starts,
+  /// reception outcomes, aborts) with doubles folded in bit-exactly. Two runs
+  /// produce the same hash iff the simulator delivered the same event stream
+  /// in the same order with the same physics — the golden-hash regression
+  /// test pins this against the pre-event-core-rewrite queue.
+  [[nodiscard]] std::uint64_t event_hash() const { return event_hash_; }
+
  private:
   struct Interval {
     double start_s = 0.0;
@@ -164,6 +171,10 @@ class InvariantAuditor final : public sim::SimObserver {
     std::vector<bool> seen_at;
   };
 
+  /// Folds one 64-bit word into event_hash_ (FNV-1a, byte at a time).
+  void mix(std::uint64_t word);
+  void mix_double(double x);
+
   void violate(const std::string& invariant, double time_s,
                const std::string& detail);
   /// Runs one check: records a violation when `pass` is false.
@@ -184,6 +195,7 @@ class InvariantAuditor final : public sim::SimObserver {
   std::map<std::string, std::uint64_t> counts_;
   std::uint64_t total_violations_ = 0;
   std::uint64_t checks_run_ = 0;
+  std::uint64_t event_hash_ = 14695981039346656037ull;  // FNV-1a offset basis
 
   double last_event_s_ = 0.0;
   double max_airtime_s_ = 0.0;

@@ -173,10 +173,15 @@ void ScheduledStation::replan(sim::MacContext& ctx) {
 
   plan_ = best;
   ++plan_generation_;
-  ctx.set_timer(std::max(ctx.now(),
-                         config_.clock.global(Seconds{best->start_local_s})
-                             .value()),
-                plan_generation_);
+  // The superseded plan's timer (if still pending) is disarmed for real —
+  // before real cancellation each replanning left a dead timer in the event
+  // queue until its fire time.
+  ctx.cancel_timer(plan_timer_);
+  plan_timer_ =
+      ctx.set_timer(std::max(ctx.now(),
+                             config_.clock.global(Seconds{best->start_local_s})
+                                 .value()),
+                    plan_generation_);
 }
 
 void ScheduledStation::send_beacon(sim::MacContext& ctx) {
@@ -260,27 +265,37 @@ void ScheduledStation::on_broadcast_received(sim::MacContext& ctx,
                                              StationId from,
                                              double signal_w) {
   if (!beacons_enabled()) return;
-  last_heard_global_s_[from] = ctx.now();
+  // One amortized-O(1) lookup covers everything the beacon updates: at
+  // large M every station hears every beacon, so this path runs millions of
+  // times per simulated second.
+  BeaconPeer& peer = beacon_peers_[from];
+  peer.last_heard_global_s = ctx.now();
   Neighbor* n = neighbors_.find_mutable(from);
   if (n == nullptr && !config_.readopt_neighbors) return;
 
-  auto& samples = beacon_samples_[from];
   ClockSample sample;
   sample.mine_s = config_.clock.local(Seconds{ctx.now()}).value();
   sample.theirs_s =
       pkt.sender_local_s + pkt.size_bits / config_.data_rate_bps;
-  samples.push_back(sample);
-  while (samples.size() > config_.max_clock_samples) samples.pop_front();
+  if (peer.ring.size() < config_.max_clock_samples) {
+    if (peer.ring.empty()) peer.ring.reserve(config_.max_clock_samples);
+    peer.ring.push_back(sample);
+  } else {
+    // Full: overwrite the oldest in place — the last max_clock_samples
+    // stamps survive, exactly as the old push_back/pop_front window.
+    peer.ring[peer.head] = sample;
+    peer.head = (peer.head + 1) % peer.ring.size();
+  }
 
   if (n == nullptr) {
     // An unknown beaconer — a station that joined or rejoined. Adopt it once
     // two stamps allow a clock fit and the stamped power reveals the gain.
-    if (samples.size() < 2 || pkt.tx_power_w <= 0.0 || signal_w <= 0.0) return;
+    if (peer.ring.size() < 2 || pkt.tx_power_w <= 0.0 || signal_w <= 0.0)
+      return;
     Neighbor fresh;
     fresh.id = from;
     fresh.gain = signal_w / pkt.tx_power_w;
-    const std::vector<ClockSample> window(samples.begin(), samples.end());
-    fresh.clock = ClockModel::fit(window);
+    fresh.clock = ClockModel::fit(beacon_window(peer));
     neighbors_.add(fresh);
     beacon_power_w_ =
         std::max(beacon_power_w_, config_.power.transmit_power_w(fresh.gain));
@@ -297,10 +312,18 @@ void ScheduledStation::on_broadcast_received(sim::MacContext& ctx,
   }
 
   // Refit once the window holds enough points to track drift.
-  if (samples.size() >= 2) {
-    const std::vector<ClockSample> window(samples.begin(), samples.end());
-    n->clock = ClockModel::fit(window);
-  }
+  if (peer.ring.size() >= 2) n->clock = ClockModel::fit(beacon_window(peer));
+}
+
+std::span<const ClockSample> ScheduledStation::beacon_window(
+    const BeaconPeer& peer) {
+  // Unroll the ring oldest->newest into the reused scratch so the fit sums
+  // the samples in the same order (same bits) the old deque walk produced.
+  fit_window_.clear();
+  const std::size_t count = peer.ring.size();
+  for (std::size_t i = 0; i < count; ++i)
+    fit_window_.push_back(peer.ring[(peer.head + i) % count]);
+  return fit_window_;
 }
 
 void ScheduledStation::on_clock_rate_changed(sim::MacContext& ctx,
@@ -318,27 +341,30 @@ void ScheduledStation::evict_stale(sim::MacContext& ctx) {
   const double now = ctx.now();
   std::vector<StationId> stale;
   for (const auto& n : neighbors_.all()) {
-    const auto heard = last_heard_global_s_.find(n.id);
-    const double since =
-        heard != last_heard_global_s_.end() ? heard->second : eviction_epoch_s_;
+    const auto heard = beacon_peers_.find(n.id);
+    const double since = heard != beacon_peers_.end()
+                             ? heard->second.last_heard_global_s
+                             : eviction_epoch_s_;
     if (now - since > config_.neighbor_timeout_s) stale.push_back(n.id);
   }
   for (const StationId id : stale) {
     neighbors_.erase(id);
-    beacon_samples_.erase(id);
-    last_heard_global_s_.erase(id);
+    beacon_peers_.erase(id);
     // The ghost's queue dies with it: those packets had nowhere to go.
     if (const auto it = queues_.find(id); it != queues_.end()) {
       for (const sim::Packet& pkt : it->second) ctx.drop(pkt);
       queues_.erase(it);
     }
-    if (plan_ && plan_->neighbor == id) plan_.reset();
+    if (plan_ && plan_->neighbor == id) {
+      plan_.reset();
+      ctx.cancel_timer(plan_timer_);
+    }
   }
 }
 
 std::size_t ScheduledStation::clock_samples_from(StationId neighbor) const {
-  const auto it = beacon_samples_.find(neighbor);
-  return it == beacon_samples_.end() ? 0 : it->second.size();
+  const auto it = beacon_peers_.find(neighbor);
+  return it == beacon_peers_.end() ? 0 : it->second.ring.size();
 }
 
 }  // namespace drn::core

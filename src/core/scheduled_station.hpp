@@ -22,6 +22,9 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "core/access.hpp"
 #include "core/clock.hpp"
@@ -137,6 +140,12 @@ class ScheduledStation final : public sim::MacProtocol {
   /// opportunity exists.
   void replan(sim::MacContext& ctx);
 
+  struct BeaconPeer;
+  /// The peer's sample ring unrolled oldest->newest (into fit_window_),
+  /// ready for ClockModel::fit. Valid until the next call.
+  [[nodiscard]] std::span<const ClockSample> beacon_window(
+      const BeaconPeer& peer);
+
   void send_beacon(sim::MacContext& ctx);
 
   /// Evicts every neighbour silent for longer than neighbor_timeout_s,
@@ -155,14 +164,31 @@ class ScheduledStation final : public sim::MacProtocol {
   std::map<StationId, std::deque<sim::Packet>> queues_;
   std::optional<Plan> plan_;
   std::uint64_t plan_generation_ = 0;
+  /// Handle of the armed plan timer: a superseded or invalidated plan's
+  /// timer is cancelled outright rather than left to fire as a stale no-op
+  /// (the plan_generation_ cookie check stays as defense in depth).
+  sim::TimerHandle plan_timer_;
   double busy_until_global_s_ = 0.0;
   // Maintenance-beacon state.
   double next_beacon_due_global_s_ = 0.0;
   double beacon_power_w_ = 0.0;
-  std::map<StationId, std::deque<ClockSample>> beacon_samples_;
-  // Dynamics state: when each station was last heard beaconing (global
-  // seconds), and the reference instant silent-since-forever ages from.
-  std::map<StationId, double> last_heard_global_s_;
+  /// Per-beaconer bookkeeping: when the station was last heard (global
+  /// seconds) and its clock-stamp window. The window is a fixed ring of
+  /// capacity max_clock_samples — `head` names the OLDEST sample once the
+  /// ring is full — kept in one hashed map: at large M every station hears
+  /// every beacon, so this lookup runs millions of times per simulated
+  /// second and must not walk an ordered map of all beaconers, and nothing
+  /// ever iterates the map (iteration order would not be deterministic).
+  struct BeaconPeer {  // declared above for beacon_window's signature
+    double last_heard_global_s = 0.0;
+    std::vector<ClockSample> ring;
+    std::size_t head = 0;
+  };
+  std::unordered_map<StationId, BeaconPeer> beacon_peers_;
+  /// Scratch for unrolling a ring oldest->newest before a clock fit (the
+  /// fit's summation order — hence its bits — matches the old deque walk).
+  std::vector<ClockSample> fit_window_;
+  // Reference instant a never-heard neighbour's silence ages from.
   double eviction_epoch_s_ = 0.0;
 };
 

@@ -21,6 +21,58 @@ struct ActiveTx {
   double power_w = 0.0;
 };
 
+/// Flat sorted-by-id set of active transmissions for the dense engines. The
+/// hot loops walk the whole set once per opened reception, so locality beats
+/// asymptotics: iteration is one contiguous ascending-id scan — the exact
+/// order the previous std::map produced, so every plain and compensated sum
+/// accumulates in the same order and stays bit-identical — and the simulator
+/// assigns ids monotonically, so insert is an amortized push_back and erase
+/// a short memmove over the handful of concurrent transmissions.
+class ActiveSet {
+ public:
+  struct Entry {
+    std::uint64_t id;
+    ActiveTx tx;
+  };
+
+  void insert(std::uint64_t id, ActiveTx tx) {
+    const auto it = lower_bound(id);
+    DRN_EXPECTS(it == entries_.end() || it->id != id);
+    entries_.insert(it, Entry{id, tx});
+  }
+
+  ActiveTx extract(std::uint64_t id) {
+    const auto it = lower_bound(id);
+    DRN_EXPECTS(it != entries_.end() && it->id == id);
+    const ActiveTx tx = it->tx;
+    entries_.erase(it);
+    return tx;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    const auto it = lower_bound(id);
+    return it != entries_.end() && it->id == id;
+  }
+
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+ private:
+  [[nodiscard]] std::vector<Entry>::const_iterator lower_bound(
+      std::uint64_t id) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const Entry& e, std::uint64_t v) { return e.id < v; });
+  }
+  [[nodiscard]] std::vector<Entry>::iterator lower_bound(std::uint64_t id) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), id,
+        [](const Entry& e, std::uint64_t v) { return e.id < v; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
 /// Shared slot bookkeeping for the two dense-matrix engines.
 template <typename Slot>
 class SlotTable {
@@ -87,13 +139,16 @@ class DenseEngine final : public InterferenceEngine {
                         const SenderVisitor& at_sender,
                         const AffectedVisitor& affected) override {
     const double power_w = power.value();
-    active_.emplace(tx_id, ActiveTx{from, power_w});
+    active_.insert(tx_id, ActiveTx{from, power_w});
+    // By symmetry row(from)[rx] == gain(rx, from): the walk over open
+    // receptions reads one contiguous row instead of striding a column.
+    const double* from_row = gains_.row(from);
     slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
       if (s.rx == from) {
         if (at_sender) at_sender(h);
         return;
       }
-      const double watts = gains_.gain(s.rx, from) * power_w;
+      const double watts = from_row[s.rx] * power_w;
       s.interference_w += watts;
       if (affected) affected(h, Watts{watts});
     });
@@ -101,12 +156,11 @@ class DenseEngine final : public InterferenceEngine {
 
   void transmit_ended(std::uint64_t tx_id,
                       const AffectedVisitor& affected) override {
-    const auto node = active_.extract(tx_id);
-    DRN_EXPECTS(!node.empty());
-    const ActiveTx tx = node.mapped();
+    const ActiveTx tx = active_.extract(tx_id);
+    const double* from_row = gains_.row(tx.from);
     slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
       if (s.tx_id == tx_id || s.rx == tx.from) return;
-      const double watts = gains_.gain(s.rx, tx.from) * tx.power_w;
+      const double watts = from_row[s.rx] * tx.power_w;
       // The drift bug under test: `watts` was added when the rounding context
       // was different, so this subtraction leaves a residue, and the clamp
       // only hides the cases that would have gone below thermal.
@@ -196,7 +250,7 @@ class DenseEngine final : public InterferenceEngine {
   };
 
   PropagationMatrix gains_;
-  std::map<std::uint64_t, ActiveTx> active_;
+  ActiveSet active_;
   SlotTable<Slot> slots_;
   geo::Placement placement_;                        // mobility only
   std::shared_ptr<const PropagationModel> model_;   // mobility only
@@ -223,13 +277,16 @@ class CompensatedEngine final : public InterferenceEngine {
                         const SenderVisitor& at_sender,
                         const AffectedVisitor& affected) override {
     const double power_w = power.value();
-    active_.emplace(tx_id, ActiveTx{from, power_w});
+    active_.insert(tx_id, ActiveTx{from, power_w});
+    // By symmetry row(from)[rx] == gain(rx, from): the walk over open
+    // receptions reads one contiguous row instead of striding a column.
+    const double* from_row = gains_.row(from);
     slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
       if (s.rx == from) {
         if (at_sender) at_sender(h);
         return;
       }
-      const double watts = gains_.gain(s.rx, from) * power_w;
+      const double watts = from_row[s.rx] * power_w;
       s.sum.add(watts);
       bump(s);
       if (affected) affected(h, Watts{watts});
@@ -238,12 +295,11 @@ class CompensatedEngine final : public InterferenceEngine {
 
   void transmit_ended(std::uint64_t tx_id,
                       const AffectedVisitor& affected) override {
-    const auto node = active_.extract(tx_id);
-    DRN_EXPECTS(!node.empty());
-    const ActiveTx tx = node.mapped();
+    const ActiveTx tx = active_.extract(tx_id);
+    const double* from_row = gains_.row(tx.from);
     slots_.for_each_live([&](ReceptionHandle h, Slot& s) {
       if (s.tx_id == tx_id || s.rx == tx.from) return;
-      const double watts = gains_.gain(s.rx, tx.from) * tx.power_w;
+      const double watts = from_row[s.rx] * tx.power_w;
       s.sum.add(-watts);
       bump(s);
       if (affected) affected(h, Watts{watts});
@@ -344,7 +400,7 @@ class CompensatedEngine final : public InterferenceEngine {
   }
 
   PropagationMatrix gains_;
-  std::map<std::uint64_t, ActiveTx> active_;
+  ActiveSet active_;
   SlotTable<Slot> slots_;
   geo::Placement placement_;                        // mobility only
   std::shared_ptr<const PropagationModel> model_;   // mobility only

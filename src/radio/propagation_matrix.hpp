@@ -45,6 +45,16 @@ class PropagationMatrix {
     return gains_[index(rx, tx)];
   }
 
+  /// The full gain row of station `s`: row(s)[other] == gain(s, other). The
+  /// matrix is exactly symmetric by construction (every write path stores
+  /// the same double in both triangles), so row(tx)[rx] is also gain(rx, tx)
+  /// — which lets a loop over receivers of one transmitter walk memory
+  /// sequentially instead of striding a column of an O(M²) matrix.
+  [[nodiscard]] const double* row(StationId s) const {
+    DRN_EXPECTS(s < size_);
+    return gains_.data() + static_cast<std::size_t>(s) * size_;
+  }
+
   /// Sets the gain in BOTH directions (the physical channel is reciprocal).
   void set_gain(StationId a, StationId b, LinearGain gain);
 

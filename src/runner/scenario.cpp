@@ -226,6 +226,9 @@ TrialResult run_trial(const ScenarioSpec& spec, std::uint64_t seed) {
     sim.run_until(total);
   }
   TrialResult result = summarize(sim.metrics(), total);
+  const auto qs = sim.queue_stats();
+  result.events_processed = qs.events_processed;
+  result.peak_queue_bytes = qs.peak_bytes;
   if (driver) {
     std::vector<double> samples = driver->recovery_samples();
     std::sort(samples.begin(), samples.end());

@@ -20,7 +20,7 @@ double t_critical_95(std::uint64_t df) {
 
 double SummaryStats::ci95_half_width() const {
   const auto n = stats_.count();
-  if (n < 2) return 0.0;
+  if (n < 2) return undefined();  // no interval exists for one sample
   return t_critical_95(n - 1) * stats_.stddev() /
          std::sqrt(static_cast<double>(n));
 }

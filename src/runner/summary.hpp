@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "common/running_stats.hpp"
 
@@ -23,9 +24,13 @@ class SummaryStats {
     return stats_.count() > 0 ? stats_.mean() : 0.0;
   }
 
-  /// Sample standard deviation; 0 with fewer than two samples.
+  /// Sample standard deviation. With fewer than two samples the statistic
+  /// does not exist, and the old 0.0 placeholder silently masqueraded as "no
+  /// spread" in every consumer (including drn-sweep-v3 documents, where a
+  /// single-seed sweep reported ci95: 0 as if it were an exact result): NaN
+  /// here, rendered as JSON null by runner/json.
   [[nodiscard]] double stddev() const {
-    return stats_.count() > 1 ? stats_.stddev() : 0.0;
+    return stats_.count() > 1 ? stats_.stddev() : undefined();
   }
 
   [[nodiscard]] double min() const {
@@ -36,13 +41,19 @@ class SummaryStats {
   }
 
   /// Half-width of the 95% confidence interval on the mean,
-  /// t_{0.975, n-1} * s / sqrt(n). Zero with fewer than two samples.
+  /// t_{0.975, n-1} * s / sqrt(n). NaN (undefined, like stddev) with fewer
+  /// than two samples.
   [[nodiscard]] double ci95_half_width() const;
 
+  /// Interval endpoints; NaN when the width is undefined (n < 2).
   [[nodiscard]] double ci95_lo() const { return mean() - ci95_half_width(); }
   [[nodiscard]] double ci95_hi() const { return mean() + ci95_half_width(); }
 
  private:
+  static double undefined() {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
   RunningStats stats_;
 };
 

@@ -8,6 +8,13 @@
 // elements in descending order and insert/erase stay O(log n), with results
 // bit-identical to the sort-based code (both sum the same k doubles in the
 // same descending order).
+//
+// sum_top is additionally memoized: a pop burst at one timestamp can re-test
+// a reception's SINR several times, and queries between which this set did
+// not change reuse the cached top-k sum instead of re-walking the multiset.
+// Any add/erase/clear invalidates the cache and a recompute performs the
+// identical descending walk, so the returned doubles are bit-for-bit the
+// same with or without the cache.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,7 @@ class ContributionSet {
     const bool inserted = by_id_.emplace(tx_id, power.value()).second;
     DRN_EXPECTS(inserted);
     watts_.insert(power.value());
+    cached_k_ = kNoCache;
   }
 
   /// Removes tx_id's contribution if present (a transmission that never
@@ -37,30 +45,41 @@ class ContributionSet {
     // transmission that happens to contribute identical watts.
     watts_.erase(watts_.find(it->second));
     by_id_.erase(it);
+    cached_k_ = kNoCache;
   }
 
   [[nodiscard]] bool empty() const { return by_id_.empty(); }
   [[nodiscard]] std::size_t size() const { return by_id_.size(); }
 
   /// Sum of the k strongest contributions (all of them if k >= size).
+  /// Memoized per (set contents, k); see the header comment.
   [[nodiscard]] radio::Watts sum_top(std::size_t k) const {
+    if (cached_k_ == k) return radio::Watts{cached_sum_};
     double sum = 0.0;
     std::size_t n = 0;
     for (const double w : watts_) {
       if (n++ == k) break;
       sum += w;
     }
+    cached_k_ = k;
+    cached_sum_ = sum;
     return radio::Watts{sum};
   }
 
   void clear() {
     by_id_.clear();
     watts_.clear();
+    cached_k_ = kNoCache;
   }
 
  private:
+  static constexpr std::size_t kNoCache = static_cast<std::size_t>(-1);
+
   std::map<std::uint64_t, double> by_id_;
   std::multiset<double, std::greater<>> watts_;  // descending
+  // sum_top memo (mutable: caching does not change observable state).
+  mutable std::size_t cached_k_ = kNoCache;
+  mutable double cached_sum_ = 0.0;
 };
 
 }  // namespace drn::sim

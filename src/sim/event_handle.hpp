@@ -1,0 +1,32 @@
+// Generation-stamped handle to a pending entry in the event queue.
+//
+// A handle names a queue slot plus the generation the slot had when the
+// entry was pushed. The slot index is recycled after the entry leaves the
+// queue (fired or cancelled) and the generation is bumped at that moment,
+// so a stale handle can never alias a later entry: cancel() on it is a
+// harmless no-op and pending() reports false. This is what makes real
+// cancellation safe to sprinkle through MAC and dynamics code — holding a
+// handle past its event's death costs nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace drn::sim {
+
+struct EventHandle {
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+
+  /// False for a default-constructed (never-armed) handle. True says only
+  /// that the handle once named an entry, not that the entry is still
+  /// pending — ask EventQueue::pending for that.
+  [[nodiscard]] bool armed() const { return slot != kInvalidSlot; }
+
+  friend bool operator==(const EventHandle& a, const EventHandle& b) {
+    return a.slot == b.slot && a.generation == b.generation;
+  }
+};
+
+}  // namespace drn::sim

@@ -1,0 +1,115 @@
+// Generation-checked free-list pool for event payloads.
+//
+// Heap entries in the event queue are a small POD header; anything bigger —
+// today the injected Packet — lives here and is named by a PacketHandle
+// (slot index + generation stamp). Freeing a slot bumps its generation, so
+// a dangling handle held across a free can never silently read a recycled
+// slot: every access revalidates the stamp and a mismatch is a contract
+// violation, not a wrong answer. Slots are recycled LIFO and the backing
+// vector only grows, so steady-state traffic allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "sim/packet.hpp"
+
+namespace drn::sim {
+
+// Trivial on purpose (no default member initializers): it lives inside
+// Event's payload union, whose members must have trivial default
+// construction. Handles are only ever produced by EventPool::alloc.
+struct PacketHandle {
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+  std::uint32_t slot;
+  std::uint32_t generation;
+
+  friend bool operator==(const PacketHandle& a, const PacketHandle& b) {
+    return a.slot == b.slot && a.generation == b.generation;
+  }
+};
+
+class EventPool {
+ public:
+  /// Stores a copy of `packet`; the returned handle stays valid until the
+  /// matching take()/release().
+  PacketHandle alloc(const Packet& packet) {
+    std::uint32_t slot;
+    if (free_head_ != PacketHandle::kInvalidSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      DRN_EXPECTS(slots_.size() < PacketHandle::kInvalidSlot);
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.packet = packet;
+    s.live = true;
+    ++live_;
+    peak_live_ = live_ > peak_live_ ? live_ : peak_live_;
+    return PacketHandle{slot, s.generation};
+  }
+
+  /// The payload behind a live handle. The handle must be valid: naming a
+  /// freed or recycled slot is a contract violation.
+  [[nodiscard]] const Packet& get(PacketHandle h) const {
+    check_live(h);
+    return slots_[h.slot].packet;
+  }
+
+  /// Removes and returns the payload; the handle (and any copy of it) is
+  /// dead afterwards.
+  Packet take(PacketHandle h) {
+    check_live(h);
+    Packet out = slots_[h.slot].packet;
+    release(h);
+    return out;
+  }
+
+  /// Frees the slot without reading it.
+  void release(PacketHandle h) {
+    check_live(h);
+    Slot& s = slots_[h.slot];
+    s.live = false;
+    ++s.generation;  // every outstanding handle to this slot is now stale
+    s.next_free = free_head_;
+    free_head_ = h.slot;
+    --live_;
+  }
+
+  /// True iff `h` names a payload that is still allocated (stale and
+  /// never-armed handles report false rather than trapping).
+  [[nodiscard]] bool valid(PacketHandle h) const {
+    return h.slot < slots_.size() && slots_[h.slot].live &&
+           slots_[h.slot].generation == h.generation;
+  }
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t peak_live() const { return peak_live_; }
+
+ private:
+  struct Slot {
+    Packet packet;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = PacketHandle::kInvalidSlot;
+    bool live = false;
+  };
+
+  void check_live(PacketHandle h) const {
+    DRN_EXPECTS(h.slot < slots_.size());
+    DRN_EXPECTS(slots_[h.slot].live);
+    DRN_EXPECTS(slots_[h.slot].generation == h.generation);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = PacketHandle::kInvalidSlot;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+};
+
+}  // namespace drn::sim

@@ -4,18 +4,161 @@
 
 namespace drn::sim {
 
-void EventQueue::push(Event e) { heap_.push(Entry{e, next_seq_++}); }
+namespace {
+
+// 4-ary layout: shallower than binary (half the sift-down levels) while the
+// four-child scan stays within one cache line of 24-byte items.
+constexpr std::size_t kArity = 4;
+
+constexpr std::size_t parent_of(std::size_t i) { return (i - 1) / kArity; }
+constexpr std::size_t first_child_of(std::size_t i) { return kArity * i + 1; }
+
+}  // namespace
+
+void EventQueue::sift_up(std::size_t i) {
+  const Item moving = heap_[i];
+  while (i > 0) {
+    const std::size_t p = parent_of(i);
+    if (!earlier(moving, heap_[p])) break;
+    heap_[i] = heap_[p];
+    i = p;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Item moving = heap_[i];
+  for (;;) {
+    const std::size_t first = first_child_of(i);
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::remove_item(std::size_t i) {
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    heap_[i] = heap_[last];
+    heap_.pop_back();
+    // The replacement came from deeper in the tree, but across subtrees it
+    // can order either way relative to i's parent: restore both directions.
+    sift_down(i);
+    if (i > 0) sift_up(i);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::kill_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.generation;  // every handle to this entry is stale from here on
+  --live_;
+}
+
+void EventQueue::recycle_slot(std::uint32_t slot) {
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::prune_top() {
+  while (!heap_.empty() && !slots_[heap_[0].slot].live) {
+    recycle_slot(heap_[0].slot);
+    --dead_;
+    remove_item(0);
+  }
+}
+
+void EventQueue::compact() {
+  std::size_t w = 0;
+  for (const Item& item : heap_) {
+    if (slots_[item.slot].live) {
+      heap_[w++] = item;
+    } else {
+      recycle_slot(item.slot);
+    }
+  }
+  heap_.resize(w);
+  if (w > 1) {
+    for (std::size_t i = parent_of(w - 1) + 1; i-- > 0;) sift_down(i);
+  }
+  dead_ = 0;
+  ++compactions_;
+}
+
+EventHandle EventQueue::push(Event e) {
+  std::uint32_t slot;
+  if (free_head_ != EventHandle::kInvalidSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    DRN_EXPECTS(slots_.size() < EventHandle::kInvalidSlot);
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.event = e;
+  s.live = true;
+  ++live_;
+
+  // The kind priority rides in the two bits above the sequence counter; at
+  // 2^62 pushes the packing would wrap, far beyond any run's event count.
+  const std::uint64_t seq = next_seq_++;
+  DRN_EXPECTS(seq < (std::uint64_t{1} << 62));
+  heap_.push_back(Item{
+      e.time_s,
+      (static_cast<std::uint64_t>(e.kind) << 62) | seq,
+      slot,
+  });
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > peak_entries_) peak_entries_ = heap_.size();
+  return EventHandle{slot, s.generation};
+}
 
 double EventQueue::next_time() const {
-  DRN_EXPECTS(!heap_.empty());
-  return heap_.top().event.time_s;
+  DRN_EXPECTS(live_ > 0);
+  // prune_top() keeps the top live whenever live_ > 0.
+  return heap_[0].time_s;
 }
 
 Event EventQueue::pop() {
-  DRN_EXPECTS(!heap_.empty());
-  Event e = heap_.top().event;
-  heap_.pop();
+  DRN_EXPECTS(live_ > 0);
+  const std::uint32_t slot = heap_[0].slot;
+  const Event e = slots_[slot].event;
+  kill_slot(slot);
+  recycle_slot(slot);
+  remove_item(0);
+  prune_top();
   return e;
+}
+
+std::optional<Event> EventQueue::pop_if_before(double t_s) {
+  if (live_ == 0 || heap_[0].time_s > t_s) return std::nullopt;
+  return pop();
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!pending(h)) return false;
+  kill_slot(h.slot);
+  ++dead_;
+  if (!heap_.empty() && heap_[0].slot == h.slot) {
+    prune_top();
+  } else if (dead_ > live_) {
+    compact();
+  }
+  return true;
+}
+
+std::size_t EventQueue::peak_bytes() const {
+  return peak_entries_ * sizeof(Item) + slots_.size() * sizeof(Slot);
 }
 
 }  // namespace drn::sim

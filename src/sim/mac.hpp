@@ -14,9 +14,15 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/event_handle.hpp"
 #include "sim/packet.hpp"
 
 namespace drn::sim {
+
+/// Names one armed timer. Generation-stamped (see EventHandle): once the
+/// timer fires or is cancelled the handle goes stale, and cancelling a stale
+/// handle is a guaranteed no-op — a MAC may keep one around indefinitely.
+using TimerHandle = EventHandle;
 
 /// Services the simulator offers a MAC. Lifetime: valid only for the duration
 /// of the hook call it is passed to.
@@ -58,7 +64,16 @@ class MacContext {
                               double duration_s) = 0;
 
   /// Arms a timer; on_timer(cookie) fires at global time `at_s` (>= now).
-  virtual void set_timer(double at_s, std::uint64_t cookie) = 0;
+  /// The returned handle cancels exactly this timer; callers that re-arm
+  /// fire-and-forget timers may ignore it (a fired timer is simply dropped
+  /// if its cookie no longer matches the MAC's state).
+  virtual TimerHandle set_timer(double at_s, std::uint64_t cookie) = 0;
+
+  /// Disarms the timer behind `h` before it fires. Returns whether it was
+  /// still pending; a fired, already-cancelled, or never-armed handle is a
+  /// harmless no-op (false). Cancelling instead of dropping at fire time
+  /// keeps superseded timers from accumulating in the event queue.
+  virtual bool cancel_timer(TimerHandle h) = 0;
 
   /// True while this station's transmitter is radiating.
   [[nodiscard]] virtual bool transmitting() const = 0;

@@ -46,7 +46,9 @@ Simulator::Simulator(std::unique_ptr<radio::InterferenceEngine> engine,
       router_(direct_router),
       transmitting_count_(engine_->station_count(), 0),
       reception_count_(engine_->station_count(), 0),
+      addressed_count_(engine_->station_count(), 0),
       tx_busy_until_s_(engine_->station_count(), 0.0),
+      station_timers_(engine_->station_count()),
       active_station_(engine_->station_count(), 1),
       mac_generation_(engine_->station_count(), 0),
       open_rx_count_(engine_->station_count(), 0) {
@@ -91,7 +93,7 @@ void Simulator::inject(double time_s, Packet packet) {
   Event e;
   e.time_s = time_s;
   e.kind = EventKind::kInject;
-  e.packet = packet;
+  e.packet = pool_.alloc(packet);  // heap entry carries only the handle
   queue_.push(e);
 }
 
@@ -114,29 +116,31 @@ void Simulator::run_until(double t_end_s) {
     }
     started_ = true;
   }
-  while (!queue_.empty() && queue_.next_time() <= t_end_s) {
-    const Event e = queue_.pop();
-    now_s_ = e.time_s;
-    switch (e.kind) {
+  // pop_if_before folds the bound test into the pop: one top inspection per
+  // event instead of a next_time()/pop() pair re-reading the heap top.
+  while (const auto e = queue_.pop_if_before(t_end_s)) {
+    now_s_ = e->time_s;
+    ++events_processed_;
+    switch (e->kind) {
       case EventKind::kTransmitEnd:
-        handle_transmit_end(e.tx_id);
+        handle_transmit_end(e->tx_id);
         break;
       case EventKind::kTimer:
-        // A timer armed by a MAC that has since been torn down is stale:
-        // the generation stamp no longer matches (and the station may be
-        // down entirely). Deliver only fresh timers.
-        if (active_station_[e.station] != 0 &&
-            e.generation == mac_generation_[e.station]) {
-          with_station(e.station, [this, &e](MacProtocol& mac) {
-            mac.on_timer(*this, e.cookie);
+        // A timer armed by a MAC that has since been torn down is cancelled
+        // at teardown, so a stale one can barely reach here; the generation
+        // guard stays as defense in depth. Deliver only fresh timers.
+        if (active_station_[e->station] != 0 &&
+            e->generation == mac_generation_[e->station]) {
+          with_station(e->station, [this, &e](MacProtocol& mac) {
+            mac.on_timer(*this, e->cookie);
           });
         }
         break;
       case EventKind::kInject:
-        handle_inject(e.packet);
+        handle_inject(e->packet);
         break;
       case EventKind::kTransmitStart:
-        handle_transmit_start(e.tx_id);
+        handle_transmit_start(e->tx_id);
         break;
     }
   }
@@ -187,22 +191,25 @@ void Simulator::transmit(const Packet& pkt, StationId to, double power_w,
   tx_busy_until_s_[from] = tx.end_s;
 
   const std::uint64_t id = next_tx_id_++;
-  scheduled_.emplace(id, tx);
+  auto& slot = scheduled_.emplace(id, tx).first->second;
+  schedule_tx_events(id, slot);
+}
 
+void Simulator::schedule_tx_events(std::uint64_t tx_id, ActiveTx& tx) {
   Event start;
-  start.time_s = start_s;
+  start.time_s = tx.start_s;
   start.kind = EventKind::kTransmitStart;
-  start.tx_id = id;
-  queue_.push(start);
+  start.tx_id = tx_id;
+  tx.start_ev = queue_.push(start);
 
   Event end;
   end.time_s = tx.end_s;
   end.kind = EventKind::kTransmitEnd;
-  end.tx_id = id;
-  queue_.push(end);
+  end.tx_id = tx_id;
+  tx.end_ev = queue_.push(end);
 }
 
-void Simulator::set_timer(double at_s, std::uint64_t cookie) {
+TimerHandle Simulator::set_timer(double at_s, std::uint64_t cookie) {
   DRN_EXPECTS(at_s >= now_s_);
   Event e;
   e.time_s = at_s;
@@ -210,8 +217,20 @@ void Simulator::set_timer(double at_s, std::uint64_t cookie) {
   e.station = self();
   e.cookie = cookie;
   e.generation = mac_generation_[e.station];
-  queue_.push(e);
+  const EventHandle h = queue_.push(e);
+  // Remember the handle so deactivate_station can cancel outright. Fired and
+  // cancelled handles go stale on their own; sweep them out once the list
+  // grows, keeping it proportional to the station's truly pending timers.
+  auto& timers = station_timers_[e.station];
+  if (timers.size() >= 32) {
+    std::erase_if(timers,
+                  [this](EventHandle t) { return !queue_.pending(t); });
+  }
+  timers.push_back(h);
+  return h;
 }
+
+bool Simulator::cancel_timer(TimerHandle h) { return queue_.cancel(h); }
 
 void Simulator::transmit_noise(double power_w, double start_s,
                                double duration_s) {
@@ -238,19 +257,8 @@ void Simulator::transmit_noise(double power_w, double start_s,
   tx_busy_until_s_[from] = tx.end_s;
 
   const std::uint64_t id = next_tx_id_++;
-  scheduled_.emplace(id, tx);
-
-  Event start;
-  start.time_s = start_s;
-  start.kind = EventKind::kTransmitStart;
-  start.tx_id = id;
-  queue_.push(start);
-
-  Event end;
-  end.time_s = tx.end_s;
-  end.kind = EventKind::kTransmitEnd;
-  end.tx_id = id;
-  queue_.push(end);
+  auto& slot = scheduled_.emplace(id, tx).first->second;
+  schedule_tx_events(id, slot);
 }
 
 bool Simulator::transmitting() const { return station_transmitting(self()); }
@@ -340,14 +348,11 @@ void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
     // Below threshold from the first instant: attribute the loss to an
     // already-active transmission addressed to the same receiver (Type 2) if
     // one exists, otherwise to third-party interference / sheer lack of
-    // signal (Type 1).
-    r.failure = LossType::kType1;
-    for (const auto& [id, other] : active_) {
-      if (id != tx_id && other.to == rx) {
-        r.failure = LossType::kType2;
-        break;
-      }
-    }
+    // signal (Type 1). addressed_count_ mirrors the active set, so the test
+    // is O(1); subtract this transmission itself when it is the one
+    // addressed to rx.
+    const int others = addressed_count_[rx] - (tx.to == rx ? 1 : 0);
+    r.failure = others > 0 ? LossType::kType2 : LossType::kType1;
   }
 
   // The vector was reserved by the caller, so push_back never reallocates
@@ -360,19 +365,12 @@ void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
   by_handle_[h] = &records.back();
 }
 
-bool Simulator::consume_cancelled(std::uint64_t tx_id) {
-  const auto it = cancelled_.find(tx_id);
-  if (it == cancelled_.end()) return false;
-  if (--it->second == 0) cancelled_.erase(it);
-  return true;
-}
-
 void Simulator::handle_transmit_start(std::uint64_t tx_id) {
-  if (consume_cancelled(tx_id)) return;
   auto node = scheduled_.extract(tx_id);
   DRN_EXPECTS(!node.empty());
   const ActiveTx& tx = active_.emplace(tx_id, node.mapped()).first->second;
   const bool noise = tx.to == kNoStation;
+  if (tx.to < station_count()) ++addressed_count_[tx.to];
 
   metrics_.record_airtime(tx.from, tx.end_s - tx.start_s);
   if (noise) {
@@ -432,11 +430,11 @@ void Simulator::handle_transmit_start(std::uint64_t tx_id) {
 }
 
 void Simulator::handle_transmit_end(std::uint64_t tx_id) {
-  if (consume_cancelled(tx_id)) return;
   auto node = active_.extract(tx_id);
   DRN_EXPECTS(!node.empty());
   const ActiveTx tx = node.mapped();
   --transmitting_count_[tx.from];
+  if (tx.to < station_count()) --addressed_count_[tx.to];
 
   // The signal leaves the air: the engine lowers everyone else's
   // interference (receptions at the sender's own station never had this
@@ -541,10 +539,12 @@ void Simulator::abort_transmission(std::uint64_t tx_id) {
   DRN_EXPECTS(!node.empty());
   const ActiveTx tx = node.mapped();
   --transmitting_count_[tx.from];
+  if (tx.to < station_count()) --addressed_count_[tx.to];
   // Airtime was booked for the full planned duration at start; give back the
   // part that never aired.
   metrics_.trim_airtime(tx.from, tx.end_s - now_s_);
-  cancelled_[tx_id] = 1;  // swallow the pending end event
+  const bool was_pending = queue_.cancel(tx.end_ev);
+  DRN_EXPECTS(was_pending);  // the tx was in flight, so its end lay ahead
 
   // Observers first (the auditor truncates its record of this transmission
   // to now before the aborted RxEvents below arrive).
@@ -606,10 +606,12 @@ std::size_t Simulator::deactivate_station(StationId station) {
   DRN_EXPECTS(active_station_[station] != 0);
   DRN_EXPECTS(macs_[station] != nullptr);
 
-  // Scheduled-but-not-started transmissions from the station never happen.
+  // Scheduled-but-not-started transmissions from the station never happen:
+  // both their queue entries are cancelled on the spot.
   for (auto it = scheduled_.begin(); it != scheduled_.end();) {
     if (it->second.from == station) {
-      cancelled_[it->first] = 2;  // swallow both pending queue events
+      queue_.cancel(it->second.start_ev);
+      queue_.cancel(it->second.end_ev);
       it = scheduled_.erase(it);
     } else {
       ++it;
@@ -633,6 +635,12 @@ std::size_t Simulator::deactivate_station(StationId station) {
         r.failure = LossType::kAborted;
     }
   }
+
+  // The dead MAC's pending timers leave the queue now instead of riding it
+  // as deadweight until their fire time (the generation bump below still
+  // guards anything that slipped through).
+  for (const EventHandle h : station_timers_[station]) queue_.cancel(h);
+  station_timers_[station].clear();
 
   // The queue dies with the MAC.
   const std::size_t dropped = macs_[station]->queued_packets();
@@ -676,8 +684,20 @@ void Simulator::notify_clock_rate(StationId station, double delta_ppm) {
   });
 }
 
-void Simulator::handle_inject(const Packet& packet) {
-  Packet pkt = packet;
+Simulator::QueueStats Simulator::queue_stats() const {
+  QueueStats s;
+  s.events_processed = events_processed_;
+  s.pending = queue_.size();
+  s.peak_entries = queue_.peak_entries();
+  s.peak_bytes = queue_.peak_bytes();
+  s.compactions = queue_.compactions();
+  s.pool_live = pool_.live();
+  s.pool_capacity = pool_.capacity();
+  return s;
+}
+
+void Simulator::handle_inject(PacketHandle handle) {
+  Packet pkt = pool_.take(handle);
   if (pkt.id == 0) {
     pkt.id = next_packet_id_++;
   } else if (pkt.id >= next_packet_id_) {

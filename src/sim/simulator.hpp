@@ -52,6 +52,7 @@
 #include "radio/propagation_matrix.hpp"
 #include "radio/reception.hpp"
 #include "sim/contribution_set.hpp"
+#include "sim/event_pool.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/mac.hpp"
 #include "sim/metrics.hpp"
@@ -136,6 +137,25 @@ class Simulator final : public MacContext {
     return active_.size();
   }
 
+  /// Event-core counters (benches and regression tests; see DESIGN.md
+  /// section 12). Cheap snapshot — callable mid-run.
+  struct QueueStats {
+    /// Events popped and handled since construction.
+    std::uint64_t events_processed = 0;
+    /// Live entries waiting in the queue right now.
+    std::size_t pending = 0;
+    /// High-water mark of heap entries (live + tombstones).
+    std::size_t peak_entries = 0;
+    /// High-water mark of queue memory (heap items + slot headers), bytes.
+    std::size_t peak_bytes = 0;
+    /// Tombstone-compaction passes the queue has run.
+    std::uint64_t compactions = 0;
+    /// Pooled packet payloads currently allocated / pool capacity.
+    std::size_t pool_live = 0;
+    std::size_t pool_capacity = 0;
+  };
+  [[nodiscard]] QueueStats queue_stats() const;
+
   // -- network dynamics (driven by src/dynamics/) --------------------------
 
   /// Whether `station` is up (participating in the network). All stations
@@ -185,7 +205,8 @@ class Simulator final : public MacContext {
                 double start_s, double rate_bps) override;
   void transmit_noise(double power_w, double start_s,
                       double duration_s) override;
-  void set_timer(double at_s, std::uint64_t cookie) override;
+  TimerHandle set_timer(double at_s, std::uint64_t cookie) override;
+  bool cancel_timer(TimerHandle h) override;
   [[nodiscard]] bool transmitting() const override;
   [[nodiscard]] double received_power_w() const override;
   [[nodiscard]] double gain_to(StationId other) const override;
@@ -203,6 +224,10 @@ class Simulator final : public MacContext {
     double end_s = 0.0;
     double rate_bps = 0.0;
     double required_snr = 0.0;  // Eq. 4 threshold at this rate
+    /// Queue entries for this transmission, cancellable while pending: both
+    /// while scheduled, the end alone once in flight (aborts cut it short).
+    EventHandle start_ev;
+    EventHandle end_ev;
   };
 
   struct Reception {
@@ -222,17 +247,19 @@ class Simulator final : public MacContext {
 
   void handle_transmit_start(std::uint64_t tx_id);
   void handle_transmit_end(std::uint64_t tx_id);
-  void handle_inject(const Packet& packet);
+  void handle_inject(PacketHandle handle);
 
   /// Cuts short a transmission already on the air (its sender is being torn
   /// down): removes it from the engine now, closes its receptions with
-  /// kAborted outcomes, and arranges for its pending end event to be
-  /// swallowed. Does NOT call the sender's on_transmit_end.
+  /// kAborted outcomes, and cancels its pending end event. Does NOT call the
+  /// sender's on_transmit_end.
   void abort_transmission(std::uint64_t tx_id);
 
-  /// Consumes one pending event of a cancelled transmission. Returns true
-  /// if the event belonged to a cancelled tx and must be ignored.
-  bool consume_cancelled(std::uint64_t tx_id);
+  /// Books the start/end queue entries for a freshly scheduled transmission
+  /// and stores their handles on the ActiveTx (shared tail of transmit and
+  /// transmit_noise).
+  void schedule_tx_events(std::uint64_t tx_id, ActiveTx& tx);
+
   void deliver(const Packet& packet, StationId at);
   void enqueue_at(StationId station, const Packet& packet);
 
@@ -274,8 +301,10 @@ class Simulator final : public MacContext {
   SimulatorConfig config_;
   Metrics metrics_;
   EventQueue queue_;
+  EventPool pool_;  // payloads of pending kInject events
   double now_s_ = 0.0;
   bool started_ = false;
+  std::uint64_t events_processed_ = 0;
 
   std::vector<std::unique_ptr<MacProtocol>> macs_;
   std::vector<Rng> rngs_;
@@ -294,20 +323,29 @@ class Simulator final : public MacContext {
   std::vector<Reception*> by_handle_;     // engine handle -> live record
   std::vector<int> transmitting_count_;   // per station
   std::vector<int> reception_count_;      // per station (despreading channels)
+  // Per station: in-flight unicast transmissions addressed TO it. Lets the
+  // below-threshold-at-open Type-2 attribution test run in O(1) instead of
+  // walking every active transmission per opened reception (a broadcast at
+  // large M opens thousands, most of them below threshold).
+  std::vector<int> addressed_count_;
   std::vector<double> tx_busy_until_s_;   // per station: serialization check
+
+  // Handles of timers armed by each station's current MAC, so teardown can
+  // cancel them outright instead of letting them ride the queue to a
+  // drop-at-pop. Fired/cancelled handles go stale harmlessly; the list is
+  // pruned of them when it grows. Registered in set_timer.
+  std::vector<std::vector<EventHandle>> station_timers_;
 
   // -- dynamics state (quiescent unless src/dynamics/ drives the run) ------
   std::vector<char> active_station_;      // per station: 1 = up
-  // Bumped on every teardown so timers armed by a dead MAC are dropped
-  // instead of delivered to its replacement.
+  // Bumped on every teardown so a timer armed by a dead MAC — already
+  // cancelled via station_timers_; the generation is defense in depth —
+  // can never be delivered to its replacement.
   std::vector<std::uint32_t> mac_generation_;
   // Open reception records at each station (all outcomes, not just pending):
   // while > 0 the engine holds per-reception state referencing the station's
   // gains, so the station must not move.
   std::vector<int> open_rx_count_;
-  // Cancelled/aborted transmissions -> number of their queue events still
-  // pending; handlers swallow those instead of looking the tx up.
-  std::map<std::uint64_t, int> cancelled_;
 
   // Context binding for the MAC hook currently executing.
   StationId current_station_ = kNoStation;

@@ -7,22 +7,26 @@
 namespace drn::runner {
 namespace {
 
-TEST(SummaryStats, EmptyIsAllZero) {
+TEST(SummaryStats, EmptyHasZeroMeanAndUndefinedSpread) {
   SummaryStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
-  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
-  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  // Spread statistics do not exist without two samples: NaN, not a
+  // zero that reads as "no variance".
+  EXPECT_TRUE(std::isnan(s.stddev()));
+  EXPECT_TRUE(std::isnan(s.ci95_half_width()));
 }
 
-TEST(SummaryStats, SingleSampleHasZeroWidthInterval) {
+TEST(SummaryStats, SingleSampleHasUndefinedInterval) {
   SummaryStats s;
   s.add(3.5);
   EXPECT_DOUBLE_EQ(s.mean(), 3.5);
-  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
-  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
-  EXPECT_DOUBLE_EQ(s.ci95_lo(), 3.5);
-  EXPECT_DOUBLE_EQ(s.ci95_hi(), 3.5);
+  EXPECT_TRUE(std::isnan(s.stddev()));
+  EXPECT_TRUE(std::isnan(s.ci95_half_width()));
+  EXPECT_TRUE(std::isnan(s.ci95_lo()));
+  EXPECT_TRUE(std::isnan(s.ci95_hi()));
 }
 
 TEST(SummaryStats, CiMatchesHandComputation) {

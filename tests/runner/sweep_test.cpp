@@ -142,6 +142,28 @@ TEST(Sweep, ResultsJsonShapeAndTimingSeparation) {
   EXPECT_NE(ts.str().find("\"trials_per_s\""), std::string::npos);
 }
 
+TEST(Sweep, SingleSeedSummariesSerializeUndefinedStatsAsNull) {
+  // With one replicate per point, stddev/ci95 do not exist (NaN). The
+  // results document must stay valid JSON: those fields render as null,
+  // never as a bare "nan" token.
+  auto spec = tiny_spec();
+  spec.stations = {6};
+  spec.macs = {MacKind::kScheme};
+  spec.seeds = 1;
+  const auto result = run_sweep(spec, 1);
+
+  std::ostringstream os;
+  write_results_json(os, spec, result);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"stddev\": null"), std::string::npos);
+  EXPECT_NE(doc.find("\"ci95\": null"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  // Round-trip sanity: n survives, and the defined stats are still numbers.
+  EXPECT_NE(doc.find("\"n\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"mean\": "), std::string::npos);
+}
+
 TEST(Sweep, RunTrialDeterministicForSameSeed) {
   ScenarioSpec spec;
   spec.stations = 6;

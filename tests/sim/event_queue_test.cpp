@@ -120,5 +120,189 @@ TEST(EventQueue, SizeTracksContents) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, CancelRemovesEventFromPopStream) {
+  EventQueue q;
+  const EventHandle a = q.push(make(1.0, EventKind::kTimer, 1));
+  const EventHandle b = q.push(make(2.0, EventKind::kTimer, 2));
+  q.push(make(3.0, EventKind::kTimer, 3));
+  EXPECT_TRUE(q.pending(a));
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.pending(b));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().tx_id, 1u);
+  EXPECT_EQ(q.pop().tx_id, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelOfTopKeepsNextTimeLive) {
+  // next_time() must always report the earliest LIVE event, even right
+  // after the heap top is cancelled.
+  EventQueue q;
+  const EventHandle top = q.push(make(1.0, EventKind::kTimer, 1));
+  q.push(make(5.0, EventKind::kTimer, 2));
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_TRUE(q.cancel(top));
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  EXPECT_EQ(q.pop().tx_id, 2u);
+}
+
+TEST(EventQueue, CancelledHandleIsDeadForever) {
+  EventQueue q;
+  const EventHandle h = q.push(make(1.0, EventKind::kTimer, 1));
+  EXPECT_TRUE(q.cancel(h));
+  // Second cancel of the same handle: a no-op reporting false, not a trap —
+  // callers legitimately cancel handles that may have already fired.
+  EXPECT_FALSE(q.cancel(h));
+  EXPECT_FALSE(q.pending(h));
+}
+
+TEST(EventQueue, PoppedHandleCannotBeCancelled) {
+  EventQueue q;
+  const EventHandle h = q.push(make(1.0, EventKind::kTimer, 1));
+  (void)q.pop();
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, RecycledSlotRejectsOldHandle) {
+  // Pop frees the slot; the next push reuses it under a new generation. The
+  // stale handle must not cancel the newcomer.
+  EventQueue q;
+  const EventHandle old = q.push(make(1.0, EventKind::kTimer, 1));
+  (void)q.pop();
+  const EventHandle fresh = q.push(make(2.0, EventKind::kTimer, 2));
+  ASSERT_EQ(fresh.slot, old.slot);
+  ASSERT_NE(fresh.generation, old.generation);
+  EXPECT_FALSE(q.cancel(old));
+  EXPECT_TRUE(q.pending(fresh));
+  EXPECT_EQ(q.pop().tx_id, 2u);
+}
+
+TEST(EventQueue, NeverArmedHandleIsInert) {
+  EventQueue q;
+  EventHandle h;  // default: not armed
+  EXPECT_FALSE(h.armed());
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, PopIfBefore) {
+  EventQueue q;
+  EXPECT_FALSE(q.pop_if_before(100.0).has_value());  // empty queue
+  q.push(make(1.0, EventKind::kTimer, 1));
+  q.push(make(2.0, EventKind::kTimer, 2));
+  // Boundary is inclusive: an event AT the horizon pops.
+  const auto a = q.pop_if_before(1.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->tx_id, 1u);
+  // The next event is beyond the horizon: nothing pops, nothing is lost.
+  EXPECT_FALSE(q.pop_if_before(1.5).has_value());
+  EXPECT_EQ(q.size(), 1u);
+  const auto b = q.pop_if_before(2.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->tx_id, 2u);
+}
+
+TEST(EventQueue, PopIfBeforeSkipsCancelledTop) {
+  EventQueue q;
+  const EventHandle h = q.push(make(1.0, EventKind::kTimer, 1));
+  q.push(make(5.0, EventKind::kTimer, 2));
+  EXPECT_TRUE(q.cancel(h));
+  // The cancelled 1.0 event must not satisfy the horizon test.
+  EXPECT_FALSE(q.pop_if_before(3.0).has_value());
+  const auto e = q.pop_if_before(5.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tx_id, 2u);
+}
+
+TEST(EventQueue, CompactionReclaimsDeadEntries) {
+  // Cancel well over half the queue (never the top, so the lazy-tombstone
+  // path — not top-pruning — absorbs every cancel): once dead entries
+  // outnumber live ones, compaction must fire and physically shrink the
+  // heap, and the survivors must still pop in order.
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    handles.push_back(q.push(make(static_cast<double>(i), EventKind::kTimer, i)));
+  for (std::uint64_t i = 30; i < 100; ++i) EXPECT_TRUE(q.cancel(handles[i]));
+  EXPECT_EQ(q.size(), 30u);
+  EXPECT_GE(q.compactions(), 1u);
+  EXPECT_LT(q.heap_entries(), 100u);  // dead entries actually left the heap
+  for (std::uint64_t i = 0; i < 30; ++i) EXPECT_EQ(q.pop().tx_id, i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeakStatsTrackHighWaterMark) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    q.push(make(static_cast<double>(i), EventKind::kTimer, i));
+  while (!q.empty()) (void)q.pop();
+  EXPECT_EQ(q.peak_entries(), 10u);
+  EXPECT_GT(q.peak_bytes(), 0u);
+  q.push(make(1.0, EventKind::kTimer));
+  EXPECT_EQ(q.peak_entries(), 10u);  // not reset by draining
+}
+
+TEST(EventQueue, PropertyMatchesReferenceSortWithInterleavedCancels) {
+  // Random pushes, pops and cancels against a reference model: the queue
+  // must deliver exactly the uncancelled events in (time, kind, seq) order.
+  drn::Rng rng(90210);
+  EventQueue q;
+  struct Ref {
+    double t;
+    EventKind k;
+    std::uint64_t seq;
+  };
+  std::vector<Ref> ref;                 // everything ever pushed
+  std::vector<EventHandle> handles;     // parallel to ref
+  std::vector<bool> cancelled;          // parallel to ref
+  std::vector<std::uint64_t> popped;    // ids observed from the queue
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const auto dice = rng.uniform_index(10);
+    if (dice < 6) {
+      Event e;
+      e.time_s = static_cast<double>(rng.uniform_index(40));
+      e.kind = static_cast<EventKind>(rng.uniform_index(4));
+      e.tx_id = ref.size();
+      handles.push_back(q.push(e));
+      ref.push_back({e.time_s, e.kind, e.tx_id});
+      cancelled.push_back(false);
+    } else if (dice < 8 && !handles.empty()) {
+      const auto victim = rng.uniform_index(handles.size());
+      if (q.cancel(handles[victim])) cancelled[victim] = true;
+    } else if (!q.empty()) {
+      popped.push_back(q.pop().tx_id);
+    }
+  }
+  while (!q.empty()) popped.push_back(q.pop().tx_id);
+
+  // Reference: stable-sort the never-cancelled, never-popped-early events.
+  // Events popped mid-stream left the model then; replay the whole history
+  // instead: collect the survivors (pushed, not cancelled) and check that
+  // `popped` is a permutation consistent with per-pop-time ordering. The
+  // cheap exact check: every pushed event is popped exactly once unless
+  // cancelled, and no cancelled event is ever popped.
+  std::vector<std::uint64_t> expect_ids;
+  for (std::uint64_t i = 0; i < ref.size(); ++i)
+    if (!cancelled[i]) expect_ids.push_back(i);
+  std::vector<std::uint64_t> got = popped;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect_ids);
+  for (std::uint64_t id : popped) EXPECT_FALSE(cancelled[id]) << id;
+}
+
+TEST(EventQueue, CancelAllThenReuse) {
+  // Degenerate: cancel every event, then use the queue again from empty.
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (std::uint64_t i = 0; i < 32; ++i)
+    handles.push_back(q.push(make(static_cast<double>(i), EventKind::kTimer, i)));
+  for (const EventHandle h : handles) EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.pop(), ContractViolation);
+  q.push(make(7.0, EventKind::kTimer, 99));
+  EXPECT_EQ(q.pop().tx_id, 99u);
+}
+
 }  // namespace
 }  // namespace drn::sim

@@ -45,6 +45,12 @@ depends on, none of which clang-tidy checks:
                   crossing goes through Decibels::to_linear() /
                   LinearGain::to_db() (or radio::from_db/to_db at raw-double
                   boundaries) so conversion sites stay auditable.
+  raw-event-copy  no by-value sim::Event outside src/sim/: the slim Event
+                  header and its payload-handle union are the event core's
+                  private wire format. Code elsewhere consumes the typed
+                  observer structs (TxEvent/RxEvent) or MacContext hooks;
+                  a stray Event copy smuggles a PacketHandle past the pool's
+                  generation discipline.
 
 Suppress a finding by appending `// drn-lint: allow(<rule>)` to the line,
 which is a grep-able record that a human judged the exception sound. The
@@ -92,6 +98,7 @@ KNOWN_RULES = frozenset(RULES) | {
     "raw-unit-param",
     "unordered-iter",
     "manual-db",
+    "raw-event-copy",
 }
 
 # An operand that makes ==/!= a floating-point comparison: a float literal
@@ -139,6 +146,13 @@ MANUAL_DB = re.compile(
     r"|10(?:\.0*)?\s*\*\s*(?:std::)?log10\s*\("
 )
 MANUAL_DB_EXEMPT = ("units",)
+
+# A by-value `Event` declaration, parameter or return: `Event e`,
+# `sim::Event pop()`. References (`Event&`), pointers and the longer-named
+# observer structs (TxEvent, RxEvent) and Event* types (EventQueue,
+# EventHandle, EventKind) do not match. Only src/sim/ may traffic in raw
+# Events.
+RAW_EVENT_COPY = re.compile(r"\b(?:sim::)?Event\s+\w+")
 
 ALLOW = re.compile(r"//\s*drn-lint:\s*allow\s*(?:\(([^)]*)\))?")
 COMMENT = re.compile(r"//.*$")
@@ -311,6 +325,17 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path,
                         "order is implementation-defined and breaks "
                         "bit-reproducibility; iterate a sorted copy",
                     )
+        if (
+            not (in_library and module == "sim")
+            and RAW_EVENT_COPY.search(code)
+            and not allowed(raw, "raw-event-copy")
+        ):
+            report(
+                lineno,
+                "raw-event-copy",
+                "by-value sim::Event outside src/sim/; consume TxEvent/"
+                "RxEvent observer structs or MacContext hooks instead",
+            )
         if (
             path.stem not in MANUAL_DB_EXEMPT
             and MANUAL_DB.search(code)

@@ -201,6 +201,51 @@ class ManualDb(LintFixture):
         self.assertEqual(f, [])
 
 
+class RawEventCopy(LintFixture):
+    def test_fires_on_by_value_event_in_other_library_code(self) -> None:
+        f = self.lint(
+            "src/core/foo.cpp",
+            "void f(sim::EventQueue& q) { sim::Event e = q.pop(); }\n",
+        )
+        self.assertIn("raw-event-copy", self.rules(f))
+
+    def test_fires_on_unqualified_event_in_bench(self) -> None:
+        f = self.lint(
+            "bench/foo.cpp",
+            "Event make(double t) { Event e; return e; }\n",
+        )
+        self.assertIn("raw-event-copy", self.rules(f))
+
+    def test_quiet_inside_src_sim(self) -> None:
+        f = self.lint(
+            "src/sim/foo.cpp",
+            "Event next() { Event e = queue_.pop(); return e; }\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_on_observer_structs_and_event_types(self) -> None:
+        f = self.lint(
+            "src/audit/foo.cpp",
+            "void g(const sim::TxEvent tx, sim::RxEvent rx) {}\n"
+            "sim::EventKind k() { sim::EventHandle h{}; return {}; }\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_on_event_reference(self) -> None:
+        f = self.lint(
+            "src/core/foo.cpp",
+            "void h(const sim::Event& e);\n",
+        )
+        self.assertEqual(f, [])
+
+    def test_suppression_waives(self) -> None:
+        f = self.lint(
+            "bench/foo.cpp",
+            "sim::Event e;  // drn-lint: allow(raw-event-copy)\n",
+        )
+        self.assertEqual(f, [])
+
+
 class ExistingRulesStillFire(LintFixture):
     def test_std_rng(self) -> None:
         f = self.lint("src/sim/a.cpp", "std::mt19937 gen;\n")
