@@ -8,8 +8,10 @@
 //
 //   * churn    — stations crash (Poisson process), stay down for an
 //                exponential holding time, then rejoin with a fresh MAC
-//                built by the caller's factory; the simulator tears down
-//                their RF state (aborting in-flight transmissions) and the
+//                built by the caller's factory; the simulator facade
+//                orchestrates the teardown across its layers (RadioMedium
+//                aborts in-flight RF state, StationHost retires the MAC,
+//                its timers and generation — DESIGN.md §13) and the
 //                surviving stations must evict the ghost and re-adopt the
 //                returnee via maintenance beacons;
 //   * mobility — a MobilityModel (random waypoint / scripted) is polled on a

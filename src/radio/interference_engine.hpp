@@ -23,7 +23,9 @@
 //                the gain variation across one cell at the cutoff distance
 //                (see DESIGN.md §"Interference engines").
 //
-// Engines own all interference state; the simulator holds one opaque
+// Engines own all interference state; their sole client is the physical
+// layer (sim::RadioMedium — nothing above it may touch interference state,
+// enforced by drn_lint's layer-boundary rule), which holds one opaque
 // ReceptionHandle per in-flight reception and is notified through visitors
 // when a transmission start/end changes a reception's interference (so it
 // can re-test SINR and track per-interferer contributions for multiuser

@@ -7,6 +7,11 @@
 // (core/scheduled_station.hpp) and the prior-work baselines
 // (baselines/aloha.hpp etc.) all implement this interface, so every
 // comparison runs under the identical physical model.
+//
+// MacContext is implemented by the Simulator facade: transmit paths and
+// channel queries resolve in the physical layer (sim::RadioMedium), timers
+// and the per-station RNG in the lifecycle layer (sim::StationHost). The
+// MAC never sees the layering — DESIGN.md §13.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,59 @@
+// The network layer: Section 6.2 forwarding, built over the station host.
+//
+// NetworkLayer owns the packet-id namespace for injected traffic, the
+// installed Router, and the hop-by-hop forwarding decisions: on a decoded
+// unicast hop it either counts an end-to-end delivery or consults the
+// router and re-enqueues the packet at the receiver's MAC. It touches
+// stations only through StationHost (activation state + hook dispatch) and
+// never sees interference or reception records — the medium reports decode
+// outcomes upward through the Simulator facade.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/metrics.hpp"
+#include "sim/packet.hpp"
+#include "sim/station_host.hpp"
+
+namespace drn::sim {
+
+/// Chooses the next hop for a packet at `at` destined for `dst`. Returning
+/// kNoStation drops the packet (no route).
+using Router = std::function<StationId(StationId at, StationId dst)>;
+
+/// Section 6.2 forwarding: router, end-to-end delivery accounting, and the
+/// injected-traffic packet-id namespace.
+class NetworkLayer {
+ public:
+  NetworkLayer(StationHost& host, Metrics& metrics);
+
+  NetworkLayer(const NetworkLayer&) = delete;
+  NetworkLayer& operator=(const NetworkLayer&) = delete;
+
+  /// Installs the next-hop chooser. Default: one-hop direct to destination.
+  void set_router(Router router);
+
+  /// A packet enters the network at its source (the inject event fired).
+  /// Assigns an id from the shared namespace if the caller left it 0 and
+  /// advances the generator past caller-chosen ids so the two can never
+  /// collide and corrupt exactly-once accounting.
+  void admit(Packet packet, double now_s);
+
+  /// A packet decoded cleanly at `at`: end-to-end delivery if `at` is the
+  /// destination, otherwise one more hop via the router.
+  void deliver(const Packet& packet, StationId at, double now_s);
+
+  /// Hands `packet` to `station`'s MAC with the router's next-hop choice
+  /// (drops it if the station is down or no route exists).
+  void enqueue_at(StationId station, const Packet& packet);
+
+ private:
+  StationHost& host_;
+  Metrics& metrics_;
+  Router router_;
+  PacketId next_packet_id_ = 1;
+};
+
+}  // namespace drn::sim

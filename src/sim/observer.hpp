@@ -2,6 +2,11 @@
 // transmission start and every reception outcome, with the physical facts
 // (powers, SINR, loss classification) attached. Tests use this to check
 // schedule compliance against ground-truth clocks; tools use it for traces.
+//
+// All notifications originate in the physical layer (sim::RadioMedium) at
+// the instant the fact becomes true on the air. Install long-lived riders
+// (auditors, dynamics engines) with Simulator::add_observer; set_observer
+// manages a single replaceable slot for tools and never touches the rest.
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/expects.hpp"
 #include "radio/units.hpp"
@@ -9,9 +8,6 @@
 namespace drn::sim {
 
 namespace {
-
-/// Default router: every destination is assumed to be in direct reach.
-StationId direct_router(StationId /*at*/, StationId dst) { return dst; }
 
 std::unique_ptr<radio::InterferenceEngine> engine_from_matrix(
     radio::PropagationMatrix gains, radio::InterferenceEngineKind kind) {
@@ -32,6 +28,18 @@ std::size_t station_count_of(const radio::InterferenceEngine* engine) {
   return engine->station_count();
 }
 
+/// Validates the config and derives the thermal floor if asked — before any
+/// layer is built over it (the medium requires a finalized config).
+SimulatorConfig finalized(SimulatorConfig config) {
+  DRN_EXPECTS(config.despreading_channels > 0);
+  DRN_EXPECTS(config.multiuser_subtract_k >= 0);
+  if (config.thermal_noise_w < 0.0) {
+    config.thermal_noise_w =
+        radio::thermal_noise(config.criterion.bandwidth()).value();
+  }
+  return config;
+}
+
 }  // namespace
 
 Simulator::Simulator(radio::PropagationMatrix gains, SimulatorConfig config)
@@ -39,44 +47,37 @@ Simulator::Simulator(radio::PropagationMatrix gains, SimulatorConfig config)
 
 Simulator::Simulator(std::unique_ptr<radio::InterferenceEngine> engine,
                      SimulatorConfig config)
-    : engine_(std::move(engine)),
-      config_(config),
-      metrics_(station_count_of(engine_.get())),
-      macs_(engine_->station_count()),
-      router_(direct_router),
-      transmitting_count_(engine_->station_count(), 0),
-      reception_count_(engine_->station_count(), 0),
-      addressed_count_(engine_->station_count(), 0),
-      tx_busy_until_s_(engine_->station_count(), 0.0),
-      station_timers_(engine_->station_count()),
-      active_station_(engine_->station_count(), 1),
-      mac_generation_(engine_->station_count(), 0),
-      open_rx_count_(engine_->station_count(), 0) {
-  DRN_EXPECTS(config_.despreading_channels > 0);
-  DRN_EXPECTS(config_.multiuser_subtract_k >= 0);
-  if (config_.thermal_noise_w < 0.0) {
-    config_.thermal_noise_w =
-        radio::thermal_noise(config_.criterion.bandwidth()).value();
-  }
-  engine_->set_thermal_noise(radio::Watts{config_.thermal_noise_w});
-  Rng master(config_.seed);
-  rngs_.reserve(engine_->station_count());
-  for (std::size_t i = 0; i < engine_->station_count(); ++i)
-    rngs_.push_back(master.split(i));
-}
+    : config_(finalized(config)),
+      metrics_(station_count_of(engine.get())),
+      medium_(std::move(engine), config_, queue_, metrics_, observers_,
+              *this),
+      host_(medium_.station_count(), config_.seed, queue_, metrics_, *this),
+      network_(host_, metrics_) {}
 
 Simulator::~Simulator() = default;
 
 void Simulator::set_mac(StationId station, std::unique_ptr<MacProtocol> mac) {
-  DRN_EXPECTS(station < macs_.size());
-  DRN_EXPECTS(mac != nullptr);
-  DRN_EXPECTS(!started_);
-  macs_[station] = std::move(mac);
+  host_.set_mac(station, std::move(mac));
 }
 
 void Simulator::set_router(Router router) {
-  DRN_EXPECTS(router != nullptr);
-  router_ = std::move(router);
+  network_.set_router(std::move(router));
+}
+
+void Simulator::set_observer(SimObserver* observer) {
+  if (owned_slot_ != kNoSlot) {
+    if (observer != nullptr) {
+      observers_[owned_slot_] = observer;  // replace only our own slot
+    } else {
+      observers_.erase(observers_.begin() +
+                       static_cast<std::ptrdiff_t>(owned_slot_));
+      owned_slot_ = kNoSlot;
+    }
+    return;
+  }
+  if (observer == nullptr) return;  // nothing owned, nothing to clear
+  owned_slot_ = observers_.size();
+  observers_.push_back(observer);
 }
 
 void Simulator::add_observer(SimObserver* observer) {
@@ -97,25 +98,9 @@ void Simulator::inject(double time_s, Packet packet) {
   queue_.push(e);
 }
 
-template <typename F>
-void Simulator::with_station(StationId station, F&& hook) {
-  DRN_EXPECTS(macs_[station] != nullptr);
-  const StationId saved = current_station_;
-  current_station_ = station;
-  hook(*macs_[station]);
-  current_station_ = saved;
-}
-
 void Simulator::run_until(double t_end_s) {
   DRN_EXPECTS(t_end_s >= now_s_);
-  if (!started_) {
-    for (StationId s = 0; s < station_count(); ++s) {
-      if (active_station_[s] == 0) continue;
-      DRN_EXPECTS(macs_[s] != nullptr);  // every active station needs a MAC
-      with_station(s, [this](MacProtocol& mac) { mac.on_start(*this); });
-    }
-    started_ = true;
-  }
+  host_.start_if_needed();
   // pop_if_before folds the bound test into the pop: one top inspection per
   // event instead of a next_time()/pop() pair re-reading the heap top.
   while (const auto e = queue_.pop_if_before(t_end_s)) {
@@ -123,24 +108,16 @@ void Simulator::run_until(double t_end_s) {
     ++events_processed_;
     switch (e->kind) {
       case EventKind::kTransmitEnd:
-        handle_transmit_end(e->tx_id);
+        medium_.handle_transmit_end(e->tx_id);
         break;
       case EventKind::kTimer:
-        // A timer armed by a MAC that has since been torn down is cancelled
-        // at teardown, so a stale one can barely reach here; the generation
-        // guard stays as defense in depth. Deliver only fresh timers.
-        if (active_station_[e->station] != 0 &&
-            e->generation == mac_generation_[e->station]) {
-          with_station(e->station, [this, &e](MacProtocol& mac) {
-            mac.on_timer(*this, e->cookie);
-          });
-        }
+        host_.deliver_timer(e->station, e->cookie, e->generation);
         break;
       case EventKind::kInject:
         handle_inject(e->packet);
         break;
       case EventKind::kTransmitStart:
-        handle_transmit_start(e->tx_id);
+        medium_.handle_transmit_start(e->tx_id);
         break;
     }
   }
@@ -148,128 +125,36 @@ void Simulator::run_until(double t_end_s) {
 }
 
 // ---------------------------------------------------------------------------
-// MacContext services
-
-StationId Simulator::self() const {
-  DRN_EXPECTS(current_station_ != kNoStation);
-  return current_station_;
-}
+// MacContext services (context binding via the host, physics via the medium)
 
 void Simulator::transmit(const Packet& pkt, StationId to, double power_w,
                          double start_s, double rate_bps) {
-  const StationId from = self();
-  DRN_EXPECTS(to < station_count() || to == kBroadcast);
-  DRN_EXPECTS(to != from);
-  DRN_EXPECTS(power_w > 0.0);
-  DRN_EXPECTS(rate_bps >= 0.0);
-  DRN_EXPECTS(start_s >= now_s_);
-  DRN_EXPECTS(pkt.size_bits > 0.0);
-  // One transmitter per station: transmissions must be serialized by the
-  // MAC. A sub-nanosecond shortfall is floating-point noise from computing
-  // the same instant two ways (e.g. 0.01*i vs a running sum of 0.01) and is
-  // clamped rather than rejected.
-  if (start_s < tx_busy_until_s_[from] &&
-      tx_busy_until_s_[from] - start_s < 1e-9) {
-    start_s = tx_busy_until_s_[from];
-  }
-  DRN_EXPECTS(start_s >= tx_busy_until_s_[from]);
-
-  ActiveTx tx;
-  tx.packet = pkt;
-  tx.from = from;
-  tx.to = to;
-  tx.power_w = power_w;
-  tx.rate_bps =
-      rate_bps > 0.0 ? rate_bps : config_.criterion.data_rate_bps();
-  tx.start_s = start_s;
-  tx.end_s = start_s + pkt.size_bits / tx.rate_bps;
-  tx.required_snr =
-      (config_.criterion.margin().to_linear() *
-       radio::snr_for_rate_fraction(tx.rate_bps /
-                                    config_.criterion.bandwidth_hz()))
-          .value();
-  tx_busy_until_s_[from] = tx.end_s;
-
-  const std::uint64_t id = next_tx_id_++;
-  auto& slot = scheduled_.emplace(id, tx).first->second;
-  schedule_tx_events(id, slot);
+  medium_.schedule_data(self(), pkt, to, power_w, start_s, rate_bps, now_s_);
 }
 
-void Simulator::schedule_tx_events(std::uint64_t tx_id, ActiveTx& tx) {
-  Event start;
-  start.time_s = tx.start_s;
-  start.kind = EventKind::kTransmitStart;
-  start.tx_id = tx_id;
-  tx.start_ev = queue_.push(start);
-
-  Event end;
-  end.time_s = tx.end_s;
-  end.kind = EventKind::kTransmitEnd;
-  end.tx_id = tx_id;
-  tx.end_ev = queue_.push(end);
+void Simulator::transmit_noise(double power_w, double start_s,
+                               double duration_s) {
+  medium_.schedule_noise(self(), power_w, start_s, duration_s, now_s_);
 }
 
 TimerHandle Simulator::set_timer(double at_s, std::uint64_t cookie) {
   DRN_EXPECTS(at_s >= now_s_);
-  Event e;
-  e.time_s = at_s;
-  e.kind = EventKind::kTimer;
-  e.station = self();
-  e.cookie = cookie;
-  e.generation = mac_generation_[e.station];
-  const EventHandle h = queue_.push(e);
-  // Remember the handle so deactivate_station can cancel outright. Fired and
-  // cancelled handles go stale on their own; sweep them out once the list
-  // grows, keeping it proportional to the station's truly pending timers.
-  auto& timers = station_timers_[e.station];
-  if (timers.size() >= 32) {
-    std::erase_if(timers,
-                  [this](EventHandle t) { return !queue_.pending(t); });
-  }
-  timers.push_back(h);
-  return h;
+  return host_.arm_timer(at_s, cookie);
 }
 
 bool Simulator::cancel_timer(TimerHandle h) { return queue_.cancel(h); }
 
-void Simulator::transmit_noise(double power_w, double start_s,
-                               double duration_s) {
-  const StationId from = self();
-  DRN_EXPECTS(power_w > 0.0);
-  DRN_EXPECTS(duration_s > 0.0);
-  DRN_EXPECTS(start_s >= now_s_);
-  // Noise uses the one transmitter too; same serialization (and the same
-  // sub-nanosecond clamp) as data transmissions.
-  if (start_s < tx_busy_until_s_[from] &&
-      tx_busy_until_s_[from] - start_s < 1e-9) {
-    start_s = tx_busy_until_s_[from];
-  }
-  DRN_EXPECTS(start_s >= tx_busy_until_s_[from]);
-
-  ActiveTx tx;
-  tx.from = from;
-  tx.to = kNoStation;  // addressed to nobody: pure interference
-  tx.power_w = power_w;
-  tx.rate_bps = 0.0;
-  tx.start_s = start_s;
-  tx.end_s = start_s + duration_s;
-  tx.required_snr = 0.0;
-  tx_busy_until_s_[from] = tx.end_s;
-
-  const std::uint64_t id = next_tx_id_++;
-  auto& slot = scheduled_.emplace(id, tx).first->second;
-  schedule_tx_events(id, slot);
+bool Simulator::transmitting() const {
+  return medium_.station_transmitting(host_.self());
 }
 
-bool Simulator::transmitting() const { return station_transmitting(self()); }
-
 double Simulator::received_power_w() const {
-  return engine_->power_at(self()).value();
+  return medium_.power_at(host_.self()).value();
 }
 
 double Simulator::gain_to(StationId other) const {
   DRN_EXPECTS(other < station_count());
-  return engine_->gain(other, self());
+  return medium_.gain(other, host_.self());
 }
 
 void Simulator::drop(const Packet& pkt) {
@@ -277,392 +162,50 @@ void Simulator::drop(const Packet& pkt) {
   metrics_.record_mac_drop();
 }
 
-Rng& Simulator::rng() { return rngs_[self()]; }
-
 // ---------------------------------------------------------------------------
-// Physics
+// RadioMedium::Client — decode outcomes route to the layer that owns them
 
-LossType Simulator::classify(const ActiveTx& interferer, StationId rx) {
-  if (interferer.from == rx) return LossType::kType3;
-  if (interferer.to == rx) return LossType::kType2;
-  return LossType::kType1;
-}
-
-void Simulator::fail_reception(Reception& r, const ActiveTx& cause) {
-  if (r.failure == LossType::kNone) r.failure = classify(cause, r.rx);
-}
-
-double Simulator::effective_sinr(const Reception& r) const {
-  const double interference = engine_->interference(r.handle).value();
-  if (config_.multiuser_subtract_k == 0 || r.contributions.empty())
-    return r.signal_w / interference;
-  // Subtract the k strongest interfering contributions (idealised multiuser
-  // detection: the receiver reconstructs and cancels them).
-  const double cancelled =
-      r.contributions
-          .sum_top(static_cast<std::size_t>(config_.multiuser_subtract_k))
-          .value();
-  const double residual =
-      std::max(config_.thermal_noise_w, interference - cancelled);
-  return r.signal_w / residual;
-}
-
-void Simulator::note_interference_change(Reception& r, const ActiveTx& cause) {
-  const double sinr = effective_sinr(r);
-  r.min_sinr = std::min(r.min_sinr, sinr);
-  if (r.failure == LossType::kNone && sinr < r.required_snr)
-    fail_reception(r, cause);
-}
-
-void Simulator::open_reception(std::uint64_t tx_id, const ActiveTx& tx,
-                               StationId rx,
-                               std::vector<Reception>& records) {
-  Reception r;
-  r.rx = rx;
-  r.signal_w = engine_->gain(rx, tx.from) * tx.power_w;
-  r.required_snr = tx.required_snr;
-  radio::InterferenceEngine::ContributionVisitor on_contribution;
-  if (config_.multiuser_subtract_k > 0) {
-    on_contribution = [&r](std::uint64_t id, radio::Watts watts) {
-      r.contributions.add(id, watts);
-    };
-  }
-  r.handle = engine_->open_reception(tx_id, rx, on_contribution);
-
-  if (active_station_[rx] == 0) {
-    // The receiver is down (churn): the record still exists — conservation
-    // and the engine's interference accounting need it — but nothing can be
-    // decoded at a dead station, and no despreading channel is consumed.
-    r.failure = LossType::kAborted;
-  } else if (station_transmitting(rx)) {
-    r.failure = LossType::kType3;
-  } else if (reception_count_[rx] >= config_.despreading_channels) {
-    r.failure = LossType::kType2;  // all despreading channels busy
-  } else {
-    r.occupies_channel = true;
-    ++reception_count_[rx];
-  }
-
-  r.min_sinr = effective_sinr(r);
-  if (r.failure == LossType::kNone && r.min_sinr < r.required_snr) {
-    // Below threshold from the first instant: attribute the loss to an
-    // already-active transmission addressed to the same receiver (Type 2) if
-    // one exists, otherwise to third-party interference / sheer lack of
-    // signal (Type 1). addressed_count_ mirrors the active set, so the test
-    // is O(1); subtract this transmission itself when it is the one
-    // addressed to rx.
-    const int others = addressed_count_[rx] - (tx.to == rx ? 1 : 0);
-    r.failure = others > 0 ? LossType::kType2 : LossType::kType1;
-  }
-
-  // The vector was reserved by the caller, so push_back never reallocates
-  // and the back-pointer registered here stays valid until close.
-  DRN_EXPECTS(records.size() < records.capacity());
-  records.push_back(std::move(r));
-  ++open_rx_count_[rx];
-  const radio::ReceptionHandle h = records.back().handle;
-  if (by_handle_.size() <= h) by_handle_.resize(h + 1, nullptr);
-  by_handle_[h] = &records.back();
-}
-
-void Simulator::handle_transmit_start(std::uint64_t tx_id) {
-  auto node = scheduled_.extract(tx_id);
-  DRN_EXPECTS(!node.empty());
-  const ActiveTx& tx = active_.emplace(tx_id, node.mapped()).first->second;
-  const bool noise = tx.to == kNoStation;
-  if (tx.to < station_count()) ++addressed_count_[tx.to];
-
-  metrics_.record_airtime(tx.from, tx.end_s - tx.start_s);
-  if (noise) {
-    metrics_.record_noise_burst();
-  } else if (tx.to == kBroadcast) {
-    metrics_.record_broadcast();
-  } else {
-    metrics_.record_hop_attempt();
-  }
-  ++transmitting_count_[tx.from];
-
-  if (!observers_.empty()) {
-    TxEvent ev;
-    ev.tx_id = tx_id;
-    ev.from = tx.from;
-    ev.to = tx.to;
-    ev.power_w = tx.power_w;
-    ev.start_s = tx.start_s;
-    ev.end_s = tx.end_s;
-    ev.rate_bps = tx.rate_bps;
-    ev.packet = tx.packet.id;
-    for (SimObserver* o : observers_) o->on_transmit_start(ev);
-  }
-
-  const bool track = config_.multiuser_subtract_k > 0;
-
-  // The new signal raises the interference of every in-flight reception it
-  // reaches and kills any reception in progress at the (now radiating)
-  // sender itself; the engine walks them and notifies us per reception.
-  engine_->transmit_started(
-      tx_id, tx.from, radio::Watts{tx.power_w},
-      [this, &tx](radio::ReceptionHandle h) {
-        fail_reception(reception_at(h), tx);  // Type 3: own transmitter up
-      },
-      [this, &tx, tx_id, track](radio::ReceptionHandle h, radio::Watts watts) {
-        Reception& r = reception_at(h);
-        if (track) r.contributions.add(tx_id, watts);
-        note_interference_change(r, tx);
-      });
-
-  // A noise burst carries nothing: it interferes (above) but opens no
-  // reception.
-  if (noise) return;
-
-  // Open the reception record(s).
-  auto& records = receptions_[tx_id];
-  if (tx.to == kBroadcast) {
-    records.reserve(station_count() - 1);
-    for (StationId rx = 0; rx < station_count(); ++rx) {
-      if (rx == tx.from) continue;
-      open_reception(tx_id, tx, rx, records);
-    }
-  } else {
-    records.reserve(1);
-    open_reception(tx_id, tx, tx.to, records);
-  }
-}
-
-void Simulator::handle_transmit_end(std::uint64_t tx_id) {
-  auto node = active_.extract(tx_id);
-  DRN_EXPECTS(!node.empty());
-  const ActiveTx tx = node.mapped();
-  --transmitting_count_[tx.from];
-  if (tx.to < station_count()) --addressed_count_[tx.to];
-
-  // The signal leaves the air: the engine lowers everyone else's
-  // interference (receptions at the sender's own station never had this
-  // contribution added — they die via Type 3 — and the engine skips them
-  // symmetrically). Interference only drops here, so min_sinr cannot move;
-  // the notification is only needed to retire tracked contributions.
-  radio::InterferenceEngine::AffectedVisitor on_affected;
-  if (config_.multiuser_subtract_k > 0) {
-    on_affected = [this, tx_id](radio::ReceptionHandle h,
-                                radio::Watts /*watts*/) {
-      reception_at(h).contributions.erase(tx_id);
-    };
-  }
-  engine_->transmit_ended(tx_id, on_affected);
-
-  if (tx.to == kNoStation) {
-    // Noise burst: nothing was receivable; just tell the emitter.
-    with_station(tx.from, [this, &tx](MacProtocol& mac) {
-      mac.on_transmit_end(*this, tx.packet, tx.to, false);
-    });
-    return;
-  }
-
-  auto rnode = receptions_.extract(tx_id);
-  DRN_EXPECTS(!rnode.empty());
-  bool any_delivered = false;
-  for (Reception& r : rnode.mapped()) {
-    engine_->close_reception(r.handle);
-    by_handle_[r.handle] = nullptr;
-    if (r.occupies_channel) --reception_count_[r.rx];
-    --open_rx_count_[r.rx];
-    const bool delivered = r.failure == LossType::kNone;
-    any_delivered |= delivered;
-
-    if (!observers_.empty()) {
-      RxEvent ev;
-      ev.tx_id = tx_id;
-      ev.rx = r.rx;
-      ev.delivered = delivered;
-      ev.loss = r.failure;
-      ev.min_sinr = r.min_sinr;
-      ev.required_snr = r.required_snr;
-      ev.signal_w = r.signal_w;
-      for (SimObserver* o : observers_) o->on_reception_complete(ev);
-    }
-
-    if (tx.to == kBroadcast) {
-      if (delivered) {
-        metrics_.record_broadcast_reception();
-        with_station(r.rx, [this, &tx, &r](MacProtocol& mac) {
-          mac.on_broadcast_received(*this, tx.packet, tx.from, r.signal_w);
-        });
-      }
-      continue;
-    }
-
-    if (delivered) {
-      metrics_.record_hop_success(
-          radio::to_db(r.min_sinr / r.required_snr));
-      deliver(tx.packet, r.rx);
-    } else {
-      metrics_.record_hop_loss(r.failure);
-    }
-  }
-
-  with_station(tx.from, [this, &tx, any_delivered](MacProtocol& mac) {
-    mac.on_transmit_end(*this, tx.packet, tx.to, any_delivered);
+void Simulator::on_decoded_broadcast(const Packet& packet, StationId from,
+                                     StationId rx, double signal_w) {
+  host_.with_station(rx, [this, &packet, from, signal_w](MacProtocol& mac) {
+    mac.on_broadcast_received(*this, packet, from, signal_w);
   });
 }
 
-void Simulator::deliver(const Packet& packet, StationId at) {
-  Packet pkt = packet;
-  ++pkt.hop_count;
-  if (pkt.destination == at) {
-    metrics_.record_delivery(now_s_ - pkt.created_s, pkt.hop_count);
-    return;
-  }
-  enqueue_at(at, pkt);
-}
-
-void Simulator::enqueue_at(StationId station, const Packet& packet) {
-  if (active_station_[station] == 0) {
-    metrics_.record_churn_drops(1);  // the station is down (churn)
-    return;
-  }
-  const StationId next = router_(station, packet.destination);
-  if (next == kNoStation || next == station) {
-    metrics_.record_mac_drop();  // no route
-    return;
-  }
-  DRN_EXPECTS(next < station_count());
-  with_station(station, [this, &packet, next](MacProtocol& mac) {
-    mac.on_enqueue(*this, packet, next);
-  });
+void Simulator::on_transmit_complete(StationId from, const Packet& packet,
+                                     StationId to, bool any_delivered) {
+  host_.with_station(from,
+                     [this, &packet, to, any_delivered](MacProtocol& mac) {
+                       mac.on_transmit_end(*this, packet, to, any_delivered);
+                     });
 }
 
 // ---------------------------------------------------------------------------
 // Network dynamics (src/dynamics/ drives these; quiescent otherwise)
 
-void Simulator::abort_transmission(std::uint64_t tx_id) {
-  auto node = active_.extract(tx_id);
-  DRN_EXPECTS(!node.empty());
-  const ActiveTx tx = node.mapped();
-  --transmitting_count_[tx.from];
-  if (tx.to < station_count()) --addressed_count_[tx.to];
-  // Airtime was booked for the full planned duration at start; give back the
-  // part that never aired.
-  metrics_.trim_airtime(tx.from, tx.end_s - now_s_);
-  const bool was_pending = queue_.cancel(tx.end_ev);
-  DRN_EXPECTS(was_pending);  // the tx was in flight, so its end lay ahead
-
-  // Observers first (the auditor truncates its record of this transmission
-  // to now before the aborted RxEvents below arrive).
-  if (!observers_.empty()) {
-    TxEvent ev;
-    ev.tx_id = tx_id;
-    ev.from = tx.from;
-    ev.to = tx.to;
-    ev.power_w = tx.power_w;
-    ev.start_s = tx.start_s;
-    ev.end_s = tx.end_s;
-    ev.rate_bps = tx.rate_bps;
-    ev.packet = tx.packet.id;
-    for (SimObserver* o : observers_) o->on_transmit_aborted(ev, now_s_);
-  }
-
-  // The signal leaves the air early; interference drops exactly as at a
-  // normal end, through the same engine path (no ad-hoc subtraction).
-  radio::InterferenceEngine::AffectedVisitor on_affected;
-  if (config_.multiuser_subtract_k > 0) {
-    on_affected = [this, tx_id](radio::ReceptionHandle h,
-                                radio::Watts /*watts*/) {
-      reception_at(h).contributions.erase(tx_id);
-    };
-  }
-  engine_->transmit_ended(tx_id, on_affected);
-
-  if (tx.to == kNoStation) return;  // noise: no reception records
-
-  auto rnode = receptions_.extract(tx_id);
-  DRN_EXPECTS(!rnode.empty());
-  for (Reception& r : rnode.mapped()) {
-    engine_->close_reception(r.handle);
-    by_handle_[r.handle] = nullptr;
-    if (r.occupies_channel) --reception_count_[r.rx];
-    --open_rx_count_[r.rx];
-    // A truncated packet is undecodable regardless of its SINR so far.
-    if (r.failure == LossType::kNone) r.failure = LossType::kAborted;
-
-    if (!observers_.empty()) {
-      RxEvent ev;
-      ev.tx_id = tx_id;
-      ev.rx = r.rx;
-      ev.delivered = false;
-      ev.loss = r.failure;
-      ev.min_sinr = r.min_sinr;
-      ev.required_snr = r.required_snr;
-      ev.signal_w = r.signal_w;
-      for (SimObserver* o : observers_) o->on_reception_complete(ev);
-    }
-
-    if (tx.to != kBroadcast) metrics_.record_hop_loss(r.failure);
-  }
-  // No on_transmit_end: the sender's MAC is being torn down right now.
-}
-
 std::size_t Simulator::deactivate_station(StationId station) {
   DRN_EXPECTS(station < station_count());
-  DRN_EXPECTS(active_station_[station] != 0);
-  DRN_EXPECTS(macs_[station] != nullptr);
+  DRN_EXPECTS(host_.station_active(station));
+  DRN_EXPECTS(host_.has_mac(station));
 
-  // Scheduled-but-not-started transmissions from the station never happen:
-  // both their queue entries are cancelled on the spot.
-  for (auto it = scheduled_.begin(); it != scheduled_.end();) {
-    if (it->second.from == station) {
-      queue_.cancel(it->second.start_ev);
-      queue_.cancel(it->second.end_ev);
-      it = scheduled_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // RF teardown first (the medium must not upcall into a destroyed MAC):
+  // scheduled transmissions vanish, airborne ones are cut short, receptions
+  // in progress at the station are marked aborted.
+  medium_.cancel_scheduled_from(station);
+  medium_.abort_active_from(station, now_s_);
+  medium_.abort_receptions_at(station);
 
-  // Transmissions already on the air are cut short.
-  std::vector<std::uint64_t> airborne;
-  for (const auto& [id, tx] : active_)
-    if (tx.from == station) airborne.push_back(id);
-  for (const std::uint64_t id : airborne) abort_transmission(id);
-
-  // Receptions in progress at the station die with it. The records stay
-  // open (the engine keeps accounting the interference they see, and
-  // conservation still expects their outcomes at the transmissions' ends)
-  // but can no longer deliver — even if the station rejoins first.
-  for (auto& [id, records] : receptions_) {
-    (void)id;
-    for (Reception& r : records) {
-      if (r.rx == station && r.failure == LossType::kNone)
-        r.failure = LossType::kAborted;
-    }
-  }
-
-  // The dead MAC's pending timers leave the queue now instead of riding it
-  // as deadweight until their fire time (the generation bump below still
-  // guards anything that slipped through).
-  for (const EventHandle h : station_timers_[station]) queue_.cancel(h);
-  station_timers_[station].clear();
-
-  // The queue dies with the MAC.
-  const std::size_t dropped = macs_[station]->queued_packets();
-  metrics_.record_churn_drops(dropped);
-  macs_[station].reset();
-  active_station_[station] = 0;
-  ++mac_generation_[station];  // pending timers of the old MAC are now stale
-  tx_busy_until_s_[station] = now_s_;
-  metrics_.record_station_down();
+  // Then the station side: timers, the queue that dies with the MAC, the
+  // MAC itself, activation state and the generation bump.
+  const std::size_t dropped = host_.teardown(station);
+  medium_.release_transmitter(station, now_s_);
   return dropped;
 }
 
 void Simulator::activate_station(StationId station,
                                  std::unique_ptr<MacProtocol> mac) {
   DRN_EXPECTS(station < station_count());
-  DRN_EXPECTS(active_station_[station] == 0);
-  DRN_EXPECTS(mac != nullptr);
-  macs_[station] = std::move(mac);
-  active_station_[station] = 1;
-  metrics_.record_station_up();
-  if (started_)
-    with_station(station, [this](MacProtocol& m) { m.on_start(*this); });
+  host_.activate(station, std::move(mac));
 }
 
 bool Simulator::try_move_station(StationId station, geo::Vec2 position) {
@@ -670,18 +213,14 @@ bool Simulator::try_move_station(StationId station, geo::Vec2 position) {
   // RF-idle rule: while the station radiates, or any reception record at it
   // is open, in-flight engine state references its current gains; moving
   // underneath that state would corrupt the incremental interference sums.
-  if (transmitting_count_[station] > 0 || open_rx_count_[station] > 0)
-    return false;
-  engine_->station_moved(station, position);
+  if (!medium_.rf_idle(station)) return false;
+  medium_.station_moved(station, position);
   return true;
 }
 
 void Simulator::notify_clock_rate(StationId station, double delta_ppm) {
   DRN_EXPECTS(station < station_count());
-  DRN_EXPECTS(active_station_[station] != 0);
-  with_station(station, [this, delta_ppm](MacProtocol& mac) {
-    mac.on_clock_rate_changed(*this, delta_ppm);
-  });
+  host_.notify_clock_rate(station, delta_ppm);
 }
 
 Simulator::QueueStats Simulator::queue_stats() const {
@@ -697,19 +236,7 @@ Simulator::QueueStats Simulator::queue_stats() const {
 }
 
 void Simulator::handle_inject(PacketHandle handle) {
-  Packet pkt = pool_.take(handle);
-  if (pkt.id == 0) {
-    pkt.id = next_packet_id_++;
-  } else if (pkt.id >= next_packet_id_) {
-    // Caller-chosen ids and generated ids share one namespace: advance the
-    // generator past every injected id so later zero-id injections can never
-    // collide with it and corrupt exactly-once accounting.
-    next_packet_id_ = pkt.id + 1;
-  }
-  pkt.created_s = now_s_;
-  pkt.hop_count = 0;
-  metrics_.record_offered();
-  enqueue_at(pkt.source, pkt);
+  network_.admit(pool_.take(handle), now_s_);
 }
 
 }  // namespace drn::sim

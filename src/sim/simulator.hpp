@@ -1,47 +1,39 @@
-// The event-driven radio network simulator.
+// The event-driven radio network simulator — a thin facade over three
+// internally-owned layers (see DESIGN.md section 13):
 //
-// Physics implemented (Sections 3.3-3.4 of the paper):
-//   * propagation is a scalar power gain per ordered station pair, served by
-//     a pluggable interference engine (radio/interference_engine) — dense
-//     matrix or lazy grid-indexed near/far evaluation;
-//   * the received "noise" for a reception is thermal noise plus the summed
-//     power of every OTHER active transmission at the receiver (Eq. 5-6);
-//   * a packet is decoded iff its SINR stays at or above the threshold for
-//     its rate (Eq. 4) for the packet's entire airtime, the receiver never
-//     radiates during that airtime (Type 3), and a despreading channel was
-//     free when the packet arrived (Type 2 overload otherwise).
+//   * sim::RadioMedium (medium.hpp): the physical channel. Propagation
+//     gains served by a pluggable interference engine, incremental
+//     interference sums (Eq. 5-6), the SINR decode test (Eq. 4), the
+//     Section 5 loss taxonomy and despreading-channel admission, broadcast
+//     fan-out, per-transmission rates and multiuser subtraction.
+//   * sim::StationHost (station_host.hpp): the stations. MAC instances,
+//     per-station RNG streams, timers, activation state (churn), and the
+//     context binding for every MAC hook.
+//   * sim::NetworkLayer (network_layer.hpp): Section 6.2 forwarding. The
+//     router, end-to-end delivery accounting, and the injected-traffic
+//     packet-id namespace.
 //
-// Interference sums are maintained incrementally by the engine: every
-// transmission start or end updates the running interference of each
-// in-flight reception it reaches, and the simulator re-tests SINR through
-// the engine's change notifications. The default (compensated) engine keeps
-// those running sums exact; the near/far engine trades a bounded SINR error
-// for locality (see interference_engine.hpp).
+// The event core (event_queue/event_pool) is owned here and shared by
+// reference; the facade runs the event loop and dispatches each popped
+// event to its layer. Decode outcomes climb back up through the private
+// RadioMedium::Client implementation, which routes them to the receiving
+// MAC or the network layer at exactly the points the historical monolithic
+// Simulator invoked them — the split is draw-for-draw bit-identical, pinned
+// by the event-order golden digests (tests/integration).
 //
-// Extensions beyond the base model (all off by default / opt-in):
-//   * broadcast transmissions (to = kBroadcast): every station attempts
-//     reception; successes arrive via MacProtocol::on_broadcast_received —
-//     the substrate for over-the-air neighbour discovery;
-//   * per-transmission rates (MacContext::transmit rate_bps): airtime and
-//     required SINR follow the rate, enabling per-link rate selection (the
-//     paper's footnote 9 direction);
-//   * multiuser detection (SimulatorConfig::multiuser_subtract_k): receivers
-//     subtract up to k strongest interfering contributions before the SINR
-//     test (the paper's footnote 2 / Verdu reference);
-//   * network dynamics (src/dynamics/): stations can be torn down and
-//     rebuilt mid-run (activate/deactivate, aborting in-flight RF state),
-//     moved when RF-idle (try_move_station), handed clock-rate changes, and
-//     made to radiate pure noise (transmit_noise — the jammer substrate);
-//     with no dynamics driver these paths are never taken.
+// Facade guarantee: the public Simulator API is unchanged by the layering —
+// every pre-split caller (MACs via MacContext, runners, benches, dynamics,
+// audits) compiles and behaves identically. The layers are reachable
+// read-only via medium()/host()/network() for tests and tools that want to
+// assert through the seams.
 //
-// The network layer is built in: on a successful unicast hop the simulator
-// counts an end-to-end delivery or consults the installed router and
-// re-enqueues the packet at the receiver's MAC (Section 6.2 forwarding).
+// Extensions beyond the base model — broadcast fan-out, per-transmission
+// rates, multiuser detection, network dynamics (churn/mobility/drift/
+// jammers) — are documented on the layer that owns each (medium.hpp,
+// station_host.hpp) and are all off by default / opt-in.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -51,42 +43,19 @@
 #include "radio/interference_engine.hpp"
 #include "radio/propagation_matrix.hpp"
 #include "radio/reception.hpp"
-#include "sim/contribution_set.hpp"
 #include "sim/event_pool.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/mac.hpp"
+#include "sim/medium.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network_layer.hpp"
 #include "sim/observer.hpp"
 #include "sim/packet.hpp"
+#include "sim/station_host.hpp"
 
 namespace drn::sim {
 
-/// Chooses the next hop for a packet at `at` destined for `dst`. Returning
-/// kNoStation drops the packet (no route).
-using Router = std::function<StationId(StationId at, StationId dst)>;
-
-struct SimulatorConfig {
-  /// The fixed design rate / bandwidth / margin shared by all stations.
-  radio::ReceptionCriterion criterion;
-  /// Thermal noise floor at every receiver, watts. Negative = derive kTB
-  /// from the criterion's bandwidth.
-  double thermal_noise_w = -1.0;
-  /// Parallel despreading channels per receiver (Section 5: "GPS receivers
-  /// often have six or twelve"; routing keeps direct neighbours <= 8).
-  int despreading_channels = 8;
-  /// Multiuser detection: subtract up to this many strongest interfering
-  /// contributions before the SINR test (0 = off, the paper's base model).
-  int multiuser_subtract_k = 0;
-  /// Master seed for the per-station MAC random streams.
-  std::uint64_t seed = 1;
-  /// Interference accounting engine used by the matrix constructor (the
-  /// engine constructor brings its own). kNearFar needs geometry the matrix
-  /// does not carry, so it is only reachable via the engine constructor.
-  radio::InterferenceEngineKind engine =
-      radio::InterferenceEngineKind::kCompensated;
-};
-
-class Simulator final : public MacContext {
+class Simulator final : public MacContext, private RadioMedium::Client {
  public:
   /// Builds a dense-matrix engine of config.engine's kind over `gains`.
   Simulator(radio::PropagationMatrix gains, SimulatorConfig config);
@@ -104,12 +73,11 @@ class Simulator final : public MacContext {
   /// Installs the next-hop chooser. Default: one-hop direct to destination.
   void set_router(Router router);
 
-  /// Installs a passive observer (not owned; null clears), replacing any
-  /// already installed. See observer.hpp.
-  void set_observer(SimObserver* observer) {
-    observers_.clear();
-    if (observer != nullptr) observers_.push_back(observer);
-  }
+  /// Installs a passive observer (not owned; null clears), replacing only
+  /// the observer this method itself installed earlier — observers added
+  /// via add_observer (auditors, dynamics engines, traces) are never
+  /// touched. See observer.hpp.
+  void set_observer(SimObserver* observer);
 
   /// Adds a passive observer alongside any already installed (not owned).
   /// Observers are notified in installation order.
@@ -125,17 +93,22 @@ class Simulator final : public MacContext {
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] std::size_t station_count() const {
-    return engine_->station_count();
+    return medium_.station_count();
   }
   [[nodiscard]] const radio::InterferenceEngine& engine() const {
-    return *engine_;
+    return medium_.engine();
   }
   [[nodiscard]] const SimulatorConfig& config() const { return config_; }
 
   /// Number of transmissions currently in flight (for tests).
   [[nodiscard]] std::size_t active_transmissions() const {
-    return active_.size();
+    return medium_.active_count();
   }
+
+  // -- the layers (read-only seams for tests/tools) -------------------------
+  [[nodiscard]] const RadioMedium& medium() const { return medium_; }
+  [[nodiscard]] const StationHost& host() const { return host_; }
+  [[nodiscard]] const NetworkLayer& network() const { return network_; }
 
   /// Event-core counters (benches and regression tests; see DESIGN.md
   /// section 12). Cheap snapshot — callable mid-run.
@@ -161,8 +134,7 @@ class Simulator final : public MacContext {
   /// Whether `station` is up (participating in the network). All stations
   /// start active; only deactivate_station changes this.
   [[nodiscard]] bool station_active(StationId station) const {
-    DRN_EXPECTS(station < active_station_.size());
-    return active_station_[station] != 0;
+    return host_.station_active(station);
   }
 
   /// Tears `station` down mid-run (crash/leave): cancels its scheduled
@@ -193,13 +165,13 @@ class Simulator final : public MacContext {
   void enable_mobility(geo::Placement placement,
                        std::shared_ptr<const radio::PropagationModel> model,
                        radio::LinearGain self_gain = radio::LinearGain{1.0}) {
-    engine_->enable_mobility(std::move(placement), std::move(model),
-                             self_gain);
+    medium_.enable_mobility(std::move(placement), std::move(model),
+                            self_gain);
   }
 
   // -- MacContext (the simulator services the MAC whose hook is running) ---
   [[nodiscard]] double now() const override { return now_s_; }
-  [[nodiscard]] StationId self() const override;
+  [[nodiscard]] StationId self() const override { return host_.self(); }
   using MacContext::transmit;
   void transmit(const Packet& pkt, StationId to, double power_w,
                 double start_s, double rate_bps) override;
@@ -211,144 +183,41 @@ class Simulator final : public MacContext {
   [[nodiscard]] double received_power_w() const override;
   [[nodiscard]] double gain_to(StationId other) const override;
   void drop(const Packet& pkt) override;
-  [[nodiscard]] Rng& rng() override;
+  [[nodiscard]] Rng& rng() override { return host_.rng(); }
 
  private:
-  struct ActiveTx {
-    Packet packet;
-    StationId from = kNoStation;
-    StationId to = kNoStation;  // station id, kBroadcast, or kNoStation
-                                // (= a pure noise burst: no receptions)
-    double power_w = 0.0;
-    double start_s = 0.0;
-    double end_s = 0.0;
-    double rate_bps = 0.0;
-    double required_snr = 0.0;  // Eq. 4 threshold at this rate
-    /// Queue entries for this transmission, cancellable while pending: both
-    /// while scheduled, the end alone once in flight (aborts cut it short).
-    EventHandle start_ev;
-    EventHandle end_ev;
-  };
-
-  struct Reception {
-    StationId rx = kNoStation;
-    double signal_w = 0.0;
-    /// Engine-side interference state for this reception (the engine's
-    /// interference(handle) is thermal + all other active transmissions).
-    radio::ReceptionHandle handle = radio::kInvalidReception;
-    double min_sinr = 0.0;  // worst (effective) SINR seen so far
-    double required_snr = 0.0;
-    LossType failure = LossType::kNone;
-    bool occupies_channel = false;  // holds one of rx's despreading channels
-    /// Per-interferer contributions, kept only when multiuser detection is
-    /// on (needed to subtract the strongest k).
-    ContributionSet contributions;
-  };
-
-  void handle_transmit_start(std::uint64_t tx_id);
-  void handle_transmit_end(std::uint64_t tx_id);
   void handle_inject(PacketHandle handle);
 
-  /// Cuts short a transmission already on the air (its sender is being torn
-  /// down): removes it from the engine now, closes its receptions with
-  /// kAborted outcomes, and cancels its pending end event. Does NOT call the
-  /// sender's on_transmit_end.
-  void abort_transmission(std::uint64_t tx_id);
-
-  /// Books the start/end queue entries for a freshly scheduled transmission
-  /// and stores their handles on the ActiveTx (shared tail of transmit and
-  /// transmit_noise).
-  void schedule_tx_events(std::uint64_t tx_id, ActiveTx& tx);
-
-  void deliver(const Packet& packet, StationId at);
-  void enqueue_at(StationId station, const Packet& packet);
-
-  /// Opens the reception record for `tx` at receiver `rx` (admission rules:
-  /// not transmitting, free despreading channel, initial SINR) and registers
-  /// its engine handle in by_handle_.
-  void open_reception(std::uint64_t tx_id, const ActiveTx& tx, StationId rx,
-                      std::vector<Reception>& records);
-
-  /// Effective SINR of a reception after optional multiuser subtraction.
-  [[nodiscard]] double effective_sinr(const Reception& r) const;
-
-  /// Re-tests a reception against its threshold after an interference
-  /// change and folds the result into min_sinr.
-  void note_interference_change(Reception& r, const ActiveTx& cause);
-
-  /// Marks `r` failed (first failure wins) with the taxonomy type implied by
-  /// the interfering transmission `cause`.
-  void fail_reception(Reception& r, const ActiveTx& cause);
-
-  /// Interference classification for a transmission relative to receiver rx.
-  [[nodiscard]] static LossType classify(const ActiveTx& interferer,
-                                         StationId rx);
-
-  [[nodiscard]] bool station_transmitting(StationId s) const {
-    return transmitting_count_[s] > 0;
+  // -- RadioMedium::Client: decode outcomes climbing out of the medium -----
+  [[nodiscard]] bool station_up(StationId station) const override {
+    return host_.station_active(station);
   }
-
-  [[nodiscard]] Reception& reception_at(radio::ReceptionHandle h) {
-    DRN_EXPECTS(h < by_handle_.size() && by_handle_[h] != nullptr);
-    return *by_handle_[h];
+  void on_decoded_unicast(const Packet& packet, StationId rx) override {
+    network_.deliver(packet, rx, now_s_);
   }
+  void on_decoded_broadcast(const Packet& packet, StationId from,
+                            StationId rx, double signal_w) override;
+  void on_transmit_complete(StationId from, const Packet& packet,
+                            StationId to, bool any_delivered) override;
 
-  /// Runs a MAC hook with the context bound to `station`.
-  template <typename F>
-  void with_station(StationId station, F&& hook);
-
-  std::unique_ptr<radio::InterferenceEngine> engine_;
-  SimulatorConfig config_;
+  SimulatorConfig config_;  // finalized at construction (thermal derived)
   Metrics metrics_;
   EventQueue queue_;
   EventPool pool_;  // payloads of pending kInject events
   double now_s_ = 0.0;
-  bool started_ = false;
   std::uint64_t events_processed_ = 0;
 
-  std::vector<std::unique_ptr<MacProtocol>> macs_;
-  std::vector<Rng> rngs_;
-  Router router_;
+  // Observer slots, shared by reference with the medium. set_observer owns
+  // at most one slot (tracked by index); add_observer appends.
   std::vector<SimObserver*> observers_;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::size_t owned_slot_ = kNoSlot;
 
-  std::uint64_t next_tx_id_ = 1;
-  PacketId next_packet_id_ = 1;
-  // Pending (scheduled but not started) + in-flight transmissions.
-  std::map<std::uint64_t, ActiveTx> scheduled_;
-  std::map<std::uint64_t, ActiveTx> active_;
-  // In-flight receptions, keyed by tx_id (one per receiver for broadcasts).
-  // Vectors are reserved before records are appended so the back-pointers
-  // in by_handle_ stay valid for a record's whole lifetime.
-  std::map<std::uint64_t, std::vector<Reception>> receptions_;
-  std::vector<Reception*> by_handle_;     // engine handle -> live record
-  std::vector<int> transmitting_count_;   // per station
-  std::vector<int> reception_count_;      // per station (despreading channels)
-  // Per station: in-flight unicast transmissions addressed TO it. Lets the
-  // below-threshold-at-open Type-2 attribution test run in O(1) instead of
-  // walking every active transmission per opened reception (a broadcast at
-  // large M opens thousands, most of them below threshold).
-  std::vector<int> addressed_count_;
-  std::vector<double> tx_busy_until_s_;   // per station: serialization check
-
-  // Handles of timers armed by each station's current MAC, so teardown can
-  // cancel them outright instead of letting them ride the queue to a
-  // drop-at-pop. Fired/cancelled handles go stale harmlessly; the list is
-  // pruned of them when it grows. Registered in set_timer.
-  std::vector<std::vector<EventHandle>> station_timers_;
-
-  // -- dynamics state (quiescent unless src/dynamics/ drives the run) ------
-  std::vector<char> active_station_;      // per station: 1 = up
-  // Bumped on every teardown so a timer armed by a dead MAC — already
-  // cancelled via station_timers_; the generation is defense in depth —
-  // can never be delivered to its replacement.
-  std::vector<std::uint32_t> mac_generation_;
-  // Open reception records at each station (all outcomes, not just pending):
-  // while > 0 the engine holds per-reception state referencing the station's
-  // gains, so the station must not move.
-  std::vector<int> open_rx_count_;
-
-  // Context binding for the MAC hook currently executing.
-  StationId current_station_ = kNoStation;
+  // The three layers (construction order matters: the medium adopts the
+  // engine, the host needs the station count, the network needs the host).
+  RadioMedium medium_;
+  StationHost host_;
+  NetworkLayer network_;
 };
 
 }  // namespace drn::sim

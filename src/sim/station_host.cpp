@@ -1,0 +1,112 @@
+#include "sim/station_host.hpp"
+
+#include <algorithm>
+
+namespace drn::sim {
+
+StationHost::StationHost(std::size_t station_count, std::uint64_t seed,
+                         EventQueue& queue, Metrics& metrics, MacContext& ctx)
+    : queue_(queue),
+      metrics_(metrics),
+      ctx_(ctx),
+      macs_(station_count),
+      station_timers_(station_count),
+      active_station_(station_count, 1),
+      mac_generation_(station_count, 0) {
+  Rng master(seed);
+  rngs_.reserve(station_count);
+  for (std::size_t i = 0; i < station_count; ++i)
+    rngs_.push_back(master.split(i));
+}
+
+void StationHost::set_mac(StationId station,
+                          std::unique_ptr<MacProtocol> mac) {
+  DRN_EXPECTS(station < macs_.size());
+  DRN_EXPECTS(mac != nullptr);
+  DRN_EXPECTS(!started_);
+  macs_[station] = std::move(mac);
+}
+
+void StationHost::start_if_needed() {
+  if (started_) return;
+  for (StationId s = 0; s < macs_.size(); ++s) {
+    if (active_station_[s] == 0) continue;
+    DRN_EXPECTS(macs_[s] != nullptr);  // every active station needs a MAC
+    with_station(s, [this](MacProtocol& mac) { mac.on_start(ctx_); });
+  }
+  started_ = true;
+}
+
+void StationHost::deliver_timer(StationId station, std::uint64_t cookie,
+                                std::uint32_t generation) {
+  // A timer armed by a MAC that has since been torn down is cancelled at
+  // teardown, so a stale one can barely reach here; the generation guard
+  // stays as defense in depth. Deliver only fresh timers.
+  if (active_station_[station] == 0 ||
+      generation != mac_generation_[station]) {
+    return;
+  }
+  with_station(station, [this, cookie](MacProtocol& mac) {
+    mac.on_timer(ctx_, cookie);
+  });
+}
+
+TimerHandle StationHost::arm_timer(double at_s, std::uint64_t cookie) {
+  Event e;
+  e.time_s = at_s;
+  e.kind = EventKind::kTimer;
+  e.station = self();
+  e.cookie = cookie;
+  e.generation = mac_generation_[e.station];
+  const EventHandle h = queue_.push(e);
+  // Remember the handle so teardown can cancel outright. Fired and
+  // cancelled handles go stale on their own; sweep them out once the list
+  // grows, keeping it proportional to the station's truly pending timers.
+  auto& timers = station_timers_[e.station];
+  if (timers.size() >= 32) {
+    std::erase_if(timers,
+                  [this](EventHandle t) { return !queue_.pending(t); });
+  }
+  timers.push_back(h);
+  return h;
+}
+
+std::size_t StationHost::teardown(StationId station) {
+  DRN_EXPECTS(macs_[station] != nullptr);
+  // The dead MAC's pending timers leave the queue now instead of riding it
+  // as deadweight until their fire time (the generation bump below still
+  // guards anything that slipped through).
+  for (const EventHandle h : station_timers_[station]) queue_.cancel(h);
+  station_timers_[station].clear();
+
+  // The queue dies with the MAC.
+  const std::size_t dropped = macs_[station]->queued_packets();
+  metrics_.record_churn_drops(dropped);
+  macs_[station].reset();
+  active_station_[station] = 0;
+  ++mac_generation_[station];  // pending timers of the old MAC are now stale
+  metrics_.record_station_down();
+  return dropped;
+}
+
+void StationHost::activate(StationId station,
+                           std::unique_ptr<MacProtocol> mac) {
+  DRN_EXPECTS(station < macs_.size());
+  DRN_EXPECTS(active_station_[station] == 0);
+  DRN_EXPECTS(mac != nullptr);
+  macs_[station] = std::move(mac);
+  active_station_[station] = 1;
+  metrics_.record_station_up();
+  if (started_)
+    with_station(station, [this](MacProtocol& m) { m.on_start(ctx_); });
+}
+
+void StationHost::notify_clock_rate(StationId station, double delta_ppm) {
+  DRN_EXPECTS(station < macs_.size());
+  DRN_EXPECTS(active_station_[station] != 0);
+  with_station(station, [this, delta_ppm](MacProtocol& mac) {
+    mac.on_clock_rate_changed(ctx_, delta_ppm);
+  });
+}
+
+}  // namespace drn::sim

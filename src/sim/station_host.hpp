@@ -1,0 +1,146 @@
+// The station lifecycle layer: StationHost owns everything that lives AT a
+// station rather than on the air — the MAC instances themselves, each
+// station's deterministic random stream, its armed timers, its up/down
+// activation state, and the context binding that tells a running MAC hook
+// which station it is.
+//
+// This is the seam the related work needs (swap the MAC, hold the medium
+// fixed): the host knows nothing about interference, receptions or routing.
+// It dispatches hooks into MacProtocol implementations on behalf of the
+// Simulator facade, which passes itself as the MacContext the hooks see.
+//
+// Timer discipline (unchanged from the monolithic Simulator): every armed
+// timer's handle is remembered per station so churn teardown can cancel the
+// lot outright instead of letting dead timers ride the queue to a
+// drop-at-pop; fired/cancelled handles go stale harmlessly and are swept
+// once the list grows. A per-station MAC generation, bumped at every
+// teardown, keeps any timer that slips through from ever reaching a
+// replacement MAC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mac.hpp"
+#include "sim/metrics.hpp"
+
+namespace drn::sim {
+
+/// Owns the per-station MACs, RNGs, timers and activation state, and binds
+/// the station context for every MAC hook it dispatches.
+class StationHost {
+ public:
+  /// `ctx` is the MacContext handed to every dispatched hook (the Simulator
+  /// facade); only stored, never called during construction.
+  StationHost(std::size_t station_count, std::uint64_t seed,
+              EventQueue& queue, Metrics& metrics, MacContext& ctx);
+
+  StationHost(const StationHost&) = delete;
+  StationHost& operator=(const StationHost&) = delete;
+
+  /// Installs the MAC driving `station`. Every station needs one before the
+  /// first run (replacements mid-run go through teardown + activate).
+  void set_mac(StationId station, std::unique_ptr<MacProtocol> mac);
+
+  /// First-run hook: calls every active station's on_start exactly once.
+  /// Later calls are no-ops.
+  void start_if_needed();
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// Runs a MAC hook with the context bound to `station` (the facade's
+  /// self() reads the binding). Restores the previous binding on exit, so
+  /// nested dispatch (a hook whose fallout reaches another station's MAC
+  /// synchronously) unwinds correctly.
+  template <typename F>
+  void with_station(StationId station, F&& hook) {
+    DRN_EXPECTS(macs_[station] != nullptr);
+    const StationId saved = current_station_;
+    current_station_ = station;
+    hook(*macs_[station]);
+    current_station_ = saved;
+  }
+
+  // -- event dispatch (facade event loop) -----------------------------------
+
+  /// Delivers a popped timer event to its station's MAC — unless the station
+  /// is down or the timer was armed by a previous MAC generation (teardown
+  /// cancels timers outright; the generation guard is defense in depth).
+  void deliver_timer(StationId station, std::uint64_t cookie,
+                     std::uint32_t generation);
+
+  /// Arms a timer for the currently bound station (the set_timer service
+  /// minus the time check, which the facade performs against now).
+  TimerHandle arm_timer(double at_s, std::uint64_t cookie);
+
+  // -- MacContext backing ---------------------------------------------------
+
+  /// The station whose hook is currently executing.
+  [[nodiscard]] StationId self() const {
+    DRN_EXPECTS(current_station_ != kNoStation);
+    return current_station_;
+  }
+  /// The bound station's deterministic random stream.
+  [[nodiscard]] Rng& rng() { return rngs_[self()]; }
+  /// The MacContext every dispatched hook sees (the Simulator facade) — for
+  /// layers that dispatch hooks themselves via with_station.
+  [[nodiscard]] MacContext& context() { return ctx_; }
+
+  // -- lifecycle (dynamics churn) -------------------------------------------
+
+  [[nodiscard]] bool station_active(StationId station) const {
+    DRN_EXPECTS(station < active_station_.size());
+    return active_station_[station] != 0;
+  }
+
+  /// Tears down `station`'s MAC-side state: cancels its pending timers,
+  /// drops the queue that dies with the MAC (returned; also recorded as
+  /// churn drops), destroys the MAC, marks the station down and bumps its
+  /// generation. RF-side teardown (aborting transmissions/receptions) is the
+  /// medium's job and must happen BEFORE this (the MAC must not be consulted
+  /// once destroyed).
+  std::size_t teardown(StationId station);
+
+  /// Brings a downed `station` back up with a fresh MAC; if the simulation
+  /// has started, the MAC's on_start runs immediately.
+  void activate(StationId station, std::unique_ptr<MacProtocol> mac);
+
+  /// Hands a clock-rate change to `station`'s MAC (must be active).
+  void notify_clock_rate(StationId station, double delta_ppm);
+
+  [[nodiscard]] std::size_t station_count() const { return macs_.size(); }
+  [[nodiscard]] bool has_mac(StationId station) const {
+    return macs_[station] != nullptr;
+  }
+
+ private:
+  EventQueue& queue_;  // the shared event core
+  Metrics& metrics_;
+  MacContext& ctx_;  // the facade; passed to every dispatched hook
+
+  std::vector<std::unique_ptr<MacProtocol>> macs_;
+  std::vector<Rng> rngs_;
+  bool started_ = false;
+
+  // Handles of timers armed by each station's current MAC, so teardown can
+  // cancel them outright instead of letting them ride the queue to a
+  // drop-at-pop. Fired/cancelled handles go stale harmlessly; the list is
+  // pruned of them when it grows. Registered in arm_timer.
+  std::vector<std::vector<EventHandle>> station_timers_;
+
+  std::vector<char> active_station_;  // per station: 1 = up
+  // Bumped on every teardown so a timer armed by a dead MAC — already
+  // cancelled via station_timers_; the generation is defense in depth —
+  // can never be delivered to its replacement.
+  std::vector<std::uint32_t> mac_generation_;
+
+  // Context binding for the MAC hook currently executing.
+  StationId current_station_ = kNoStation;
+};
+
+}  // namespace drn::sim

@@ -12,8 +12,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "audit/invariant_auditor.hpp"
+#include "core/scheduled_station.hpp"
+#include "dynamics/dynamics.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
 #include "sim/simulator.hpp"
@@ -72,6 +76,77 @@ TEST(EventOrderGolden, AlohaHashPinned) {
   EXPECT_EQ(hash_of(golden_spec(runner::MacKind::kAloha),
                     runner::trial_seed(606, 0)),
             kGolden);
+}
+
+/// run_trial's dynamics wiring with the auditor riding along: churn tears
+/// stations down mid-run (abort + rejoin paths), mobility relocates them
+/// between receptions. Pins the ordering contract under dynamics, not just
+/// the static Section 8 runs.
+std::uint64_t churn_mobility_hash(std::uint64_t seed) {
+  runner::ScenarioSpec spec = golden_spec(runner::MacKind::kScheme);
+  // Maintenance beacons so churned stations can re-converge (the same knobs
+  // drn_sweep auto-enables under churn).
+  spec.net.beacon_interval_s = 0.5;
+  spec.net.neighbor_timeout_s = 12.0 * spec.net.beacon_interval_s;
+  spec.net.readopt_neighbors = true;
+  spec.dynamics.churn_rate_per_s = 2.0;
+  spec.dynamics.mean_downtime_s = 1.0;
+  spec.dynamics.mobility_speed_mps = 20.0;
+  spec.dynamics.mobility_step_s = 0.25;
+  spec.dynamics.mobility_region_m = spec.region_m;
+
+  auto scenario =
+      runner::make_scenario(spec.stations, spec.region_m, seed, spec.net);
+  sim::SimulatorConfig sim_cfg{spec.criterion()};
+  sim_cfg.seed = seed;
+  sim::Simulator sim(scenario.gains, sim_cfg);
+  const auto model = std::make_shared<radio::FreeSpacePropagation>();
+  sim.enable_mobility(scenario.placement, model);
+  audit::InvariantAuditor auditor(sim);
+  sim.add_observer(&auditor);
+
+  // Scheme stations warm-reboot with their pre-run config and neighbour
+  // table, exactly as run_trial's rejoin factory does.
+  std::vector<core::ScheduledStationConfig> cfgs;
+  std::vector<core::NeighborTable> tables;
+  cfgs.reserve(scenario.net.macs.size());
+  tables.reserve(scenario.net.macs.size());
+  for (const auto& mac : scenario.net.macs) {
+    cfgs.push_back(mac->config());
+    tables.push_back(mac->neighbors());
+  }
+  dynamics::MacFactory rejoin = [cfgs = std::move(cfgs),
+                                 tables = std::move(tables)](StationId s) {
+    return std::make_unique<core::ScheduledStation>(cfgs[s], tables[s]);
+  };
+
+  runner::install_macs(sim, scenario, spec);
+  sim.set_router(scenario.tables.router());
+  Rng traffic_rng = Rng(seed).split(2);
+  for (const auto& inj : sim::poisson_traffic(
+           spec.rate_pps, spec.duration_s, scenario.net.packet_bits,
+           sim::uniform_pairs(scenario.gains.size()), traffic_rng))
+    sim.inject(inj.time_s, inj.packet);
+  const double total = spec.duration_s + spec.drain_s;
+  dynamics::DynamicsEngine driver(spec.dynamics, sim, scenario.placement,
+                                  spec.stations, std::move(rejoin),
+                                  Rng(seed).split(3));
+  driver.run(total);
+  auditor.finalize(total);
+  auditor.cross_check(sim.metrics());
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  // The scenario must actually exercise the dynamics paths it pins.
+  EXPECT_GT(sim.metrics().station_leaves(), 0u);
+  EXPECT_GT(sim.metrics().station_joins(), 0u);
+  return auditor.event_hash();
+}
+
+TEST(EventOrderGolden, ChurnMobilityHashPinned) {
+  // Captured from the pre-layering Simulator (the monolithic class that
+  // predates the RadioMedium / StationHost / NetworkLayer split), so the
+  // refactor is pinned draw-for-draw under aborts, rejoins and moves too.
+  constexpr std::uint64_t kGolden = 14753770258953278022ull;
+  EXPECT_EQ(churn_mobility_hash(runner::trial_seed(808, 0)), kGolden);
 }
 
 TEST(EventOrderGolden, HashIsDeterministic) {

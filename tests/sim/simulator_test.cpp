@@ -398,5 +398,45 @@ TEST(Simulator, ActiveTransmissionCountTracksAir) {
   EXPECT_EQ(sim.active_transmissions(), 0u);
 }
 
+// set_observer historically cleared the WHOLE observer list, silently
+// detaching auditors installed via add_observer. It must own exactly one
+// slot: replace/clear only what it installed itself.
+TEST(Simulator, SetObserverDoesNotEvictAddedObservers) {
+  class Counter final : public SimObserver {
+   public:
+    int tx_starts = 0;
+    void on_transmit_start(const TxEvent&) override { ++tx_starts; }
+  };
+
+  radio::PropagationMatrix m(2);
+  m.set_gain(0, 1, radio::LinearGain{1.0});
+  Simulator sim(m, config_with(zero_db_criterion()));
+  sim.set_mac(0, std::make_unique<ScriptMac>(std::vector<ScriptedTx>{
+                     {0.0, 1, 1.0, 1.0e4}, {0.1, 1, 1.0, 1.0e4},
+                     {0.2, 1, 1.0, 1.0e4}}));
+  sim.set_mac(1, std::make_unique<IdleMac>());
+
+  Counter auditor;          // an add_observer client (e.g. InvariantAuditor)
+  Counter first, second;    // successive set_observer clients (e.g. traces)
+  sim.add_observer(&auditor);
+  sim.set_observer(&first);
+  sim.run_until(0.05);
+  EXPECT_EQ(auditor.tx_starts, 1);
+  EXPECT_EQ(first.tx_starts, 1);
+
+  // Replacing the set_observer slot must leave the auditor attached...
+  sim.set_observer(&second);
+  sim.run_until(0.15);
+  EXPECT_EQ(auditor.tx_starts, 2) << "add_observer client was evicted";
+  EXPECT_EQ(first.tx_starts, 1) << "replaced observer still notified";
+  EXPECT_EQ(second.tx_starts, 1);
+
+  // ...and so must clearing it.
+  sim.set_observer(nullptr);
+  sim.run_until(0.25);
+  EXPECT_EQ(auditor.tx_starts, 3) << "add_observer client was evicted";
+  EXPECT_EQ(second.tx_starts, 1) << "cleared observer still notified";
+}
+
 }  // namespace
 }  // namespace drn::sim

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI driver. Stages:
 #
-#   1. lint          tools/drn_lint.py (determinism + hygiene rules, regex
-#                    mode) plus the linter's own unit tests
+#   1. lint          tools/drn_lint.py (determinism + hygiene rules and the
+#                    layer-boundary architecture rule, regex mode) plus the
+#                    linter's own unit tests
 #   2. AST lint      tools/drn_lint.py --mode ast, when the libclang python
-#                    bindings import; skipped with a notice otherwise
+#                    bindings import; skipped with a notice otherwise (the
+#                    layer-boundary rule is include-textual, so both modes
+#                    enforce it identically)
 #   3. format        clang-format --dry-run over src/bench/tools/tests
 #   4. build + test  default config
 #   5. negative-compile  replay of the tests/static/ probes by name

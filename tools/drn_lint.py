@@ -51,6 +51,14 @@ depends on, none of which clang-tidy checks:
                   observer structs (TxEvent/RxEvent) or MacContext hooks;
                   a stray Event copy smuggles a PacketHandle past the pool's
                   generation discipline.
+  layer-boundary  the simulator's layering (DESIGN.md section 13) is
+                  one-directional: src/radio/ (the physical substrate) must
+                  not include sim/; src/sim/ must not include runner/ or
+                  dynamics/ (drivers sit ABOVE the simulator); and the
+                  medium (src/sim/medium.*) must not include sim/mac.hpp —
+                  MAC hooks reach it only through RadioMedium::Client, so
+                  the physical layer stays studyable with any MAC swapped
+                  in above it.
 
 Suppress a finding by appending `// drn-lint: allow(<rule>)` to the line,
 which is a grep-able record that a human judged the exception sound. The
@@ -99,6 +107,7 @@ KNOWN_RULES = frozenset(RULES) | {
     "unordered-iter",
     "manual-db",
     "raw-event-copy",
+    "layer-boundary",
 }
 
 # An operand that makes ==/!= a floating-point comparison: a float literal
@@ -153,6 +162,35 @@ MANUAL_DB_EXEMPT = ("units",)
 # EventHandle, EventKind) do not match. Only src/sim/ may traffic in raw
 # Events.
 RAW_EVENT_COPY = re.compile(r"\b(?:sim::)?Event\s+\w+")
+
+# Quoted project includes, for the layer-boundary rule. System includes
+# (<...>) can never name a project layer.
+PROJECT_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def layer_boundary_reason(module: str, stem: str, include: str):
+    """Why `include` violates the layering from a file in src/<module>/
+    (None when it does not). Pure include-direction checks, so the rule is
+    textual in both regex and AST modes."""
+    if module == "radio" and include.startswith("sim/"):
+        return (
+            "src/radio/ is the physical substrate and must not include "
+            "sim/ (the simulator sits above it)"
+        )
+    if module == "sim" and include.startswith(("runner/", "dynamics/")):
+        return (
+            "src/sim/ must not include runner/ or dynamics/ (drivers sit "
+            "above the simulator and are plugged in, never reached down to)"
+        )
+    if module == "sim" and stem == "medium" and (
+        include == "sim/mac.hpp" or include.endswith("/mac.hpp")
+    ):
+        return (
+            "the medium is MAC-free by design: MAC hooks reach it only "
+            "through RadioMedium::Client"
+        )
+    return None
+
 
 ALLOW = re.compile(r"//\s*drn-lint:\s*allow\s*(?:\(([^)]*)\))?")
 COMMENT = re.compile(r"//.*$")
@@ -336,6 +374,21 @@ def lint_file(path: pathlib.Path, repo: pathlib.Path,
                 "by-value sim::Event outside src/sim/; consume TxEvent/"
                 "RxEvent observer structs or MacContext hooks instead",
             )
+        if in_library and not allowed(raw, "layer-boundary"):
+            # The include path IS a string literal, so search the comment-
+            # stripped line rather than the literal-stripped `code`.
+            m = PROJECT_INCLUDE.search(COMMENT.sub("", line))
+            if m:
+                reason = layer_boundary_reason(
+                    module, path.stem, m.group(1)
+                )
+                if reason:
+                    report(
+                        lineno,
+                        "layer-boundary",
+                        f"include of \"{m.group(1)}\" crosses a layer "
+                        f"boundary: {reason}",
+                    )
         if (
             path.stem not in MANUAL_DB_EXEMPT
             and MANUAL_DB.search(code)

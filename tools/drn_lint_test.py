@@ -246,6 +246,85 @@ class RawEventCopy(LintFixture):
         self.assertEqual(f, [])
 
 
+class LayerBoundary(LintFixture):
+    def test_fires_on_radio_including_sim(self) -> None:
+        f = self.lint(
+            "src/radio/foo.cpp",
+            '#include "sim/simulator.hpp"\n',
+        )
+        self.assertIn("layer-boundary", self.rules(f))
+
+    def test_fires_on_sim_including_runner(self) -> None:
+        f = self.lint(
+            "src/sim/foo.cpp",
+            '#include "runner/scenario.hpp"\n',
+        )
+        self.assertIn("layer-boundary", self.rules(f))
+
+    def test_fires_on_sim_including_dynamics(self) -> None:
+        f = self.lint(
+            "src/sim/foo.cpp",
+            '#include "dynamics/dynamics.hpp"\n',
+        )
+        self.assertIn("layer-boundary", self.rules(f))
+
+    def test_fires_on_medium_including_mac(self) -> None:
+        f = self.lint(
+            "src/sim/medium.hpp",
+            '#pragma once\n#include "sim/mac.hpp"\n',
+        )
+        self.assertIn("layer-boundary", self.rules(f))
+
+    def test_quiet_on_other_sim_files_including_mac(self) -> None:
+        # Only the medium is MAC-free; the host exists to own MACs.
+        f = self.lint(
+            "src/sim/station_host.hpp",
+            '#pragma once\n#include "sim/mac.hpp"\n',
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_on_sim_including_radio(self) -> None:
+        # Downward includes are the sanctioned direction.
+        f = self.lint(
+            "src/sim/foo.cpp",
+            '#include "radio/interference_engine.hpp"\n',
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_on_dynamics_including_sim(self) -> None:
+        # Drivers above the simulator include down into it freely.
+        f = self.lint(
+            "src/dynamics/foo.cpp",
+            '#include "sim/simulator.hpp"\n',
+        )
+        self.assertEqual(f, [])
+
+    def test_quiet_outside_the_library(self) -> None:
+        # Tests/benches wire all layers together by design; the rule only
+        # constrains src/. (bench/ is linted, so assert on it directly.)
+        f = self.lint(
+            "bench/foo.cpp",
+            '#include "sim/simulator.hpp"\n'
+            '#include "runner/scenario.hpp"\n',
+        )
+        self.assertEqual(f, [])
+
+    def test_commented_out_include_is_quiet(self) -> None:
+        f = self.lint(
+            "src/radio/foo.cpp",
+            '// #include "sim/simulator.hpp"\n',
+        )
+        self.assertEqual(f, [])
+
+    def test_suppression_waives(self) -> None:
+        f = self.lint(
+            "src/sim/foo.cpp",
+            '#include "runner/json.hpp"'
+            "  // drn-lint: allow(layer-boundary)\n",
+        )
+        self.assertEqual(f, [])
+
+
 class ExistingRulesStillFire(LintFixture):
     def test_std_rng(self) -> None:
         f = self.lint("src/sim/a.cpp", "std::mt19937 gen;\n")
